@@ -1,0 +1,92 @@
+//! E1 — the Figure 1 container pipeline: what does the
+//! EPR-resolve → load → invoke → save cycle cost over a plain call,
+//! and how does the state backend change it?
+
+#![allow(clippy::result_large_err)]
+
+use std::sync::Arc;
+
+use bench::{bench_service, job_doc, job_schema, request};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsrf_core::store::{BlobStore, MemoryStore, ResourceStore, StructuredStore};
+use wsrf_soap::ns::UVACG;
+use wsrf_xml::Element;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1-dispatch");
+
+    // Baseline: the handler body alone, no container.
+    group.bench_function("bare-handler", |b| {
+        let mut doc = job_doc(0);
+        b.iter(|| {
+            let n = doc.i64(&bench::q("Pid")).unwrap_or(0) + 1;
+            doc.set_i64(bench::q("Pid"), n);
+            black_box(n);
+        })
+    });
+
+    // Full dispatch per backend (in-memory envelope, no wire).
+    let backends: Vec<(&str, Arc<dyn ResourceStore>)> = vec![
+        ("memory", Arc::new(MemoryStore::new())),
+        ("blob", Arc::new(BlobStore::new())),
+        ("structured", {
+            let s = StructuredStore::new();
+            s.define_schema("Bench", job_schema(0));
+            Arc::new(s)
+        }),
+    ];
+    for (name, store) in backends {
+        let (svc, epr, _net) = bench_service(store);
+        let env = request(&epr, "Bench", "Touch", Element::new(UVACG, "Touch"));
+        group.bench_function(format!("container-{name}"), |b| {
+            b.iter(|| black_box(svc.dispatch(env.clone())))
+        });
+    }
+
+    // Ablation E1b: save-always (WSRF.NET) vs save-when-changed, on a
+    // read-only operation where the difference is maximal.
+    for (label, policy) in [
+        ("save-always", wsrf_core::container::SavePolicy::Always),
+        ("save-when-changed", wsrf_core::container::SavePolicy::WhenChanged),
+    ] {
+        let clock = simclock::Clock::manual();
+        let net = wsrf_transport::InProcNetwork::new(clock.clone());
+        let svc = wsrf_core::container::ServiceBuilder::new(
+            "Abl",
+            "inproc://bench/Abl",
+            Arc::new(MemoryStore::new()),
+        )
+        .save_policy(policy)
+        .operation("Peek", |ctx| {
+            let doc = ctx.resource_mut()?;
+            Ok(Element::new(UVACG, "PeekResponse")
+                .text(doc.text_local("Status").unwrap_or_default()))
+        })
+        .build(clock, net);
+        let epr = svc.core().create_resource_with_key("r1", job_doc(8)).unwrap();
+        let env = request(&epr, "Abl", "Peek", Element::new(UVACG, "Peek"));
+        group.bench_function(format!("read-only-dispatch-{label}"), |b| {
+            b.iter(|| black_box(svc.dispatch(env.clone())))
+        });
+    }
+
+    // Full wire form: serialize request, parse, dispatch, serialize
+    // response, parse — both ends of an HTTP hop minus the socket.
+    let (svc, epr, _net) = bench_service(Arc::new(MemoryStore::new()));
+    let env = request(&epr, "Bench", "Touch", Element::new(UVACG, "Touch"));
+    group.bench_function("container-memory+wire", |b| {
+        b.iter(|| {
+            let wire = env.to_xml();
+            let parsed = wsrf_soap::Envelope::parse(&wire).unwrap();
+            let resp = svc.dispatch(parsed);
+            let resp_wire = resp.to_xml();
+            black_box(wsrf_soap::Envelope::parse(&resp_wire).unwrap());
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

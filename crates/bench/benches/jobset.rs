@@ -1,0 +1,48 @@
+//! E3 — end-to-end job-set execution: the real software cost of the
+//! whole Figure 3 protocol (submission, staging, notifications,
+//! scheduling waves) on a zero-latency manual clock. Virtual makespans
+//! are the harness binary's job.
+
+use bench::{drive, grid_with_client, shaped_spec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_jobset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3-jobset-protocol");
+    group.sample_size(20);
+    for (shape, n) in [("independent", 4usize), ("chain", 4), ("fanout", 4), ("independent", 16)] {
+        group.bench_with_input(
+            BenchmarkId::new(shape, n),
+            &(shape, n),
+            |b, &(shape, n)| {
+                b.iter(|| {
+                    // Fresh grid per iteration: the measurement is the
+                    // full protocol including deployment.
+                    let (grid, client) = grid_with_client(4, 1.0);
+                    let spec = shaped_spec(shape, n);
+                    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+                    let makespan = drive(&grid, &handle, 600);
+                    black_box(makespan);
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Submission alone (validation + resource creation + subscriptions
+    // + first dispatch wave).
+    let mut group = c.benchmark_group("E3-submission");
+    group.bench_function("submit-8-independent", |b| {
+        b.iter(|| {
+            let (_grid, client) = grid_with_client(4, 1000.0);
+            let handle = client
+                .submit(&shaped_spec("independent", 8), "griduser", "gridpass")
+                .unwrap();
+            black_box(handle.topic);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_jobset);
+criterion_main!(benches);

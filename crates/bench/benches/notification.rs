@@ -1,0 +1,121 @@
+//! E4 — notification machinery: direct vs brokered fan-out as the
+//! subscriber count grows, and raw topic-expression matching
+//! throughput per dialect.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simclock::Clock;
+use std::hint::black_box;
+use ws_notification::broker::{notification_broker, publish, subscribe};
+use ws_notification::consumer::NotificationListener;
+use ws_notification::message::NotificationMessage;
+use ws_notification::producer::NotificationProducer;
+use ws_notification::topics::{TopicExpression, TopicPath};
+use wsrf_core::store::MemoryStore;
+use wsrf_soap::EndpointReference;
+use wsrf_transport::InProcNetwork;
+use wsrf_xml::Element;
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4-fanout");
+    for subscribers in [1usize, 10, 100] {
+        // Direct producer.
+        {
+            let net = InProcNetwork::new(Clock::manual());
+            let producer =
+                NotificationProducer::new(EndpointReference::service("inproc://p/svc"), net.clone());
+            for i in 0..subscribers {
+                let l = NotificationListener::register(&net, &format!("inproc://c{i}/l"));
+                producer.subscriptions.subscribe(l.epr(), TopicExpression::full("js//"));
+            }
+            group.bench_with_input(
+                BenchmarkId::new("direct", subscribers),
+                &subscribers,
+                |b, &n| {
+                    b.iter(|| {
+                        let (sent, errs) =
+                            producer.notify("js/job/exit", Element::local("E").text("0"));
+                        assert_eq!((sent, errs.len()), (n, 0));
+                        black_box(sent);
+                    })
+                },
+            );
+        }
+        // Brokered.
+        {
+            let clock = Clock::manual();
+            let net = InProcNetwork::new(clock.clone());
+            let broker = notification_broker(
+                "Broker",
+                "inproc://hub/Broker",
+                Arc::new(MemoryStore::new()),
+                clock,
+                net.clone(),
+            );
+            broker.register(&net);
+            let bepr = broker.core().service_epr();
+            for i in 0..subscribers {
+                let l = NotificationListener::register(&net, &format!("inproc://c{i}/l"));
+                subscribe(&net, &bepr, &l.epr(), &TopicExpression::full("js//"), None).unwrap();
+            }
+            let msg = NotificationMessage::new("js/job/exit", Element::local("E").text("0"))
+                .from_producer(EndpointReference::service("inproc://p/svc"));
+            group.bench_with_input(
+                BenchmarkId::new("brokered", subscribers),
+                &subscribers,
+                |b, _| {
+                    b.iter(|| {
+                        publish(&net, &bepr, &msg).unwrap();
+                        black_box(());
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4-topic-matching");
+    let topics: Vec<TopicPath> = (0..1000)
+        .map(|i| TopicPath::parse(&format!("jobset-{}/job/j{}/exit", i % 20, i)))
+        .collect();
+    let cases = [
+        ("simple", TopicExpression::simple("jobset-5")),
+        ("concrete", TopicExpression::concrete("jobset-5/job/j105/exit")),
+        ("full-star", TopicExpression::full("jobset-5/*/j105/exit")),
+        ("full-descend", TopicExpression::full("jobset-5//exit")),
+        ("full-any", TopicExpression::full("//exit")),
+    ];
+    for (name, expr) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let hits = topics.iter().filter(|t| expr.matches(t)).count();
+                black_box(hits);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    // Serialize + parse one notification envelope — the per-message
+    // tax WS-Notification pays for interoperability.
+    let msg = NotificationMessage::new(
+        "jobset-1/job/j1/exit",
+        Element::local("JobExit").attr("code", "0").attr("cpu", "12.5"),
+    )
+    .from_producer(EndpointReference::resource("inproc://m1/Exec", "JobKey", "j1"));
+    let consumer = EndpointReference::service("inproc://client/listener");
+    c.bench_function("E4-notify-envelope-roundtrip", |b| {
+        b.iter(|| {
+            let wire = msg.to_envelope(&consumer).to_xml();
+            let env = wsrf_soap::Envelope::parse(&wire).unwrap();
+            black_box(NotificationMessage::from_envelope(&env));
+        })
+    });
+}
+
+criterion_group!(benches, bench_fanout, bench_matching, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E8 — push vs poll, the software-cost half: one status poll round
+//! trip (GRAM-style) versus one notification delivery (WSRF-style).
+//! The traffic/latency sweep across poll intervals is modeled and
+//! printed by the harness binary.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grid_node::{JobProgram, Machine, MachineSpec, ProcSpawn};
+use simclock::Clock;
+use std::hint::black_box;
+use uvacg::baseline::{self, single_file_server};
+use ws_notification::consumer::NotificationListener;
+use ws_notification::message::NotificationMessage;
+use wsrf_transport::InProcNetwork;
+use wsrf_xml::Element;
+
+fn bench_poll_vs_push(c: &mut Criterion) {
+    // Baseline job manager with one long-running job to poll.
+    let clock = Clock::manual();
+    let net = InProcNetwork::new(clock.clone());
+    let machine = Machine::new(MachineSpec::new("m1"), clock.clone());
+    let spawner = Arc::new(ProcSpawn::new(machine.clone()));
+    let manager = baseline::job_manager(
+        "inproc://hub/JobManager",
+        vec![("m1".into(), machine, spawner)],
+        clock.clone(),
+        net.clone(),
+    );
+    manager.register(&net);
+    let src = single_file_server(
+        &net,
+        "soap.tcp://client/files",
+        "prog.exe",
+        JobProgram::compute(1e9).to_manifest(),
+    );
+    let job_id =
+        baseline::submit(&net, "inproc://hub/JobManager", &src, "prog.exe", "griduser", "gridpass")
+            .unwrap();
+
+    let mut group = c.benchmark_group("E8-push-vs-poll");
+    group.bench_function("one poll round trip (GRAM-style)", |b| {
+        b.iter(|| {
+            let st = baseline::poll(&net, "inproc://hub/JobManager", job_id).unwrap();
+            assert!(st.is_none());
+            black_box(st);
+        })
+    });
+
+    // One notification delivery to a registered listener.
+    let listener = NotificationListener::register(&net, "inproc://client/listener");
+    let msg = NotificationMessage::new("js/job/j1/exit", Element::local("JobExit").attr("code", "0"));
+    let env = msg.to_envelope(&listener.epr());
+    group.bench_function("one notification delivery (WSRF-style)", |b| {
+        b.iter(|| {
+            net.send_oneway("inproc://client/listener", env.clone()).unwrap();
+            black_box(());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_poll_vs_push);
+criterion_main!(benches);

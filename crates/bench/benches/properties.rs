@@ -1,0 +1,115 @@
+//! E2 — the Figure 2 programming model: throughput of the standard
+//! WS-ResourceProperties operations versus a bespoke (GRAM-style)
+//! interface returning the same data.
+
+#![allow(clippy::result_large_err)]
+
+use std::sync::Arc;
+
+use bench::{job_doc, q, request};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simclock::Clock;
+use std::hint::black_box;
+use wsrf_core::container::ServiceBuilder;
+use wsrf_core::porttypes::{wsrl_action, wsrp_action, XPATH_DIALECT};
+use wsrf_core::store::MemoryStore;
+use wsrf_soap::ns::{UVACG, WSRP};
+use wsrf_soap::{Envelope, MessageInfo};
+use wsrf_transport::InProcNetwork;
+use wsrf_xml::Element;
+
+fn bench_properties(c: &mut Criterion) {
+    let clock = Clock::manual();
+    let net = InProcNetwork::new(clock.clone());
+    // One service with both the standard port types and a custom op
+    // that returns the same three fields in a bespoke shape.
+    let svc = ServiceBuilder::new("Props", "inproc://bench/Props", Arc::new(MemoryStore::new()))
+        .operation("CustomGetInfo", |ctx| {
+            let doc = ctx.resource_mut()?;
+            Ok(Element::new(UVACG, "CustomGetInfoResponse")
+                .attr("status", doc.text(&q("Status")).unwrap_or_default())
+                .attr("cpu", doc.text(&q("CpuTime")).unwrap_or_default())
+                .attr("name", doc.text(&q("JobName")).unwrap_or_default()))
+        })
+        .build(clock, net.clone());
+    svc.register(&net);
+    let epr = svc.core().create_resource_with_key("r1", job_doc(8)).unwrap();
+
+    let mut group = c.benchmark_group("E2-properties");
+
+    let get = {
+        let mut env = Envelope::new(Element::new(WSRP, "GetResourceProperty").text("Status"));
+        MessageInfo::request(epr.clone(), wsrp_action("GetResourceProperty")).apply(&mut env);
+        env
+    };
+    group.bench_function("GetResourceProperty", |b| {
+        b.iter(|| black_box(svc.dispatch(get.clone())))
+    });
+
+    let get_multi = {
+        let mut env = Envelope::new(
+            Element::new(WSRP, "GetMultipleResourceProperties")
+                .child(Element::new(WSRP, "ResourceProperty").text("Status"))
+                .child(Element::new(WSRP, "ResourceProperty").text("CpuTime"))
+                .child(Element::new(WSRP, "ResourceProperty").text("JobName")),
+        );
+        MessageInfo::request(epr.clone(), wsrp_action("GetMultipleResourceProperties"))
+            .apply(&mut env);
+        env
+    };
+    group.bench_function("GetMultipleResourceProperties", |b| {
+        b.iter(|| black_box(svc.dispatch(get_multi.clone())))
+    });
+
+    let query = {
+        let mut env = Envelope::new(
+            Element::new(WSRP, "QueryResourceProperties").child(
+                Element::new(WSRP, "QueryExpression")
+                    .attr("Dialect", XPATH_DIALECT)
+                    .text("/ResourcePropertyDocument[Status='Running']/CpuTime"),
+            ),
+        );
+        MessageInfo::request(epr.clone(), wsrp_action("QueryResourceProperties")).apply(&mut env);
+        env
+    };
+    group.bench_function("QueryResourceProperties", |b| {
+        b.iter(|| black_box(svc.dispatch(query.clone())))
+    });
+
+    let set = {
+        let mut env = Envelope::new(
+            Element::new(WSRP, "SetResourceProperties").child(
+                Element::new(WSRP, "Update").child(Element::new(UVACG, "Status").text("Exited")),
+            ),
+        );
+        MessageInfo::request(epr.clone(), wsrp_action("SetResourceProperties")).apply(&mut env);
+        env
+    };
+    group.bench_function("SetResourceProperties", |b| {
+        b.iter(|| black_box(svc.dispatch(set.clone())))
+    });
+
+    let custom = request(&epr, "Props", "CustomGetInfo", Element::new(UVACG, "CustomGetInfo"));
+    group.bench_function("custom-interface (GRAM-style)", |b| {
+        b.iter(|| black_box(svc.dispatch(custom.clone())))
+    });
+
+    // Lifetime op for completeness.
+    let stt = {
+        let mut env = Envelope::new(
+            Element::new(wsrf_soap::ns::WSRL, "SetTerminationTime").child(
+                Element::new(wsrf_soap::ns::WSRL, "RequestedTerminationTime").text("999999"),
+            ),
+        );
+        MessageInfo::request(epr.clone(), wsrl_action("SetTerminationTime")).apply(&mut env);
+        env
+    };
+    group.bench_function("SetTerminationTime", |b| {
+        b.iter(|| black_box(svc.dispatch(stt.clone())))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_properties);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E6 — scheduling: raw policy selection cost over snapshot size
+//! (the decision the Scheduler makes per job after polling the NIS).
+//! Makespan comparisons across policies are modeled quantities printed
+//! by the harness binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uvacg::{FastestAvailable, LeastLoaded, NodeSnapshot, Random, RoundRobin, SchedulingPolicy};
+
+fn snapshot(n: usize) -> Vec<NodeSnapshot> {
+    (0..n)
+        .map(|i| NodeSnapshot {
+            machine: format!("machine{i:03}"),
+            cpu_mhz: 1000 + (i as u32 % 5) * 500,
+            cores: 1 + (i as u32) % 4,
+            ram_mb: 1024,
+            utilization: (i as f64 * 0.37) % 1.0,
+            execution: format!("inproc://machine{i:03}/Execution"),
+            filesystem: format!("inproc://machine{i:03}/FileSystem"),
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6-policy-select");
+    for n in [4usize, 32, 256] {
+        let nodes = snapshot(n);
+        let policies: Vec<(&str, Box<dyn SchedulingPolicy>)> = vec![
+            ("fastest-available", Box::new(FastestAvailable)),
+            ("round-robin", Box::new(RoundRobin::default())),
+            ("random", Box::new(Random::new(1))),
+            ("least-loaded", Box::new(LeastLoaded)),
+        ];
+        for (name, policy) in policies {
+            group.bench_with_input(BenchmarkId::new(name, n), &nodes, |b, nodes| {
+                b.iter(|| black_box(policy.select(nodes).unwrap()))
+            });
+        }
+    }
+    group.finish();
+
+    // The NIS snapshot round trip the scheduler pays before each
+    // placement (step 2).
+    let mut group = c.benchmark_group("E6-nis-snapshot");
+    for machines in [2usize, 8, 32] {
+        let clock = simclock::Clock::manual();
+        let net = wsrf_transport::InProcNetwork::new(clock.clone());
+        let nis = uvacg::nis::node_info_service(
+            "inproc://hub/NodeInfo",
+            std::sync::Arc::new(wsrf_core::store::MemoryStore::new()),
+            clock,
+            net.clone(),
+        );
+        nis.register(&net);
+        for i in 0..machines {
+            uvacg::nis::register_machine(
+                &net,
+                "inproc://hub/NodeInfo",
+                &format!("m{i}"),
+                1000,
+                1,
+                1024,
+                &format!("inproc://m{i}/Execution"),
+                &format!("inproc://m{i}/FileSystem"),
+            )
+            .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("poll", machines), &machines, |b, &m| {
+            b.iter(|| {
+                let nodes = uvacg::nis::snapshot(&net, "inproc://hub/NodeInfo").unwrap();
+                assert_eq!(nodes.len(), m);
+                black_box(nodes);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

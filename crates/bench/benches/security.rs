@@ -1,0 +1,67 @@
+//! E9 — the WS-Security substrate: primitive throughput and the cost
+//! of one encrypted UsernameToken hop (encrypt at the client, decrypt
+//! at the service).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use wsrf_security::pki::{CertificateAuthority, KeyPair};
+use wsrf_security::wsse::{sign_body, verify_body, UsernameToken};
+use wsrf_security::{chacha20, hmac, sha256};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9-primitives");
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| black_box(sha256::digest(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("hmac-sha256", size), &data, |b, d| {
+            b.iter(|| black_box(hmac::hmac_sha256(b"bench-key", d)))
+        });
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        group.bench_with_input(BenchmarkId::new("chacha20", size), &data, |b, d| {
+            b.iter(|| black_box(chacha20::encrypt(&key, &nonce, d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_token_flow(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let ca = CertificateAuthority::new("ca", &mut rng);
+    let (svc_keys, svc_cert) = ca.enroll("es@machine01", &mut rng);
+    let token = UsernameToken::new("griduser", "gridpass");
+
+    let mut group = c.benchmark_group("E9-token");
+    group.bench_function("encrypt (client side)", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(token.encrypt(&svc_cert, &mut rng)))
+    });
+    let header = token.encrypt(&svc_cert, &mut rng);
+    group.bench_function("decrypt (service side)", |b| {
+        b.iter(|| black_box(UsernameToken::decrypt(&header, &svc_keys).unwrap()))
+    });
+    group.bench_function("cert verify", |b| {
+        b.iter(|| assert!(black_box(ca.verify(&svc_cert))))
+    });
+    group.bench_function("dh keygen", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(KeyPair::generate(&mut rng)))
+    });
+    let key = [9u8; 32];
+    let body = "<Run jobName=\"job1\"><Topic>jobset-1</Topic></Run>";
+    group.bench_function("body sign+verify", |b| {
+        b.iter(|| {
+            let sig = sign_body(body, &key);
+            verify_body(&sig, body, &key).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_token_flow);
+criterion_main!(benches);

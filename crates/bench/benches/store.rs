@@ -1,0 +1,81 @@
+//! E7 — the §5 state-storage ablation: structured columns vs XML
+//! blobs vs plain memory, for load/save and for queries over growing
+//! resource populations.
+
+use std::sync::Arc;
+
+use bench::{job_doc, job_schema};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsrf_core::store::{BlobStore, MemoryStore, ResourceStore, StructuredStore};
+use wsrf_xml::xpath::Path;
+
+fn backends() -> Vec<(&'static str, Arc<dyn ResourceStore>)> {
+    vec![
+        ("memory", Arc::new(MemoryStore::new())),
+        ("blob", Arc::new(BlobStore::new())),
+        ("structured", {
+            let s = StructuredStore::new();
+            s.define_schema("Bench", job_schema(8));
+            Arc::new(s)
+        }),
+    ]
+}
+
+fn bench_store(c: &mut Criterion) {
+    // Load + save cycle (what every dispatch pays).
+    let mut group = c.benchmark_group("E7-load-save");
+    for (name, store) in backends() {
+        store.create("Bench", "r1", &job_doc(8)).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let doc = store.load("Bench", "r1").unwrap();
+                store.save("Bench", "r1", &doc).unwrap();
+                black_box(());
+            })
+        });
+    }
+    group.finish();
+
+    // Query cost as the population grows — the paper's complaint about
+    // blobs ("makes it very difficult to query them in the database").
+    let mut group = c.benchmark_group("E7-query");
+    let path = Path::parse("/Properties[Status='Running']").unwrap();
+    for n in [10usize, 100, 1000] {
+        for (name, store) in backends() {
+            for i in 0..n {
+                let mut doc = job_doc(8);
+                if i % 2 == 0 {
+                    doc.set_text(bench::q("Status"), "Exited");
+                }
+                store.create("Bench", &format!("r{i}"), &doc).unwrap();
+            }
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| {
+                    let keys = store.query("Bench", &path);
+                    assert_eq!(keys.len(), n / 2);
+                    black_box(keys);
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // Create/destroy churn.
+    let mut group = c.benchmark_group("E7-create-destroy");
+    for (name, store) in backends() {
+        let mut i = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let key = format!("churn-{i}");
+                i += 1;
+                store.create("Bench", &key, &job_doc(8)).unwrap();
+                store.destroy("Bench", &key).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

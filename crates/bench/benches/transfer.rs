@@ -1,0 +1,81 @@
+//! E5 — file movement: real wall-clock cost of moving payloads over
+//! the genuine localhost transports (`soap.tcp` framing vs HTTP POST),
+//! plus the in-simulation same-machine copy path. The *modeled* campus
+//! times per scheme are printed by the harness binary.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wsrf_soap::Envelope;
+use wsrf_transport::http::{http_call, HttpSoapServer};
+use wsrf_transport::tcpframe::{FramedClient, FramedServer};
+use wsrf_transport::FnEndpoint;
+use wsrf_xml::{base64, Element};
+
+fn payload_env(size: usize) -> Envelope {
+    let data = vec![0x5Au8; size];
+    Envelope::new(
+        Element::local("Write")
+            .child(Element::local("FileName").text("f.bin"))
+            .child(Element::local("Content").attr("encoding", "base64").text(base64::encode(&data))),
+    )
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let ack = Arc::new(FnEndpoint::new("ack", |_| {
+        Some(Envelope::new(Element::local("WriteResponse")))
+    }));
+    let http_server = HttpSoapServer::start(ack.clone()).unwrap();
+    let tcp_server = FramedServer::start(ack).unwrap();
+    let tcp_client = FramedClient::connect(&tcp_server.authority()).unwrap();
+
+    let mut group = c.benchmark_group("E5-transfer-real");
+    group.sample_size(20);
+    for size in [1usize << 10, 1 << 14, 1 << 18, 1 << 20] {
+        let env = payload_env(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("http", size), &env, |b, env| {
+            b.iter(|| black_box(http_call(&http_server.authority(), "fs", env).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("soap.tcp", size), &env, |b, env| {
+            b.iter(|| black_box(tcp_client.call(env).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Same-machine FSS copy (the "simply moves the file" path): the
+    // in-process filesystem copy, no wire at all.
+    let mut group = c.benchmark_group("E5-local-copy");
+    for size in [1usize << 10, 1 << 18, 1 << 20] {
+        let fs = grid_node::SimFs::new();
+        fs.write("src/f.bin", vec![0u8; size]).unwrap();
+        fs.create_dir("dst").unwrap();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("fs-copy", size), &size, |b, _| {
+            b.iter(|| {
+                let content = fs.read("src/f.bin").unwrap();
+                fs.write("dst/f.bin", content).unwrap();
+            })
+        });
+    }
+    group.finish();
+
+    // base64 encode/decode — the HTTP-path inflation cost.
+    let mut group = c.benchmark_group("E5-base64");
+    for size in [1usize << 14, 1 << 20] {
+        let data = vec![0xC3u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encode", size), &data, |b, d| {
+            b.iter(|| black_box(base64::encode(d)))
+        });
+        let enc = base64::encode(&data);
+        group.bench_with_input(BenchmarkId::new("decode", size), &enc, |b, e| {
+            b.iter(|| black_box(base64::decode(e).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transports);
+criterion_main!(benches);

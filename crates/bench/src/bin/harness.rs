@@ -1,0 +1,557 @@
+//! Regenerates every EXPERIMENTS.md table (E1–E9).
+//!
+//! ```text
+//! cargo run -p bench --bin harness --release
+//! ```
+//!
+//! Real-time numbers are medians over small in-process samples (the
+//! statistically careful runs live in `cargo bench`); virtual-time and
+//! message-count numbers are exact model outputs.
+
+#![allow(clippy::result_large_err)]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::{
+    bench_service, drive, grid_with_client, job_doc, job_schema, print_table, q, request,
+    shaped_spec, JobProgram,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simclock::Clock;
+use uvacg::baseline::{self, single_file_server};
+use uvacg::{
+    CampusGrid, FastestAvailable, GridConfig, LeastLoaded, Random, RoundRobin, SchedulingPolicy,
+};
+use grid_node::{Machine, MachineSpec, ProcSpawn};
+use ws_notification::broker::{notification_broker, publish, subscribe};
+use ws_notification::consumer::NotificationListener;
+use ws_notification::message::NotificationMessage;
+use ws_notification::producer::NotificationProducer;
+use ws_notification::topics::TopicExpression;
+use wsrf_core::store::{BlobStore, MemoryStore, ResourceStore, StructuredStore};
+use wsrf_core::porttypes::{wsrp_action, XPATH_DIALECT};
+use wsrf_soap::ns::{UVACG, WSRP};
+use wsrf_soap::{EndpointReference, Envelope, MessageInfo};
+use wsrf_transport::{InProcNetwork, NetConfig};
+use wsrf_xml::Element;
+
+/// Median wall time of `f` over `n` runs.
+fn time_median(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Wall time per iteration over a batch (for sub-microsecond work).
+fn time_per_iter(iters: u32, mut f: impl FnMut()) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed() / iters
+}
+
+fn fmt_us(d: Duration) -> String {
+    format!("{:.2} µs", d.as_secs_f64() * 1e6)
+}
+
+fn e1_dispatch() {
+    let mut rows = Vec::new();
+    {
+        let mut doc = job_doc(0);
+        let t = time_per_iter(100_000, || {
+            let n = doc.i64(&q("Pid")).unwrap_or(0) + 1;
+            doc.set_i64(q("Pid"), n);
+        });
+        rows.push(vec!["bare handler (no container)".into(), fmt_us(t)]);
+    }
+    let backends: Vec<(&str, Arc<dyn ResourceStore>)> = vec![
+        ("memory", Arc::new(MemoryStore::new())),
+        ("blob", Arc::new(BlobStore::new())),
+        ("structured", {
+            let s = StructuredStore::new();
+            s.define_schema("Bench", job_schema(0));
+            Arc::new(s)
+        }),
+    ];
+    for (name, store) in backends {
+        let (svc, epr, _net) = bench_service(store);
+        let env = request(&epr, "Bench", "Touch", Element::new(UVACG, "Touch"));
+        let t = time_per_iter(20_000, || {
+            svc.dispatch(env.clone());
+        });
+        rows.push(vec![format!("container dispatch ({name} store)"), fmt_us(t)]);
+    }
+    {
+        let (svc, epr, _net) = bench_service(Arc::new(MemoryStore::new()));
+        let env = request(&epr, "Bench", "Touch", Element::new(UVACG, "Touch"));
+        let t = time_per_iter(10_000, || {
+            let wire = env.to_xml();
+            let parsed = Envelope::parse(&wire).unwrap();
+            let resp = svc.dispatch(parsed);
+            let _ = Envelope::parse(&resp.to_xml()).unwrap();
+        });
+        rows.push(vec!["dispatch + full wire roundtrip".into(), fmt_us(t)]);
+    }
+    // Ablation E1b: read-only dispatch under the two save policies.
+    for (label, policy) in [
+        ("save-always (WSRF.NET)", wsrf_core::container::SavePolicy::Always),
+        ("save-when-changed (ablation)", wsrf_core::container::SavePolicy::WhenChanged),
+    ] {
+        let clock = Clock::manual();
+        let net = InProcNetwork::new(clock.clone());
+        let svc = wsrf_core::container::ServiceBuilder::new(
+            "Abl",
+            "inproc://bench/Abl",
+            Arc::new(BlobStore::new()),
+        )
+        .save_policy(policy)
+        .operation("Peek", |ctx| {
+            let doc = ctx.resource_mut()?;
+            Ok(Element::new(UVACG, "PeekResponse")
+                .text(doc.text_local("Status").unwrap_or_default()))
+        })
+        .build(clock, net);
+        let epr = svc.core().create_resource_with_key("r1", job_doc(8)).unwrap();
+        let env = request(&epr, "Abl", "Peek", Element::new(UVACG, "Peek"));
+        let t = time_per_iter(10_000, || {
+            svc.dispatch(env.clone());
+        });
+        rows.push(vec![format!("read-only dispatch, blob store, {label}"), fmt_us(t)]);
+    }
+    print_table(
+        "E1 — container dispatch pipeline (Figure 1)",
+        &["path", "time/op"],
+        &rows,
+    );
+}
+
+fn e2_properties() {
+    let (_, epr, _net) = bench_service(Arc::new(MemoryStore::new()));
+    let clock = Clock::manual();
+    let net2 = InProcNetwork::new(clock.clone());
+    let svc = wsrf_core::container::ServiceBuilder::new(
+        "Props",
+        "inproc://bench/Props",
+        Arc::new(MemoryStore::new()),
+    )
+    .operation("CustomGetInfo", |ctx| {
+        let doc = ctx.resource_mut()?;
+        Ok(Element::new(UVACG, "R")
+            .attr("status", doc.text(&q("Status")).unwrap_or_default())
+            .attr("cpu", doc.text(&q("CpuTime")).unwrap_or_default()))
+    })
+    .build(clock, net2);
+    let epr2 = svc.core().create_resource_with_key("r1", job_doc(8)).unwrap();
+    let _ = epr;
+
+    let mk = |body: Element, action: String| {
+        let mut env = Envelope::new(body);
+        MessageInfo::request(epr2.clone(), action).apply(&mut env);
+        env
+    };
+    let cases: Vec<(&str, Envelope)> = vec![
+        (
+            "GetResourceProperty",
+            mk(
+                Element::new(WSRP, "GetResourceProperty").text("Status"),
+                wsrp_action("GetResourceProperty"),
+            ),
+        ),
+        (
+            "GetMultipleResourceProperties (3)",
+            mk(
+                Element::new(WSRP, "GetMultipleResourceProperties")
+                    .child(Element::new(WSRP, "ResourceProperty").text("Status"))
+                    .child(Element::new(WSRP, "ResourceProperty").text("CpuTime"))
+                    .child(Element::new(WSRP, "ResourceProperty").text("JobName")),
+                wsrp_action("GetMultipleResourceProperties"),
+            ),
+        ),
+        (
+            "QueryResourceProperties (XPath)",
+            mk(
+                Element::new(WSRP, "QueryResourceProperties").child(
+                    Element::new(WSRP, "QueryExpression")
+                        .attr("Dialect", XPATH_DIALECT)
+                        .text("/ResourcePropertyDocument[Status='Running']/CpuTime"),
+                ),
+                wsrp_action("QueryResourceProperties"),
+            ),
+        ),
+        (
+            "SetResourceProperties (Update)",
+            mk(
+                Element::new(WSRP, "SetResourceProperties").child(
+                    Element::new(WSRP, "Update")
+                        .child(Element::new(UVACG, "Status").text("Running")),
+                ),
+                wsrp_action("SetResourceProperties"),
+            ),
+        ),
+        (
+            "custom interface (GRAM-style)",
+            request(&epr2, "Props", "CustomGetInfo", Element::new(UVACG, "CustomGetInfo")),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, env) in cases {
+        let t = time_per_iter(20_000, || {
+            let resp = svc.dispatch(env.clone());
+            assert!(!resp.is_fault(), "{name}: {:?}", resp.fault());
+        });
+        rows.push(vec![name.to_string(), fmt_us(t)]);
+    }
+    print_table(
+        "E2 — resource property operations (Figure 2 programming model)",
+        &["operation", "time/op"],
+        &rows,
+    );
+}
+
+fn e3_jobsets() {
+    let mut rows = Vec::new();
+    for (shape, n) in [
+        ("independent", 4usize),
+        ("independent", 16),
+        ("chain", 4),
+        ("chain", 8),
+        ("fanout", 8),
+        ("diamond", 7),
+    ] {
+        let (grid, client) = grid_with_client(4, 5.0);
+        let (c0, o0, b0, _) = grid.net.metrics.snapshot();
+        let handle = client.submit(&shaped_spec(shape, n), "griduser", "gridpass").unwrap();
+        let makespan = drive(&grid, &handle, 2000);
+        let (c1, o1, b1, _) = grid.net.metrics.snapshot();
+        rows.push(vec![
+            format!("{shape} × {n}"),
+            format!("{makespan:.1} s"),
+            format!("{}", c1 - c0),
+            format!("{}", o1 - o0),
+            format!("{:.1} KiB", (b1 - b0) as f64 / 1024.0),
+        ]);
+    }
+    print_table(
+        "E3 — job-set execution (Figure 3), 4 machines, 5 cpu-s jobs",
+        &["job set", "virtual makespan", "calls", "one-way msgs", "payload"],
+        &rows,
+    );
+}
+
+fn e4_notification() {
+    let mut rows = Vec::new();
+    for subscribers in [1usize, 10, 100] {
+        // Direct.
+        let net = InProcNetwork::new(Clock::manual());
+        let producer =
+            NotificationProducer::new(EndpointReference::service("inproc://p/s"), net.clone());
+        for i in 0..subscribers {
+            let l = NotificationListener::register(&net, &format!("inproc://c{i}/l"));
+            producer.subscriptions.subscribe(l.epr(), TopicExpression::full("js//"));
+        }
+        let t_direct = time_per_iter(2_000, || {
+            producer.notify("js/job/exit", Element::local("E"));
+        });
+        // Brokered.
+        let clock = Clock::manual();
+        let net = InProcNetwork::new(clock.clone());
+        let broker = notification_broker(
+            "Broker",
+            "inproc://hub/Broker",
+            Arc::new(MemoryStore::new()),
+            clock,
+            net.clone(),
+        );
+        broker.register(&net);
+        let bepr = broker.core().service_epr();
+        for i in 0..subscribers {
+            let l = NotificationListener::register(&net, &format!("inproc://c{i}/l"));
+            subscribe(&net, &bepr, &l.epr(), &TopicExpression::full("js//"), None).unwrap();
+        }
+        let msg = NotificationMessage::new("js/job/exit", Element::local("E"));
+        let t_brokered = time_per_iter(2_000, || {
+            publish(&net, &bepr, &msg).unwrap();
+        });
+        rows.push(vec![
+            subscribers.to_string(),
+            fmt_us(t_direct),
+            fmt_us(t_brokered),
+            format!("{:.2}x", t_brokered.as_secs_f64() / t_direct.as_secs_f64()),
+        ]);
+    }
+    print_table(
+        "E4 — notification fan-out per publish",
+        &["subscribers", "direct", "brokered", "broker overhead"],
+        &rows,
+    );
+}
+
+fn e5_transfer() {
+    // Modeled campus times per scheme and size.
+    let cfg = NetConfig::campus();
+    let mut rows = Vec::new();
+    for size in [10_000u64, 1_000_000, 10_000_000, 100_000_000] {
+        let http = cfg.transfer_time("http", "m1", size);
+        let tcp = cfg.transfer_time("soap.tcp", "m1", size);
+        rows.push(vec![
+            format!("{:.1} MB", size as f64 / 1e6),
+            format!("{:.1} ms", http.as_secs_f64() * 1e3),
+            format!("{:.1} ms", tcp.as_secs_f64() * 1e3),
+            format!("{:.2}x", http.as_secs_f64() / tcp.as_secs_f64()),
+            "~0 (in-memory copy)".into(),
+        ]);
+    }
+    print_table(
+        "E5 — modeled campus transfer time per scheme (NetConfig::campus)",
+        &["file size", "http (base64)", "soap.tcp (WSE)", "http/tcp", "same-machine move"],
+        &rows,
+    );
+
+    // Real localhost wall times, 1 MiB payload.
+    use wsrf_transport::http::{http_call, HttpSoapServer};
+    use wsrf_transport::tcpframe::{FramedClient, FramedServer};
+    let ack = Arc::new(wsrf_transport::FnEndpoint::new("ack", |_| {
+        Some(Envelope::new(Element::local("Ok")))
+    }));
+    let hs = HttpSoapServer::start(ack.clone()).unwrap();
+    let ts = FramedServer::start(ack).unwrap();
+    let tc = FramedClient::connect(&ts.authority()).unwrap();
+    let mut rows = Vec::new();
+    for size in [1usize << 10, 1 << 20] {
+        let env = Envelope::new(
+            Element::local("Write")
+                .text(wsrf_xml::base64::encode(&vec![0u8; size])),
+        );
+        let t_http = time_median(9, || {
+            http_call(&hs.authority(), "fs", &env).unwrap();
+        });
+        let t_tcp = time_median(9, || {
+            tc.call(&env).unwrap();
+        });
+        rows.push(vec![
+            format!("{} KiB", size / 1024),
+            format!("{:.2} ms", t_http.as_secs_f64() * 1e3),
+            format!("{:.2} ms", t_tcp.as_secs_f64() * 1e3),
+        ]);
+    }
+    print_table(
+        "E5b — real localhost wall time per call",
+        &["payload", "http (new conn/call)", "soap.tcp (persistent)"],
+        &rows,
+    );
+}
+
+fn e6_scheduler() {
+    // Heterogeneous grid; enough parallel work to differentiate
+    // policies but not saturate every machine.
+    let mut rows = Vec::new();
+    let policies: Vec<(&str, Arc<dyn SchedulingPolicy>)> = vec![
+        ("fastest-available (paper)", Arc::new(FastestAvailable)),
+        ("round-robin", Arc::new(RoundRobin::default())),
+        ("random", Arc::new(Random::new(12345))),
+        ("least-loaded", Arc::new(LeastLoaded)),
+    ];
+    let mut baseline = None;
+    for (name, policy) in policies {
+        let grid = CampusGrid::build(
+            GridConfig::with_machines(8).with_policy(policy),
+            Clock::manual(),
+        );
+        let client = grid.client("bench");
+        client.put_file(
+            "C:\\prog.exe",
+            JobProgram::compute(30.0).writing("out.dat", 1024).to_manifest(),
+        );
+        let handle = client
+            .submit(&shaped_spec("independent", 6), "griduser", "gridpass")
+            .unwrap();
+        let makespan = drive(&grid, &handle, 5000);
+        if baseline.is_none() {
+            baseline = Some(makespan);
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{makespan:.1} s"),
+            format!("{:.2}x", makespan / baseline.unwrap()),
+        ]);
+    }
+    print_table(
+        "E6 — placement policy makespan (6 × 30 cpu-s jobs, 8 heterogeneous machines)",
+        &["policy", "virtual makespan", "vs paper policy"],
+        &rows,
+    );
+}
+
+fn e7_store() {
+    let n = 1000usize;
+    let path = wsrf_xml::xpath::Path::parse("/Properties[Status='Running']").unwrap();
+    let mut rows = Vec::new();
+    let backends: Vec<(&str, Arc<dyn ResourceStore>)> = vec![
+        ("memory", Arc::new(MemoryStore::new())),
+        ("blob", Arc::new(BlobStore::new())),
+        ("structured", {
+            let s = StructuredStore::new();
+            s.define_schema("Bench", job_schema(8));
+            Arc::new(s)
+        }),
+    ];
+    for (name, store) in backends {
+        for i in 0..n {
+            let mut doc = job_doc(8);
+            if i % 2 == 0 {
+                doc.set_text(q("Status"), "Exited");
+            }
+            store.create("Bench", &format!("r{i}"), &doc).unwrap();
+        }
+        let t_load = time_per_iter(5_000, || {
+            let doc = store.load("Bench", "r1").unwrap();
+            store.save("Bench", "r1", &doc).unwrap();
+        });
+        let t_query = time_median(15, || {
+            assert_eq!(store.query("Bench", &path).len(), n / 2);
+        });
+        rows.push(vec![
+            name.to_string(),
+            fmt_us(t_load),
+            format!("{:.2} ms", t_query.as_secs_f64() * 1e3),
+        ]);
+    }
+    print_table(
+        &format!("E7 — state backends ({n} resources, 12 properties each)"),
+        &["backend", "load+save", "query (match half)"],
+        &rows,
+    );
+}
+
+fn e8_polling() {
+    // A 60-virtual-second job; the client either polls at interval T
+    // or receives one push notification.
+    let mut rows = Vec::new();
+    for interval in [1u64, 5, 15, 60] {
+        let clock = Clock::manual();
+        let net = InProcNetwork::new(clock.clone());
+        let machine = Machine::new(MachineSpec::new("m1"), clock.clone());
+        let spawner = Arc::new(ProcSpawn::new(machine.clone()));
+        let manager = baseline::job_manager(
+            "inproc://hub/JobManager",
+            vec![("m1".into(), machine, spawner)],
+            clock.clone(),
+            net.clone(),
+        );
+        manager.register(&net);
+        let src = single_file_server(
+            &net,
+            "soap.tcp://client/files",
+            "prog.exe",
+            JobProgram::compute(61.3).to_manifest(),
+        );
+        let id = baseline::submit(
+            &net,
+            "inproc://hub/JobManager",
+            &src,
+            "prog.exe",
+            "griduser",
+            "gridpass",
+        )
+        .unwrap();
+        let (c0, _, _, _) = net.metrics.snapshot();
+        let mut polls = 0u64;
+        let finish_detected_at = loop {
+            clock.advance(Duration::from_secs(interval));
+            polls += 1;
+            if baseline::poll(&net, "inproc://hub/JobManager", id).unwrap().is_some() {
+                break clock.now().as_secs_f64();
+            }
+        };
+        let (c1, _, _, _) = net.metrics.snapshot();
+        rows.push(vec![
+            format!("poll every {interval}s"),
+            format!("{}", c1 - c0),
+            format!("{polls}"),
+            format!("{:.1} s", finish_detected_at - 61.3),
+        ]);
+    }
+    rows.push(vec![
+        "WS-Notification push".into(),
+        "0".into(),
+        "0".into(),
+        "0.0 s".into(),
+    ]);
+    print_table(
+        "E8 — completion detection for one 61.3 s job: polling vs push",
+        &["client strategy", "status calls", "poll rounds", "detection latency"],
+        &rows,
+    );
+}
+
+fn e9_security() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let ca = wsrf_security::pki::CertificateAuthority::new("ca", &mut rng);
+    let (keys, cert) = ca.enroll("es@m1", &mut rng);
+    let token = wsrf_security::wsse::UsernameToken::new("griduser", "gridpass");
+    let mut rows = Vec::new();
+    {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = time_per_iter(2_000, || {
+            token.encrypt(&cert, &mut rng);
+        });
+        rows.push(vec!["UsernameToken encrypt".into(), fmt_us(t)]);
+    }
+    let header = token.encrypt(&cert, &mut rng);
+    let t = time_per_iter(2_000, || {
+        wsrf_security::wsse::UsernameToken::decrypt(&header, &keys).unwrap();
+    });
+    rows.push(vec!["UsernameToken decrypt".into(), fmt_us(t)]);
+    let t = time_per_iter(20_000, || {
+        assert!(ca.verify(&cert));
+    });
+    rows.push(vec!["certificate verify".into(), fmt_us(t)]);
+    let data = vec![0u8; 65536];
+    let t = time_per_iter(2_000, || {
+        wsrf_security::sha256::digest(&data);
+    });
+    rows.push(vec![
+        format!(
+            "sha256 64 KiB ({:.0} MB/s)",
+            65536.0 / t.as_secs_f64() / 1e6
+        ),
+        fmt_us(t),
+    ]);
+    let key = [7u8; 32];
+    let nonce = [3u8; 12];
+    let t = time_per_iter(2_000, || {
+        wsrf_security::chacha20::encrypt(&key, &nonce, &data);
+    });
+    rows.push(vec![
+        format!(
+            "chacha20 64 KiB ({:.0} MB/s)",
+            65536.0 / t.as_secs_f64() / 1e6
+        ),
+        fmt_us(t),
+    ]);
+    print_table("E9 — WS-Security costs", &["operation", "time/op"], &rows);
+}
+
+fn main() {
+    println!("# UVaCG reproduction — experiment harness");
+    println!("(scaled-down medians; `cargo bench` runs the full Criterion suite)");
+    e1_dispatch();
+    e2_properties();
+    e3_jobsets();
+    e4_notification();
+    e5_transfer();
+    e6_scheduler();
+    e7_store();
+    e8_polling();
+    e9_security();
+    println!("\ndone.");
+}

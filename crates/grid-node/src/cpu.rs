@@ -1,0 +1,479 @@
+//! The processor-sharing CPU simulator.
+//!
+//! Model: a machine has `c` cores at a speed factor `s` (relative to a
+//! 1 GHz reference). With `n` runnable processes, each progresses at
+//! `s × min(1, c/n)` CPU-seconds per virtual second — the classic
+//! egalitarian processor-sharing queue, which is what a timeshared
+//! Windows box approximates. On every arrival/departure the simulator
+//! settles accrued work and reschedules the next completion event on
+//! the virtual clock, so completions are exact (no ticking).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simclock::{Clock, SimTime, TimerId};
+
+/// Process identifier (per machine).
+pub type Pid = u64;
+
+/// Completion reason passed to the spawner's callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// The process consumed all its work.
+    Finished,
+    /// The process was killed.
+    Killed,
+}
+
+/// Externally visible process status.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcStatus {
+    /// Still running; CPU-seconds consumed so far.
+    Running { cpu_used: f64 },
+    /// Completed (finished or killed); CPU-seconds consumed.
+    Done { completion: Completion, cpu_used: f64 },
+}
+
+type CompleteFn = Box<dyn FnOnce(Completion, f64) + Send>;
+
+struct RunningProc {
+    remaining: f64,
+    cpu_used: f64,
+    on_complete: Option<CompleteFn>,
+}
+
+struct State {
+    running: HashMap<Pid, RunningProc>,
+    done: HashMap<Pid, (Completion, f64)>,
+    next_pid: Pid,
+    last_settle: SimTime,
+    timer: Option<TimerId>,
+}
+
+type UtilizationHook = Box<dyn Fn(f64) + Send + Sync>;
+
+struct Inner {
+    clock: Clock,
+    cores: f64,
+    speed: f64,
+    state: Mutex<State>,
+    hooks: Mutex<Vec<UtilizationHook>>,
+}
+
+/// A machine's CPU. Clone-able handle (`Arc` inside).
+#[derive(Clone)]
+pub struct CpuSim {
+    inner: Arc<Inner>,
+}
+
+const EPS: f64 = 1e-9;
+
+impl CpuSim {
+    /// A CPU with `cores` cores at `speed` × the 1 GHz reference.
+    pub fn new(clock: Clock, cores: u32, speed: f64) -> Self {
+        assert!(cores > 0 && speed > 0.0);
+        CpuSim {
+            inner: Arc::new(Inner {
+                clock: clock.clone(),
+                cores: cores as f64,
+                speed,
+                state: Mutex::new(State {
+                    running: HashMap::new(),
+                    done: HashMap::new(),
+                    next_pid: 1,
+                    last_settle: clock.now(),
+                    timer: None,
+                }),
+                hooks: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Install a hook invoked (with the new utilization) after every
+    /// arrival or departure event.
+    pub fn add_utilization_hook(&self, f: impl Fn(f64) + Send + Sync + 'static) {
+        self.inner.hooks.lock().push(Box::new(f));
+    }
+
+    /// Start a process with `work` CPU-seconds (reference speed) of
+    /// demand. `on_complete(reason, cpu_used)` runs when it finishes or
+    /// is killed.
+    pub fn spawn(&self, work: f64, on_complete: impl FnOnce(Completion, f64) + Send + 'static) -> Pid {
+        let mut callbacks = Vec::new();
+        let pid = {
+            let mut st = self.inner.state.lock();
+            self.settle(&mut st);
+            let pid = st.next_pid;
+            st.next_pid += 1;
+            st.running.insert(
+                pid,
+                RunningProc {
+                    remaining: work.max(0.0),
+                    cpu_used: 0.0,
+                    on_complete: Some(Box::new(on_complete)),
+                },
+            );
+            // Zero-work processes complete immediately.
+            self.harvest(&mut st, &mut callbacks);
+            self.reschedule(&mut st);
+            pid
+        };
+        self.after_event(callbacks);
+        pid
+    }
+
+    /// Kill a running process. Returns false if it is not running.
+    pub fn kill(&self, pid: Pid) -> bool {
+        let mut callbacks = Vec::new();
+        let killed = {
+            let mut st = self.inner.state.lock();
+            self.settle(&mut st);
+            match st.running.remove(&pid) {
+                Some(mut p) => {
+                    let cb = p.on_complete.take();
+                    st.done.insert(pid, (Completion::Killed, p.cpu_used));
+                    if let Some(cb) = cb {
+                        callbacks.push((cb, Completion::Killed, p.cpu_used));
+                    }
+                    self.reschedule(&mut st);
+                    true
+                }
+                None => false,
+            }
+        };
+        self.after_event(callbacks);
+        killed
+    }
+
+    /// Kill every running process (machine crash simulation). Exit
+    /// callbacks do NOT run — a crashed machine notifies nobody.
+    pub fn kill_all_silently(&self) -> usize {
+        let mut guard = self.inner.state.lock();
+        self.settle(&mut guard);
+        let st = &mut *guard; // split field borrows through the guard
+        let n = st.running.len();
+        for (pid, mut p) in st.running.drain() {
+            p.on_complete.take(); // dropped, never invoked
+            st.done.insert(pid, (Completion::Killed, p.cpu_used));
+        }
+        self.reschedule(&mut guard);
+        n
+    }
+
+    /// Status of a process (None for unknown pids).
+    pub fn status(&self, pid: Pid) -> Option<ProcStatus> {
+        let mut st = self.inner.state.lock();
+        self.settle(&mut st);
+        if let Some(p) = st.running.get(&pid) {
+            return Some(ProcStatus::Running { cpu_used: p.cpu_used });
+        }
+        st.done
+            .get(&pid)
+            .map(|(c, used)| ProcStatus::Done { completion: *c, cpu_used: *used })
+    }
+
+    /// Number of running processes.
+    pub fn running_count(&self) -> usize {
+        self.inner.state.lock().running.len()
+    }
+
+    /// Utilization in `[0, 1]`: running processes over cores, capped.
+    pub fn utilization(&self) -> f64 {
+        let n = self.running_count() as f64;
+        (n / self.inner.cores).min(1.0)
+    }
+
+    /// Per-process progress rate with `n` runners.
+    fn rate(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.inner.speed * (self.inner.cores / n as f64).min(1.0)
+    }
+
+    /// Accrue work since the last settle.
+    fn settle(&self, st: &mut State) {
+        let now = self.inner.clock.now();
+        let dt = (now - st.last_settle).as_secs_f64();
+        st.last_settle = now;
+        if dt <= 0.0 || st.running.is_empty() {
+            return;
+        }
+        let r = self.rate(st.running.len());
+        for p in st.running.values_mut() {
+            let step = r * dt;
+            let used = step.min(p.remaining.max(0.0) + EPS).min(step);
+            p.cpu_used += used;
+            p.remaining -= step;
+        }
+    }
+
+    /// Move finished processes (remaining ≤ 0) to `done`.
+    fn harvest(&self, st: &mut State, callbacks: &mut Vec<(CompleteFn, Completion, f64)>) {
+        let finished: Vec<Pid> = st
+            .running
+            .iter()
+            .filter(|(_, p)| p.remaining <= EPS)
+            .map(|(pid, _)| *pid)
+            .collect();
+        for pid in finished {
+            let mut p = st.running.remove(&pid).unwrap();
+            let cb = p.on_complete.take();
+            st.done.insert(pid, (Completion::Finished, p.cpu_used));
+            if let Some(cb) = cb {
+                callbacks.push((cb, Completion::Finished, p.cpu_used));
+            }
+        }
+    }
+
+    /// Schedule the next completion event.
+    fn reschedule(&self, st: &mut State) {
+        if let Some(t) = st.timer.take() {
+            self.inner.clock.cancel(t);
+        }
+        if st.running.is_empty() {
+            return;
+        }
+        let r = self.rate(st.running.len());
+        let min_remaining = st
+            .running
+            .values()
+            .map(|p| p.remaining.max(0.0))
+            .fold(f64::INFINITY, f64::min);
+        // Clamp to a minimum tick: a sub-nanosecond dt would round to a
+        // zero-length timer, and firing it would not advance virtual
+        // time — settle would accrue no work and the simulator would
+        // reschedule the same instant forever.
+        let dt = std::time::Duration::from_secs_f64((min_remaining / r).max(0.0))
+            .max(std::time::Duration::from_micros(1));
+        let sim = self.clone();
+        st.timer = Some(self.inner.clock.schedule(dt, move |_| sim.on_timer()));
+    }
+
+    fn on_timer(&self) {
+        let mut callbacks = Vec::new();
+        {
+            let mut st = self.inner.state.lock();
+            st.timer = None;
+            self.settle(&mut st);
+            self.harvest(&mut st, &mut callbacks);
+            self.reschedule(&mut st);
+        }
+        self.after_event(callbacks);
+    }
+
+    /// Run completion callbacks and utilization hooks outside the lock.
+    fn after_event(&self, callbacks: Vec<(CompleteFn, Completion, f64)>) {
+        let fired = !callbacks.is_empty();
+        for (cb, completion, used) in callbacks {
+            cb(completion, used);
+        }
+        // Hooks fire on every call that could change utilization; the
+        // monitor dedupes via its delta threshold. Spawns also route
+        // here (with an empty callback list) — fire regardless.
+        let _ = fired;
+        let u = self.utilization();
+        for h in self.inner.hooks.lock().iter() {
+            h(u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc as StdArc;
+    use std::time::Duration;
+
+    type CompletionLog = StdArc<Mutex<Vec<(Completion, f64)>>>;
+
+    fn collector() -> (CompletionLog, impl Fn(Completion, f64) + Clone) {
+        let log = StdArc::new(Mutex::new(Vec::new()));
+        let l2 = log.clone();
+        (log, move |c, used| l2.lock().push((c, used)))
+    }
+
+    #[test]
+    fn single_process_finishes_after_its_work() {
+        let clock = Clock::manual();
+        let cpu = CpuSim::new(clock.clone(), 1, 1.0);
+        let (log, cb) = collector();
+        cpu.spawn(5.0, cb);
+        clock.advance(Duration::from_secs_f64(4.9));
+        assert!(log.lock().is_empty());
+        assert_eq!(cpu.running_count(), 1);
+        clock.advance(Duration::from_secs_f64(0.2));
+        let done = log.lock().clone();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, Completion::Finished);
+        assert!((done[0].1 - 5.0).abs() < 1e-6, "cpu used {}", done[0].1);
+    }
+
+    #[test]
+    fn faster_machine_finishes_sooner() {
+        let clock = Clock::manual();
+        let fast = CpuSim::new(clock.clone(), 1, 3.0);
+        let (log, cb) = collector();
+        fast.spawn(6.0, cb);
+        clock.advance(Duration::from_secs_f64(2.01));
+        assert_eq!(log.lock().len(), 1, "6 cpu-sec at 3x takes 2s");
+    }
+
+    #[test]
+    fn two_processes_share_one_core() {
+        let clock = Clock::manual();
+        let cpu = CpuSim::new(clock.clone(), 1, 1.0);
+        let (log, cb) = collector();
+        cpu.spawn(2.0, cb.clone());
+        cpu.spawn(2.0, cb);
+        // Sharing: each runs at 0.5 — both finish at t=4.
+        clock.advance(Duration::from_secs_f64(3.9));
+        assert!(log.lock().is_empty());
+        clock.advance(Duration::from_secs_f64(0.2));
+        assert_eq!(log.lock().len(), 2);
+    }
+
+    #[test]
+    fn two_cores_run_two_processes_at_full_speed() {
+        let clock = Clock::manual();
+        let cpu = CpuSim::new(clock.clone(), 2, 1.0);
+        let (log, cb) = collector();
+        cpu.spawn(2.0, cb.clone());
+        cpu.spawn(2.0, cb);
+        clock.advance(Duration::from_secs_f64(2.1));
+        assert_eq!(log.lock().len(), 2, "no sharing penalty with 2 cores");
+    }
+
+    #[test]
+    fn late_arrival_slows_the_first_process() {
+        let clock = Clock::manual();
+        let cpu = CpuSim::new(clock.clone(), 1, 1.0);
+        let (log, cb) = collector();
+        cpu.spawn(4.0, cb.clone());
+        clock.advance(Duration::from_secs(2)); // first has 2.0 left
+        cpu.spawn(10.0, cb);
+        // From t=2 both share: first needs 4 more wall seconds.
+        clock.advance(Duration::from_secs_f64(3.9));
+        assert!(log.lock().is_empty(), "first not done at t=5.9");
+        clock.advance(Duration::from_secs_f64(0.2));
+        assert_eq!(log.lock().len(), 1, "first done at ~t=6");
+        // Second then runs alone: had 10-1.9..2 ≈ 8 left... total work
+        // conserved: finish by t = 6 + remaining.
+        clock.advance(Duration::from_secs(9));
+        assert_eq!(log.lock().len(), 2);
+    }
+
+    #[test]
+    fn kill_stops_a_process_and_reports_partial_cpu() {
+        let clock = Clock::manual();
+        let cpu = CpuSim::new(clock.clone(), 1, 1.0);
+        let (log, cb) = collector();
+        let pid = cpu.spawn(100.0, cb);
+        clock.advance(Duration::from_secs(3));
+        assert!(cpu.kill(pid));
+        assert!(!cpu.kill(pid), "double kill is a no-op");
+        let done = log.lock().clone();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, Completion::Killed);
+        assert!((done[0].1 - 3.0).abs() < 1e-6);
+        assert_eq!(
+            cpu.status(pid),
+            Some(ProcStatus::Done { completion: Completion::Killed, cpu_used: done[0].1 })
+        );
+    }
+
+    #[test]
+    fn status_reports_progress() {
+        let clock = Clock::manual();
+        let cpu = CpuSim::new(clock.clone(), 1, 2.0);
+        let pid = cpu.spawn(10.0, |_, _| {});
+        clock.advance(Duration::from_secs(2));
+        match cpu.status(pid).unwrap() {
+            ProcStatus::Running { cpu_used } => assert!((cpu_used - 4.0).abs() < 1e-6),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(cpu.status(999), None);
+    }
+
+    #[test]
+    fn utilization_tracks_load() {
+        let clock = Clock::manual();
+        let cpu = CpuSim::new(clock.clone(), 4, 1.0);
+        assert_eq!(cpu.utilization(), 0.0);
+        let pids: Vec<Pid> = (0..2).map(|_| cpu.spawn(100.0, |_, _| {})).collect();
+        assert_eq!(cpu.utilization(), 0.5);
+        for _ in 0..6 {
+            cpu.spawn(100.0, |_, _| {});
+        }
+        assert_eq!(cpu.utilization(), 1.0, "capped at 1");
+        cpu.kill(pids[0]);
+        assert_eq!(cpu.running_count(), 7);
+    }
+
+    #[test]
+    fn utilization_hooks_fire_on_events() {
+        let clock = Clock::manual();
+        let cpu = CpuSim::new(clock.clone(), 2, 1.0);
+        let hits = StdArc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        cpu.add_utilization_hook(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        let pid = cpu.spawn(1.0, |_, _| {});
+        assert!(hits.load(Ordering::SeqCst) >= 1, "spawn fires hook");
+        cpu.kill(pid);
+        assert!(hits.load(Ordering::SeqCst) >= 2, "kill fires hook");
+    }
+
+    #[test]
+    fn zero_work_process_completes_immediately() {
+        let clock = Clock::manual();
+        let cpu = CpuSim::new(clock, 1, 1.0);
+        let (log, cb) = collector();
+        cpu.spawn(0.0, cb);
+        assert_eq!(log.lock().len(), 1);
+    }
+
+    #[test]
+    fn completion_callback_can_spawn_again() {
+        let clock = Clock::manual();
+        let cpu = CpuSim::new(clock.clone(), 1, 1.0);
+        let (log, cb) = collector();
+        let cpu2 = cpu.clone();
+        cpu.spawn(1.0, move |_, _| {
+            cpu2.spawn(1.0, cb);
+        });
+        clock.advance(Duration::from_secs(3));
+        assert_eq!(log.lock().len(), 1, "chained spawn completed");
+    }
+
+    #[test]
+    fn total_cpu_time_is_conserved_under_sharing() {
+        let clock = Clock::manual();
+        let cpu = CpuSim::new(clock.clone(), 1, 1.0);
+        let (log, cb) = collector();
+        for w in [1.0, 2.0, 3.0] {
+            cpu.spawn(w, cb.clone());
+        }
+        clock.advance(Duration::from_secs(20));
+        let done = log.lock().clone();
+        assert_eq!(done.len(), 3);
+        let total: f64 = done.iter().map(|(_, u)| u).sum();
+        assert!((total - 6.0).abs() < 1e-3, "total cpu {total}");
+    }
+
+    #[test]
+    fn works_with_scaled_clock() {
+        let clock = Clock::scaled(1000.0);
+        let cpu = CpuSim::new(clock.clone(), 1, 1.0);
+        let (log, cb) = collector();
+        cpu.spawn(2.0, cb); // 2 virtual s = 2 real ms
+        let t0 = std::time::Instant::now();
+        while log.lock().is_empty() && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(log.lock().len(), 1);
+    }
+}

@@ -1,0 +1,405 @@
+//! The per-machine simulated filesystem.
+//!
+//! Paths are `/`-separated relative paths (`jobs/dir-3/input.dat`).
+//! File contents are [`bytes::Bytes`], so cross-machine "transfers"
+//! inside the simulation are cheap reference-counted clones while the
+//! *modeled* cost is charged by the network layer.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// Filesystem errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path (or a parent directory) does not exist.
+    NotFound(String),
+    /// Target already exists.
+    AlreadyExists(String),
+    /// A path component that should be a directory is a file (or vice
+    /// versa).
+    NotADirectory(String),
+    /// The write would exceed the machine's quota.
+    QuotaExceeded { requested: u64, available: u64 },
+    /// Empty path, empty component, or `..`.
+    InvalidPath(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: '{p}'"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: '{p}'"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: '{p}'"),
+            FsError::QuotaExceeded { requested, available } => {
+                write!(f, "quota exceeded: need {requested} bytes, {available} available")
+            }
+            FsError::InvalidPath(p) => write!(f, "invalid path: '{p}'"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// A directory entry as reported by [`SimFs::list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirEntry {
+    /// A file and its size in bytes.
+    File(String, u64),
+    /// A subdirectory name.
+    Dir(String),
+}
+
+impl DirEntry {
+    /// The entry's name.
+    pub fn name(&self) -> &str {
+        match self {
+            DirEntry::File(n, _) => n,
+            DirEntry::Dir(n) => n,
+        }
+    }
+}
+
+enum Node {
+    File(Bytes),
+    Dir(BTreeMap<String, Node>),
+}
+
+/// The simulated filesystem of one machine.
+pub struct SimFs {
+    root: Mutex<BTreeMap<String, Node>>,
+    quota: Option<u64>,
+    used: AtomicU64,
+    unique: AtomicU64,
+}
+
+fn split(path: &str) -> Result<Vec<&str>, FsError> {
+    let parts: Vec<&str> =
+        path.split('/').filter(|p| !p.is_empty() && *p != ".").collect();
+    if parts.is_empty() || parts.contains(&"..") {
+        return Err(FsError::InvalidPath(path.to_string()));
+    }
+    Ok(parts)
+}
+
+impl SimFs {
+    /// Unlimited filesystem.
+    pub fn new() -> Self {
+        SimFs {
+            root: Mutex::new(BTreeMap::new()),
+            quota: None,
+            used: AtomicU64::new(0),
+            unique: AtomicU64::new(1),
+        }
+    }
+
+    /// Filesystem with a byte quota.
+    pub fn with_quota(quota_bytes: u64) -> Self {
+        SimFs { quota: Some(quota_bytes), ..SimFs::new() }
+    }
+
+    /// Bytes currently stored.
+    pub fn used_bytes(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Navigate to the parent map of `parts`; runs `f` on it.
+    fn with_parent<R>(
+        &self,
+        parts: &[&str],
+        create_parents: bool,
+        f: impl FnOnce(&mut BTreeMap<String, Node>, &str) -> Result<R, FsError>,
+    ) -> Result<R, FsError> {
+        let mut root = self.root.lock();
+        let mut cur: &mut BTreeMap<String, Node> = &mut root;
+        for part in &parts[..parts.len() - 1] {
+            if create_parents && !cur.contains_key(*part) {
+                cur.insert(part.to_string(), Node::Dir(BTreeMap::new()));
+            }
+            match cur.get_mut(*part) {
+                Some(Node::Dir(d)) => cur = d,
+                Some(Node::File(_)) => return Err(FsError::NotADirectory(part.to_string())),
+                None => return Err(FsError::NotFound(part.to_string())),
+            }
+        }
+        f(cur, parts[parts.len() - 1])
+    }
+
+    /// Create a directory, creating parents as needed. Fails if the
+    /// leaf exists.
+    pub fn create_dir(&self, path: &str) -> Result<(), FsError> {
+        let parts = split(path)?;
+        self.with_parent(&parts, true, |dir, leaf| {
+            if dir.contains_key(leaf) {
+                return Err(FsError::AlreadyExists(path.to_string()));
+            }
+            dir.insert(leaf.to_string(), Node::Dir(BTreeMap::new()));
+            Ok(())
+        })
+    }
+
+    /// Create a fresh uniquely named directory under `parent` (which is
+    /// created if needed); returns its path. This is what the FSS uses
+    /// to make working directories.
+    pub fn create_unique_dir(&self, parent: &str, prefix: &str) -> Result<String, FsError> {
+        loop {
+            let n = self.unique.fetch_add(1, Ordering::Relaxed);
+            let path = format!("{}/{}-{}", parent.trim_end_matches('/'), prefix, n);
+            match self.create_dir(&path) {
+                Ok(()) => return Ok(path),
+                Err(FsError::AlreadyExists(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Write a file (overwrites), creating parent directories.
+    pub fn write(&self, path: &str, content: impl Into<Bytes>) -> Result<(), FsError> {
+        let content = content.into();
+        let parts = split(path)?;
+        let new_len = content.len() as u64;
+        // Quota check uses the delta vs any existing file.
+        let old_len = self.file_size(path).unwrap_or(0);
+        if let Some(q) = self.quota {
+            let used = self.used.load(Ordering::Relaxed);
+            let projected = used - old_len + new_len;
+            if projected > q {
+                return Err(FsError::QuotaExceeded {
+                    requested: new_len,
+                    available: q.saturating_sub(used - old_len),
+                });
+            }
+        }
+        self.with_parent(&parts, true, |dir, leaf| {
+            if matches!(dir.get(leaf), Some(Node::Dir(_))) {
+                return Err(FsError::NotADirectory(path.to_string()));
+            }
+            dir.insert(leaf.to_string(), Node::File(content));
+            Ok(())
+        })?;
+        self.used.fetch_add(new_len, Ordering::Relaxed);
+        self.used.fetch_sub(old_len, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Read a file's contents (cheap clone).
+    pub fn read(&self, path: &str) -> Result<Bytes, FsError> {
+        let parts = split(path)?;
+        self.with_parent(&parts, false, |dir, leaf| match dir.get(leaf) {
+            Some(Node::File(b)) => Ok(b.clone()),
+            Some(Node::Dir(_)) => Err(FsError::NotADirectory(path.to_string())),
+            None => Err(FsError::NotFound(path.to_string())),
+        })
+    }
+
+    /// Size of a file, if it exists.
+    pub fn file_size(&self, path: &str) -> Option<u64> {
+        let parts = split(path).ok()?;
+        self.with_parent(&parts, false, |dir, leaf| match dir.get(leaf) {
+            Some(Node::File(b)) => Ok(b.len() as u64),
+            _ => Err(FsError::NotFound(path.to_string())),
+        })
+        .ok()
+    }
+
+    /// List a directory.
+    pub fn list(&self, path: &str) -> Result<Vec<DirEntry>, FsError> {
+        let parts = split(path)?;
+        self.with_parent(&parts, false, |dir, leaf| match dir.get(leaf) {
+            Some(Node::Dir(d)) => Ok(d
+                .iter()
+                .map(|(name, node)| match node {
+                    Node::File(b) => DirEntry::File(name.clone(), b.len() as u64),
+                    Node::Dir(_) => DirEntry::Dir(name.clone()),
+                })
+                .collect()),
+            Some(Node::File(_)) => Err(FsError::NotADirectory(path.to_string())),
+            None => Err(FsError::NotFound(path.to_string())),
+        })
+    }
+
+    /// True if a file or directory exists at `path`.
+    pub fn exists(&self, path: &str) -> bool {
+        let Ok(parts) = split(path) else { return false };
+        self.with_parent(&parts, false, |dir, leaf| {
+            dir.get(leaf).map(|_| ()).ok_or_else(|| FsError::NotFound(path.to_string()))
+        })
+        .is_ok()
+    }
+
+    /// Delete a file or (recursively) a directory.
+    pub fn delete(&self, path: &str) -> Result<(), FsError> {
+        let parts = split(path)?;
+        let removed = self.with_parent(&parts, false, |dir, leaf| {
+            dir.remove(leaf).ok_or_else(|| FsError::NotFound(path.to_string()))
+        })?;
+        let freed = node_bytes(&removed);
+        self.used.fetch_sub(freed, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Move a file within this filesystem (the same-machine fast path:
+    /// "the FSS simply moves the file within the portion of the file
+    /// system it controls").
+    pub fn move_file(&self, from: &str, to: &str) -> Result<(), FsError> {
+        let content = self.read(from)?;
+        // Write first so a quota failure leaves the source intact; the
+        // delta accounting in `write` treats it as a copy until delete.
+        self.write(to, content)?;
+        self.delete(from)
+    }
+
+    /// Directory size (recursive), if the path is a directory.
+    pub fn dir_bytes(&self, path: &str) -> Result<u64, FsError> {
+        let parts = split(path)?;
+        self.with_parent(&parts, false, |dir, leaf| match dir.get(leaf) {
+            Some(n @ Node::Dir(_)) => Ok(node_bytes(n)),
+            Some(Node::File(_)) => Err(FsError::NotADirectory(path.to_string())),
+            None => Err(FsError::NotFound(path.to_string())),
+        })
+    }
+}
+
+impl Default for SimFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn node_bytes(n: &Node) -> u64 {
+    match n {
+        Node::File(b) => b.len() as u64,
+        Node::Dir(d) => d.values().map(node_bytes).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let fs = SimFs::new();
+        fs.write("a/b/file.txt", &b"hello"[..]).unwrap();
+        assert_eq!(&fs.read("a/b/file.txt").unwrap()[..], b"hello");
+        assert_eq!(fs.file_size("a/b/file.txt"), Some(5));
+        assert!(fs.exists("a/b"));
+        assert!(fs.exists("a/b/file.txt"));
+        assert!(!fs.exists("a/c"));
+    }
+
+    #[test]
+    fn overwrite_replaces_and_accounts() {
+        let fs = SimFs::new();
+        fs.write("f", vec![0u8; 100]).unwrap();
+        fs.write("f", vec![0u8; 40]).unwrap();
+        assert_eq!(fs.used_bytes(), 40);
+    }
+
+    #[test]
+    fn read_missing_is_not_found() {
+        let fs = SimFs::new();
+        assert!(matches!(fs.read("nope"), Err(FsError::NotFound(_))));
+        assert!(matches!(fs.read("a/b"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn create_dir_and_list() {
+        let fs = SimFs::new();
+        fs.create_dir("jobs/j1").unwrap();
+        fs.write("jobs/j1/out.dat", vec![1u8; 10]).unwrap();
+        fs.create_dir("jobs/j1/sub").unwrap();
+        let entries = fs.list("jobs/j1").unwrap();
+        assert_eq!(
+            entries,
+            vec![DirEntry::File("out.dat".into(), 10), DirEntry::Dir("sub".into())]
+        );
+        assert!(matches!(fs.create_dir("jobs/j1"), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(fs.list("jobs/j1/out.dat"), Err(FsError::NotADirectory(_))));
+    }
+
+    #[test]
+    fn unique_dirs_are_unique() {
+        let fs = SimFs::new();
+        let a = fs.create_unique_dir("jobs", "job").unwrap();
+        let b = fs.create_unique_dir("jobs", "job").unwrap();
+        assert_ne!(a, b);
+        assert!(fs.exists(&a));
+        assert!(fs.exists(&b));
+    }
+
+    #[test]
+    fn quota_enforced_with_delta_accounting() {
+        let fs = SimFs::with_quota(100);
+        fs.write("a", vec![0u8; 80]).unwrap();
+        assert!(matches!(
+            fs.write("b", vec![0u8; 30]),
+            Err(FsError::QuotaExceeded { .. })
+        ));
+        // Overwriting the 80-byte file with 90 bytes fits (delta +10).
+        fs.write("a", vec![0u8; 90]).unwrap();
+        assert_eq!(fs.used_bytes(), 90);
+        fs.delete("a").unwrap();
+        fs.write("b", vec![0u8; 30]).unwrap();
+    }
+
+    #[test]
+    fn delete_directory_frees_space() {
+        let fs = SimFs::new();
+        fs.write("d/x", vec![0u8; 50]).unwrap();
+        fs.write("d/sub/y", vec![0u8; 25]).unwrap();
+        assert_eq!(fs.dir_bytes("d").unwrap(), 75);
+        fs.delete("d").unwrap();
+        assert_eq!(fs.used_bytes(), 0);
+        assert!(!fs.exists("d"));
+    }
+
+    #[test]
+    fn move_file_same_machine() {
+        let fs = SimFs::new();
+        fs.write("src/f.bin", vec![7u8; 10]).unwrap();
+        fs.create_dir("dst").unwrap();
+        fs.move_file("src/f.bin", "dst/g.bin").unwrap();
+        assert!(!fs.exists("src/f.bin"));
+        assert_eq!(&fs.read("dst/g.bin").unwrap()[..], &[7u8; 10]);
+        assert_eq!(fs.used_bytes(), 10);
+    }
+
+    #[test]
+    fn invalid_paths_rejected() {
+        let fs = SimFs::new();
+        assert!(matches!(fs.write("", vec![]), Err(FsError::InvalidPath(_))));
+        assert!(matches!(fs.write("a/../b", vec![]), Err(FsError::InvalidPath(_))));
+        assert!(matches!(fs.read("///"), Err(FsError::InvalidPath(_))));
+    }
+
+    #[test]
+    fn write_through_file_component_fails() {
+        let fs = SimFs::new();
+        fs.write("a", vec![1]).unwrap();
+        assert!(matches!(fs.write("a/b", vec![2]), Err(FsError::NotADirectory(_))));
+        assert!(matches!(fs.write("a", vec![0u8; 3]), Ok(())), "overwrite file ok");
+        assert!(fs.create_dir("a").is_err(), "dir over file");
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_corrupt_accounting() {
+        let fs = std::sync::Arc::new(SimFs::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let fs = fs.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        fs.write(&format!("t{t}/f{i}"), vec![0u8; 10]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(fs.used_bytes(), 8 * 50 * 10);
+    }
+}

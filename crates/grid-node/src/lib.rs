@@ -1,0 +1,39 @@
+//! # grid-node
+//!
+//! The machine substrate under the remote-execution testbed.
+//!
+//! The paper runs jobs on real Windows machines: each runs the
+//! **ProcSpawn** Windows service ("to start Windows processes as
+//! particular users") and the **Processor Utilization** Windows service
+//! ("asynchronously notifies the NIS whenever the utilization of the
+//! machine's processors changes by more than a configurable amount"),
+//! plus a slice of local disk managed by the File System Service. None
+//! of that hardware is available here, so this crate simulates it —
+//! faithfully enough that the scheduling-, utilization- and
+//! file-movement behaviour the paper's services depend on is preserved:
+//!
+//! * [`fs::SimFs`] — a per-machine hierarchical in-memory filesystem
+//!   with quotas (directories are what the FSS exposes as
+//!   WS-Resources),
+//! * [`program::JobProgram`] — the synthetic "executable" format: a
+//!   manifest declaring CPU demand, required inputs, produced outputs
+//!   and exit code. Executables are plain files, staged through the
+//!   FSS exactly like the paper ships real binaries,
+//! * [`cpu::CpuSim`] — a processor-sharing CPU model on the virtual
+//!   clock: n runnable processes on c cores each progress at rate
+//!   `min(1, c/n) × speed`, with per-process CPU-time accounting,
+//! * [`machine::Machine`] + [`spawner`] — the assembled node: user
+//!   accounts, credential checks, spawn/kill/status (ProcSpawn), and
+//!   the utilization monitor with its configurable delta.
+
+pub mod cpu;
+pub mod fs;
+pub mod machine;
+pub mod program;
+pub mod spawner;
+
+pub use cpu::{CpuSim, Pid, ProcStatus};
+pub use fs::{FsError, SimFs};
+pub use machine::{Machine, MachineSpec};
+pub use program::JobProgram;
+pub use spawner::{ProcSpawn, SpawnError};

@@ -1,0 +1,204 @@
+//! The assembled grid machine.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simclock::Clock;
+
+use crate::cpu::CpuSim;
+use crate::fs::SimFs;
+
+/// Static description of a machine — what the Node Info Service
+/// advertises ("hardware characteristics, such as CPU speed and total
+/// RAM").
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Host name, e.g. `machine01`.
+    pub name: String,
+    /// Clock speed in MHz (1000 = the reference speed).
+    pub cpu_mhz: u32,
+    /// Cores.
+    pub cores: u32,
+    /// RAM in MB.
+    pub ram_mb: u32,
+    /// Local accounts: `(username, password)`.
+    pub users: Vec<(String, String)>,
+    /// Grid-usable disk quota in bytes (None = unlimited).
+    pub disk_quota: Option<u64>,
+}
+
+impl MachineSpec {
+    /// A reasonable default lab machine.
+    pub fn new(name: impl Into<String>) -> Self {
+        MachineSpec {
+            name: name.into(),
+            cpu_mhz: 1000,
+            cores: 1,
+            ram_mb: 512,
+            users: vec![("griduser".into(), "gridpass".into())],
+            disk_quota: None,
+        }
+    }
+
+    /// Builder: CPU speed.
+    pub fn with_cpu_mhz(mut self, mhz: u32) -> Self {
+        self.cpu_mhz = mhz;
+        self
+    }
+
+    /// Builder: core count.
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Builder: RAM.
+    pub fn with_ram_mb(mut self, ram: u32) -> Self {
+        self.ram_mb = ram;
+        self
+    }
+
+    /// Builder: add a user account.
+    pub fn with_user(mut self, name: &str, password: &str) -> Self {
+        self.users.push((name.to_string(), password.to_string()));
+        self
+    }
+
+    /// Builder: disk quota.
+    pub fn with_disk_quota(mut self, bytes: u64) -> Self {
+        self.disk_quota = Some(bytes);
+        self
+    }
+
+    /// Speed factor relative to the 1 GHz reference.
+    pub fn speed_factor(&self) -> f64 {
+        self.cpu_mhz as f64 / 1000.0
+    }
+}
+
+/// A running simulated machine: spec + filesystem + CPU.
+pub struct Machine {
+    /// Static description.
+    pub spec: MachineSpec,
+    /// The machine's grid filesystem slice.
+    pub fs: Arc<SimFs>,
+    /// Its processors.
+    pub cpu: CpuSim,
+    clock: Clock,
+}
+
+impl Machine {
+    /// Boot a machine on the shared grid clock.
+    pub fn new(spec: MachineSpec, clock: Clock) -> Arc<Machine> {
+        let fs = Arc::new(match spec.disk_quota {
+            Some(q) => SimFs::with_quota(q),
+            None => SimFs::new(),
+        });
+        let cpu = CpuSim::new(clock.clone(), spec.cores, spec.speed_factor());
+        Arc::new(Machine { spec, fs, cpu, clock })
+    }
+
+    /// The machine's clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Validate a local account.
+    pub fn check_credentials(&self, user: &str, password: &str) -> bool {
+        self.spec.users.iter().any(|(u, p)| u == user && p == password)
+    }
+
+    /// Simulate a crash/power-cut: every process dies silently (no
+    /// exit callbacks — a dead machine notifies nobody). Returns the
+    /// number of processes killed. The caller should also unregister
+    /// the machine's services from the network.
+    pub fn crash(&self) -> usize {
+        self.cpu.kill_all_silently()
+    }
+
+    /// Current processor utilization in `[0,1]`.
+    pub fn utilization(&self) -> f64 {
+        self.cpu.utilization()
+    }
+
+    /// Attach a Processor-Utilization-service-style monitor: `report`
+    /// is invoked with the new utilization whenever it moves by at
+    /// least `delta` from the last *reported* value — "whenever the
+    /// utilization of the machine's processors changes by more than a
+    /// configurable amount".
+    pub fn monitor_utilization(&self, delta: f64, report: impl Fn(f64) + Send + Sync + 'static) {
+        let last = Mutex::new(f64::NAN);
+        self.cpu.add_utilization_hook(move |u| {
+            let mut last = last.lock();
+            if last.is_nan() || (u - *last).abs() >= delta {
+                *last = u;
+                report(u);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn spec_builder() {
+        let spec = MachineSpec::new("m1")
+            .with_cpu_mhz(3000)
+            .with_cores(2)
+            .with_ram_mb(2048)
+            .with_user("wasson", "pw")
+            .with_disk_quota(1 << 20);
+        assert_eq!(spec.speed_factor(), 3.0);
+        assert_eq!(spec.users.len(), 2);
+    }
+
+    #[test]
+    fn credentials_checked() {
+        let m = Machine::new(MachineSpec::new("m1").with_user("alice", "secret"), Clock::manual());
+        assert!(m.check_credentials("alice", "secret"));
+        assert!(m.check_credentials("griduser", "gridpass"));
+        assert!(!m.check_credentials("alice", "wrong"));
+        assert!(!m.check_credentials("bob", "secret"));
+    }
+
+    #[test]
+    fn quota_applies_to_machine_fs() {
+        let m = Machine::new(MachineSpec::new("m1").with_disk_quota(10), Clock::manual());
+        assert!(m.fs.write("f", vec![0u8; 20]).is_err());
+    }
+
+    #[test]
+    fn utilization_monitor_thresholds() {
+        let clock = Clock::manual();
+        let m = Machine::new(MachineSpec::new("m1").with_cores(4), clock.clone());
+        let reports = Arc::new(Mutex::new(Vec::new()));
+        let r = reports.clone();
+        m.monitor_utilization(0.5, move |u| r.lock().push(u));
+        // 0 -> 0.25: below delta after the initial 0.25 report? The
+        // first event always reports (last = NaN).
+        m.cpu.spawn(100.0, |_, _| {});
+        assert_eq!(reports.lock().as_slice(), &[0.25]);
+        m.cpu.spawn(100.0, |_, _| {}); // 0.5: delta from 0.25 is 0.25 < 0.5
+        assert_eq!(reports.lock().len(), 1);
+        m.cpu.spawn(100.0, |_, _| {}); // 0.75: delta 0.5 -> report
+        assert_eq!(reports.lock().as_slice(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn monitor_reports_drop_after_completion() {
+        let clock = Clock::manual();
+        let m = Machine::new(MachineSpec::new("m1"), clock.clone());
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        m.monitor_utilization(0.9, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        m.cpu.spawn(1.0, |_, _| {}); // 0 -> 1.0 reported
+        clock.advance(Duration::from_secs(2)); // 1.0 -> 0 reported
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+}

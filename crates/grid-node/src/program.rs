@@ -1,0 +1,175 @@
+//! The synthetic "executable" format.
+//!
+//! The paper ships real Windows binaries through the File System
+//! Service and runs them via ProcSpawn. Our substitution keeps the
+//! whole staging path intact — executables are files, uploaded into
+//! the working directory like any other input — but their *content* is
+//! a small manifest describing the work to simulate:
+//!
+//! ```text
+//! UVACG-JOB v1
+//! cpu=2.5              # CPU-seconds of work at the 1 GHz reference
+//! read=input1.dat      # input file that must exist in the workdir
+//! out=result.dat:4096  # output file and its size in bytes
+//! exit=0               # exit code on success
+//! ```
+
+use bytes::Bytes;
+
+/// A parsed job program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobProgram {
+    /// CPU-seconds of work at the 1 GHz reference speed.
+    pub cpu_seconds: f64,
+    /// Input file names (relative to the working directory) the program
+    /// requires; a missing one aborts the run with exit code 66.
+    pub reads: Vec<String>,
+    /// `(name, bytes)` outputs written to the working directory on
+    /// completion.
+    pub outputs: Vec<(String, u64)>,
+    /// Exit code reported on normal completion.
+    pub exit_code: i32,
+}
+
+/// Exit code used when a required input file is missing.
+pub const EXIT_MISSING_INPUT: i32 = 66;
+/// Exit code used when writing an output fails (quota).
+pub const EXIT_OUTPUT_FAILED: i32 = 73;
+/// Exit code reported for killed processes.
+pub const EXIT_KILLED: i32 = -9;
+
+impl JobProgram {
+    /// A pure-compute program.
+    pub fn compute(cpu_seconds: f64) -> Self {
+        JobProgram { cpu_seconds, reads: Vec::new(), outputs: Vec::new(), exit_code: 0 }
+    }
+
+    /// Builder: require an input file.
+    pub fn reading(mut self, name: impl Into<String>) -> Self {
+        self.reads.push(name.into());
+        self
+    }
+
+    /// Builder: produce an output file.
+    pub fn writing(mut self, name: impl Into<String>, bytes: u64) -> Self {
+        self.outputs.push((name.into(), bytes));
+        self
+    }
+
+    /// Builder: exit with a specific code.
+    pub fn exiting(mut self, code: i32) -> Self {
+        self.exit_code = code;
+        self
+    }
+
+    /// Serialize to the executable manifest format.
+    pub fn to_manifest(&self) -> Bytes {
+        let mut s = String::from("UVACG-JOB v1\n");
+        s.push_str(&format!("cpu={}\n", self.cpu_seconds));
+        for r in &self.reads {
+            s.push_str(&format!("read={r}\n"));
+        }
+        for (name, size) in &self.outputs {
+            s.push_str(&format!("out={name}:{size}\n"));
+        }
+        s.push_str(&format!("exit={}\n", self.exit_code));
+        Bytes::from(s)
+    }
+
+    /// Parse an executable's bytes. `None` for non-UVACG binaries or
+    /// malformed manifests.
+    pub fn parse(bytes: &[u8]) -> Option<JobProgram> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut lines = text.lines();
+        if lines.next()?.trim() != "UVACG-JOB v1" {
+            return None;
+        }
+        let mut prog = JobProgram::compute(0.0);
+        for line in lines {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line.split_once('=')?;
+            match k.trim() {
+                "cpu" => prog.cpu_seconds = v.trim().parse().ok()?,
+                "read" => prog.reads.push(v.trim().to_string()),
+                "out" => {
+                    let (name, size) = v.trim().rsplit_once(':')?;
+                    prog.outputs.push((name.to_string(), size.parse().ok()?));
+                }
+                "exit" => prog.exit_code = v.trim().parse().ok()?,
+                _ => return None,
+            }
+        }
+        if prog.cpu_seconds < 0.0 {
+            return None;
+        }
+        Some(prog)
+    }
+
+    /// Deterministic output file content: size bytes derived from the
+    /// file name, so downstream jobs can verify what they read.
+    pub fn generate_output(name: &str, size: u64) -> Bytes {
+        let seed = name.bytes().fold(0u8, u8::wrapping_add);
+        let mut v = Vec::with_capacity(size as usize);
+        for i in 0..size {
+            v.push(seed.wrapping_add((i % 251) as u8));
+        }
+        Bytes::from(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrip() {
+        let p = JobProgram::compute(2.5)
+            .reading("input1.dat")
+            .reading("input2.dat")
+            .writing("result.dat", 4096)
+            .exiting(3);
+        let back = JobProgram::parse(&p.to_manifest()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn rejects_foreign_binaries() {
+        assert_eq!(JobProgram::parse(b"MZ\x90\x00real windows binary"), None);
+        assert_eq!(JobProgram::parse(b""), None);
+        assert_eq!(JobProgram::parse(&[0xFF, 0xFE, 0x00]), None);
+    }
+
+    #[test]
+    fn rejects_malformed_manifests() {
+        assert_eq!(JobProgram::parse(b"UVACG-JOB v1\ncpu=abc\n"), None);
+        assert_eq!(JobProgram::parse(b"UVACG-JOB v1\nout=noSize\n"), None);
+        assert_eq!(JobProgram::parse(b"UVACG-JOB v1\nbogus=1\n"), None);
+        assert_eq!(JobProgram::parse(b"UVACG-JOB v1\ncpu=-1\n"), None);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_allowed() {
+        let m = b"UVACG-JOB v1\n# header\ncpu=1.0  # one second\n\nexit=0\n";
+        assert_eq!(JobProgram::parse(m).unwrap().cpu_seconds, 1.0);
+    }
+
+    #[test]
+    fn output_names_may_contain_colons() {
+        let p = JobProgram::compute(0.0).writing("odd:name.dat", 8);
+        let back = JobProgram::parse(&p.to_manifest()).unwrap();
+        assert_eq!(back.outputs, vec![("odd:name.dat".to_string(), 8)]);
+    }
+
+    #[test]
+    fn generated_output_is_deterministic_and_sized() {
+        let a = JobProgram::generate_output("result.dat", 1000);
+        let b = JobProgram::generate_output("result.dat", 1000);
+        let c = JobProgram::generate_output("other.dat", 1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 1000);
+    }
+}

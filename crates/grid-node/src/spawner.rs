@@ -1,0 +1,307 @@
+//! The ProcSpawn service — the analogue of "WSRF.NET's process
+//! launcher Windows Service to start a new process as a particular
+//! user".
+//!
+//! Given an executable path, working directory and credentials, the
+//! spawner authenticates the user, parses the staged
+//! [`crate::program::JobProgram`], verifies its declared inputs are
+//! present, runs the simulated work on the machine's CPU, writes the
+//! declared outputs into the working directory and reports the exit
+//! code — "when the job exits, the ProcSpawn service sends a
+//! notification message to the ES with the job's exit code".
+
+use std::sync::Arc;
+
+use crate::cpu::{Completion, Pid, ProcStatus};
+use crate::machine::Machine;
+use crate::program::{JobProgram, EXIT_KILLED, EXIT_MISSING_INPUT, EXIT_OUTPUT_FAILED};
+
+/// Errors raised while *starting* a process (post-start failures are
+/// exit codes, like real processes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpawnError {
+    /// Unknown user or wrong password.
+    BadCredentials(String),
+    /// Executable not found.
+    NoSuchExecutable(String),
+    /// The executable is not a UVACG job manifest.
+    NotExecutable(String),
+    /// Working directory does not exist.
+    NoSuchWorkdir(String),
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::BadCredentials(u) => write!(f, "cannot run as user '{u}': bad credentials"),
+            SpawnError::NoSuchExecutable(p) => write!(f, "no such executable: '{p}'"),
+            SpawnError::NotExecutable(p) => write!(f, "'{p}' is not a runnable program"),
+            SpawnError::NoSuchWorkdir(p) => write!(f, "no such working directory: '{p}'"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+/// The process spawner of one machine.
+pub struct ProcSpawn {
+    machine: Arc<Machine>,
+}
+
+impl ProcSpawn {
+    /// Attach to a machine.
+    pub fn new(machine: Arc<Machine>) -> Self {
+        ProcSpawn { machine }
+    }
+
+    /// The machine this spawner controls.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// Start `executable` in `workdir` as `user`. `on_exit(code,
+    /// cpu_seconds)` fires when the process terminates for any reason.
+    pub fn spawn(
+        &self,
+        executable: &str,
+        workdir: &str,
+        user: &str,
+        password: &str,
+        on_exit: impl FnOnce(i32, f64) + Send + 'static,
+    ) -> Result<Pid, SpawnError> {
+        if !self.machine.check_credentials(user, password) {
+            return Err(SpawnError::BadCredentials(user.to_string()));
+        }
+        if !self.machine.fs.exists(workdir) {
+            return Err(SpawnError::NoSuchWorkdir(workdir.to_string()));
+        }
+        let bytes = self
+            .machine
+            .fs
+            .read(executable)
+            .map_err(|_| SpawnError::NoSuchExecutable(executable.to_string()))?;
+        let program = JobProgram::parse(&bytes)
+            .ok_or_else(|| SpawnError::NotExecutable(executable.to_string()))?;
+
+        // Input check happens "at exec time": a missing input is a
+        // *process failure* (exit 66), not a spawn error — mirroring a
+        // real program crashing on a missing file.
+        let missing_input = program
+            .reads
+            .iter()
+            .any(|r| !self.machine.fs.exists(&format!("{workdir}/{r}")));
+
+        let fs = self.machine.fs.clone();
+        let workdir_owned = workdir.to_string();
+        let work = if missing_input { 0.0 } else { program.cpu_seconds };
+        let pid = self.machine.cpu.spawn(work, move |completion, cpu_used| {
+            let code = match completion {
+                Completion::Killed => EXIT_KILLED,
+                Completion::Finished if missing_input => EXIT_MISSING_INPUT,
+                Completion::Finished => {
+                    // Write declared outputs; quota failures surface as
+                    // a nonzero exit code.
+                    let mut failed = false;
+                    for (name, size) in &program.outputs {
+                        let content = JobProgram::generate_output(name, *size);
+                        if fs.write(&format!("{workdir_owned}/{name}"), content).is_err() {
+                            failed = true;
+                            break;
+                        }
+                    }
+                    if failed {
+                        EXIT_OUTPUT_FAILED
+                    } else {
+                        program.exit_code
+                    }
+                }
+            };
+            on_exit(code, cpu_used);
+        });
+        Ok(pid)
+    }
+
+    /// Kill a process.
+    pub fn kill(&self, pid: Pid) -> bool {
+        self.machine.cpu.kill(pid)
+    }
+
+    /// Status of a process.
+    pub fn status(&self, pid: Pid) -> Option<ProcStatus> {
+        self.machine.cpu.status(pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+    use parking_lot::Mutex;
+    use simclock::Clock;
+    use std::time::Duration;
+
+    struct Fixture {
+        clock: Clock,
+        machine: Arc<Machine>,
+        spawner: ProcSpawn,
+        exits: Arc<Mutex<Vec<(i32, f64)>>>,
+    }
+
+    fn fixture() -> Fixture {
+        let clock = Clock::manual();
+        let machine = Machine::new(
+            MachineSpec::new("m1").with_cpu_mhz(2000).with_user("alice", "pw"),
+            clock.clone(),
+        );
+        let spawner = ProcSpawn::new(machine.clone());
+        Fixture { clock, machine, spawner, exits: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    fn exit_cb(f: &Fixture) -> impl FnOnce(i32, f64) + Send + 'static {
+        let exits = f.exits.clone();
+        move |code, used| exits.lock().push((code, used))
+    }
+
+    fn stage(f: &Fixture, program: &JobProgram) -> (String, String) {
+        let workdir = f.machine.fs.create_unique_dir("jobs", "job").unwrap();
+        let exe = format!("{workdir}/job.exe");
+        f.machine.fs.write(&exe, program.to_manifest()).unwrap();
+        (exe, workdir)
+    }
+
+    #[test]
+    fn successful_run_writes_outputs_and_reports_exit() {
+        let f = fixture();
+        let prog = JobProgram::compute(4.0).writing("out.dat", 128).exiting(0);
+        let (exe, workdir) = stage(&f, &prog);
+        f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
+        // 4 cpu-sec at 2x speed = 2 virtual seconds.
+        f.clock.advance(Duration::from_secs_f64(2.1));
+        let exits = f.exits.lock().clone();
+        assert_eq!(exits.len(), 1);
+        assert_eq!(exits[0].0, 0);
+        assert!((exits[0].1 - 4.0).abs() < 1e-6, "cpu time {}", exits[0].1);
+        assert_eq!(f.machine.fs.file_size(&format!("{workdir}/out.dat")), Some(128));
+    }
+
+    #[test]
+    fn bad_credentials_rejected_at_spawn() {
+        let f = fixture();
+        let (exe, workdir) = stage(&f, &JobProgram::compute(1.0));
+        assert_eq!(
+            f.spawner.spawn(&exe, &workdir, "alice", "WRONG", |_, _| {}),
+            Err(SpawnError::BadCredentials("alice".into()))
+        );
+        assert_eq!(
+            f.spawner.spawn(&exe, &workdir, "mallory", "pw", |_, _| {}),
+            Err(SpawnError::BadCredentials("mallory".into()))
+        );
+    }
+
+    #[test]
+    fn missing_executable_and_workdir() {
+        let f = fixture();
+        let (exe, workdir) = stage(&f, &JobProgram::compute(1.0));
+        assert!(matches!(
+            f.spawner.spawn("jobs/nope.exe", &workdir, "alice", "pw", |_, _| {}),
+            Err(SpawnError::NoSuchExecutable(_))
+        ));
+        assert!(matches!(
+            f.spawner.spawn(&exe, "jobs/nope", "alice", "pw", |_, _| {}),
+            Err(SpawnError::NoSuchWorkdir(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_executable_is_not_runnable() {
+        let f = fixture();
+        let workdir = f.machine.fs.create_unique_dir("jobs", "job").unwrap();
+        let exe = format!("{workdir}/bad.exe");
+        f.machine.fs.write(&exe, &b"#!/bin/sh\necho hi"[..]).unwrap();
+        assert!(matches!(
+            f.spawner.spawn(&exe, &workdir, "alice", "pw", |_, _| {}),
+            Err(SpawnError::NotExecutable(_))
+        ));
+    }
+
+    #[test]
+    fn missing_input_exits_66() {
+        let f = fixture();
+        let prog = JobProgram::compute(5.0).reading("input.dat");
+        let (exe, workdir) = stage(&f, &prog);
+        f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
+        f.clock.advance(Duration::from_millis(1));
+        let exits = f.exits.lock().clone();
+        assert_eq!(exits.len(), 1);
+        assert_eq!(exits[0].0, EXIT_MISSING_INPUT);
+    }
+
+    #[test]
+    fn present_input_allows_success() {
+        let f = fixture();
+        let prog = JobProgram::compute(1.0).reading("input.dat");
+        let (exe, workdir) = stage(&f, &prog);
+        f.machine.fs.write(&format!("{workdir}/input.dat"), &b"data"[..]).unwrap();
+        f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
+        f.clock.advance(Duration::from_secs(1));
+        assert_eq!(f.exits.lock()[0].0, 0);
+    }
+
+    #[test]
+    fn kill_reports_minus_nine() {
+        let f = fixture();
+        let (exe, workdir) = stage(&f, &JobProgram::compute(100.0));
+        let pid = f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
+        f.clock.advance(Duration::from_secs(1));
+        assert!(f.spawner.kill(pid));
+        assert_eq!(f.exits.lock()[0].0, EXIT_KILLED);
+        assert!(matches!(
+            f.spawner.status(pid),
+            Some(ProcStatus::Done { completion: Completion::Killed, .. })
+        ));
+    }
+
+    #[test]
+    fn quota_failure_exits_73() {
+        let clock = Clock::manual();
+        let machine = Machine::new(
+            MachineSpec::new("m1").with_disk_quota(256),
+            clock.clone(),
+        );
+        let spawner = ProcSpawn::new(machine.clone());
+        let workdir = machine.fs.create_unique_dir("jobs", "job").unwrap();
+        let prog = JobProgram::compute(1.0).writing("huge.dat", 10_000);
+        let exe = format!("{workdir}/job.exe");
+        machine.fs.write(&exe, prog.to_manifest()).unwrap();
+        let exits = Arc::new(Mutex::new(Vec::new()));
+        let e = exits.clone();
+        spawner
+            .spawn(&exe, &workdir, "griduser", "gridpass", move |c, u| e.lock().push((c, u)))
+            .unwrap();
+        clock.advance(Duration::from_secs(2));
+        assert_eq!(exits.lock()[0].0, EXIT_OUTPUT_FAILED);
+    }
+
+    #[test]
+    fn nonzero_program_exit_code_propagates() {
+        let f = fixture();
+        let (exe, workdir) = stage(&f, &JobProgram::compute(0.5).exiting(17));
+        f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
+        f.clock.advance(Duration::from_secs(1));
+        assert_eq!(f.exits.lock()[0].0, 17);
+    }
+
+    #[test]
+    fn processes_on_one_machine_share_cpu() {
+        let f = fixture();
+        let (exe, workdir) = stage(&f, &JobProgram::compute(2.0));
+        f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
+        f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
+        // Each needs 1 virtual second alone (2 cpu-sec @2x); sharing
+        // doubles that.
+        f.clock.advance(Duration::from_secs_f64(1.5));
+        assert!(f.exits.lock().is_empty());
+        f.clock.advance(Duration::from_secs_f64(0.6));
+        assert_eq!(f.exits.lock().len(), 2);
+    }
+}

@@ -1,0 +1,535 @@
+//! The virtual clock and its deadline scheduler.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled timer, usable with [`Clock::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+type Callback = Box<dyn FnOnce(SimTime) + Send>;
+
+#[derive(Clone, Copy)]
+enum Mode {
+    /// Time moves only via [`Clock::advance`].
+    Manual,
+    /// Time moves continuously: `virtual = base + real_elapsed * speedup`.
+    Scaled { speedup: f64 },
+}
+
+#[derive(PartialEq, Eq)]
+struct Entry {
+    deadline: SimTime,
+    seq: u64,
+    id: TimerId,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct State {
+    /// Pending timers, earliest first.
+    heap: BinaryHeap<Reverse<Entry>>,
+    /// Callback bodies; a missing entry means the timer was cancelled.
+    callbacks: HashMap<u64, Callback>,
+    /// Current virtual time (manual mode) / base time (scaled mode).
+    now: SimTime,
+    next_seq: u64,
+}
+
+struct Inner {
+    mode: Mode,
+    state: Mutex<State>,
+    cv: Condvar,
+    /// Real-time anchor for scaled mode.
+    base_real: Instant,
+    shutdown: AtomicBool,
+}
+
+/// A shareable virtual clock. Cloning is cheap (it is an `Arc`).
+///
+/// See the crate docs for the two operating modes. All simulated
+/// subsystems take a `Clock` at construction so a whole grid shares a
+/// single timeline.
+#[derive(Clone)]
+pub struct Clock {
+    inner: Arc<Inner>,
+}
+
+impl Clock {
+    /// A clock that only moves when [`advance`](Self::advance) is
+    /// called. Timer callbacks run inline on the advancing thread, in
+    /// deadline order — fully deterministic.
+    pub fn manual() -> Self {
+        Clock::new(Mode::Manual)
+    }
+
+    /// A clock in which one real second equals `speedup` virtual
+    /// seconds. A background worker thread fires due timers.
+    ///
+    /// # Panics
+    /// Panics if `speedup` is not finite and positive.
+    pub fn scaled(speedup: f64) -> Self {
+        assert!(speedup.is_finite() && speedup > 0.0, "speedup must be positive");
+        let clock = Clock::new(Mode::Scaled { speedup });
+        let weak = Arc::downgrade(&clock.inner);
+        std::thread::Builder::new()
+            .name("simclock-worker".into())
+            .spawn(move || run_worker(weak))
+            .expect("spawn simclock worker");
+        clock
+    }
+
+    /// A real-time clock (speedup 1). Rarely wanted outside demos.
+    pub fn realtime() -> Self {
+        Clock::scaled(1.0)
+    }
+
+    fn new(mode: Mode) -> Self {
+        Clock {
+            inner: Arc::new(Inner {
+                mode,
+                state: Mutex::new(State {
+                    heap: BinaryHeap::new(),
+                    callbacks: HashMap::new(),
+                    now: SimTime::ZERO,
+                    next_seq: 0,
+                }),
+                cv: Condvar::new(),
+                base_real: Instant::now(),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        match self.inner.mode {
+            Mode::Manual => self.inner.state.lock().now,
+            Mode::Scaled { speedup } => {
+                let real = self.inner.base_real.elapsed().as_secs_f64();
+                SimTime::from_secs_f64(real * speedup)
+            }
+        }
+    }
+
+    /// True if this clock is in manual mode.
+    pub fn is_manual(&self) -> bool {
+        matches!(self.inner.mode, Mode::Manual)
+    }
+
+    /// Schedule `cb` to run `delay` of virtual time from now. The
+    /// callback receives the virtual time at which it fires.
+    pub fn schedule(
+        &self,
+        delay: Duration,
+        cb: impl FnOnce(SimTime) + Send + 'static,
+    ) -> TimerId {
+        self.schedule_at(self.now() + delay, cb)
+    }
+
+    /// Schedule `cb` at an absolute virtual time. Deadlines in the past
+    /// fire at the next opportunity.
+    pub fn schedule_at(
+        &self,
+        deadline: SimTime,
+        cb: impl FnOnce(SimTime) + Send + 'static,
+    ) -> TimerId {
+        let mut st = self.inner.state.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let id = TimerId(seq);
+        st.heap.push(Reverse(Entry { deadline, seq, id }));
+        st.callbacks.insert(seq, Box::new(cb));
+        drop(st);
+        self.inner.cv.notify_all();
+        id
+    }
+
+    /// Cancel a pending timer. Returns true if the timer had not yet
+    /// fired (or been cancelled).
+    pub fn cancel(&self, id: TimerId) -> bool {
+        self.inner.state.lock().callbacks.remove(&id.0).is_some()
+    }
+
+    /// Number of timers that have been scheduled but not fired or
+    /// cancelled.
+    pub fn pending_timers(&self) -> usize {
+        self.inner.state.lock().callbacks.len()
+    }
+
+    /// Manual mode only: move time forward by `d`, firing every timer
+    /// whose deadline falls in the window, in deadline order, inline on
+    /// this thread. Timers scheduled *by* fired callbacks also fire if
+    /// they land inside the window.
+    ///
+    /// # Panics
+    /// Panics when called on a scaled clock.
+    pub fn advance(&self, d: Duration) {
+        assert!(self.is_manual(), "advance() requires a manual clock");
+        let target = {
+            let st = self.inner.state.lock();
+            st.now + d
+        };
+        self.advance_to(target);
+    }
+
+    /// Manual mode only: advance to an absolute virtual time.
+    pub fn advance_to(&self, target: SimTime) {
+        assert!(self.is_manual(), "advance_to() requires a manual clock");
+        enum Step {
+            Fire(Callback, SimTime),
+            /// A cancelled timer was discarded; keep scanning.
+            Skip,
+            /// No timer left inside the window.
+            Done,
+        }
+        loop {
+            let step = {
+                let mut st = self.inner.state.lock();
+                match st.heap.peek() {
+                    Some(Reverse(e)) if e.deadline <= target => {
+                        let Reverse(e) = st.heap.pop().unwrap();
+                        if e.deadline > st.now {
+                            st.now = e.deadline;
+                        }
+                        let at = st.now;
+                        match st.callbacks.remove(&e.seq) {
+                            Some(cb) => Step::Fire(cb, at),
+                            None => Step::Skip,
+                        }
+                    }
+                    _ => {
+                        if target > st.now {
+                            st.now = target;
+                        }
+                        Step::Done
+                    }
+                }
+            };
+            match step {
+                Step::Fire(cb, at) => {
+                    self.inner.cv.notify_all();
+                    // The callback may schedule further timers inside
+                    // the window; the loop re-peeks and fires them too.
+                    cb(at);
+                }
+                Step::Skip => {}
+                Step::Done => {
+                    self.inner.cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drain every pending timer regardless of deadline (manual mode).
+    /// Useful at test teardown.
+    pub fn drain(&self) {
+        assert!(self.is_manual(), "drain() requires a manual clock");
+        loop {
+            let last = { self.inner.state.lock().heap.iter().map(|Reverse(e)| e.deadline).max() };
+            match last {
+                Some(t) => self.advance_to(t),
+                None => return,
+            }
+            if self.inner.state.lock().callbacks.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Block the calling thread for `d` of virtual time.
+    ///
+    /// In scaled mode this is a real sleep of `d / speedup`. In manual
+    /// mode the thread waits until some other thread advances the clock
+    /// past the target — do not call it from the advancing thread.
+    pub fn sleep(&self, d: Duration) {
+        match self.inner.mode {
+            Mode::Scaled { speedup } => {
+                std::thread::sleep(d.div_f64(speedup));
+            }
+            Mode::Manual => {
+                let target = self.now() + d;
+                let mut st = self.inner.state.lock();
+                while st.now < target {
+                    self.inner.cv.wait(&mut st);
+                }
+            }
+        }
+    }
+
+    /// Block until all currently pending timers have fired (scaled
+    /// mode); polls because timers may cascade.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let start = Instant::now();
+        while self.pending_timers() > 0 {
+            if start.elapsed() > timeout {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        true
+    }
+}
+
+/// Worker loop for scaled mode. Holds only a `Weak` so dropping the
+/// last user-visible `Clock` shuts the thread down.
+fn run_worker(weak: std::sync::Weak<Inner>) {
+    loop {
+        let inner = match weak.upgrade() {
+            Some(i) => i,
+            None => return,
+        };
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let speedup = match inner.mode {
+            Mode::Scaled { speedup } => speedup,
+            Mode::Manual => unreachable!("worker only runs for scaled clocks"),
+        };
+        let action = {
+            let mut st = inner.state.lock();
+            match st.heap.peek() {
+                Some(Reverse(e)) => {
+                    let now = {
+                        let real = inner.base_real.elapsed().as_secs_f64();
+                        SimTime::from_secs_f64(real * speedup)
+                    };
+                    if e.deadline <= now {
+                        let Reverse(e) = st.heap.pop().unwrap();
+                        st.callbacks.remove(&e.seq).map(|cb| (cb, e.deadline))
+                    } else {
+                        let wait_virtual = e.deadline - now;
+                        let wait_real =
+                            wait_virtual.div_f64(speedup).min(Duration::from_millis(50));
+                        inner.cv.wait_for(&mut st, wait_real);
+                        None
+                    }
+                }
+                None => {
+                    inner.cv.wait_for(&mut st, Duration::from_millis(50));
+                    None
+                }
+            }
+        };
+        // Drop the strong reference before running the callback so a
+        // long callback does not keep the clock alive unnecessarily.
+        drop(inner);
+        if let Some((cb, at)) = action {
+            cb(at);
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Clock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Clock(now={}, pending={})", self.now(), self.pending_timers())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn manual_clock_starts_at_zero_and_advances() {
+        let c = Clock::manual();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(Duration::from_secs(5));
+        assert_eq!(c.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let c = Clock::manual();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (label, at) in [("c", 3u64), ("a", 1), ("b", 2)] {
+            let log = log.clone();
+            c.schedule(Duration::from_secs(at), move |t| {
+                log.lock().push((label, t));
+            });
+        }
+        c.advance(Duration::from_secs(10));
+        let fired = log.lock().clone();
+        assert_eq!(
+            fired,
+            vec![
+                ("a", SimTime::from_secs(1)),
+                ("b", SimTime::from_secs(2)),
+                ("c", SimTime::from_secs(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_deadlines_fire_fifo() {
+        let c = Clock::manual();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for label in ["first", "second", "third"] {
+            let log = log.clone();
+            c.schedule(Duration::from_secs(1), move |_| log.lock().push(label));
+        }
+        c.advance(Duration::from_secs(1));
+        assert_eq!(*log.lock(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn advance_stops_at_target() {
+        let c = Clock::manual();
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h = hit.clone();
+        c.schedule(Duration::from_secs(10), move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        c.advance(Duration::from_secs(9));
+        assert_eq!(hit.load(Ordering::SeqCst), 0);
+        assert_eq!(c.pending_timers(), 1);
+        c.advance(Duration::from_secs(1));
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cascading_timers_fire_within_window() {
+        let c = Clock::manual();
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h = hit.clone();
+        let c2 = c.clone();
+        c.schedule(Duration::from_secs(1), move |_| {
+            let h = h.clone();
+            c2.schedule(Duration::from_secs(1), move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        c.advance(Duration::from_secs(3));
+        assert_eq!(hit.load(Ordering::SeqCst), 1, "nested timer fired");
+        assert_eq!(c.now(), SimTime::from_secs(3), "time reached the target");
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let c = Clock::manual();
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h = hit.clone();
+        let id = c.schedule(Duration::from_secs(1), move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(c.cancel(id));
+        assert!(!c.cancel(id), "second cancel is a no-op");
+        c.advance(Duration::from_secs(2));
+        assert_eq!(hit.load(Ordering::SeqCst), 0);
+        assert_eq!(c.pending_timers(), 0);
+    }
+
+    #[test]
+    fn callback_observes_its_deadline_not_the_target() {
+        let c = Clock::manual();
+        let seen = Arc::new(Mutex::new(None));
+        let s = seen.clone();
+        c.schedule(Duration::from_secs(2), move |t| {
+            *s.lock() = Some(t);
+        });
+        c.advance(Duration::from_secs(100));
+        assert_eq!(*seen.lock(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_stall_advance() {
+        // Regression: a cancelled timer inside the window used to stop
+        // advance_to() at the cancelled deadline, stranding later
+        // timers (the CPU simulator cancels/reschedules constantly).
+        let c = Clock::manual();
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h = hit.clone();
+        let dead = c.schedule(Duration::from_secs(2), |_| panic!("cancelled timer fired"));
+        c.schedule(Duration::from_secs(4), move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        c.cancel(dead);
+        c.advance(Duration::from_secs(3));
+        assert_eq!(c.now(), SimTime::from_secs(3), "time reaches the target");
+        c.advance(Duration::from_secs(2));
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn drain_fires_everything() {
+        let c = Clock::manual();
+        let hit = Arc::new(AtomicUsize::new(0));
+        for s in [5u64, 50, 500] {
+            let h = hit.clone();
+            c.schedule(Duration::from_secs(s), move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        c.drain();
+        assert_eq!(hit.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn scaled_clock_fires_timers_in_real_time() {
+        let c = Clock::scaled(1000.0); // 1 virtual second per real ms
+        let hit = Arc::new(AtomicUsize::new(0));
+        let h = hit.clone();
+        c.schedule(Duration::from_secs(2), move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(c.wait_idle(Duration::from_secs(5)), "timer should fire");
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+        assert!(c.now() >= SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn scaled_sleep_scales() {
+        let c = Clock::scaled(1000.0);
+        let real = Instant::now();
+        c.sleep(Duration::from_secs(1));
+        let elapsed = real.elapsed();
+        assert!(elapsed < Duration::from_millis(500), "slept {elapsed:?}");
+    }
+
+    #[test]
+    fn manual_sleep_wakes_on_advance() {
+        let c = Clock::manual();
+        let c2 = c.clone();
+        let t = std::thread::spawn(move || {
+            c2.sleep(Duration::from_secs(3));
+            c2.now()
+        });
+        // Give the sleeper time to block, then advance.
+        std::thread::sleep(Duration::from_millis(50));
+        c.advance(Duration::from_secs(5));
+        assert_eq!(t.join().unwrap(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "manual clock")]
+    fn advance_panics_on_scaled_clock() {
+        Clock::scaled(10.0).advance(Duration::from_secs(1));
+    }
+}

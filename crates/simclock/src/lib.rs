@@ -1,0 +1,32 @@
+//! # simclock
+//!
+//! A virtual clock plus deadline scheduler used by every simulated
+//! substrate in the workspace (the machine simulator in `grid-node`,
+//! the network cost model in `wsrf-transport`, scheduled resource
+//! destruction in `wsrf-core`, subscription termination in
+//! `ws-notification`).
+//!
+//! The paper's testbed ran on wall-clock time across a campus; our
+//! reproduction compresses "minutes of grid activity" into
+//! milliseconds by running all *simulated* costs (CPU seconds, network
+//! transfer times, lease durations) against a [`Clock`] that either
+//!
+//! * advances only when told to ([`Clock::manual`]) — used by unit and
+//!   integration tests for full determinism, or
+//! * advances in scaled real time ([`Clock::scaled`]) — e.g. at
+//!   speedup 1000, one virtual second elapses every real millisecond —
+//!   used by the examples and benches, where many threads genuinely
+//!   block and wake concurrently.
+//!
+//! Timers registered with [`Clock::schedule`] fire in deadline order.
+//! In manual mode they run inline on the thread calling
+//! [`Clock::advance`]; in scaled mode a dedicated worker thread runs
+//! them.
+
+pub mod clock;
+pub mod time;
+
+pub use clock::{Clock, TimerId};
+pub use time::SimTime;
+
+pub use std::time::Duration;

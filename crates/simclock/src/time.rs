@@ -1,0 +1,104 @@
+//! Virtual time points.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, measured in nanoseconds since the clock's
+/// epoch (time zero, when the [`crate::Clock`] was created).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The epoch (virtual time zero).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole virtual seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional virtual seconds (saturating at zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s.max(0.0) * 1e9) as u64)
+    }
+
+    /// Construct from virtual milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// This time as fractional seconds since the epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Nanoseconds since the epoch.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration since an earlier time (saturating).
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating subtraction of a duration.
+    pub fn saturating_sub(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.as_nanos() as u64))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_nanos() as u64))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(2);
+        assert_eq!(t + Duration::from_secs(3), SimTime::from_secs(5));
+        assert_eq!(SimTime::from_secs(5) - t, Duration::from_secs(3));
+        assert_eq!(t - SimTime::from_secs(5), Duration::ZERO, "saturates");
+        assert_eq!(t.saturating_sub(Duration::from_secs(10)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert_eq!(SimTime::from_millis(250).as_secs_f64(), 0.25);
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "t+1.500000s");
+    }
+}

@@ -1,0 +1,428 @@
+//! Job-set descriptions: the client-side vocabulary of §4.6.
+//!
+//! "The scientist specifies dependencies between jobs through the
+//! input file descriptions. For example, the input file
+//! `local://C:\file1` is a file that should come from the local file
+//! system, while the file `job1://output2` means that the job
+//! designated as 'job1' will produce an output file called 'output2'
+//! and that file should be retrieved as input to the current job."
+
+use std::collections::{HashMap, HashSet};
+
+use wsrf_soap::ns::UVACG;
+use wsrf_xml::Element;
+
+/// Where an input file (or executable) comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileRef {
+    /// `local://<path>` — the client machine's file system, served by
+    /// the client's WSE-TCP file server.
+    Local(String),
+    /// `<job>://<file>` — the named sibling job's output file.
+    JobOutput {
+        /// Producing job's name.
+        job: String,
+        /// Output file name.
+        file: String,
+    },
+}
+
+impl FileRef {
+    /// Parse the URI form. Any scheme other than `local` is read as a
+    /// job name.
+    pub fn parse(s: &str) -> Option<FileRef> {
+        let (scheme, rest) = s.split_once("://")?;
+        if scheme.is_empty() || rest.is_empty() {
+            return None;
+        }
+        if scheme.eq_ignore_ascii_case("local") {
+            Some(FileRef::Local(rest.to_string()))
+        } else {
+            Some(FileRef::JobOutput { job: scheme.to_string(), file: rest.to_string() })
+        }
+    }
+
+    /// The URI form.
+    pub fn to_uri(&self) -> String {
+        match self {
+            FileRef::Local(p) => format!("local://{p}"),
+            FileRef::JobOutput { job, file } => format!("{job}://{file}"),
+        }
+    }
+}
+
+/// One job of a job set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique (within the set) job name, e.g. `job1`.
+    pub name: String,
+    /// The executable to stage and run.
+    pub executable: FileRef,
+    /// Inputs: `(source, name the job expects in its working dir)`.
+    pub inputs: Vec<(FileRef, String)>,
+    /// Output file names this job declares it will produce (consumed
+    /// by dependents via `jobN://name`).
+    pub outputs: Vec<String>,
+    /// Command-line arguments (carried for fidelity; the simulated
+    /// programs ignore them).
+    pub args: Vec<String>,
+}
+
+impl JobSpec {
+    /// A job running `executable`.
+    pub fn new(name: impl Into<String>, executable: FileRef) -> Self {
+        JobSpec {
+            name: name.into(),
+            executable,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Builder: add an input.
+    pub fn input(mut self, source: FileRef, as_name: impl Into<String>) -> Self {
+        self.inputs.push((source, as_name.into()));
+        self
+    }
+
+    /// Builder: declare an output.
+    pub fn output(mut self, name: impl Into<String>) -> Self {
+        self.outputs.push(name.into());
+        self
+    }
+
+    /// Builder: add an argument.
+    pub fn arg(mut self, a: impl Into<String>) -> Self {
+        self.args.push(a.into());
+        self
+    }
+
+    /// Names of jobs this job depends on.
+    pub fn dependencies(&self) -> HashSet<&str> {
+        let mut deps = HashSet::new();
+        if let FileRef::JobOutput { job, .. } = &self.executable {
+            deps.insert(job.as_str());
+        }
+        for (src, _) in &self.inputs {
+            if let FileRef::JobOutput { job, .. } = src {
+                deps.insert(job.as_str());
+            }
+        }
+        deps
+    }
+}
+
+/// A complete job set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSetSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// The jobs, in declaration order.
+    pub jobs: Vec<JobSpec>,
+}
+
+/// Validation failures for job-set descriptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Two jobs share a name.
+    DuplicateJobName(String),
+    /// An input references a job that is not in the set.
+    UnknownJob { referencing: String, missing: String },
+    /// An input references an output the producing job does not
+    /// declare.
+    UndeclaredOutput { job: String, file: String },
+    /// The dependency graph has a cycle through this job.
+    DependencyCycle(String),
+    /// The set has no jobs.
+    Empty,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::DuplicateJobName(n) => write!(f, "duplicate job name '{n}'"),
+            ValidationError::UnknownJob { referencing, missing } => {
+                write!(f, "job '{referencing}' references unknown job '{missing}'")
+            }
+            ValidationError::UndeclaredOutput { job, file } => {
+                write!(f, "job '{job}' does not declare output '{file}'")
+            }
+            ValidationError::DependencyCycle(n) => {
+                write!(f, "dependency cycle involving job '{n}'")
+            }
+            ValidationError::Empty => f.write_str("job set contains no jobs"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl JobSetSpec {
+    /// A new empty job set.
+    pub fn new(name: impl Into<String>) -> Self {
+        JobSetSpec { name: name.into(), jobs: Vec::new() }
+    }
+
+    /// Builder: add a job.
+    pub fn job(mut self, job: JobSpec) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Look up a job by name.
+    pub fn get(&self, name: &str) -> Option<&JobSpec> {
+        self.jobs.iter().find(|j| j.name == name)
+    }
+
+    /// Validate names, references, declared outputs and acyclicity;
+    /// returns a topological order of job names.
+    pub fn validate(&self) -> Result<Vec<String>, ValidationError> {
+        if self.jobs.is_empty() {
+            return Err(ValidationError::Empty);
+        }
+        let mut by_name: HashMap<&str, &JobSpec> = HashMap::new();
+        for j in &self.jobs {
+            if by_name.insert(&j.name, j).is_some() {
+                return Err(ValidationError::DuplicateJobName(j.name.clone()));
+            }
+        }
+        // Reference checks.
+        for j in &self.jobs {
+            let refs = j
+                .inputs
+                .iter()
+                .map(|(s, _)| s)
+                .chain(std::iter::once(&j.executable));
+            for r in refs {
+                if let FileRef::JobOutput { job, file } = r {
+                    let Some(producer) = by_name.get(job.as_str()) else {
+                        return Err(ValidationError::UnknownJob {
+                            referencing: j.name.clone(),
+                            missing: job.clone(),
+                        });
+                    };
+                    if !producer.outputs.iter().any(|o| o == file) {
+                        return Err(ValidationError::UndeclaredOutput {
+                            job: job.clone(),
+                            file: file.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // Kahn's algorithm for the topological order.
+        let mut indegree: HashMap<&str, usize> = HashMap::new();
+        let mut dependents: HashMap<&str, Vec<&str>> = HashMap::new();
+        for j in &self.jobs {
+            indegree.entry(&j.name).or_insert(0);
+            for d in j.dependencies() {
+                *indegree.entry(&j.name).or_insert(0) += 1;
+                dependents.entry(d).or_default().push(&j.name);
+            }
+        }
+        // Seed the queue in declaration order for determinism.
+        let mut queue: Vec<&str> = self
+            .jobs
+            .iter()
+            .filter(|j| indegree[j.name.as_str()] == 0)
+            .map(|j| j.name.as_str())
+            .collect();
+        let mut order = Vec::with_capacity(self.jobs.len());
+        while let Some(n) = queue.first().copied() {
+            queue.remove(0);
+            order.push(n.to_string());
+            for d in dependents.get(n).cloned().unwrap_or_default() {
+                let e = indegree.get_mut(d).unwrap();
+                *e -= 1;
+                if *e == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        if order.len() != self.jobs.len() {
+            let stuck = self
+                .jobs
+                .iter()
+                .find(|j| !order.contains(&j.name))
+                .map(|j| j.name.clone())
+                .unwrap_or_default();
+            return Err(ValidationError::DependencyCycle(stuck));
+        }
+        Ok(order)
+    }
+
+    /// Serialize as the `<JobSet>` description element sent to the
+    /// Scheduler.
+    pub fn to_element(&self) -> Element {
+        let mut set = Element::new(UVACG, "JobSet").attr("name", &self.name);
+        for j in &self.jobs {
+            let mut je = Element::new(UVACG, "Job").attr("name", &j.name);
+            je.push_child(Element::new(UVACG, "Executable").attr("source", j.executable.to_uri()));
+            for (src, as_name) in &j.inputs {
+                je.push_child(
+                    Element::new(UVACG, "Input")
+                        .attr("source", src.to_uri())
+                        .attr("as", as_name),
+                );
+            }
+            for o in &j.outputs {
+                je.push_child(Element::new(UVACG, "Output").attr("name", o));
+            }
+            for a in &j.args {
+                je.push_child(Element::new(UVACG, "Arg").text(a));
+            }
+            set.push_child(je);
+        }
+        set
+    }
+
+    /// Decode a `<JobSet>` element.
+    pub fn from_element(e: &Element) -> Option<JobSetSpec> {
+        let name = e.attr_value("name")?.to_string();
+        let mut jobs = Vec::new();
+        for je in e.find_all(UVACG, "Job") {
+            let jname = je.attr_value("name")?.to_string();
+            let exe = FileRef::parse(je.find(UVACG, "Executable")?.attr_value("source")?)?;
+            let mut job = JobSpec::new(jname, exe);
+            for ie in je.find_all(UVACG, "Input") {
+                job.inputs
+                    .push((FileRef::parse(ie.attr_value("source")?)?, ie.attr_value("as")?.to_string()));
+            }
+            for oe in je.find_all(UVACG, "Output") {
+                job.outputs.push(oe.attr_value("name")?.to_string());
+            }
+            for ae in je.find_all(UVACG, "Arg") {
+                job.args.push(ae.text_content());
+            }
+            jobs.push(job);
+        }
+        Some(JobSetSpec { name, jobs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline() -> JobSetSpec {
+        JobSetSpec::new("pipeline")
+            .job(
+                JobSpec::new("job1", FileRef::parse("local://C:\\prog.exe").unwrap())
+                    .input(FileRef::parse("local://C:\\file1").unwrap(), "in.dat")
+                    .output("output2"),
+            )
+            .job(
+                JobSpec::new("job2", FileRef::parse("local://C:\\prog.exe").unwrap())
+                    .input(FileRef::parse("job1://output2").unwrap(), "input.dat")
+                    .output("final.dat"),
+            )
+    }
+
+    #[test]
+    fn fileref_parsing_matches_the_paper() {
+        assert_eq!(
+            FileRef::parse("local://C:\\file1").unwrap(),
+            FileRef::Local("C:\\file1".into())
+        );
+        assert_eq!(
+            FileRef::parse("job1://output2").unwrap(),
+            FileRef::JobOutput { job: "job1".into(), file: "output2".into() }
+        );
+        assert!(FileRef::parse("no-scheme").is_none());
+        assert!(FileRef::parse("local://").is_none());
+        // Roundtrip.
+        for s in ["local://C:\\x", "job9://out.bin"] {
+            assert_eq!(FileRef::parse(s).unwrap().to_uri(), s);
+        }
+    }
+
+    #[test]
+    fn validate_produces_topological_order() {
+        let order = pipeline().validate().unwrap();
+        assert_eq!(order, ["job1", "job2"]);
+    }
+
+    #[test]
+    fn diamond_dependencies_order_correctly() {
+        let exe = FileRef::Local("p.exe".into());
+        let set = JobSetSpec::new("diamond")
+            .job(JobSpec::new("top", exe.clone()).output("o"))
+            .job(
+                JobSpec::new("left", exe.clone())
+                    .input(FileRef::parse("top://o").unwrap(), "i")
+                    .output("lo"),
+            )
+            .job(
+                JobSpec::new("right", exe.clone())
+                    .input(FileRef::parse("top://o").unwrap(), "i")
+                    .output("ro"),
+            )
+            .job(
+                JobSpec::new("bottom", exe)
+                    .input(FileRef::parse("left://lo").unwrap(), "a")
+                    .input(FileRef::parse("right://ro").unwrap(), "b"),
+            );
+        let order = set.validate().unwrap();
+        assert_eq!(order[0], "top");
+        assert_eq!(order[3], "bottom");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let exe = FileRef::Local("p".into());
+        assert_eq!(JobSetSpec::new("e").validate(), Err(ValidationError::Empty));
+
+        let dup = JobSetSpec::new("d")
+            .job(JobSpec::new("a", exe.clone()))
+            .job(JobSpec::new("a", exe.clone()));
+        assert_eq!(dup.validate(), Err(ValidationError::DuplicateJobName("a".into())));
+
+        let unknown = JobSetSpec::new("u").job(
+            JobSpec::new("a", exe.clone()).input(FileRef::parse("ghost://x").unwrap(), "x"),
+        );
+        assert!(matches!(unknown.validate(), Err(ValidationError::UnknownJob { .. })));
+
+        let undeclared = JobSetSpec::new("o")
+            .job(JobSpec::new("a", exe.clone()))
+            .job(JobSpec::new("b", exe.clone()).input(FileRef::parse("a://nope").unwrap(), "x"));
+        assert!(matches!(undeclared.validate(), Err(ValidationError::UndeclaredOutput { .. })));
+
+        let cycle = JobSetSpec::new("c")
+            .job(
+                JobSpec::new("a", exe.clone())
+                    .input(FileRef::parse("b://y").unwrap(), "i")
+                    .output("x"),
+            )
+            .job(
+                JobSpec::new("b", exe)
+                    .input(FileRef::parse("a://x").unwrap(), "i")
+                    .output("y"),
+            );
+        assert!(matches!(cycle.validate(), Err(ValidationError::DependencyCycle(_))));
+    }
+
+    #[test]
+    fn executable_from_job_output_is_a_dependency() {
+        let set = JobSetSpec::new("x")
+            .job(JobSpec::new("builder", FileRef::Local("cc.exe".into())).output("prog.exe"))
+            .job(JobSpec::new("runner", FileRef::parse("builder://prog.exe").unwrap()));
+        assert_eq!(set.validate().unwrap(), ["builder", "runner"]);
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let set = pipeline();
+        let el = set.to_element();
+        let parsed = wsrf_xml::parse(&el.to_xml()).unwrap();
+        assert_eq!(JobSetSpec::from_element(&parsed).unwrap(), set);
+    }
+
+    #[test]
+    fn dependencies_listed() {
+        let set = pipeline();
+        assert!(set.get("job2").unwrap().dependencies().contains("job1"));
+        assert!(set.get("job1").unwrap().dependencies().is_empty());
+        assert!(set.get("ghost").is_none());
+    }
+}

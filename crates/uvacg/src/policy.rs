@@ -1,0 +1,220 @@
+//! Scheduling policies.
+//!
+//! The paper's Scheduler uses "a straightforward algorithm \[that]
+//! chooses the fastest, most available machine" from the Node Info
+//! Service snapshot. That policy is [`FastestAvailable`]; the others
+//! are the baselines experiment E6 compares it against.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One row of the Node Info Service snapshot the Scheduler polls
+/// before each placement (step 2 of Figure 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSnapshot {
+    /// Machine name.
+    pub machine: String,
+    /// CPU speed in MHz.
+    pub cpu_mhz: u32,
+    /// Core count.
+    pub cores: u32,
+    /// RAM in MB.
+    pub ram_mb: u32,
+    /// Current utilization in `[0,1]`.
+    pub utilization: f64,
+    /// Address of the machine's Execution Service.
+    pub execution: String,
+    /// Address of the machine's File System Service.
+    pub filesystem: String,
+}
+
+/// A placement policy: pick one node from the snapshot.
+pub trait SchedulingPolicy: Send + Sync {
+    /// Index of the chosen node, or `None` if nothing is acceptable.
+    fn select(&self, nodes: &[NodeSnapshot]) -> Option<usize>;
+
+    /// Policy name for bench tables.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's policy: maximize spare speed, `cpu_mhz × cores ×
+/// (1 − utilization)`. Ties (notably a fully saturated grid, where
+/// every score is zero) are broken by raw speed, so overflow work
+/// piles onto the fastest machine rather than an arbitrary one.
+#[derive(Debug, Default)]
+pub struct FastestAvailable;
+
+impl SchedulingPolicy for FastestAvailable {
+    fn select(&self, nodes: &[NodeSnapshot]) -> Option<usize> {
+        nodes
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                let score = |n: &NodeSnapshot| {
+                    n.cpu_mhz as f64 * n.cores as f64 * (1.0 - n.utilization).max(0.0)
+                };
+                let speed = |n: &NodeSnapshot| n.cpu_mhz as u64 * n.cores as u64;
+                score(a)
+                    .partial_cmp(&score(b))
+                    .unwrap()
+                    .then(speed(a).cmp(&speed(b)))
+                    .then(b.utilization.partial_cmp(&a.utilization).unwrap())
+                    .then(b.machine.cmp(&a.machine))
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "fastest-available"
+    }
+}
+
+/// Cycle through nodes regardless of load.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    counter: AtomicUsize,
+}
+
+impl SchedulingPolicy for RoundRobin {
+    fn select(&self, nodes: &[NodeSnapshot]) -> Option<usize> {
+        if nodes.is_empty() {
+            return None;
+        }
+        Some(self.counter.fetch_add(1, Ordering::Relaxed) % nodes.len())
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Uniform random choice (xorshift; no ambient entropy so runs are
+/// reproducible from the seed).
+#[derive(Debug)]
+pub struct Random {
+    state: AtomicU64,
+}
+
+impl Random {
+    /// Seeded RNG policy.
+    pub fn new(seed: u64) -> Self {
+        Random { state: AtomicU64::new(seed.max(1)) }
+    }
+}
+
+impl Default for Random {
+    fn default() -> Self {
+        Random::new(0x9E3779B97F4A7C15)
+    }
+}
+
+impl SchedulingPolicy for Random {
+    fn select(&self, nodes: &[NodeSnapshot]) -> Option<usize> {
+        if nodes.is_empty() {
+            return None;
+        }
+        let mut x = self.state.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state.store(x, Ordering::Relaxed);
+        Some((x % nodes.len() as u64) as usize)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Minimize utilization; ties broken by speed.
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl SchedulingPolicy for LeastLoaded {
+    fn select(&self, nodes: &[NodeSnapshot]) -> Option<usize> {
+        nodes
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.utilization
+                    .partial_cmp(&b.utilization)
+                    .unwrap()
+                    .then((b.cpu_mhz * b.cores).cmp(&(a.cpu_mhz * a.cores)))
+                    .then(a.machine.cmp(&b.machine))
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(machine: &str, mhz: u32, cores: u32, util: f64) -> NodeSnapshot {
+        NodeSnapshot {
+            machine: machine.into(),
+            cpu_mhz: mhz,
+            cores,
+            ram_mb: 1024,
+            utilization: util,
+            execution: format!("inproc://{machine}/Execution"),
+            filesystem: format!("inproc://{machine}/FileSystem"),
+        }
+    }
+
+    #[test]
+    fn fastest_available_prefers_spare_speed() {
+        let nodes = vec![
+            node("slow-idle", 1000, 1, 0.0),    // score 1000
+            node("fast-busy", 3000, 1, 0.9),    // score 300
+            node("fast-idle", 3000, 1, 0.1),    // score 2700
+            node("many-core", 1000, 4, 0.5),    // score 2000
+        ];
+        assert_eq!(FastestAvailable.select(&nodes), Some(2));
+    }
+
+    #[test]
+    fn fastest_available_saturated_grid_still_picks_something() {
+        let nodes = vec![node("a", 1000, 1, 1.0), node("b", 2000, 1, 1.0)];
+        assert!(FastestAvailable.select(&nodes).is_some());
+    }
+
+    #[test]
+    fn policies_return_none_on_empty() {
+        let empty: Vec<NodeSnapshot> = Vec::new();
+        assert_eq!(FastestAvailable.select(&empty), None);
+        assert_eq!(RoundRobin::default().select(&empty), None);
+        assert_eq!(Random::default().select(&empty), None);
+        assert_eq!(LeastLoaded.select(&empty), None);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let nodes = vec![node("a", 1, 1, 0.0), node("b", 1, 1, 0.0), node("c", 1, 1, 0.0)];
+        let rr = RoundRobin::default();
+        let picks: Vec<usize> = (0..6).map(|_| rr.select(&nodes).unwrap()).collect();
+        assert_eq!(picks, [0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_in_range() {
+        let nodes = vec![node("a", 1, 1, 0.0), node("b", 1, 1, 0.0)];
+        let r1 = Random::new(7);
+        let r2 = Random::new(7);
+        let p1: Vec<usize> = (0..10).map(|_| r1.select(&nodes).unwrap()).collect();
+        let p2: Vec<usize> = (0..10).map(|_| r2.select(&nodes).unwrap()).collect();
+        assert_eq!(p1, p2);
+        assert!(p1.iter().all(|&i| i < 2));
+    }
+
+    #[test]
+    fn least_loaded_ignores_speed_until_tied() {
+        let nodes = vec![node("fast", 3000, 2, 0.6), node("slow", 500, 1, 0.1)];
+        assert_eq!(LeastLoaded.select(&nodes), Some(1));
+        let tied = vec![node("a", 1000, 1, 0.5), node("b", 2000, 1, 0.5)];
+        assert_eq!(LeastLoaded.select(&tied), Some(1), "ties broken by speed");
+    }
+}

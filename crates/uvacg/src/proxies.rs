@@ -1,0 +1,174 @@
+//! Typed client proxies for the testbed's resource kinds, built
+//! entirely on the generic [`wsrf_core::ResourceProxy`] — i.e. on the
+//! standard port types, with zero service-specific protocol. This is
+//! the concrete realization of §5's "higher-level interfaces to
+//! standard Resource Properties".
+
+use bytes::Bytes;
+use wsrf_core::ResourceProxy;
+use wsrf_soap::{EndpointReference, SoapFault};
+use wsrf_transport::InProcNetwork;
+
+use crate::es;
+use crate::fss;
+
+/// Typed view of a job WS-Resource.
+pub struct JobProxy<'a> {
+    net: &'a InProcNetwork,
+    inner: ResourceProxy<'a>,
+    epr: EndpointReference,
+}
+
+impl<'a> JobProxy<'a> {
+    /// Wrap a job EPR.
+    pub fn new(net: &'a InProcNetwork, epr: EndpointReference) -> Self {
+        JobProxy { net, inner: ResourceProxy::new(net, epr.clone()), epr }
+    }
+
+    /// The job's `Status` property (`Staging` / `Running` / `Exited` /
+    /// `Failed`).
+    pub fn status(&self) -> Result<String, SoapFault> {
+        self.inner.get_text("Status")
+    }
+
+    /// "the job's CPU time used so far" — live while running.
+    pub fn cpu_time_used(&self) -> Result<f64, SoapFault> {
+        self.inner.get_f64("CpuTimeUsed")
+    }
+
+    /// Exit code, if the job has exited.
+    pub fn exit_code(&self) -> Result<Option<i32>, SoapFault> {
+        match self.inner.get_i64("ExitCode") {
+            Ok(code) => Ok(Some(code as i32)),
+            Err(f) if f.error_code() == Some("wsrp:InvalidResourcePropertyQName") => Ok(None),
+            Err(f) => Err(f),
+        }
+    }
+
+    /// Kill the job (the paper's other job method).
+    pub fn kill(&self) -> Result<bool, SoapFault> {
+        es::kill(self.net, &self.epr)
+    }
+
+    /// The job's working directory, as a typed proxy.
+    pub fn working_directory(&self) -> Result<DirectoryProxy<'a>, SoapFault> {
+        let doc = self.inner.document()?;
+        let el = doc
+            .get_local("WorkingDirectory")
+            .first()
+            .cloned()
+            .ok_or_else(|| SoapFault::server("job has no WorkingDirectory property"))?;
+        let epr = EndpointReference::from_element(&el)
+            .map_err(|e| SoapFault::server(e.to_string()))?;
+        Ok(DirectoryProxy::new(self.net, epr))
+    }
+
+    /// Generic access for anything not covered above.
+    pub fn resource(&self) -> &ResourceProxy<'a> {
+        &self.inner
+    }
+}
+
+/// Typed view of a directory WS-Resource.
+pub struct DirectoryProxy<'a> {
+    net: &'a InProcNetwork,
+    inner: ResourceProxy<'a>,
+    epr: EndpointReference,
+}
+
+impl<'a> DirectoryProxy<'a> {
+    /// Wrap a directory EPR.
+    pub fn new(net: &'a InProcNetwork, epr: EndpointReference) -> Self {
+        DirectoryProxy { net, inner: ResourceProxy::new(net, epr.clone()), epr }
+    }
+
+    /// The directory's single resource property: its path.
+    pub fn path(&self) -> Result<String, SoapFault> {
+        self.inner.get_text("Path")
+    }
+
+    /// Read a file from the directory.
+    pub fn read(&self, filename: &str) -> Result<Bytes, SoapFault> {
+        fss::read(self.net, &self.epr, filename)
+    }
+
+    /// Write a file into the directory.
+    pub fn write(&self, filename: &str, content: &[u8]) -> Result<(), SoapFault> {
+        fss::write(self.net, &self.epr, filename, content)
+    }
+
+    /// List the directory.
+    pub fn list(&self) -> Result<Vec<(String, Option<u64>)>, SoapFault> {
+        fss::list(self.net, &self.epr)
+    }
+
+    /// Destroy the directory resource (the files remain on the
+    /// machine's filesystem; only the WS-Resource is retired).
+    pub fn destroy(&self) -> Result<(), SoapFault> {
+        self.inner.destroy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{CampusGrid, GridConfig};
+    use crate::jobset::{FileRef, JobSetSpec, JobSpec};
+    use grid_node::JobProgram;
+    use simclock::Clock;
+    use std::time::Duration;
+
+    fn running_job(grid: &CampusGrid) -> (crate::client::JobSetHandle, EndpointReference) {
+        let client = grid.client("c");
+        client.put_file(
+            "C:\\p.exe",
+            JobProgram::compute(10.0).writing("out.dat", 32).exiting(4).to_manifest(),
+        );
+        let spec = JobSetSpec::new("p").job(
+            JobSpec::new("j", FileRef::parse("local://C:\\p.exe").unwrap()).output("out.dat"),
+        );
+        let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+        let epr = handle.job_epr("j").unwrap();
+        (handle, epr)
+    }
+
+    #[test]
+    fn job_proxy_lifecycle() {
+        let grid = CampusGrid::build(GridConfig::with_machines(1), Clock::manual());
+        let (_handle, epr) = running_job(&grid);
+        let job = JobProxy::new(&grid.net, epr);
+        assert_eq!(job.status().unwrap(), "Running");
+        assert_eq!(job.exit_code().unwrap(), None);
+        grid.clock.advance(Duration::from_secs(4));
+        assert!((job.cpu_time_used().unwrap() - 4.0).abs() < 1e-3);
+        grid.clock.advance(Duration::from_secs(10));
+        assert_eq!(job.status().unwrap(), "Exited");
+        assert_eq!(job.exit_code().unwrap(), Some(4));
+        assert!((job.cpu_time_used().unwrap() - 10.0).abs() < 1e-3, "frozen at exit");
+    }
+
+    #[test]
+    fn directory_proxy_via_job() {
+        let grid = CampusGrid::build(GridConfig::with_machines(1), Clock::manual());
+        let (_handle, epr) = running_job(&grid);
+        let job = JobProxy::new(&grid.net, epr);
+        let dir = job.working_directory().unwrap();
+        assert!(dir.path().unwrap().starts_with("grid/"));
+        grid.clock.advance(Duration::from_secs(15));
+        let names: Vec<String> = dir.list().unwrap().into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"out.dat".to_string()), "{names:?}");
+        assert_eq!(dir.read("out.dat").unwrap().len(), 32);
+        dir.write("extra.txt", b"note").unwrap();
+        assert_eq!(&dir.read("extra.txt").unwrap()[..], b"note");
+    }
+
+    #[test]
+    fn job_proxy_kill() {
+        let grid = CampusGrid::build(GridConfig::with_machines(1), Clock::manual());
+        let (_handle, epr) = running_job(&grid);
+        let job = JobProxy::new(&grid.net, epr);
+        assert!(job.kill().unwrap());
+        assert_eq!(job.status().unwrap(), "Exited");
+        assert_eq!(job.exit_code().unwrap(), Some(-9));
+    }
+}

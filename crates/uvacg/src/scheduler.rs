@@ -1,0 +1,778 @@
+//! The Scheduler Service (§4.5) — "the heart of the remote job
+//! execution testbed because it coordinates the activities of the
+//! other grid components".
+//!
+//! Its WS-Resources are **job sets**. On submission it generates a
+//! unique notification topic for the set, subscribes both itself and
+//! the client's listener at the broker, and then drives the run: for
+//! every job whose dependencies are satisfied it polls the Node Info
+//! Service, picks a machine with the configured policy ("a
+//! straightforward algorithm chooses the fastest, most available
+//! machine"), and invokes `Run` on that machine's Execution Service.
+//! As working-directory EPRs come back it "fills in" the locations of
+//! files produced by earlier jobs into the upload requests of later
+//! ones; job-exit notifications trigger the next wave of dispatches.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simclock::Clock;
+use ws_notification::broker;
+use ws_notification::consumer::NotificationListener;
+use ws_notification::message::NotificationMessage;
+use ws_notification::topics::{TopicExpression, TopicPath};
+use wsrf_core::container::{action_uri, Service, ServiceBuilder, ServiceCore};
+use wsrf_core::faults;
+use wsrf_core::properties::PropertyDoc;
+use wsrf_core::store::ResourceStore;
+use wsrf_security::wsse::UsernameToken;
+use wsrf_soap::ns::{UVACG, WSSE};
+use wsrf_soap::{BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault};
+use wsrf_transport::InProcNetwork;
+use wsrf_xml::{Element, QName};
+
+use crate::es::{self, RunRequest};
+use crate::jobset::{FileRef, JobSetSpec};
+use crate::policy::SchedulingPolicy;
+use crate::security::GridSecurity;
+
+/// The job-set key reference property (Clark form).
+pub fn jobset_key_property() -> String {
+    format!("{{{UVACG}}}JobSetKey")
+}
+
+fn q(local: &str) -> QName {
+    QName::new(UVACG, local)
+}
+
+/// Job-set status values exposed through the `Status` property.
+pub mod set_status {
+    /// Jobs are being dispatched / running.
+    pub const RUNNING: &str = "Running";
+    /// Every job exited successfully.
+    pub const COMPLETED: &str = "Completed";
+    /// A job failed; dependents were not dispatched.
+    pub const FAILED: &str = "Failed";
+}
+
+/// Scheduler deployment configuration.
+pub struct SchedulerConfig {
+    /// Node Info Service address.
+    pub nis_address: String,
+    /// The broker all job events flow through.
+    pub broker: EndpointReference,
+    /// Placement policy.
+    pub policy: Arc<dyn SchedulingPolicy>,
+    /// Campus PKI + the scheduler's subject; when set, submissions must
+    /// carry a UsernameToken encrypted to the scheduler, which is
+    /// re-encrypted per chosen Execution Service (subject `es@<machine>`).
+    pub security: Option<(Arc<GridSecurity>, String)>,
+    /// Resource state backend.
+    pub store: Arc<dyn ResourceStore>,
+    /// Address for the scheduler's own notification listener.
+    pub listener_address: String,
+    /// Watchdog: fail a job set if a dispatched job has not finished
+    /// within this much virtual time (None = wait forever, like the
+    /// paper, which has no fault-tolerance story). An extension for
+    /// crashed machines, which never send their exit notification.
+    pub job_timeout: Option<std::time::Duration>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Waiting,
+    Dispatched,
+    Completed,
+    Failed,
+}
+
+struct JobRun {
+    state: JobState,
+    machine: Option<String>,
+    dir_epr: Option<EndpointReference>,
+    job_epr: Option<EndpointReference>,
+    exit_code: Option<i32>,
+}
+
+struct RunState {
+    spec: JobSetSpec,
+    topic: String,
+    credentials: (String, String),
+    client_fileserver: Option<String>,
+    jobs: HashMap<String, JobRun>,
+    finished: bool,
+}
+
+struct SchedInner {
+    runs: Mutex<HashMap<String, RunState>>,
+    nis_address: String,
+    broker: EndpointReference,
+    policy: Arc<dyn SchedulingPolicy>,
+    security: Option<(Arc<GridSecurity>, String)>,
+    job_timeout: Option<std::time::Duration>,
+}
+
+/// The deployed Scheduler: its WSRF service plus its notification
+/// listener.
+pub struct Scheduler {
+    /// The WSRF service (resources = job sets).
+    pub service: Arc<Service>,
+    /// The scheduler's own notification listener.
+    pub listener: NotificationListener,
+    inner: Arc<SchedInner>,
+}
+
+impl Scheduler {
+    /// Register the scheduler service on the network (the listener is
+    /// registered at construction).
+    pub fn register(&self, net: &InProcNetwork) {
+        self.service.register(net);
+    }
+
+    /// The scheduler service's EPR.
+    pub fn epr(&self) -> EndpointReference {
+        self.service.core().service_epr()
+    }
+
+    /// Diagnostic: per-job states of a run (None for unknown sets).
+    pub fn job_states(&self, jobset_key: &str) -> Option<Vec<(String, String, Option<i32>)>> {
+        let runs = self.inner.runs.lock();
+        let run = runs.get(jobset_key)?;
+        let mut v: Vec<(String, String, Option<i32>)> = run
+            .jobs
+            .iter()
+            .map(|(name, jr)| (name.clone(), format!("{:?}", jr.state), jr.exit_code))
+            .collect();
+        v.sort();
+        Some(v)
+    }
+}
+
+/// Build and wire the Scheduler Service.
+pub fn scheduler_service(
+    address: &str,
+    cfg: SchedulerConfig,
+    clock: Clock,
+    net: Arc<InProcNetwork>,
+) -> Scheduler {
+    let inner = Arc::new(SchedInner {
+        runs: Mutex::new(HashMap::new()),
+        nis_address: cfg.nis_address,
+        broker: cfg.broker,
+        policy: cfg.policy,
+        security: cfg.security,
+        job_timeout: cfg.job_timeout,
+    });
+    let listener = NotificationListener::register(&net, &cfg.listener_address);
+
+    let submit_inner = inner.clone();
+    let submit_listener = listener.clone();
+    let service = ServiceBuilder::new("Scheduler", address, cfg.store)
+        .key_property(jobset_key_property())
+        .static_operation("SubmitJobSet", move |ctx| {
+            submit_op(ctx, &submit_inner, &submit_listener)
+        })
+        // The §5 rediscovery path: "how a client might possibly
+        // rediscover their resources should their EPRs be lost".
+        .static_operation("FindJobSets", |ctx| {
+            let name_filter = ctx.body.attr_value("name").map(str::to_string);
+            let core = ctx.core.clone();
+            let mut keys = core.store.list(&core.name);
+            keys.sort_by_key(|k| (k.len(), k.clone()));
+            let mut resp = Element::new(UVACG, "FindJobSetsResponse");
+            for key in keys {
+                let Ok(doc) = core.store.load(&core.name, &key) else { continue };
+                let name = doc.text(&q("Name")).unwrap_or_default();
+                if let Some(f) = &name_filter {
+                    if &name != f {
+                        continue;
+                    }
+                }
+                resp.push_child(
+                    Element::new(UVACG, "JobSet")
+                        .attr("name", name)
+                        .attr("status", doc.text(&q("Status")).unwrap_or_default())
+                        .attr("topic", doc.text(&q("Topic")).unwrap_or_default())
+                        .child(core.epr_for(&key).to_element_named(UVACG, "JobSetEpr")),
+                );
+            }
+            Ok(resp)
+        })
+        .build(clock, net);
+
+    Scheduler { service, listener, inner }
+}
+
+fn submit_op(
+    ctx: &mut wsrf_core::container::Ctx<'_>,
+    inner: &Arc<SchedInner>,
+    listener: &NotificationListener,
+) -> Result<Element, BaseFault> {
+    // Step 1: decode and validate the description.
+    let set_el = ctx
+        .body
+        .find(UVACG, "JobSet")
+        .ok_or_else(|| faults::bad_request("SubmitJobSet requires JobSet"))?;
+    let spec = JobSetSpec::from_element(set_el)
+        .ok_or_else(|| faults::bad_request("malformed JobSet description"))?;
+    spec.validate()
+        .map_err(|e| BaseFault::new("uvacg:InvalidJobSet", e.to_string()))?;
+
+    // Credentials travel encrypted to the scheduler (or plaintext in
+    // insecure deployments).
+    let credentials = match &inner.security {
+        Some((sec, subject)) => {
+            let header = ctx.header(WSSE, "Security").ok_or_else(|| {
+                BaseFault::new("uvacg:MissingCredentials", "no WS-Security header")
+            })?;
+            let tok = sec.decrypt_token(header, subject).map_err(|e| {
+                BaseFault::new("uvacg:BadCredentials", format!("cannot decrypt: {e}"))
+            })?;
+            (tok.username, tok.password)
+        }
+        None => {
+            let el = ctx.body.find(UVACG, "Credentials").ok_or_else(|| {
+                BaseFault::new("uvacg:MissingCredentials", "no Credentials element")
+            })?;
+            (
+                el.attr_value("user").unwrap_or_default().to_string(),
+                el.attr_value("password").unwrap_or_default().to_string(),
+            )
+        }
+    };
+
+    let client_listener = ctx
+        .body
+        .find(UVACG, "ClientListener")
+        .map(EndpointReference::from_element)
+        .transpose()
+        .map_err(|e| faults::bad_request(&format!("bad ClientListener: {e}")))?;
+    let client_fileserver = ctx
+        .body
+        .find(UVACG, "ClientFileServer")
+        .map(|e| e.text_content());
+
+    // Create the job-set resource and its topic.
+    let mut doc = PropertyDoc::new();
+    doc.set_text(q("Name"), &spec.name);
+    doc.set_text(q("Status"), set_status::RUNNING);
+    let set_epr = ctx.core.create_resource(doc)?;
+    let key = set_epr.resource_key().unwrap().to_string();
+    let topic = format!("jobset-{key}");
+    {
+        let core = ctx.core.clone();
+        let mut doc = core.store.load(&core.name, &key).map_err(faults::from_store)?;
+        doc.set_text(q("Topic"), &topic);
+        for j in &spec.jobs {
+            doc.insert(
+                q("JobStatus"),
+                Element::with_name(q("JobStatus")).attr("job", &j.name).text("Waiting"),
+            );
+        }
+        core.store.save(&core.name, &key, &doc).map_err(faults::from_store)?;
+    }
+
+    // "The SS then invokes the Subscribe() method on the Notification
+    // Broker to subscribe both itself and the client's notification
+    // listener."
+    let expr = TopicExpression::full(&format!("{topic}//"));
+    // Client first: the broker delivers in subscription order, and the
+    // scheduler's own handling of an exit event dispatches follow-on
+    // jobs (and thus further events) inline on the test network.
+    if let Some(cl) = &client_listener {
+        broker::subscribe(&ctx.core.net, &inner.broker, cl, &expr, None)
+            .map_err(|e| faults::storage(&format!("client subscribe failed: {e}")))?;
+    }
+    broker::subscribe(&ctx.core.net, &inner.broker, &listener.epr(), &expr, None)
+        .map_err(|e| faults::storage(&format!("broker subscribe failed: {e}")))?;
+
+    // Record the run.
+    {
+        let mut runs = inner.runs.lock();
+        runs.insert(
+            key.clone(),
+            RunState {
+                jobs: spec
+                    .jobs
+                    .iter()
+                    .map(|j| {
+                        (
+                            j.name.clone(),
+                            JobRun {
+                                state: JobState::Waiting,
+                                machine: None,
+                                dir_epr: None,
+                                job_epr: None,
+                                exit_code: None,
+                            },
+                        )
+                    })
+                    .collect(),
+                spec,
+                topic: topic.clone(),
+                credentials,
+                client_fileserver,
+                finished: false,
+            },
+        );
+    }
+
+    // Hook this job set's events.
+    let core = ctx.core.clone();
+    let inner2 = inner.clone();
+    let key2 = key.clone();
+    listener.on_topic(expr, move |msg| {
+        on_event(&core, &inner2, &key2, msg);
+    });
+
+    // Dispatch the first wave.
+    dispatch_ready(ctx.core, inner, &key);
+
+    Ok(Element::new(UVACG, "SubmitJobSetResponse")
+        .child(set_epr.to_element_named(UVACG, "JobSetEpr"))
+        .child(Element::new(UVACG, "Topic").text(topic)))
+}
+
+/// Handle a notification for job set `key`.
+fn on_event(
+    core: &Arc<ServiceCore>,
+    inner: &Arc<SchedInner>,
+    key: &str,
+    msg: &NotificationMessage,
+) {
+    // Topics look like `jobset-K/job/<name>/<event>`.
+    let segs = &msg.topic.0;
+    if segs.len() != 4 || segs[1] != "job" {
+        return;
+    }
+    let job_name = segs[2].clone();
+    let event = segs[3].as_str();
+    match event {
+        "dir" => {
+            if let Ok(epr) = EndpointReference::from_element(&msg.payload) {
+                {
+                    let mut runs = inner.runs.lock();
+                    if let Some(run) = runs.get_mut(key) {
+                        if let Some(jr) = run.jobs.get_mut(&job_name) {
+                            jr.dir_epr = Some(epr.clone());
+                        }
+                    }
+                }
+                // Persist into the job-set resource so clients that
+                // lost their event history (the §5 durability concern)
+                // can rediscover output locations.
+                if let Ok(mut doc) = core.store.load(&core.name, key) {
+                    doc.remove_value(&q("JobDirectory"), |e| {
+                        e.attr_value("job") == Some(&job_name)
+                    });
+                    doc.insert(
+                        q("JobDirectory"),
+                        epr.to_element_named(UVACG, "JobDirectory").attr("job", &job_name),
+                    );
+                    let _ = core.store.save(&core.name, key, &doc);
+                }
+            }
+        }
+        "exit" => {
+            let code: i32 = msg
+                .payload
+                .attr_value("code")
+                .and_then(|c| c.parse().ok())
+                .unwrap_or(-1);
+            let all_done = {
+                let mut runs = inner.runs.lock();
+                let Some(run) = runs.get_mut(key) else { return };
+                let Some(jr) = run.jobs.get_mut(&job_name) else { return };
+                jr.exit_code = Some(code);
+                jr.state = if code == 0 { JobState::Completed } else { JobState::Failed };
+                update_job_status_property(core, key, &job_name, jr);
+                if code != 0 {
+                    None // handled below as failure
+                } else {
+                    Some(run.jobs.values().all(|j| j.state == JobState::Completed))
+                }
+            };
+            match all_done {
+                None => {
+                    fail_job_set(
+                        core,
+                        inner,
+                        key,
+                        &job_name,
+                        BaseFault::new(
+                            "uvacg:JobFailed",
+                            format!("job '{job_name}' exited with code {code}"),
+                        ),
+                    );
+                }
+                Some(true) => complete_job_set(core, inner, key),
+                Some(false) => dispatch_ready(core, inner, key),
+            }
+        }
+        "failed" => {
+            {
+                let mut runs = inner.runs.lock();
+                if let Some(run) = runs.get_mut(key) {
+                    if let Some(jr) = run.jobs.get_mut(&job_name) {
+                        jr.state = JobState::Failed;
+                        update_job_status_property(core, key, &job_name, jr);
+                    }
+                }
+            }
+            fail_job_set(
+                core,
+                inner,
+                key,
+                &job_name,
+                BaseFault::new(
+                    "uvacg:JobFailed",
+                    format!("job '{job_name}' failed: {}", msg.payload.text_content()),
+                ),
+            );
+        }
+        _ => {}
+    }
+}
+
+/// Dispatch every job whose dependencies are all complete.
+fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
+    loop {
+        // Pick one ready job under the lock; dispatch outside it (the
+        // Run call triggers notifications that re-enter this module).
+        let next: Option<(String, RunRequest, String)> = {
+            let mut runs = inner.runs.lock();
+            let Some(run) = runs.get_mut(key) else { return };
+            if run.finished {
+                return;
+            }
+            let ready = run.spec.jobs.iter().find(|j| {
+                run.jobs[&j.name].state == JobState::Waiting
+                    && j.dependencies()
+                        .iter()
+                        .all(|d| run.jobs[*d].state == JobState::Completed)
+            });
+            let Some(job) = ready else { return };
+            let job_name = job.name.clone();
+
+            // Step 2: poll the NIS. (Inside the lock: a consistent
+            // pick beats a stale one, and the NIS call does not
+            // re-enter the scheduler.)
+            let nodes = match crate::nis::snapshot(&core.net, &inner.nis_address) {
+                Ok(n) if !n.is_empty() => n,
+                _ => {
+                    drop(runs);
+                    fail_job_set(
+                        core,
+                        inner,
+                        key,
+                        &job_name,
+                        BaseFault::new("uvacg:NoNodes", "no machines available for scheduling"),
+                    );
+                    return;
+                }
+            };
+            let Some(pick) = inner.policy.select(&nodes) else {
+                drop(runs);
+                fail_job_set(
+                    core,
+                    inner,
+                    key,
+                    &job_name,
+                    BaseFault::new("uvacg:NoNodes", "policy rejected all machines"),
+                );
+                return;
+            };
+            let node = nodes.into_iter().nth(pick).expect("policy picked in range");
+
+            // Build the Run request, resolving file references — the
+            // "filling in" of EPRs the paper describes.
+            let built: Result<RunRequest, BaseFault> = (|| {
+                let resolve =
+                    |r: &FileRef| -> Result<(EndpointReference, String), BaseFault> {
+                        match r {
+                            FileRef::Local(path) => {
+                                let fs = run.client_fileserver.as_ref().ok_or_else(|| {
+                                    BaseFault::new(
+                                        "uvacg:NoFileServer",
+                                        "job set uses local:// but no client file server was given",
+                                    )
+                                })?;
+                                Ok((EndpointReference::service(fs), path.clone()))
+                            }
+                            FileRef::JobOutput { job, file } => {
+                                let dep = &run.jobs[job];
+                                let dir = dep.dir_epr.clone().ok_or_else(|| {
+                                    BaseFault::new(
+                                        "uvacg:MissingWorkdir",
+                                        format!("no working directory recorded for job '{job}'"),
+                                    )
+                                })?;
+                                Ok((dir, file.clone()))
+                            }
+                        }
+                    };
+                let (exe_src, exe_name) = resolve(&job.executable)?;
+                let exe_as = basename(&exe_name);
+                let mut inputs = Vec::new();
+                for (src, as_name) in &job.inputs {
+                    let (epr, name) = resolve(src)?;
+                    inputs.push((epr, name, as_name.clone()));
+                }
+                // Credentials for the chosen machine.
+                let (security_header, plain_credentials) = match &inner.security {
+                    Some((sec, _)) => {
+                        let subject = format!("es@{}", node.machine);
+                        let tok = UsernameToken::new(&run.credentials.0, &run.credentials.1);
+                        let header = sec.encrypt_token(&tok, &subject).ok_or_else(|| {
+                            BaseFault::new(
+                                "uvacg:NoCertificate",
+                                format!("no certificate enrolled for '{subject}'"),
+                            )
+                        })?;
+                        (Some(header), None)
+                    }
+                    None => (None, Some(run.credentials.clone())),
+                };
+                Ok(RunRequest {
+                    job_name: job.name.clone(),
+                    executable: (exe_src, exe_name, exe_as),
+                    inputs,
+                    topic: run.topic.clone(),
+                    security_header,
+                    plain_credentials,
+                })
+            })();
+            match built {
+                Ok(req) => {
+                    let jr = run.jobs.get_mut(&job_name).unwrap();
+                    jr.state = JobState::Dispatched;
+                    jr.machine = Some(node.machine.clone());
+                    update_job_status_property(core, key, &job_name, jr);
+                    Some((job_name, req, node.execution))
+                }
+                Err(fault) => {
+                    drop(runs);
+                    fail_job_set(core, inner, key, &job_name, fault);
+                    return;
+                }
+            }
+        };
+
+        let Some((job_name, req, es_address)) = next else { return };
+
+        // Step 3: "the ES on that machine is sent a request to run a
+        // job". Notifications triggered inline during this call may
+        // already complete the job (zero-work programs) or even the
+        // whole set; state transitions happened in on_event.
+        match es::run(&core.net, &es_address, &req) {
+            Ok(reply) => {
+                {
+                    let mut runs = inner.runs.lock();
+                    if let Some(run) = runs.get_mut(key) {
+                        if let Some(jr) = run.jobs.get_mut(&job_name) {
+                            jr.job_epr = Some(reply.job);
+                            if jr.dir_epr.is_none() {
+                                jr.dir_epr = Some(reply.workdir);
+                            }
+                        }
+                    }
+                }
+                // Watchdog: a machine that dies mid-run never sends its
+                // exit notification; without a timeout the set would
+                // wait forever.
+                if let Some(timeout) = inner.job_timeout {
+                    let core2 = core.clone();
+                    let inner2 = inner.clone();
+                    let key2 = key.to_string();
+                    let name2 = job_name.clone();
+                    core.clock.schedule(timeout, move |_| {
+                        let timed_out = {
+                            let runs = inner2.runs.lock();
+                            runs.get(&key2)
+                                .and_then(|r| r.jobs.get(&name2))
+                                .is_some_and(|jr| jr.state == JobState::Dispatched)
+                        };
+                        if timed_out {
+                            fail_job_set(
+                                &core2,
+                                &inner2,
+                                &key2,
+                                &name2,
+                                BaseFault::new(
+                                    "uvacg:JobTimeout",
+                                    format!(
+                                        "job '{name2}' did not finish within {} virtual seconds",
+                                        timeout.as_secs_f64()
+                                    ),
+                                ),
+                            );
+                        }
+                    });
+                }
+            }
+            Err(fault) => {
+                let wrapped = BaseFault::new(
+                    "uvacg:DispatchFailed",
+                    format!("cannot run job '{job_name}' on {es_address}"),
+                )
+                .caused_by(fault.detail.unwrap_or_else(|| {
+                    BaseFault::new("uvacg:TransportFault", fault.reason.clone())
+                }));
+                fail_job_set(core, inner, key, &job_name, wrapped);
+                return;
+            }
+        }
+    }
+}
+
+fn basename(path: &str) -> String {
+    path.rsplit(['/', '\\']).next().unwrap_or(path).to_string()
+}
+
+/// Mirror a job's state into the job-set resource properties.
+fn update_job_status_property(core: &Arc<ServiceCore>, key: &str, job: &str, jr: &JobRun) {
+    if let Ok(mut doc) = core.store.load(&core.name, key) {
+        let mut el = Element::with_name(q("JobStatus"))
+            .attr("job", job)
+            .text(format!("{:?}", jr.state));
+        if let Some(m) = &jr.machine {
+            el = el.attr("machine", m);
+        }
+        if let Some(c) = jr.exit_code {
+            el = el.attr("exitCode", c.to_string());
+        }
+        doc.remove_value(&q("JobStatus"), |e| e.attr_value("job") == Some(job));
+        doc.insert(q("JobStatus"), el);
+        let _ = core.store.save(&core.name, key, &doc);
+    }
+}
+
+fn complete_job_set(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
+    let topic = {
+        let mut runs = inner.runs.lock();
+        let Some(run) = runs.get_mut(key) else { return };
+        if run.finished {
+            return;
+        }
+        run.finished = true;
+        run.topic.clone()
+    };
+    if let Ok(mut doc) = core.store.load(&core.name, key) {
+        doc.set_text(q("Status"), set_status::COMPLETED);
+        let _ = core.store.save(&core.name, key, &doc);
+    }
+    publish(
+        core,
+        &inner.broker,
+        &TopicPath::parse(&topic).child("completed"),
+        Element::new(UVACG, "JobSetCompleted"),
+    );
+}
+
+fn fail_job_set(
+    core: &Arc<ServiceCore>,
+    inner: &Arc<SchedInner>,
+    key: &str,
+    job: &str,
+    cause: BaseFault,
+) {
+    let topic = {
+        let mut runs = inner.runs.lock();
+        let Some(run) = runs.get_mut(key) else { return };
+        if run.finished {
+            return;
+        }
+        run.finished = true;
+        run.topic.clone()
+    };
+    let fault = BaseFault::new(
+        "uvacg:JobSetFailed",
+        format!("job set failed at job '{job}'"),
+    )
+    .at(core.clock.now().as_secs_f64())
+    .from_originator(core.service_epr())
+    .caused_by(cause);
+    if let Ok(mut doc) = core.store.load(&core.name, key) {
+        doc.set_text(q("Status"), set_status::FAILED);
+        doc.update(q("Fault"), vec![Element::with_name(q("Fault")).child(fault.to_element())]);
+        let _ = core.store.save(&core.name, key, &doc);
+    }
+    publish(
+        core,
+        &inner.broker,
+        &TopicPath::parse(&topic).child("failed"),
+        Element::new(UVACG, "JobSetFailed").attr("job", job).child(fault.to_element()),
+    );
+}
+
+fn publish(
+    core: &Arc<ServiceCore>,
+    broker_epr: &EndpointReference,
+    topic: &TopicPath,
+    payload: Element,
+) {
+    let msg = NotificationMessage::new(topic.clone(), payload)
+        .from_producer(core.service_epr());
+    let _ = core.net.send_oneway(&broker_epr.address, msg.to_envelope(broker_epr));
+}
+
+// ---------------------------------------------------------------------
+// Client-side helper
+// ---------------------------------------------------------------------
+
+/// A submission's useful outputs.
+#[derive(Debug, Clone)]
+pub struct SubmitReply {
+    /// The job-set resource EPR (query `Status`, `JobStatus`, ...).
+    pub jobset: EndpointReference,
+    /// The notification topic base for this set.
+    pub topic: String,
+}
+
+/// Submit a job set to the Scheduler.
+pub fn submit(
+    net: &InProcNetwork,
+    scheduler: &EndpointReference,
+    spec: &JobSetSpec,
+    client_listener: Option<&EndpointReference>,
+    client_fileserver: Option<&str>,
+    security_header: Option<Element>,
+    plain_credentials: Option<(&str, &str)>,
+) -> Result<SubmitReply, SoapFault> {
+    let mut body = Element::new(UVACG, "SubmitJobSet").child(spec.to_element());
+    if let Some(cl) = client_listener {
+        body.push_child(cl.to_element_named(UVACG, "ClientListener"));
+    }
+    if let Some(fs) = client_fileserver {
+        body.push_child(Element::new(UVACG, "ClientFileServer").text(fs));
+    }
+    if let Some((u, p)) = plain_credentials {
+        body.push_child(Element::new(UVACG, "Credentials").attr("user", u).attr("password", p));
+    }
+    let mut env = Envelope::new(body);
+    MessageInfo::request(scheduler.clone(), action_uri("Scheduler", "SubmitJobSet"))
+        .apply(&mut env);
+    if let Some(h) = security_header {
+        env.headers.push(h);
+    }
+    let resp = net
+        .call(&scheduler.address, env)
+        .map_err(|e| SoapFault::server(e.to_string()))?;
+    if let Some(f) = resp.fault() {
+        return Err(f);
+    }
+    let jobset = resp
+        .body
+        .find(UVACG, "JobSetEpr")
+        .ok_or_else(|| SoapFault::server("SubmitJobSetResponse missing JobSetEpr"))
+        .and_then(|e| {
+            EndpointReference::from_element(e).map_err(|e| SoapFault::server(e.to_string()))
+        })?;
+    let topic = resp
+        .body
+        .find(UVACG, "Topic")
+        .map(|t| t.text_content())
+        .unwrap_or_default();
+    Ok(SubmitReply { jobset, topic })
+}

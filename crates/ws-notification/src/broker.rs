@@ -1,0 +1,471 @@
+//! WS-BrokeredNotification: the Notification Broker service.
+//!
+//! "While the web service generating the event could maintain its own
+//! list of parties interested in receiving that event, it is more
+//! convenient to use the Notification Broker service as a multicast
+//! mechanism" (§4.3). The broker here is a full WSRF service whose
+//! **resources are subscriptions**: they are created by `Subscribe`,
+//! pausable, destroyable and lease-limited through the standard
+//! WS-ResourceLifetime port types, and their state (consumer, topic
+//! expression, paused flag) is visible through the standard
+//! WS-ResourceProperties port types — one of the nicest illustrations
+//! of the paper's "everything is a WS-Resource" theme.
+
+use std::sync::Arc;
+
+use simclock::{Clock, SimTime};
+use wsrf_core::container::{action_uri, Ctx, OpKind, Service, ServiceBuilder};
+use wsrf_core::faults;
+use wsrf_core::properties::PropertyDoc;
+use wsrf_core::store::ResourceStore;
+use wsrf_soap::{ns, BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault};
+use wsrf_transport::{InProcNetwork, TransportError};
+use wsrf_xml::{Element, QName};
+
+use crate::message::{notify_action, NotificationMessage};
+use crate::topics::{Dialect, TopicExpression};
+
+/// Property names of a subscription resource.
+fn p_consumer() -> QName {
+    QName::new(ns::WSNT, "ConsumerReference")
+}
+fn p_expression() -> QName {
+    QName::new(ns::WSNT, "TopicExpression")
+}
+fn p_paused() -> QName {
+    QName::new(ns::WSNT, "Paused")
+}
+
+/// Build the Notification Broker service.
+///
+/// * `Subscribe` (WSNT action) — create a subscription resource.
+/// * `Notify` (WSNT action, one-way) — fan a notification out to every
+///   matching, unpaused subscription.
+/// * `PauseSubscription` / `ResumeSubscription` (resource ops).
+/// * `Destroy` / `SetTerminationTime` — inherited standard port types.
+pub fn notification_broker(
+    name: &str,
+    address: &str,
+    store: Arc<dyn ResourceStore>,
+    clock: Clock,
+    net: Arc<InProcNetwork>,
+) -> Arc<Service> {
+    // WS-BaseNotification GetCurrentMessage: the last message seen on
+    // each concrete topic, so late subscribers can catch up.
+    let current: Arc<parking_lot::Mutex<std::collections::HashMap<String, NotificationMessage>>> =
+        Arc::new(parking_lot::Mutex::new(std::collections::HashMap::new()));
+    let current_notify = current.clone();
+    let current_get = current.clone();
+    ServiceBuilder::new(name, address, store)
+        .key_property(format!("{{{}}}SubscriptionKey", ns::WSNT))
+        .raw_operation(subscribe_action(), OpKind::Static, subscribe_op)
+        .raw_operation(notify_action(), OpKind::Static, move |ctx| {
+            notify_op(ctx, &current_notify)
+        })
+        .raw_operation(
+            format!("{}/GetCurrentMessage", ns::WSNT),
+            OpKind::Static,
+            move |ctx| {
+                let topic = ctx
+                    .body
+                    .find(ns::WSNT, "Topic")
+                    .map(|t| t.text_content())
+                    .filter(|t| !t.is_empty())
+                    .ok_or_else(|| faults::bad_request("GetCurrentMessage requires Topic"))?;
+                match current_get.lock().get(&topic) {
+                    Some(msg) => Ok(Element::new(ns::WSNT, "GetCurrentMessageResponse")
+                        .child(msg.to_element())),
+                    None => Err(BaseFault::new(
+                        "wsnt:NoCurrentMessageOnTopic",
+                        format!("no message has been published on '{topic}'"),
+                    )),
+                }
+            },
+        )
+        .raw_operation(
+            format!("{}/PauseSubscription", ns::WSNT),
+            OpKind::Resource,
+            |ctx| set_paused_op(ctx, true),
+        )
+        .raw_operation(
+            format!("{}/ResumeSubscription", ns::WSNT),
+            OpKind::Resource,
+            |ctx| set_paused_op(ctx, false),
+        )
+        .build(clock, net)
+}
+
+/// The `Subscribe` action URI.
+pub fn subscribe_action() -> String {
+    format!("{}/Subscribe", ns::WSNT)
+}
+
+fn subscribe_op(ctx: &mut Ctx<'_>) -> Result<Element, BaseFault> {
+    let consumer_el = ctx
+        .body
+        .find(ns::WSNT, "ConsumerReference")
+        .ok_or_else(|| faults::bad_request("Subscribe requires ConsumerReference"))?;
+    let consumer = EndpointReference::from_element(consumer_el)
+        .map_err(|e| faults::bad_request(&format!("bad ConsumerReference: {e}")))?;
+    let expr_el = ctx
+        .body
+        .find(ns::WSNT, "TopicExpression")
+        .ok_or_else(|| faults::bad_request("Subscribe requires TopicExpression"))?;
+    let dialect = expr_el
+        .attr_value("Dialect")
+        .and_then(Dialect::from_uri)
+        .ok_or_else(|| faults::bad_request("unknown topic expression dialect"))?;
+    let expr = TopicExpression::parse(dialect, &expr_el.text_content());
+
+    let mut doc = PropertyDoc::new();
+    doc.update(p_consumer(), vec![consumer.to_element_named(ns::WSNT, "ConsumerReference")]);
+    doc.update(
+        p_expression(),
+        vec![Element::with_name(p_expression())
+            .attr("Dialect", dialect.uri())
+            .text(expr.text())],
+    );
+    doc.set_text(p_paused(), "false");
+    let sub_epr = ctx.core.create_resource(doc)?;
+
+    // Optional lease.
+    if let Some(itt) = ctx.body.find(ns::WSNT, "InitialTerminationTime") {
+        let text = itt.text_content();
+        if !text.trim().is_empty() {
+            let secs: f64 = text
+                .trim()
+                .parse()
+                .map_err(|_| faults::bad_request("InitialTerminationTime must be seconds"))?;
+            let key = sub_epr.resource_key().unwrap().to_string();
+            ctx.core.set_termination_time(&key, Some(SimTime::from_secs_f64(secs)));
+        }
+    }
+
+    Ok(Element::new(ns::WSNT, "SubscribeResponse")
+        .child(sub_epr.to_element_named(ns::WSNT, "SubscriptionReference")))
+}
+
+fn set_paused_op(ctx: &mut Ctx<'_>, paused: bool) -> Result<Element, BaseFault> {
+    let doc = ctx.resource_mut()?;
+    doc.set_text(p_paused(), if paused { "true" } else { "false" });
+    let local = if paused { "PauseSubscriptionResponse" } else { "ResumeSubscriptionResponse" };
+    Ok(Element::new(ns::WSNT, local))
+}
+
+fn notify_op(
+    ctx: &mut Ctx<'_>,
+    current: &parking_lot::Mutex<std::collections::HashMap<String, NotificationMessage>>,
+) -> Result<Element, BaseFault> {
+    // Decode the incoming notification(s).
+    let messages: Vec<NotificationMessage> = ctx
+        .body
+        .find_all(ns::WSNT, "NotificationMessage")
+        .filter_map(NotificationMessage::from_element)
+        .collect();
+    if messages.is_empty() {
+        return Err(faults::bad_request("Notify carried no NotificationMessage"));
+    }
+    {
+        let mut cur = current.lock();
+        for m in &messages {
+            cur.insert(m.topic.to_string(), m.clone());
+        }
+    }
+
+    // Fan out to matching subscriptions.
+    let core = ctx.core.clone();
+    let mut delivered = 0usize;
+    // Deliver in subscription order (keys are "<svc>-<n>"): consumers
+    // that subscribed earlier hear about an event before consumers
+    // whose handling might publish *further* events, which keeps
+    // client-visible causality intact on the inline test network.
+    let mut keys = core.store.list(&core.name);
+    keys.sort_by_key(|k| (k.len(), k.clone()));
+    for key in keys {
+        let Ok(doc) = core.store.load(&core.name, &key) else { continue };
+        if doc.text(&p_paused()).as_deref() == Some("true") {
+            continue;
+        }
+        let Some(expr_el) = doc.get(&p_expression()).first() else { continue };
+        let Some(dialect) = expr_el.attr_value("Dialect").and_then(Dialect::from_uri) else {
+            continue;
+        };
+        let expr = TopicExpression::parse(dialect, &expr_el.text_content());
+        let Some(consumer_el) = doc.get(&p_consumer()).first() else { continue };
+        let Ok(consumer) = EndpointReference::from_element(consumer_el) else { continue };
+        for m in &messages {
+            if expr.matches(&m.topic) {
+                // Forward preserving the original producer reference.
+                let _ = core.net.send_oneway(&consumer.address, m.to_envelope(&consumer));
+                delivered += 1;
+            }
+        }
+    }
+    Ok(Element::new(ns::WSNT, "NotifyResponse").attr("delivered", delivered.to_string()))
+}
+
+// ---------------------------------------------------------------------
+// Client-side helpers
+// ---------------------------------------------------------------------
+
+/// Subscribe `consumer` to `expression` at the broker; returns the
+/// subscription's EPR.
+pub fn subscribe(
+    net: &InProcNetwork,
+    broker: &EndpointReference,
+    consumer: &EndpointReference,
+    expression: &TopicExpression,
+    initial_termination: Option<f64>,
+) -> Result<EndpointReference, SoapFault> {
+    let mut body = Element::new(ns::WSNT, "Subscribe")
+        .child(consumer.to_element_named(ns::WSNT, "ConsumerReference"))
+        .child(
+            Element::new(ns::WSNT, "TopicExpression")
+                .attr("Dialect", expression.dialect.uri())
+                .text(expression.text()),
+        );
+    if let Some(secs) = initial_termination {
+        body.push_child(Element::new(ns::WSNT, "InitialTerminationTime").text(format!("{secs}")));
+    }
+    let mut env = Envelope::new(body);
+    MessageInfo::request(broker.clone(), subscribe_action()).apply(&mut env);
+    let resp = net
+        .call(&broker.address, env)
+        .map_err(|e| SoapFault::server(e.to_string()))?;
+    if let Some(f) = resp.fault() {
+        return Err(f);
+    }
+    let sref = resp
+        .body
+        .find(ns::WSNT, "SubscriptionReference")
+        .ok_or_else(|| SoapFault::server("SubscribeResponse missing SubscriptionReference"))?;
+    EndpointReference::from_element(sref).map_err(|e| SoapFault::server(e.to_string()))
+}
+
+/// Publish a notification *through* the broker (one-way).
+pub fn publish(
+    net: &InProcNetwork,
+    broker: &EndpointReference,
+    msg: &NotificationMessage,
+) -> Result<(), TransportError> {
+    net.send_oneway(&broker.address, msg.to_envelope(broker))
+}
+
+/// Pause or resume a subscription by its EPR.
+pub fn set_subscription_paused(
+    net: &InProcNetwork,
+    subscription: &EndpointReference,
+    paused: bool,
+) -> Result<(), SoapFault> {
+    let op = if paused { "PauseSubscription" } else { "ResumeSubscription" };
+    let mut env = Envelope::new(Element::new(ns::WSNT, op));
+    MessageInfo::request(subscription.clone(), format!("{}/{op}", ns::WSNT)).apply(&mut env);
+    let resp = net
+        .call(&subscription.address, env)
+        .map_err(|e| SoapFault::server(e.to_string()))?;
+    match resp.fault() {
+        Some(f) => Err(f),
+        None => Ok(()),
+    }
+}
+
+/// Fetch the last message published on a concrete topic
+/// (WS-BaseNotification `GetCurrentMessage`).
+pub fn get_current_message(
+    net: &InProcNetwork,
+    broker: &EndpointReference,
+    topic: &str,
+) -> Result<Option<NotificationMessage>, SoapFault> {
+    let body = Element::new(ns::WSNT, "GetCurrentMessage")
+        .child(Element::new(ns::WSNT, "Topic").text(topic));
+    let mut env = Envelope::new(body);
+    MessageInfo::request(broker.clone(), format!("{}/GetCurrentMessage", ns::WSNT))
+        .apply(&mut env);
+    let resp = net
+        .call(&broker.address, env)
+        .map_err(|e| SoapFault::server(e.to_string()))?;
+    if let Some(f) = resp.fault() {
+        if f.error_code() == Some("wsnt:NoCurrentMessageOnTopic") {
+            return Ok(None);
+        }
+        return Err(f);
+    }
+    Ok(resp
+        .body
+        .find(ns::WSNT, "NotificationMessage")
+        .and_then(NotificationMessage::from_element))
+}
+
+/// The action URI helper shared with `wsrf-core` services (re-export
+/// for symmetry with service-defined operations).
+pub fn broker_action(service: &str, op: &str) -> String {
+    action_uri(service, op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consumer::NotificationListener;
+    use wsrf_core::store::MemoryStore;
+
+    struct Fixture {
+        net: Arc<InProcNetwork>,
+        clock: Clock,
+        broker_epr: EndpointReference,
+        #[allow(dead_code)]
+        broker: Arc<Service>,
+    }
+
+    fn fixture() -> Fixture {
+        let clock = Clock::manual();
+        let net = InProcNetwork::new(clock.clone());
+        let broker = notification_broker(
+            "Broker",
+            "inproc://hub/Broker",
+            Arc::new(MemoryStore::new()),
+            clock.clone(),
+            net.clone(),
+        );
+        broker.register(&net);
+        let broker_epr = broker.core().service_epr();
+        Fixture { net, clock, broker_epr, broker }
+    }
+
+    fn msg(topic: &str) -> NotificationMessage {
+        NotificationMessage::new(topic, Element::new(ns::UVACG, "Evt").text(topic))
+            .from_producer(EndpointReference::service("inproc://m1/Exec"))
+    }
+
+    #[test]
+    fn broker_multicasts_to_matching_subscribers() {
+        let f = fixture();
+        let sched = NotificationListener::register(&f.net, "inproc://hub/sched-listener");
+        let client = NotificationListener::register(&f.net, "inproc://client/listener");
+        let other = NotificationListener::register(&f.net, "inproc://other/listener");
+        subscribe(&f.net, &f.broker_epr, &sched.epr(), &TopicExpression::full("js-1//"), None)
+            .unwrap();
+        subscribe(&f.net, &f.broker_epr, &client.epr(), &TopicExpression::full("js-1//"), None)
+            .unwrap();
+        subscribe(&f.net, &f.broker_epr, &other.epr(), &TopicExpression::full("js-2//"), None)
+            .unwrap();
+
+        publish(&f.net, &f.broker_epr, &msg("js-1/job/exit")).unwrap();
+        assert_eq!(sched.count(), 1);
+        assert_eq!(client.count(), 1);
+        assert_eq!(other.count(), 0);
+        // Producer reference survives brokering.
+        assert_eq!(
+            sched.received()[0].producer.as_ref().unwrap().address,
+            "inproc://m1/Exec"
+        );
+    }
+
+    #[test]
+    fn pause_and_resume() {
+        let f = fixture();
+        let l = NotificationListener::register(&f.net, "inproc://c/l");
+        let sub =
+            subscribe(&f.net, &f.broker_epr, &l.epr(), &TopicExpression::simple("t"), None)
+                .unwrap();
+        publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        assert_eq!(l.count(), 1);
+
+        set_subscription_paused(&f.net, &sub, true).unwrap();
+        publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        assert_eq!(l.count(), 1, "paused");
+
+        set_subscription_paused(&f.net, &sub, false).unwrap();
+        publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        assert_eq!(l.count(), 2, "resumed");
+    }
+
+    #[test]
+    fn subscription_is_a_queryable_resource() {
+        let f = fixture();
+        let l = NotificationListener::register(&f.net, "inproc://c/l");
+        let sub =
+            subscribe(&f.net, &f.broker_epr, &l.epr(), &TopicExpression::full("a/*/c"), None)
+                .unwrap();
+        // Read its TopicExpression through the standard port type.
+        let mut env = Envelope::new(
+            Element::new(ns::WSRP, "GetResourceProperty").text("TopicExpression"),
+        );
+        MessageInfo::request(sub, wsrf_core::porttypes::wsrp_action("GetResourceProperty"))
+            .apply(&mut env);
+        let resp = f.net.call("inproc://hub/Broker", env).unwrap();
+        assert_eq!(resp.body.text_content(), "a/*/c");
+    }
+
+    #[test]
+    fn subscription_lease_expires() {
+        let f = fixture();
+        let l = NotificationListener::register(&f.net, "inproc://c/l");
+        subscribe(&f.net, &f.broker_epr, &l.epr(), &TopicExpression::simple("t"), Some(30.0))
+            .unwrap();
+        publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        assert_eq!(l.count(), 1);
+        f.clock.advance(std::time::Duration::from_secs(31));
+        publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        assert_eq!(l.count(), 1, "expired subscription no longer delivers");
+    }
+
+    #[test]
+    fn destroy_subscription_stops_delivery() {
+        let f = fixture();
+        let l = NotificationListener::register(&f.net, "inproc://c/l");
+        let sub =
+            subscribe(&f.net, &f.broker_epr, &l.epr(), &TopicExpression::simple("t"), None)
+                .unwrap();
+        let mut env = Envelope::new(Element::new(ns::WSRL, "Destroy"));
+        MessageInfo::request(sub, wsrf_core::porttypes::wsrl_action("Destroy")).apply(&mut env);
+        let resp = f.net.call("inproc://hub/Broker", env).unwrap();
+        assert!(!resp.is_fault());
+        publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        assert_eq!(l.count(), 0);
+    }
+
+    #[test]
+    fn get_current_message_returns_latest_per_topic() {
+        let f = fixture();
+        assert_eq!(get_current_message(&f.net, &f.broker_epr, "t").unwrap(), None);
+        publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        publish(&f.net, &f.broker_epr, &msg("other")).unwrap();
+        let m2 = NotificationMessage::new("t", Element::new(ns::UVACG, "Evt").text("second"));
+        publish(&f.net, &f.broker_epr, &m2).unwrap();
+        let got = get_current_message(&f.net, &f.broker_epr, "t").unwrap().unwrap();
+        assert_eq!(got.payload.text_content(), "second");
+        let other = get_current_message(&f.net, &f.broker_epr, "other").unwrap().unwrap();
+        assert_eq!(other.topic.to_string(), "other");
+    }
+
+    #[test]
+    fn get_current_message_requires_topic() {
+        let f = fixture();
+        let mut env = Envelope::new(Element::new(ns::WSNT, "GetCurrentMessage"));
+        MessageInfo::request(
+            f.broker_epr.clone(),
+            format!("{}/GetCurrentMessage", ns::WSNT),
+        )
+        .apply(&mut env);
+        let resp = f.net.call("inproc://hub/Broker", env).unwrap();
+        assert_eq!(resp.fault().unwrap().error_code(), Some("wsrf:BadRequest"));
+    }
+
+    #[test]
+    fn subscribe_without_consumer_faults() {
+        let f = fixture();
+        let mut env = Envelope::new(Element::new(ns::WSNT, "Subscribe"));
+        MessageInfo::request(f.broker_epr.clone(), subscribe_action()).apply(&mut env);
+        let resp = f.net.call("inproc://hub/Broker", env).unwrap();
+        assert_eq!(resp.fault().unwrap().error_code(), Some("wsrf:BadRequest"));
+    }
+
+    #[test]
+    fn notify_with_no_messages_faults() {
+        let f = fixture();
+        let mut env = Envelope::new(Element::new(ns::WSNT, "Notify"));
+        MessageInfo::request(f.broker_epr.clone(), notify_action()).apply(&mut env);
+        let resp = f.net.call("inproc://hub/Broker", env).unwrap();
+        assert!(resp.is_fault());
+    }
+}

@@ -1,0 +1,231 @@
+//! The notification consumer side: a lightweight listener endpoint.
+//!
+//! The paper's client "starts one of WSRF.NET's light-weight
+//! notification receivers to receive asynchronous, WS-Notification
+//! compliant, notifications via HTTP". [`NotificationListener`] is that
+//! receiver: it registers on the network, accepts one-way `Notify`
+//! messages, records them, and invokes per-topic callbacks.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use wsrf_soap::{EndpointReference, Envelope};
+use wsrf_transport::{Endpoint, InProcNetwork};
+
+use crate::message::NotificationMessage;
+use crate::topics::{TopicExpression, TopicPath};
+
+type Callback = Arc<dyn Fn(&NotificationMessage) + Send + Sync>;
+
+struct Inner {
+    received: Mutex<Vec<NotificationMessage>>,
+    cv: Condvar,
+    handlers: Mutex<Vec<(TopicExpression, Callback)>>,
+    address: String,
+}
+
+/// A registered notification listener. Cheap to clone.
+#[derive(Clone)]
+pub struct NotificationListener {
+    inner: Arc<Inner>,
+}
+
+impl NotificationListener {
+    /// Create and register a listener at `address` on the network.
+    pub fn register(net: &InProcNetwork, address: &str) -> NotificationListener {
+        let listener = NotificationListener {
+            inner: Arc::new(Inner {
+                received: Mutex::new(Vec::new()),
+                cv: Condvar::new(),
+                handlers: Mutex::new(Vec::new()),
+                address: address.to_string(),
+            }),
+        };
+        net.register(address, Arc::new(listener.clone()) as Arc<dyn Endpoint>);
+        listener
+    }
+
+    /// The listener's EPR, for use as a subscription consumer
+    /// reference.
+    pub fn epr(&self) -> EndpointReference {
+        EndpointReference::service(&self.inner.address)
+    }
+
+    /// Install a callback for messages whose topic matches
+    /// `expression`. Callbacks run on the delivering thread.
+    pub fn on_topic(
+        &self,
+        expression: TopicExpression,
+        f: impl Fn(&NotificationMessage) + Send + Sync + 'static,
+    ) {
+        self.inner.handlers.lock().push((expression, Arc::new(f)));
+    }
+
+    /// Take all recorded messages (clears the log).
+    pub fn drain(&self) -> Vec<NotificationMessage> {
+        std::mem::take(&mut *self.inner.received.lock())
+    }
+
+    /// Messages recorded so far (without clearing).
+    pub fn received(&self) -> Vec<NotificationMessage> {
+        self.inner.received.lock().clone()
+    }
+
+    /// Number of messages recorded so far.
+    pub fn count(&self) -> usize {
+        self.inner.received.lock().len()
+    }
+
+    /// Block until at least `n` messages have arrived (real-time
+    /// timeout). Returns false on timeout. Use only with a scaled
+    /// clock; with a manual clock delivery is inline and waiting is
+    /// unnecessary.
+    pub fn wait_for(&self, n: usize, timeout: std::time::Duration) -> bool {
+        let mut received = self.inner.received.lock();
+        let deadline = std::time::Instant::now() + timeout;
+        while received.len() < n {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner.cv.wait_for(&mut received, deadline - now);
+        }
+        true
+    }
+
+    /// Block until some message satisfies `pred` (scans history too).
+    pub fn wait_until(
+        &self,
+        timeout: std::time::Duration,
+        pred: impl Fn(&NotificationMessage) -> bool,
+    ) -> Option<NotificationMessage> {
+        let mut received = self.inner.received.lock();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(m) = received.iter().find(|m| pred(m)) {
+                return Some(m.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.inner.cv.wait_for(&mut received, deadline - now);
+        }
+    }
+
+    /// Messages on a specific topic recorded so far.
+    pub fn on(&self, topic: &TopicPath) -> Vec<NotificationMessage> {
+        self.inner
+            .received
+            .lock()
+            .iter()
+            .filter(|m| &m.topic == topic)
+            .cloned()
+            .collect()
+    }
+}
+
+impl Endpoint for NotificationListener {
+    fn handle(&self, env: Envelope) -> Option<Envelope> {
+        let msgs = NotificationMessage::from_envelope(&env);
+        if msgs.is_empty() {
+            return None;
+        }
+        // Record before invoking callbacks so a callback that
+        // inspects history (or waits for counts) sees this message.
+        {
+            let mut received = self.inner.received.lock();
+            received.extend(msgs.iter().cloned());
+        }
+        self.inner.cv.notify_all();
+        // Snapshot matching callbacks outside the lock: callbacks may
+        // trigger further (inline) deliveries to this same listener,
+        // which must not deadlock on the handlers lock.
+        let to_run: Vec<(Callback, NotificationMessage)> = {
+            let handlers = self.inner.handlers.lock();
+            msgs.iter()
+                .flat_map(|m| {
+                    handlers
+                        .iter()
+                        .filter(|(expr, _)| expr.matches(&m.topic))
+                        .map(move |(_, f)| (f.clone(), m.clone()))
+                })
+                .collect()
+        };
+        for (f, m) in to_run {
+            f(&m);
+        }
+        None
+    }
+
+    fn name(&self) -> &str {
+        "notification-listener"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::Clock;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use wsrf_xml::Element;
+
+    #[test]
+    fn records_and_drains_messages() {
+        let net = InProcNetwork::new(Clock::manual());
+        let l = NotificationListener::register(&net, "inproc://c/l");
+        let msg = NotificationMessage::new("a/b", Element::local("E"));
+        net.send_oneway("inproc://c/l", msg.to_envelope(&l.epr())).unwrap();
+        assert_eq!(l.count(), 1);
+        assert_eq!(l.on(&"a/b".into()).len(), 1);
+        assert_eq!(l.drain().len(), 1);
+        assert_eq!(l.count(), 0);
+    }
+
+    #[test]
+    fn callbacks_fire_for_matching_topics_only() {
+        let net = InProcNetwork::new(Clock::manual());
+        let l = NotificationListener::register(&net, "inproc://c/l");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        l.on_topic(TopicExpression::full("js//exit"), move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        for topic in ["js/job/exit", "js/job/start", "js/exit"] {
+            let msg = NotificationMessage::new(topic, Element::local("E"));
+            net.send_oneway("inproc://c/l", msg.to_envelope(&l.epr())).unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert_eq!(l.count(), 3, "all messages recorded regardless of handlers");
+    }
+
+    #[test]
+    fn non_notify_messages_ignored() {
+        let net = InProcNetwork::new(Clock::manual());
+        let l = NotificationListener::register(&net, "inproc://c/l");
+        net.send_oneway("inproc://c/l", Envelope::new(Element::local("Other"))).unwrap();
+        assert_eq!(l.count(), 0);
+    }
+
+    #[test]
+    fn wait_for_unblocks_on_delivery() {
+        let net = InProcNetwork::new(Clock::scaled(1000.0));
+        let l = NotificationListener::register(&net, "inproc://c/l");
+        let net2 = net.clone();
+        let epr = l.epr();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let msg = NotificationMessage::new("t", Element::local("E"));
+            net2.send_oneway("inproc://c/l", msg.to_envelope(&epr)).unwrap();
+        });
+        assert!(l.wait_for(1, std::time::Duration::from_secs(5)));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let net = InProcNetwork::new(Clock::manual());
+        let l = NotificationListener::register(&net, "inproc://c/l");
+        assert!(!l.wait_for(1, std::time::Duration::from_millis(30)));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for WS-Topics expression semantics.
+
+use proptest::prelude::*;
+use ws_notification::topics::{Dialect, TopicExpression, TopicPath};
+
+fn seg() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,6}"
+}
+
+fn path() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(seg(), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A concrete expression matches exactly its own path.
+    #[test]
+    fn concrete_matches_itself_only(p in path(), other in path()) {
+        let topic = TopicPath(p.clone());
+        let expr = TopicExpression::concrete(&topic.to_string());
+        prop_assert!(expr.matches(&topic));
+        let other_topic = TopicPath(other.clone());
+        prop_assert_eq!(expr.matches(&other_topic), p == other);
+    }
+
+    /// Simple dialect: root-only semantics.
+    #[test]
+    fn simple_matches_only_depth_one(p in path()) {
+        let expr = TopicExpression::simple(&p[0]);
+        let topic = TopicPath(p.clone());
+        prop_assert_eq!(expr.matches(&topic), p.len() == 1);
+    }
+
+    /// `root//` matches every topic under (and including) root.
+    #[test]
+    fn subtree_expression_covers_descendants(p in path()) {
+        let expr = TopicExpression::full(&format!("{}//", p[0]));
+        prop_assert!(expr.matches(&TopicPath(p.clone())));
+        // And never matches a different root.
+        let mut other = p.clone();
+        other[0] = format!("{}x", other[0]);
+        prop_assert!(!expr.matches(&TopicPath(other)));
+    }
+
+    /// Replacing any one segment with `*` still matches.
+    #[test]
+    fn star_generalizes_one_segment(p in path(), idx in 0usize..5) {
+        let idx = idx % p.len();
+        let mut pattern = p.clone();
+        pattern[idx] = "*".to_string();
+        let expr = TopicExpression::full(&pattern.join("/"));
+        prop_assert!(expr.matches(&TopicPath(p)));
+    }
+
+    /// Replacing any contiguous run of segments with `//` still
+    /// matches.
+    #[test]
+    fn descend_generalizes_a_run(p in path(), start in 0usize..5, len in 0usize..5) {
+        let start = start % p.len();
+        let len = len % (p.len() - start + 1);
+        let prefix = p[..start].join("/");
+        let suffix = p[start + len..].join("/");
+        let expr_text = match (prefix.is_empty(), suffix.is_empty()) {
+            (true, true) => "//".to_string(),
+            (true, false) => format!("//{suffix}"),
+            (false, true) => format!("{prefix}//"),
+            (false, false) => format!("{prefix}//{suffix}"),
+        };
+        let expr = TopicExpression::full(&expr_text);
+        prop_assert!(expr.matches(&TopicPath(p.clone())), "{expr_text} vs {}", p.join("/"));
+    }
+
+    /// Text form roundtrips through parse for every dialect.
+    #[test]
+    fn text_roundtrip(p in path(), d in 0usize..3) {
+        let dialect = [Dialect::Simple, Dialect::Concrete, Dialect::Full][d];
+        let expr = TopicExpression::parse(dialect, &p.join("/"));
+        let back = TopicExpression::parse(dialect, &expr.text());
+        prop_assert_eq!(back, expr);
+    }
+
+    /// `child()` extends paths consistently with parsing.
+    #[test]
+    fn child_matches_parse(p in path(), extra in seg()) {
+        let topic = TopicPath(p.clone()).child(&extra);
+        let reparsed = TopicPath::parse(&format!("{}/{}", p.join("/"), extra));
+        prop_assert_eq!(topic, reparsed);
+    }
+}

@@ -1,0 +1,838 @@
+//! The service container: the Figure 1 dispatch pipeline.
+//!
+//! WSRF.NET wraps an author's web service in a generated "wrapper"
+//! service; on each invocation the wrapper (1) reads the
+//! EndpointReference in the SOAP headers, (2) resolves the named
+//! WS-Resource by loading its state values from the database, (3)
+//! invokes either an author-written operation or a standard WSRF port
+//! type, (4) saves any changed state back, and (5) serializes the
+//! result. [`Service::handle`] is that pipeline; [`ServiceBuilder`] is
+//! the analogue of the `[Resource]` / `[ResourceProperty]` /
+//! `[WSRFPortType]` attribute programming model of Figure 2.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simclock::{Clock, SimTime, TimerId};
+use wsrf_soap::{ns, BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault};
+use wsrf_transport::{Endpoint, InProcNetwork};
+use wsrf_xml::{Element, QName};
+
+use crate::faults;
+use crate::properties::PropertyDoc;
+use crate::store::ResourceStore;
+
+/// A computed (derived) resource property — the analogue of a C#
+/// property getter marked `[ResourceProperty]` in Figure 2. It is
+/// evaluated on demand against the stored state and merged into the
+/// property views returned by the standard port types.
+pub type ComputedProperty =
+    Box<dyn Fn(&PropertyDoc, SimTime) -> Vec<Element> + Send + Sync>;
+
+/// Handler for one operation. Receives an invocation context and
+/// returns the response body element (or a fault).
+pub type OpHandler = Box<dyn Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync>;
+
+/// When the container writes resource state back after a handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SavePolicy {
+    /// Save after every resource-scoped invocation, like WSRF.NET
+    /// ("any changes to those values will be saved back to the
+    /// database" — and unchanged ones too). The default.
+    #[default]
+    Always,
+    /// Keep a copy of the loaded document and save only when the
+    /// handler actually changed it — the ablation experiment E1b.
+    WhenChanged,
+}
+
+/// How an operation relates to resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Requires a resource key; state is loaded before and saved after.
+    Resource,
+    /// Service-level operation (factories, group queries); no resource
+    /// is loaded, but the handler may create/destroy resources itself.
+    Static,
+}
+
+/// One dispatchable operation (visible to the port-type installers).
+pub(crate) struct Op {
+    kind: OpKind,
+    handler: OpHandler,
+}
+
+/// Shared, long-lived half of a service: everything handlers need to
+/// mint EPRs, create resources, schedule lifetimes and talk to the
+/// network. Cheaply cloneable via `Arc`.
+pub struct ServiceCore {
+    /// Service name (also the store's table name).
+    pub name: String,
+    /// Full address, e.g. `inproc://machine01/ExecutionService`.
+    pub address: String,
+    /// The grid clock.
+    pub clock: Clock,
+    /// The simulated network (for outgoing calls/notifications).
+    pub net: Arc<InProcNetwork>,
+    /// Resource state backend.
+    pub store: Arc<dyn ResourceStore>,
+    /// Qualified name of the reference property carrying the resource
+    /// key (in Clark form), e.g. `{uvacg}JobKey`.
+    pub key_property: String,
+    next_key: AtomicU64,
+    /// Scheduled-destruction timers per resource key.
+    lifetime: Mutex<HashMap<String, TimerId>>,
+    computed: Vec<(QName, ComputedProperty)>,
+}
+
+impl ServiceCore {
+    /// The EPR naming one of this service's resources.
+    pub fn epr_for(&self, key: &str) -> EndpointReference {
+        EndpointReference::resource(&self.address, &self.key_property, key)
+    }
+
+    /// The service's own (resource-less) EPR.
+    pub fn service_epr(&self) -> EndpointReference {
+        EndpointReference::service(&self.address)
+    }
+
+    /// Generate a fresh resource key.
+    pub fn fresh_key(&self) -> String {
+        let n = self.next_key.fetch_add(1, Ordering::Relaxed);
+        format!("{}-{}", self.name.to_ascii_lowercase(), n)
+    }
+
+    /// Create a resource with a generated key; returns its EPR.
+    pub fn create_resource(&self, doc: PropertyDoc) -> Result<EndpointReference, BaseFault> {
+        let key = self.fresh_key();
+        self.create_resource_with_key(&key, doc)
+    }
+
+    /// Create a resource under an explicit key.
+    pub fn create_resource_with_key(
+        &self,
+        key: &str,
+        doc: PropertyDoc,
+    ) -> Result<EndpointReference, BaseFault> {
+        self.store
+            .create(&self.name, key, &doc)
+            .map_err(faults::from_store)?;
+        Ok(self.epr_for(key))
+    }
+
+    /// Destroy a resource immediately (WS-ResourceLifetime `Destroy`).
+    pub fn destroy_resource(&self, key: &str) -> Result<(), BaseFault> {
+        if let Some(t) = self.lifetime.lock().remove(key) {
+            self.clock.cancel(t);
+        }
+        self.store.destroy(&self.name, key).map_err(faults::from_store)
+    }
+
+    /// Schedule destruction at an absolute virtual time
+    /// (WS-ResourceLifetime `SetTerminationTime`), replacing any
+    /// earlier schedule. `None` cancels scheduled destruction.
+    pub fn set_termination_time(self: &Arc<Self>, key: &str, at: Option<SimTime>) {
+        let mut lt = self.lifetime.lock();
+        if let Some(t) = lt.remove(key) {
+            self.clock.cancel(t);
+        }
+        if let Some(at) = at {
+            let core = Arc::clone(self);
+            let key_owned = key.to_string();
+            let timer = self.clock.schedule_at(at, move |_| {
+                // Best-effort: the resource may already be gone.
+                core.lifetime.lock().remove(&key_owned);
+                let _ = core.store.destroy(&core.name, &key_owned);
+            });
+            lt.insert(key.to_string(), timer);
+        }
+    }
+
+    /// The scheduled termination time of a resource, if any — exposed
+    /// because `TerminationTime` is itself a resource property.
+    pub fn termination_scheduled(&self, key: &str) -> bool {
+        self.lifetime.lock().contains_key(key)
+    }
+
+    /// Evaluate computed properties against stored state.
+    pub fn computed_values(&self, doc: &PropertyDoc) -> Vec<Element> {
+        let now = self.clock.now();
+        self.computed.iter().flat_map(|(_, f)| f(doc, now)).collect()
+    }
+
+    /// Full property view (stored + computed) as a document.
+    pub fn property_view(&self, doc: &PropertyDoc) -> Element {
+        let mut root = doc.to_document(QName::new(ns::WSRP, "ResourcePropertyDocument"));
+        for v in self.computed_values(doc) {
+            root.push_child(v);
+        }
+        root
+    }
+
+    /// Look up values for one property name (stored first, then
+    /// computed).
+    pub fn property_values(&self, doc: &PropertyDoc, name: &QName) -> Vec<Element> {
+        let mut vals: Vec<Element> = doc.get(name).to_vec();
+        if vals.is_empty() {
+            vals = doc.get_local(&name.local).to_vec();
+        }
+        if vals.is_empty() {
+            let now = self.clock.now();
+            for (n, f) in &self.computed {
+                if n == name || n.local == name.local {
+                    vals.extend(f(doc, now));
+                }
+            }
+        }
+        vals
+    }
+
+    /// Does the service declare a property with this name (stored
+    /// schema is open, so this checks computed names only)?
+    pub fn has_computed(&self, name: &QName) -> bool {
+        self.computed.iter().any(|(n, _)| n == name || n.local == name.local)
+    }
+}
+
+/// The invocation context passed to every handler.
+pub struct Ctx<'a> {
+    /// Shared service machinery.
+    pub core: &'a Arc<ServiceCore>,
+    /// Decoded addressing headers of the request.
+    pub info: &'a MessageInfo,
+    /// The resolved resource key, when present in the headers.
+    pub key: Option<String>,
+    /// The resource's state, loaded for [`OpKind::Resource`] ops;
+    /// mutations are saved back after the handler returns Ok.
+    pub resource: Option<&'a mut PropertyDoc>,
+    /// All raw header blocks (for security processing).
+    pub headers: &'a [Element],
+    /// The request body element.
+    pub body: &'a Element,
+}
+
+impl Ctx<'_> {
+    /// The loaded resource, or a `NoSuchResource`-style fault.
+    pub fn resource_mut(&mut self) -> Result<&mut PropertyDoc, BaseFault> {
+        match self.resource.as_deref_mut() {
+            Some(doc) => Ok(doc),
+            None => Err(faults::missing_resource_key(&self.core.name)),
+        }
+    }
+
+    /// The resource key, or a fault.
+    pub fn key(&self) -> Result<&str, BaseFault> {
+        self.key
+            .as_deref()
+            .ok_or_else(|| faults::missing_resource_key(&self.core.name))
+    }
+
+    /// Find a raw header by name (e.g. the WS-Security block).
+    pub fn header(&self, nsuri: &str, local: &str) -> Option<&Element> {
+        self.headers.iter().find(|h| h.name.is(nsuri, local))
+    }
+}
+
+/// A deployed WSRF service: the wrapper web service of Figure 1.
+pub struct Service {
+    core: Arc<ServiceCore>,
+    ops: HashMap<String, Op>,
+    save_policy: SavePolicy,
+    description: Element,
+}
+
+impl Service {
+    /// Shared machinery, for handlers captured outside dispatch.
+    pub fn core(&self) -> &Arc<ServiceCore> {
+        &self.core
+    }
+
+    /// The service's self-description document (the WSDL analogue;
+    /// also served under [`crate::wsdl::DESCRIBE_ACTION`]).
+    pub fn description(&self) -> &Element {
+        &self.description
+    }
+
+    /// Register this service on the network under its address.
+    pub fn register(self: &Arc<Self>, net: &InProcNetwork) {
+        net.register(self.core.address.clone(), self.clone() as Arc<dyn Endpoint>);
+    }
+
+    /// Dispatch pipeline (see module docs). Public so in-process tests
+    /// can invoke without a network.
+    pub fn dispatch(&self, env: Envelope) -> Envelope {
+        match self.try_dispatch(&env) {
+            Ok(resp) => resp,
+            Err(fault) => {
+                let f = fault.at(self.core.clock.now().as_secs_f64()).from_originator(
+                    self.core.service_epr(),
+                );
+                SoapFault::from_base(f).to_envelope()
+            }
+        }
+    }
+
+    fn try_dispatch(&self, env: &Envelope) -> Result<Envelope, BaseFault> {
+        // (1) Read the addressing headers / EPR.
+        let info = MessageInfo::extract(env)
+            .map_err(|e| faults::bad_request(&format!("bad addressing headers: {e}")))?;
+        let op = self
+            .ops
+            .get(&info.action)
+            .ok_or_else(|| faults::no_such_operation(&info.action))?;
+
+        // (2) Resolve the WS-Resource named by the reference properties.
+        let key = info
+            .to
+            .reference_properties
+            .iter()
+            .find(|(n, _)| {
+                *n == self.core.key_property
+                    || QName::from_clark(n).local == QName::from_clark(&self.core.key_property).local
+            })
+            .map(|(_, v)| v.clone());
+
+        let mut loaded: Option<PropertyDoc> = None;
+        let mut before: Option<PropertyDoc> = None;
+        if op.kind == OpKind::Resource {
+            let k = key
+                .as_deref()
+                .ok_or_else(|| faults::missing_resource_key(&self.core.name))?;
+            let doc = self
+                .core
+                .store
+                .load(&self.core.name, k)
+                .map_err(faults::from_store)?;
+            if self.save_policy == SavePolicy::WhenChanged {
+                before = Some(doc.clone());
+            }
+            loaded = Some(doc);
+        }
+
+        // (3) Invoke the method with the state in scope.
+        let mut ctx = Ctx {
+            core: &self.core,
+            info: &info,
+            key: key.clone(),
+            resource: loaded.as_mut(),
+            headers: &env.headers,
+            body: &env.body,
+        };
+        let result = (op.handler)(&mut ctx)?;
+
+        // (4) Save changed state back. By default we save
+        // unconditionally, like WSRF.NET; SavePolicy::WhenChanged
+        // diffs first (ablation E1b).
+        if let Some(doc) = loaded {
+            let k = key.as_deref().expect("resource op had a key");
+            let unchanged = matches!(&before, Some(b) if *b == doc);
+            // The handler may have destroyed its own resource; only
+            // save when it still exists.
+            if !unchanged && self.core.store.exists(&self.core.name, k) {
+                self.core
+                    .store
+                    .save(&self.core.name, k, &doc)
+                    .map_err(faults::from_store)?;
+            }
+        }
+
+        // (5) Serialize the response.
+        let mut resp = Envelope::new(result);
+        MessageInfo::response_to(&info, "Response").apply(&mut resp);
+        Ok(resp)
+    }
+}
+
+impl Endpoint for Service {
+    fn handle(&self, env: Envelope) -> Option<Envelope> {
+        Some(self.dispatch(env))
+    }
+
+    fn name(&self) -> &str {
+        &self.core.name
+    }
+}
+
+/// Builder mirroring the Figure 2 programming model.
+pub struct ServiceBuilder {
+    name: String,
+    address: String,
+    key_property: String,
+    store: Arc<dyn ResourceStore>,
+    ops: HashMap<String, Op>,
+    computed: Vec<(QName, ComputedProperty)>,
+    standard_port_types: bool,
+    lifetime_port_type: bool,
+    save_policy: SavePolicy,
+}
+
+impl ServiceBuilder {
+    /// Start building a service deployed at `address`.
+    pub fn new(
+        name: impl Into<String>,
+        address: impl Into<String>,
+        store: Arc<dyn ResourceStore>,
+    ) -> Self {
+        let name = name.into();
+        ServiceBuilder {
+            key_property: format!("{{{}}}{}Key", ns::UVACG, name),
+            name,
+            address: address.into(),
+            store,
+            ops: HashMap::new(),
+            computed: Vec::new(),
+            standard_port_types: true,
+            lifetime_port_type: true,
+            save_policy: SavePolicy::Always,
+        }
+    }
+
+    /// Choose the state write-back policy (ablation experiment E1b).
+    pub fn save_policy(mut self, policy: SavePolicy) -> Self {
+        self.save_policy = policy;
+        self
+    }
+
+    /// Override the reference-property name carrying the resource key
+    /// (Clark form).
+    pub fn key_property(mut self, clark_name: impl Into<String>) -> Self {
+        self.key_property = clark_name.into();
+        self
+    }
+
+    /// Add a resource-scoped operation (state loaded/saved around it).
+    /// The action URI is `{UVACG}/{service}/{op}`.
+    pub fn operation(
+        mut self,
+        op_name: &str,
+        handler: impl Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync + 'static,
+    ) -> Self {
+        let action = action_uri(&self.name, op_name);
+        self.ops.insert(action, Op { kind: OpKind::Resource, handler: Box::new(handler) });
+        self
+    }
+
+    /// Add a service-scoped (static/factory) operation.
+    pub fn static_operation(
+        mut self,
+        op_name: &str,
+        handler: impl Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync + 'static,
+    ) -> Self {
+        let action = action_uri(&self.name, op_name);
+        self.ops.insert(action, Op { kind: OpKind::Static, handler: Box::new(handler) });
+        self
+    }
+
+    /// Add an operation under an explicit action URI (used by the
+    /// WS-Notification layer, whose actions live in the WSN
+    /// namespaces).
+    pub fn raw_operation(
+        mut self,
+        action: impl Into<String>,
+        kind: OpKind,
+        handler: impl Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync + 'static,
+    ) -> Self {
+        self.ops.insert(action.into(), Op { kind, handler: Box::new(handler) });
+        self
+    }
+
+    /// Declare a computed resource property (Figure 2's
+    /// `[ResourceProperty]` C# getter).
+    pub fn computed_property(
+        mut self,
+        name: QName,
+        f: impl Fn(&PropertyDoc, SimTime) -> Vec<Element> + Send + Sync + 'static,
+    ) -> Self {
+        self.computed.push((name, Box::new(f)));
+        self
+    }
+
+    /// Opt out of the standard WS-ResourceProperties port types
+    /// (`[WSRFPortType]` not applied) — used by the custom-interface
+    /// baseline in experiment E2.
+    pub fn without_standard_port_types(mut self) -> Self {
+        self.standard_port_types = false;
+        self
+    }
+
+    /// Opt out of WS-ResourceLifetime operations.
+    pub fn without_lifetime(mut self) -> Self {
+        self.lifetime_port_type = false;
+        self
+    }
+
+    /// Finish: produce the deployable service.
+    pub fn build(self, clock: Clock, net: Arc<InProcNetwork>) -> Arc<Service> {
+        let core = Arc::new(ServiceCore {
+            name: self.name,
+            address: self.address,
+            clock,
+            net,
+            store: self.store,
+            key_property: self.key_property,
+            next_key: AtomicU64::new(1),
+            lifetime: Mutex::new(HashMap::new()),
+            computed: self.computed,
+        });
+        let mut ops = self.ops;
+        if self.standard_port_types {
+            crate::porttypes::install_resource_properties(&mut ops);
+        }
+        if self.lifetime_port_type {
+            crate::porttypes::install_lifetime(&mut ops);
+        }
+        // Self-description (the WSDL analogue): every service answers
+        // GetServiceDescription with its operation table.
+        let mut actions: Vec<(String, bool)> = ops
+            .iter()
+            .map(|(a, op)| (a.clone(), op.kind == OpKind::Resource))
+            .collect();
+        let computed_names: Vec<QName> =
+            core.computed.iter().map(|(n, _)| n.clone()).collect();
+        let description = crate::wsdl::describe(
+            &core.name,
+            &core.address,
+            &core.key_property,
+            &mut actions,
+            &computed_names,
+        );
+        let desc_for_op = description.clone();
+        insert_op(
+            &mut ops,
+            crate::wsdl::DESCRIBE_ACTION.to_string(),
+            OpKind::Static,
+            Box::new(move |_| Ok(desc_for_op.clone())),
+        );
+        Arc::new(Service { core, ops, save_policy: self.save_policy, description })
+    }
+}
+
+/// Action URI for an author-defined operation.
+pub fn action_uri(service: &str, op: &str) -> String {
+    format!("{}/{}/{}", ns::UVACG, service, op)
+}
+
+/// Insert an operation into a builder-produced map (used by the port
+/// type installers).
+pub(crate) fn insert_op(
+    ops: &mut HashMap<String, Op>,
+    action: String,
+    kind: OpKind,
+    handler: OpHandler,
+) {
+    ops.insert(action, Op { kind, handler });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemoryStore;
+    use wsrf_soap::ns::UVACG;
+
+    fn q(local: &str) -> QName {
+        QName::new(UVACG, local)
+    }
+
+    fn call(svc: &Arc<Service>, to: EndpointReference, action: &str, body: Element) -> Envelope {
+        let mut env = Envelope::new(body);
+        MessageInfo::request(to, action).apply(&mut env);
+        svc.dispatch(env)
+    }
+
+    fn demo_service() -> (Arc<Service>, Arc<InProcNetwork>) {
+        let clock = Clock::manual();
+        let net = InProcNetwork::new(clock.clone());
+        let svc = ServiceBuilder::new("Demo", "inproc://m1/Demo", Arc::new(MemoryStore::new()))
+            .static_operation("Create", |ctx| {
+                let mut doc = PropertyDoc::new();
+                doc.set_text(q("Status"), "Fresh");
+                doc.set_i64(q("Hits"), 0);
+                let epr = ctx.core.create_resource(doc)?;
+                Ok(Element::new(UVACG, "CreateResponse").child(epr.to_element()))
+            })
+            .operation("Touch", |ctx| {
+                let doc = ctx.resource_mut()?;
+                let hits = doc.i64(&q("Hits")).unwrap_or(0) + 1;
+                doc.set_i64(q("Hits"), hits);
+                Ok(Element::new(UVACG, "TouchResponse").text(hits.to_string()))
+            })
+            .computed_property(q("Blurb"), |doc, now| {
+                let status = doc.text_local("Status").unwrap_or_default();
+                vec![Element::new(UVACG, "Blurb")
+                    .text(format!("At {now} the status is {status}"))]
+            })
+            .build(clock, net.clone());
+        svc.register(&net);
+        (svc, net)
+    }
+
+    fn create_resource(svc: &Arc<Service>) -> EndpointReference {
+        let resp = call(
+            svc,
+            svc.core().service_epr(),
+            &action_uri("Demo", "Create"),
+            Element::new(UVACG, "Create"),
+        );
+        assert!(!resp.is_fault(), "{:?}", resp.fault());
+        EndpointReference::from_element(
+            resp.body.find(ns::WSA, "EndpointReference").unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn factory_creates_and_resource_ops_mutate_state() {
+        let (svc, _net) = demo_service();
+        let epr = create_resource(&svc);
+        assert_eq!(epr.address, "inproc://m1/Demo");
+        let key = epr.resource_key().unwrap().to_string();
+        assert!(svc.core().store.exists("Demo", &key));
+
+        for expected in 1..=3 {
+            let resp = call(
+                &svc,
+                epr.clone(),
+                &action_uri("Demo", "Touch"),
+                Element::new(UVACG, "Touch"),
+            );
+            assert!(!resp.is_fault());
+            assert_eq!(resp.body.text_content(), expected.to_string());
+        }
+        // State persisted across invocations.
+        let doc = svc.core().store.load("Demo", &key).unwrap();
+        assert_eq!(doc.i64(&q("Hits")).unwrap(), 3);
+    }
+
+    #[test]
+    fn unknown_action_faults() {
+        let (svc, _net) = demo_service();
+        let resp = call(
+            &svc,
+            svc.core().service_epr(),
+            "urn:bogus/Action",
+            Element::local("X"),
+        );
+        let fault = resp.fault().unwrap();
+        assert_eq!(fault.error_code(), Some("wsrf:NoSuchOperation"));
+        // The fault carries originator and timestamp.
+        let detail = fault.detail.unwrap();
+        assert_eq!(detail.originator.unwrap().address, "inproc://m1/Demo");
+    }
+
+    #[test]
+    fn resource_op_without_key_faults() {
+        let (svc, _net) = demo_service();
+        let resp = call(
+            &svc,
+            svc.core().service_epr(), // no reference properties
+            &action_uri("Demo", "Touch"),
+            Element::new(UVACG, "Touch"),
+        );
+        assert_eq!(resp.fault().unwrap().error_code(), Some("wsrf:MissingResourceKey"));
+    }
+
+    #[test]
+    fn missing_resource_faults() {
+        let (svc, _net) = demo_service();
+        let ghost = svc.core().epr_for("demo-999");
+        let resp = call(&svc, ghost, &action_uri("Demo", "Touch"), Element::new(UVACG, "Touch"));
+        assert_eq!(resp.fault().unwrap().error_code(), Some("wsrf:NoSuchResource"));
+    }
+
+    #[test]
+    fn dispatch_over_network() {
+        let (svc, net) = demo_service();
+        let epr = create_resource(&svc);
+        let mut env = Envelope::new(Element::new(UVACG, "Touch"));
+        MessageInfo::request(epr, action_uri("Demo", "Touch")).apply(&mut env);
+        let resp = net.call("inproc://m1/Demo", env).unwrap();
+        assert_eq!(resp.body.text_content(), "1");
+    }
+
+    #[test]
+    fn response_carries_addressing_headers() {
+        let (svc, _net) = demo_service();
+        let epr = create_resource(&svc);
+        let mut env = Envelope::new(Element::new(UVACG, "Touch"));
+        let info = MessageInfo::request(epr, action_uri("Demo", "Touch"));
+        info.apply(&mut env);
+        let resp = svc.dispatch(env);
+        let back = MessageInfo::extract(&resp).unwrap();
+        assert_eq!(back.relates_to.as_deref(), Some(info.message_id.as_str()));
+        assert!(back.action.ends_with("TouchResponse"));
+    }
+
+    #[test]
+    fn handler_fault_propagates_with_timestamp() {
+        let clock = Clock::manual();
+        clock.advance(std::time::Duration::from_secs(42));
+        let net = InProcNetwork::new(clock.clone());
+        let svc = ServiceBuilder::new("F", "inproc://m1/F", Arc::new(MemoryStore::new()))
+            .static_operation("Boom", |_| {
+                Err(BaseFault::new("uvacg:Boom", "exploded"))
+            })
+            .build(clock, net);
+        let resp = call(
+            &svc,
+            svc.core().service_epr(),
+            &action_uri("F", "Boom"),
+            Element::local("Boom"),
+        );
+        let detail = resp.fault().unwrap().detail.unwrap();
+        assert_eq!(detail.error_code, "uvacg:Boom");
+        assert_eq!(detail.timestamp, "42.000000");
+    }
+
+    #[test]
+    fn destroy_inside_handler_skips_save() {
+        let clock = Clock::manual();
+        let net = InProcNetwork::new(clock.clone());
+        let svc = ServiceBuilder::new("D", "inproc://m1/D", Arc::new(MemoryStore::new()))
+            .operation("SelfDestruct", |ctx| {
+                let key = ctx.key()?.to_string();
+                ctx.core.destroy_resource(&key)?;
+                Ok(Element::local("Gone"))
+            })
+            .build(clock, net);
+        let epr = svc.core().create_resource(PropertyDoc::new()).unwrap();
+        let resp = call(
+            &svc,
+            epr.clone(),
+            &action_uri("D", "SelfDestruct"),
+            Element::local("SelfDestruct"),
+        );
+        assert!(!resp.is_fault(), "{:?}", resp.fault());
+        assert!(!svc.core().store.exists("D", epr.resource_key().unwrap()));
+    }
+
+    #[test]
+    fn scheduled_termination_destroys_resource() {
+        let clock = Clock::manual();
+        let net = InProcNetwork::new(clock.clone());
+        let svc = ServiceBuilder::new("L", "inproc://m1/L", Arc::new(MemoryStore::new()))
+            .build(clock.clone(), net);
+        let core = svc.core();
+        let epr = core.create_resource(PropertyDoc::new()).unwrap();
+        let key = epr.resource_key().unwrap();
+        core.set_termination_time(key, Some(SimTime::from_secs(10)));
+        assert!(core.termination_scheduled(key));
+        clock.advance(std::time::Duration::from_secs(9));
+        assert!(core.store.exists("L", key));
+        clock.advance(std::time::Duration::from_secs(1));
+        assert!(!core.store.exists("L", key));
+        assert!(!core.termination_scheduled(key));
+    }
+
+    #[test]
+    fn termination_can_be_rescheduled_and_cancelled() {
+        let clock = Clock::manual();
+        let net = InProcNetwork::new(clock.clone());
+        let svc = ServiceBuilder::new("L2", "inproc://m1/L2", Arc::new(MemoryStore::new()))
+            .build(clock.clone(), net);
+        let core = svc.core();
+        let epr = core.create_resource(PropertyDoc::new()).unwrap();
+        let key = epr.resource_key().unwrap();
+        core.set_termination_time(key, Some(SimTime::from_secs(5)));
+        core.set_termination_time(key, Some(SimTime::from_secs(50)));
+        clock.advance(std::time::Duration::from_secs(10));
+        assert!(core.store.exists("L2", key), "rescheduled later");
+        core.set_termination_time(key, None);
+        clock.advance(std::time::Duration::from_secs(100));
+        assert!(core.store.exists("L2", key), "cancelled");
+    }
+
+    /// Store wrapper counting save calls, for the SavePolicy tests.
+    struct CountingStore {
+        inner: MemoryStore,
+        saves: std::sync::atomic::AtomicUsize,
+    }
+
+    impl crate::store::ResourceStore for CountingStore {
+        fn create(&self, s: &str, k: &str, d: &PropertyDoc) -> Result<(), crate::store::StoreError> {
+            self.inner.create(s, k, d)
+        }
+        fn load(&self, s: &str, k: &str) -> Result<PropertyDoc, crate::store::StoreError> {
+            self.inner.load(s, k)
+        }
+        fn save(&self, s: &str, k: &str, d: &PropertyDoc) -> Result<(), crate::store::StoreError> {
+            self.saves.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.inner.save(s, k, d)
+        }
+        fn destroy(&self, s: &str, k: &str) -> Result<(), crate::store::StoreError> {
+            self.inner.destroy(s, k)
+        }
+        fn exists(&self, s: &str, k: &str) -> bool {
+            self.inner.exists(s, k)
+        }
+        fn list(&self, s: &str) -> Vec<String> {
+            self.inner.list(s)
+        }
+        fn query(&self, s: &str, p: &wsrf_xml::xpath::Path) -> Vec<String> {
+            self.inner.query(s, p)
+        }
+        fn backend_name(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    fn policy_fixture(policy: SavePolicy) -> (Arc<Service>, Arc<CountingStore>, EndpointReference) {
+        let clock = Clock::manual();
+        let net = InProcNetwork::new(clock.clone());
+        let store = Arc::new(CountingStore {
+            inner: MemoryStore::new(),
+            saves: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let svc = ServiceBuilder::new("SP", "inproc://m/SP", store.clone())
+            .save_policy(policy)
+            .operation("Read", |ctx| {
+                let doc = ctx.resource_mut()?;
+                Ok(Element::new(UVACG, "R").text(doc.text_local("X").unwrap_or_default()))
+            })
+            .operation("Bump", |ctx| {
+                let doc = ctx.resource_mut()?;
+                let n = doc.i64(&q("X")).unwrap_or(0) + 1;
+                doc.set_i64(q("X"), n);
+                Ok(Element::new(UVACG, "B").text(n.to_string()))
+            })
+            .build(clock, net);
+        let mut doc = PropertyDoc::new();
+        doc.set_i64(q("X"), 0);
+        let epr = svc.core().create_resource_with_key("r1", doc).unwrap();
+        (svc, store, epr)
+    }
+
+    #[test]
+    fn save_always_writes_on_read_only_ops() {
+        let (svc, store, epr) = policy_fixture(SavePolicy::Always);
+        let resp = call(&svc, epr, &action_uri("SP", "Read"), Element::new(UVACG, "Read"));
+        assert!(!resp.is_fault());
+        assert_eq!(store.saves.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn save_when_changed_skips_clean_state_but_persists_mutations() {
+        let (svc, store, epr) = policy_fixture(SavePolicy::WhenChanged);
+        let resp = call(&svc, epr.clone(), &action_uri("SP", "Read"), Element::new(UVACG, "Read"));
+        assert!(!resp.is_fault());
+        assert_eq!(store.saves.load(std::sync::atomic::Ordering::SeqCst), 0, "clean: no save");
+        let resp = call(&svc, epr.clone(), &action_uri("SP", "Bump"), Element::new(UVACG, "Bump"));
+        assert_eq!(resp.body.text_content(), "1");
+        assert_eq!(store.saves.load(std::sync::atomic::Ordering::SeqCst), 1, "dirty: saved");
+        // The mutation really persisted.
+        let resp = call(&svc, epr, &action_uri("SP", "Read"), Element::new(UVACG, "Read"));
+        assert_eq!(resp.body.text_content(), "1");
+    }
+
+    #[test]
+    fn computed_property_reflects_state_and_clock() {
+        let (svc, _net) = demo_service();
+        let core = svc.core();
+        let mut doc = PropertyDoc::new();
+        doc.set_text(q("Status"), "Running");
+        let vals = core.property_values(&doc, &q("Blurb"));
+        assert_eq!(vals.len(), 1);
+        assert!(vals[0].text_content().contains("status is Running"));
+    }
+}

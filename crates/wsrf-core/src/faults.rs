@@ -1,0 +1,73 @@
+//! Canonical WS-BaseFaults used across the framework and the testbed.
+
+use wsrf_soap::BaseFault;
+
+/// The EPR named no resource, or the resource has been destroyed.
+pub fn no_such_resource(key: &str) -> BaseFault {
+    BaseFault::new("wsrf:NoSuchResource", format!("no WS-Resource with key '{key}'"))
+}
+
+/// The invocation's action URI matches no operation of the service.
+pub fn no_such_operation(action: &str) -> BaseFault {
+    BaseFault::new("wsrf:NoSuchOperation", format!("no operation for action '{action}'"))
+}
+
+/// The message omitted the resource-identifying reference properties.
+pub fn missing_resource_key(service: &str) -> BaseFault {
+    BaseFault::new(
+        "wsrf:MissingResourceKey",
+        format!("invocation of '{service}' carries no resource key in its headers"),
+    )
+}
+
+/// A `GetResourceProperty` named an unknown property.
+pub fn invalid_property(name: &str) -> BaseFault {
+    BaseFault::new(
+        "wsrp:InvalidResourcePropertyQName",
+        format!("resource has no property named '{name}'"),
+    )
+}
+
+/// A query expression failed to parse or used an unsupported dialect.
+pub fn invalid_query(detail: &str) -> BaseFault {
+    BaseFault::new("wsrp:InvalidQueryExpression", detail.to_string())
+}
+
+/// The request body was malformed.
+pub fn bad_request(detail: &str) -> BaseFault {
+    BaseFault::new("wsrf:BadRequest", detail.to_string())
+}
+
+/// A storage backend rejected an operation.
+pub fn storage(detail: &str) -> BaseFault {
+    BaseFault::new("wsrf:StorageFault", detail.to_string())
+}
+
+/// Convert a store error into the corresponding canonical fault.
+pub fn from_store(e: crate::store::StoreError) -> BaseFault {
+    match e {
+        crate::store::StoreError::NotFound(k) => no_such_resource(&k),
+        other => storage(&other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreError;
+
+    #[test]
+    fn store_error_mapping() {
+        assert_eq!(from_store(StoreError::NotFound("k".into())).error_code, "wsrf:NoSuchResource");
+        assert_eq!(
+            from_store(StoreError::Schema("bad".into())).error_code,
+            "wsrf:StorageFault"
+        );
+    }
+
+    #[test]
+    fn fault_codes_are_stable() {
+        assert_eq!(no_such_operation("urn:x").error_code, "wsrf:NoSuchOperation");
+        assert_eq!(invalid_property("P").error_code, "wsrp:InvalidResourcePropertyQName");
+    }
+}

@@ -1,0 +1,259 @@
+//! Generic client-side proxies over the standard port types.
+//!
+//! §5 of the paper: "Not only do clients not have to create these
+//! interfaces themselves (i.e., generate proxies), but there is
+//! potential to develop higher-level interfaces to standard Resource
+//! Properties as part of WSRF.NET. This functionality could then be
+//! provided to all clients and work on all services, not just
+//! service/client pairs that had agreed upon their own specific
+//! interfaces."
+//!
+//! [`ResourceProxy`] is that higher-level interface: typed get/set/
+//! query/destroy over *any* WS-Resource, with no per-service code. The
+//! testbed builds its typed job/directory wrappers on top of it.
+
+use simclock::SimTime;
+use wsrf_soap::{ns, EndpointReference, Envelope, MessageInfo, SoapFault};
+use wsrf_transport::InProcNetwork;
+use wsrf_xml::{Element, QName};
+
+use crate::porttypes::{wsrl_action, wsrp_action, XPATH_DIALECT};
+use crate::properties::PropertyDoc;
+
+/// A typed client-side handle to one WS-Resource, working against any
+/// WSRF-compliant service through the standard port types alone.
+#[derive(Clone)]
+pub struct ResourceProxy<'a> {
+    net: &'a InProcNetwork,
+    epr: EndpointReference,
+}
+
+impl<'a> ResourceProxy<'a> {
+    /// Wrap an EPR.
+    pub fn new(net: &'a InProcNetwork, epr: EndpointReference) -> Self {
+        ResourceProxy { net, epr }
+    }
+
+    /// The wrapped EPR.
+    pub fn epr(&self) -> &EndpointReference {
+        &self.epr
+    }
+
+    fn call(&self, action: String, body: Element) -> Result<Envelope, SoapFault> {
+        let mut env = Envelope::new(body);
+        MessageInfo::request(self.epr.clone(), action).apply(&mut env);
+        let resp = self
+            .net
+            .call(&self.epr.address, env)
+            .map_err(|e| SoapFault::server(e.to_string()))?;
+        match resp.fault() {
+            Some(f) => Err(f),
+            None => Ok(resp),
+        }
+    }
+
+    /// `GetResourceProperty` by (local or Clark) name, as text.
+    pub fn get_text(&self, property: &str) -> Result<String, SoapFault> {
+        let resp = self.call(
+            wsrp_action("GetResourceProperty"),
+            Element::new(ns::WSRP, "GetResourceProperty").text(property),
+        )?;
+        Ok(resp.body.text_content())
+    }
+
+    /// `GetResourceProperty` parsed as `f64`.
+    pub fn get_f64(&self, property: &str) -> Result<f64, SoapFault> {
+        self.get_text(property)?
+            .trim()
+            .parse()
+            .map_err(|_| SoapFault::server(format!("property '{property}' is not a number")))
+    }
+
+    /// `GetResourceProperty` parsed as `i64`.
+    pub fn get_i64(&self, property: &str) -> Result<i64, SoapFault> {
+        self.get_text(property)?
+            .trim()
+            .parse()
+            .map_err(|_| SoapFault::server(format!("property '{property}' is not an integer")))
+    }
+
+    /// `GetMultipleResourceProperties`: values in request order (text
+    /// of each returned element).
+    pub fn get_many(&self, properties: &[&str]) -> Result<Vec<String>, SoapFault> {
+        let mut body = Element::new(ns::WSRP, "GetMultipleResourceProperties");
+        for p in properties {
+            body.push_child(Element::new(ns::WSRP, "ResourceProperty").text(*p));
+        }
+        let resp = self.call(wsrp_action("GetMultipleResourceProperties"), body)?;
+        Ok(resp.body.elements().map(|e| e.text_content()).collect())
+    }
+
+    /// The whole property document, decoded.
+    pub fn document(&self) -> Result<PropertyDoc, SoapFault> {
+        let resp = self.call(
+            wsrp_action("GetResourcePropertyDocument"),
+            Element::new(ns::WSRP, "GetResourcePropertyDocument"),
+        )?;
+        let doc = resp
+            .body
+            .elements()
+            .next()
+            .ok_or_else(|| SoapFault::server("empty property document response"))?;
+        Ok(PropertyDoc::from_document(doc))
+    }
+
+    /// `QueryResourceProperties` with an XPath-lite expression; returns
+    /// the matched elements.
+    pub fn query(&self, xpath: &str) -> Result<Vec<Element>, SoapFault> {
+        let resp = self.call(
+            wsrp_action("QueryResourceProperties"),
+            Element::new(ns::WSRP, "QueryResourceProperties").child(
+                Element::new(ns::WSRP, "QueryExpression")
+                    .attr("Dialect", XPATH_DIALECT)
+                    .text(xpath),
+            ),
+        )?;
+        Ok(resp.body.elements().cloned().collect())
+    }
+
+    /// `SetResourceProperties` Update: replace a property with one
+    /// text value.
+    pub fn set_text(&self, property: QName, value: &str) -> Result<(), SoapFault> {
+        self.call(
+            wsrp_action("SetResourceProperties"),
+            Element::new(ns::WSRP, "SetResourceProperties").child(
+                Element::new(ns::WSRP, "Update")
+                    .child(Element::with_name(property).text(value)),
+            ),
+        )?;
+        Ok(())
+    }
+
+    /// `SetResourceProperties` Insert: append one element value.
+    pub fn insert(&self, value: Element) -> Result<(), SoapFault> {
+        self.call(
+            wsrp_action("SetResourceProperties"),
+            Element::new(ns::WSRP, "SetResourceProperties")
+                .child(Element::new(ns::WSRP, "Insert").child(value)),
+        )?;
+        Ok(())
+    }
+
+    /// `SetResourceProperties` Delete: remove a property.
+    pub fn delete_property(&self, property: &str) -> Result<(), SoapFault> {
+        self.call(
+            wsrp_action("SetResourceProperties"),
+            Element::new(ns::WSRP, "SetResourceProperties")
+                .child(Element::new(ns::WSRP, "Delete").attr("resourceProperty", property)),
+        )?;
+        Ok(())
+    }
+
+    /// WS-ResourceLifetime `Destroy`.
+    pub fn destroy(&self) -> Result<(), SoapFault> {
+        self.call(wsrl_action("Destroy"), Element::new(ns::WSRL, "Destroy"))?;
+        Ok(())
+    }
+
+    /// WS-ResourceLifetime `SetTerminationTime` (absolute virtual
+    /// time; `None` = never).
+    pub fn set_termination_time(&self, at: Option<SimTime>) -> Result<(), SoapFault> {
+        let text = at.map(|t| format!("{}", t.as_secs_f64())).unwrap_or_default();
+        self.call(
+            wsrl_action("SetTerminationTime"),
+            Element::new(ns::WSRL, "SetTerminationTime")
+                .child(Element::new(ns::WSRL, "RequestedTerminationTime").text(text)),
+        )?;
+        Ok(())
+    }
+
+    /// Does the resource still exist? (A `GetResourcePropertyDocument`
+    /// probe distinguishing NoSuchResource from other faults.)
+    pub fn exists(&self) -> Result<bool, SoapFault> {
+        match self.document() {
+            Ok(_) => Ok(true),
+            Err(f) if f.error_code() == Some("wsrf:NoSuchResource") => Ok(false),
+            Err(f) => Err(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::ServiceBuilder;
+    use crate::store::MemoryStore;
+    use simclock::Clock;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const U: &str = ns::UVACG;
+
+    fn setup() -> (Clock, std::sync::Arc<InProcNetwork>, EndpointReference) {
+        let clock = Clock::manual();
+        let net = InProcNetwork::new(clock.clone());
+        let svc = ServiceBuilder::new("P", "inproc://m/P", Arc::new(MemoryStore::new()))
+            .build(clock.clone(), net.clone());
+        svc.register(&net);
+        let mut doc = PropertyDoc::new();
+        doc.set_text(QName::new(U, "Status"), "Running");
+        doc.set_f64(QName::new(U, "Cpu"), 2.5);
+        doc.set_i64(QName::new(U, "Pid"), 7);
+        let epr = svc.core().create_resource_with_key("r1", doc).unwrap();
+        (clock, net, epr)
+    }
+
+    #[test]
+    fn typed_getters() {
+        let (_c, net, epr) = setup();
+        let p = ResourceProxy::new(&net, epr);
+        assert_eq!(p.get_text("Status").unwrap(), "Running");
+        assert_eq!(p.get_f64("Cpu").unwrap(), 2.5);
+        assert_eq!(p.get_i64("Pid").unwrap(), 7);
+        assert!(p.get_f64("Status").is_err(), "type mismatch reported");
+        assert_eq!(
+            p.get_many(&["Status", "Pid"]).unwrap(),
+            vec!["Running".to_string(), "7".to_string()]
+        );
+    }
+
+    #[test]
+    fn document_and_query() {
+        let (_c, net, epr) = setup();
+        let p = ResourceProxy::new(&net, epr);
+        let doc = p.document().unwrap();
+        assert_eq!(doc.len(), 3);
+        let hits = p.query("/ResourcePropertyDocument[Status='Running']/Pid").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].text_content(), "7");
+    }
+
+    #[test]
+    fn mutations() {
+        let (_c, net, epr) = setup();
+        let p = ResourceProxy::new(&net, epr);
+        p.set_text(QName::new(U, "Status"), "Exited").unwrap();
+        assert_eq!(p.get_text("Status").unwrap(), "Exited");
+        p.insert(Element::new(U, "Tag").text("x")).unwrap();
+        p.insert(Element::new(U, "Tag").text("y")).unwrap();
+        assert_eq!(p.document().unwrap().get_local("Tag").len(), 2);
+        p.delete_property("Tag").unwrap();
+        assert!(p.document().unwrap().get_local("Tag").is_empty());
+    }
+
+    #[test]
+    fn lifetime_via_proxy() {
+        let (clock, net, epr) = setup();
+        let p = ResourceProxy::new(&net, epr);
+        assert!(p.exists().unwrap());
+        p.set_termination_time(Some(SimTime::from_secs(30))).unwrap();
+        clock.advance(Duration::from_secs(31));
+        assert!(!p.exists().unwrap());
+
+        let (_c2, net2, epr2) = setup();
+        let p2 = ResourceProxy::new(&net2, epr2);
+        p2.destroy().unwrap();
+        assert!(!p2.exists().unwrap());
+        assert!(p2.destroy().is_err(), "double destroy faults");
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests: all three resource stores must agree with
+//! each other (and with a model HashMap) on every operation sequence,
+//! and documents must survive each backend's encoding unchanged.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use wsrf_core::store::{
+    BlobStore, ColumnType, MemoryStore, ResourceStore, StoreError, StructuredStore,
+};
+use wsrf_core::PropertyDoc;
+use wsrf_xml::QName;
+
+const NS: &str = "urn:prop-test";
+
+fn q(local: &str) -> QName {
+    QName::new(NS, local)
+}
+
+/// Documents drawn from a fixed scalar schema (so the structured store
+/// can hold them too).
+fn doc_strategy() -> impl Strategy<Value = PropertyDoc> {
+    (
+        proptest::option::of("[ -~]{0,24}"),
+        proptest::option::of(-1e9f64..1e9),
+        proptest::option::of(any::<i32>()),
+    )
+        .prop_map(|(s, f, i)| {
+            let mut d = PropertyDoc::new();
+            if let Some(s) = s {
+                d.set_text(q("Status"), s);
+            }
+            if let Some(f) = f {
+                d.set_f64(q("Cpu"), f);
+            }
+            if let Some(i) = i {
+                d.set_i64(q("Pid"), i as i64);
+            }
+            d
+        })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8, PropertyDoc),
+    Save(u8, PropertyDoc),
+    Load(u8),
+    Destroy(u8),
+    List,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), doc_strategy()).prop_map(|(k, d)| Op::Create(k % 8, d)),
+        (any::<u8>(), doc_strategy()).prop_map(|(k, d)| Op::Save(k % 8, d)),
+        any::<u8>().prop_map(|k| Op::Load(k % 8)),
+        any::<u8>().prop_map(|k| Op::Destroy(k % 8)),
+        Just(Op::List),
+    ]
+}
+
+fn schema() -> Vec<(QName, ColumnType)> {
+    vec![
+        (q("Status"), ColumnType::Text),
+        (q("Cpu"), ColumnType::Float),
+        (q("Pid"), ColumnType::Int),
+    ]
+}
+
+fn stores() -> Vec<(&'static str, Arc<dyn ResourceStore>)> {
+    vec![
+        ("memory", Arc::new(MemoryStore::new())),
+        ("blob", Arc::new(BlobStore::new())),
+        ("structured", {
+            let s = StructuredStore::new();
+            s.define_schema("svc", schema());
+            Arc::new(s)
+        }),
+    ]
+}
+
+/// Compare docs modulo float text formatting (the structured store
+/// re-renders floats; `set_f64` formatting is canonical for all
+/// backends, so equality should be exact — assert that).
+fn assert_doc_eq(a: &PropertyDoc, b: &PropertyDoc, ctx: &str) {
+    assert_eq!(a, b, "{ctx}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_backends_agree_with_the_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        for (name, store) in stores() {
+            let mut model: HashMap<u8, PropertyDoc> = HashMap::new();
+            for op in &ops {
+                match op {
+                    Op::Create(k, d) => {
+                        let res = store.create("svc", &k.to_string(), d);
+                        if model.contains_key(k) {
+                            prop_assert_eq!(
+                                res,
+                                Err(StoreError::AlreadyExists(k.to_string())),
+                                "{}", name
+                            );
+                        } else {
+                            prop_assert!(res.is_ok(), "{name}: {res:?}");
+                            model.insert(*k, d.clone());
+                        }
+                    }
+                    Op::Save(k, d) => {
+                        let res = store.save("svc", &k.to_string(), d);
+                        if model.contains_key(k) {
+                            prop_assert!(res.is_ok(), "{name}: {res:?}");
+                            model.insert(*k, d.clone());
+                        } else {
+                            prop_assert_eq!(res, Err(StoreError::NotFound(k.to_string())));
+                        }
+                    }
+                    Op::Load(k) => {
+                        match (store.load("svc", &k.to_string()), model.get(k)) {
+                            (Ok(got), Some(want)) => assert_doc_eq(&got, want, name),
+                            (Err(StoreError::NotFound(_)), None) => {}
+                            (got, want) => {
+                                return Err(TestCaseError::fail(format!(
+                                    "{name}: load mismatch {got:?} vs {want:?}"
+                                )))
+                            }
+                        }
+                    }
+                    Op::Destroy(k) => {
+                        let res = store.destroy("svc", &k.to_string());
+                        if model.remove(k).is_some() {
+                            prop_assert!(res.is_ok());
+                        } else {
+                            prop_assert_eq!(res, Err(StoreError::NotFound(k.to_string())));
+                        }
+                    }
+                    Op::List => {
+                        let mut got = store.list("svc");
+                        got.sort();
+                        let mut want: Vec<String> =
+                            model.keys().map(|k| k.to_string()).collect();
+                        want.sort();
+                        prop_assert_eq!(got, want, "{}", name);
+                    }
+                }
+                // exists() always agrees.
+                for k in 0u8..8 {
+                    prop_assert_eq!(
+                        store.exists("svc", &k.to_string()),
+                        model.contains_key(&k),
+                        "{} exists({})", name, k
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn documents_roundtrip_every_backend(d in doc_strategy()) {
+        for (name, store) in stores() {
+            store.create("svc", "k", &d).unwrap();
+            let back = store.load("svc", "k").unwrap();
+            assert_doc_eq(&back, &d, name);
+        }
+    }
+
+    #[test]
+    fn queries_agree_across_backends(docs in proptest::collection::vec(doc_strategy(), 1..12)) {
+        let path = wsrf_xml::xpath::Path::parse("//Status").unwrap();
+        let mut expected: Vec<String> = Vec::new();
+        for (i, d) in docs.iter().enumerate() {
+            if d.contains(&q("Status")) {
+                expected.push(i.to_string());
+            }
+        }
+        expected.sort();
+        for (name, store) in stores() {
+            for (i, d) in docs.iter().enumerate() {
+                store.create("svc", &i.to_string(), d).unwrap();
+            }
+            let mut got = store.query("svc", &path);
+            got.sort();
+            prop_assert_eq!(&got, &expected, "{}", name);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # wsrf-security
+//!
+//! The security substrate for the remote-execution testbed.
+//!
+//! In the paper, the request to run a job carries the username/password
+//! of the account to execute under, "conveyed using a WS-Security
+//! password profile SOAP header, which is then encrypted using the X509
+//! certificate of the client". There is no usable X.509/WS-Security
+//! stack in the offline Rust ecosystem, so — per the reproduction's
+//! substitution rule — this crate implements the cryptographic flow
+//! from scratch:
+//!
+//! * [`sha256`] — FIPS-180 SHA-256 (verified against NIST vectors),
+//! * [`hmac`] — HMAC-SHA-256 (verified against RFC 4231 vectors),
+//! * [`chacha20`] — the RFC 8439 stream cipher (verified against the
+//!   RFC vector),
+//! * [`pki`] — **toy** Diffie–Hellman "certificates" over a 61-bit
+//!   Mersenne prime, issued and signed (HMAC) by a simulated CA,
+//! * [`wsse`] — the WS-Security UsernameToken profile header, encrypted
+//!   to a recipient certificate via ephemeral DH + ChaCha20, plus
+//!   HMAC-based body integrity tokens.
+//!
+//! **This crate is NOT cryptographically secure** (61-bit DH is
+//! breakable in seconds) and says so loudly: it preserves the *message
+//! flow and costs* of the paper's security layer, which is what the
+//! reproduction evaluates.
+
+pub mod chacha20;
+pub mod hmac;
+pub mod pki;
+pub mod sha256;
+pub mod wsse;
+
+pub use pki::{Certificate, CertificateAuthority, KeyPair};
+pub use wsse::{SecurityError, UsernameToken};

@@ -1,0 +1,210 @@
+//! A **toy** public-key infrastructure standing in for the paper's
+//! X.509 certificates.
+//!
+//! Substitution (documented in DESIGN.md): instead of RSA/X.509, each
+//! principal holds a Diffie–Hellman key pair over the multiplicative
+//! group modulo the Mersenne prime `2^61 - 1`. A simulated certificate
+//! authority binds subject names to public keys with an HMAC
+//! "signature". This is utterly breakable — the point is to reproduce
+//! the paper's *message flow* (look up recipient cert, encrypt
+//! credentials to it, decrypt server-side) with real key-agreement and
+//! cipher costs, not to provide security.
+
+use rand::Rng;
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::Sha256;
+
+/// The group modulus: the Mersenne prime `2^61 - 1`.
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// Group generator. 3 generates a large subgroup of `Z_p^*`; ample for
+/// a simulation.
+pub const GENERATOR: u64 = 3;
+
+/// Modular exponentiation `base^exp mod MODULUS` using u128
+/// intermediates.
+pub fn mod_pow(base: u64, mut exp: u64) -> u64 {
+    let m = MODULUS as u128;
+    let mut acc: u128 = 1;
+    let mut b = (base as u128) % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * b % m;
+        }
+        b = b * b % m;
+        exp >>= 1;
+    }
+    acc as u64
+}
+
+/// A DH key pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPair {
+    /// Secret exponent.
+    pub private: u64,
+    /// `GENERATOR ^ private mod MODULUS`.
+    pub public: u64,
+}
+
+impl KeyPair {
+    /// Generate a fresh key pair from the given RNG.
+    pub fn generate(rng: &mut impl Rng) -> Self {
+        // Private keys in [2, MODULUS-2].
+        let private = rng.gen_range(2..MODULUS - 1);
+        KeyPair { private, public: mod_pow(GENERATOR, private) }
+    }
+
+    /// Derive the 32-byte shared symmetric key with a peer's public
+    /// value: `SHA256("uvacg-dh" || g^(ab) || context)`.
+    pub fn shared_key(&self, peer_public: u64, context: &[u8]) -> [u8; 32] {
+        let shared = mod_pow(peer_public, self.private);
+        let mut h = Sha256::new();
+        h.update(b"uvacg-dh");
+        h.update(&shared.to_be_bytes());
+        h.update(context);
+        h.finalize()
+    }
+}
+
+/// A certificate binding a subject name to a DH public key, signed by a
+/// [`CertificateAuthority`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The subject (a user, a service, or a machine name).
+    pub subject: String,
+    /// The subject's public key.
+    pub public_key: u64,
+    /// Name of the issuing CA.
+    pub issuer: String,
+    /// HMAC over (subject, public key, issuer) with the CA's secret.
+    pub signature: [u8; 32],
+}
+
+impl Certificate {
+    fn signing_input(subject: &str, public_key: u64, issuer: &str) -> Vec<u8> {
+        let mut v = Vec::with_capacity(subject.len() + issuer.len() + 10);
+        v.extend_from_slice(subject.as_bytes());
+        v.push(0);
+        v.extend_from_slice(&public_key.to_be_bytes());
+        v.push(0);
+        v.extend_from_slice(issuer.as_bytes());
+        v
+    }
+}
+
+/// The simulated campus certificate authority. In the real UVaCG this
+/// is the university's PKI; here it lives in-process and its "secret"
+/// is random bytes.
+pub struct CertificateAuthority {
+    /// The CA's name (appears as `issuer` on issued certs).
+    pub name: String,
+    secret: [u8; 32],
+}
+
+impl CertificateAuthority {
+    /// A new CA with a random signing secret.
+    pub fn new(name: impl Into<String>, rng: &mut impl Rng) -> Self {
+        let mut secret = [0u8; 32];
+        rng.fill(&mut secret);
+        CertificateAuthority { name: name.into(), secret }
+    }
+
+    /// Issue a certificate for `subject` over `public_key`.
+    pub fn issue(&self, subject: impl Into<String>, public_key: u64) -> Certificate {
+        let subject = subject.into();
+        let signature = hmac_sha256(
+            &self.secret,
+            &Certificate::signing_input(&subject, public_key, &self.name),
+        );
+        Certificate { subject, public_key, issuer: self.name.clone(), signature }
+    }
+
+    /// Issue a fresh key pair + certificate in one step.
+    pub fn enroll(&self, subject: impl Into<String>, rng: &mut impl Rng) -> (KeyPair, Certificate) {
+        let kp = KeyPair::generate(rng);
+        let cert = self.issue(subject, kp.public);
+        (kp, cert)
+    }
+
+    /// Verify a certificate was issued by this CA and is untampered.
+    pub fn verify(&self, cert: &Certificate) -> bool {
+        if cert.issuer != self.name {
+            return false;
+        }
+        let expected = hmac_sha256(
+            &self.secret,
+            &Certificate::signing_input(&cert.subject, cert.public_key, &cert.issuer),
+        );
+        crate::hmac::verify(&expected, &cert.signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn mod_pow_basics() {
+        assert_eq!(mod_pow(3, 0), 1);
+        assert_eq!(mod_pow(3, 1), 3);
+        assert_eq!(mod_pow(3, 4), 81);
+        // Fermat's little theorem: a^(p-1) = 1 mod p.
+        assert_eq!(mod_pow(12345, MODULUS - 1), 1);
+    }
+
+    #[test]
+    fn dh_agreement() {
+        let mut r = rng();
+        let a = KeyPair::generate(&mut r);
+        let b = KeyPair::generate(&mut r);
+        assert_eq!(a.shared_key(b.public, b"ctx"), b.shared_key(a.public, b"ctx"));
+        assert_ne!(
+            a.shared_key(b.public, b"ctx"),
+            a.shared_key(b.public, b"other-ctx"),
+            "context separates keys"
+        );
+    }
+
+    #[test]
+    fn third_party_derives_different_key() {
+        let mut r = rng();
+        let a = KeyPair::generate(&mut r);
+        let b = KeyPair::generate(&mut r);
+        let eve = KeyPair::generate(&mut r);
+        assert_ne!(a.shared_key(b.public, b""), eve.shared_key(b.public, b""));
+    }
+
+    #[test]
+    fn certificates_verify_and_detect_tampering() {
+        let mut r = rng();
+        let ca = CertificateAuthority::new("uva-ca", &mut r);
+        let (_, cert) = ca.enroll("wasson", &mut r);
+        assert!(ca.verify(&cert));
+
+        let mut forged = cert.clone();
+        forged.subject = "mallory".into();
+        assert!(!ca.verify(&forged));
+
+        let mut wrong_key = cert.clone();
+        wrong_key.public_key ^= 1;
+        assert!(!ca.verify(&wrong_key));
+
+        let other_ca = CertificateAuthority::new("other-ca", &mut r);
+        assert!(!other_ca.verify(&cert), "issuer mismatch");
+    }
+
+    #[test]
+    fn enroll_produces_matching_pair() {
+        let mut r = rng();
+        let ca = CertificateAuthority::new("ca", &mut r);
+        let (kp, cert) = ca.enroll("svc", &mut r);
+        assert_eq!(kp.public, cert.public_key);
+        assert_eq!(mod_pow(GENERATOR, kp.private), kp.public);
+    }
+}

@@ -1,0 +1,162 @@
+//! SOAP envelopes.
+
+use wsrf_xml::{parse, Element, XmlError};
+
+use crate::fault::SoapFault;
+use crate::ns;
+
+/// A SOAP message: ordered header blocks plus exactly one body element.
+///
+/// The body holds the operation request/response (or a `<Fault>`); the
+/// headers hold WS-Addressing, reference properties and WS-Security
+/// blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Header blocks in order. Each is a top-level child of
+    /// `<soap:Header>`.
+    pub headers: Vec<Element>,
+    /// The single child element of `<soap:Body>`.
+    pub body: Element,
+}
+
+impl Envelope {
+    /// An envelope with the given body and no headers.
+    pub fn new(body: Element) -> Self {
+        Envelope { headers: Vec::new(), body }
+    }
+
+    /// Builder-style header append.
+    pub fn with_header(mut self, header: Element) -> Self {
+        self.headers.push(header);
+        self
+    }
+
+    /// First header block with the given namespace/local name.
+    pub fn header(&self, nsuri: &str, local: &str) -> Option<&Element> {
+        self.headers.iter().find(|h| h.name.is(nsuri, local))
+    }
+
+    /// Remove and return the first matching header block.
+    pub fn take_header(&mut self, nsuri: &str, local: &str) -> Option<Element> {
+        let idx = self.headers.iter().position(|h| h.name.is(nsuri, local))?;
+        Some(self.headers.remove(idx))
+    }
+
+    /// Whether the body is a SOAP `<Fault>`.
+    pub fn is_fault(&self) -> bool {
+        self.body.name.is(ns::SOAP_ENV, "Fault")
+    }
+
+    /// Decode the body as a [`SoapFault`], if it is one.
+    pub fn fault(&self) -> Option<SoapFault> {
+        if self.is_fault() {
+            Some(SoapFault::from_element(&self.body))
+        } else {
+            None
+        }
+    }
+
+    /// Build the `<soap:Envelope>` element tree.
+    pub fn to_element(&self) -> Element {
+        let mut env = Element::new(ns::SOAP_ENV, "Envelope");
+        if !self.headers.is_empty() {
+            let mut header = Element::new(ns::SOAP_ENV, "Header");
+            for h in &self.headers {
+                header.push_child(h.clone());
+            }
+            env.push_child(header);
+        }
+        env.push_child(Element::new(ns::SOAP_ENV, "Body").child(self.body.clone()));
+        env
+    }
+
+    /// Serialize to the on-the-wire document string.
+    pub fn to_xml(&self) -> String {
+        self.to_element().to_document()
+    }
+
+    /// Decode an envelope from an element tree.
+    pub fn from_element(root: &Element) -> Result<Envelope, XmlError> {
+        if !root.name.is(ns::SOAP_ENV, "Envelope") {
+            return Err(XmlError::new(format!(
+                "expected soap:Envelope, found {}",
+                root.name
+            )));
+        }
+        let headers = match root.find(ns::SOAP_ENV, "Header") {
+            Some(h) => h.elements().cloned().collect(),
+            None => Vec::new(),
+        };
+        let body_el = root.expect(ns::SOAP_ENV, "Body")?;
+        let body = body_el
+            .elements()
+            .next()
+            .cloned()
+            .ok_or_else(|| XmlError::new("soap:Body must contain one element"))?;
+        Ok(Envelope { headers, body })
+    }
+
+    /// Parse an envelope from its wire form.
+    pub fn parse(xml: &str) -> Result<Envelope, XmlError> {
+        Envelope::from_element(&parse(xml)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrf_xml::Element;
+
+    fn request() -> Envelope {
+        Envelope::new(Element::new("urn:svc", "Run").attr("job", "j1"))
+            .with_header(Element::new(crate::ns::WSA, "Action").text("urn:svc/Run"))
+            .with_header(Element::new("urn:custom", "Tag").text("x"))
+    }
+
+    #[test]
+    fn roundtrips_through_wire_form() {
+        let env = request();
+        let back = Envelope::parse(&env.to_xml()).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn header_lookup_and_removal() {
+        let mut env = request();
+        assert!(env.header(crate::ns::WSA, "Action").is_some());
+        let taken = env.take_header("urn:custom", "Tag").unwrap();
+        assert_eq!(taken.text_content(), "x");
+        assert!(env.header("urn:custom", "Tag").is_none());
+        assert_eq!(env.headers.len(), 1);
+    }
+
+    #[test]
+    fn headerless_envelope_omits_header_element() {
+        let env = Envelope::new(Element::local("Ping"));
+        let xml = env.to_xml();
+        assert!(!xml.contains("Header"), "{}", xml);
+        assert_eq!(Envelope::parse(&xml).unwrap(), env);
+    }
+
+    #[test]
+    fn rejects_non_envelope_roots() {
+        assert!(Envelope::parse("<a/>").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        let xml = format!(
+            "<e:Envelope xmlns:e=\"{}\"><e:Body/></e:Envelope>",
+            crate::ns::SOAP_ENV
+        );
+        assert!(Envelope::parse(&xml).is_err());
+    }
+
+    #[test]
+    fn fault_detection() {
+        let env = Envelope::new(Element::new(crate::ns::SOAP_ENV, "Fault"));
+        assert!(env.is_fault());
+        assert!(!request().is_fault());
+        assert!(request().fault().is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! Namespace URIs for the specifications implemented in this
+//! workspace. The URIs match the 2004-era draft specifications cited by
+//! the paper.
+
+/// SOAP 1.1 envelope namespace.
+pub const SOAP_ENV: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+
+/// WS-Addressing (the 2004/08 member submission the paper used).
+pub const WSA: &str = "http://schemas.xmlsoap.org/ws/2004/08/addressing";
+
+/// WS-ResourceProperties.
+pub const WSRP: &str = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceProperties-1.2-draft-01.xsd";
+
+/// WS-ResourceLifetime.
+pub const WSRL: &str = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceLifetime-1.2-draft-01.xsd";
+
+/// WS-BaseFaults.
+pub const WSBF: &str = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-BaseFaults-1.2-draft-01.xsd";
+
+/// WS-ServiceGroup.
+pub const WSSG: &str = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ServiceGroup-1.2-draft-01.xsd";
+
+/// WS-BaseNotification.
+pub const WSNT: &str = "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-BaseNotification-1.2-draft-01.xsd";
+
+/// WS-Topics.
+pub const WSTOP: &str = "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-Topics-1.2-draft-01.xsd";
+
+/// WS-BrokeredNotification.
+pub const WSBN: &str = "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-BrokeredNotification-1.2-draft-01.xsd";
+
+/// WS-Security (UsernameToken profile).
+pub const WSSE: &str = "http://docs.oasis-open.org/wss/2004/01/oasis-200401-wss-wssecurity-secext-1.0.xsd";
+
+/// Namespace for this testbed's own service vocabularies (the UVaCG
+/// services define their messages here, mirroring the paper's campus
+/// grid namespace).
+pub const UVACG: &str = "http://grid.cs.virginia.edu/uvacg";

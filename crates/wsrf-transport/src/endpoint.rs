@@ -1,0 +1,66 @@
+//! The [`Endpoint`] trait: anything that can receive SOAP messages.
+
+use wsrf_soap::Envelope;
+
+/// A message sink. Service containers, notification listeners and the
+/// client's local file server all implement this.
+pub trait Endpoint: Send + Sync {
+    /// Handle one message.
+    ///
+    /// * For a request/response exchange the return value is the
+    ///   response envelope (faults travel as fault envelopes, not as
+    ///   `None`).
+    /// * For a one-way message the caller discards the return value;
+    ///   endpoints that only ever receive one-way traffic may return
+    ///   `None`.
+    fn handle(&self, env: Envelope) -> Option<Envelope>;
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "endpoint"
+    }
+}
+
+/// Adapter turning a closure into an [`Endpoint`]; handy in tests and
+/// for small listeners.
+pub struct FnEndpoint<F> {
+    f: F,
+    label: String,
+}
+
+impl<F> FnEndpoint<F>
+where
+    F: Fn(Envelope) -> Option<Envelope> + Send + Sync,
+{
+    /// Wrap a closure.
+    pub fn new(label: impl Into<String>, f: F) -> Self {
+        FnEndpoint { f, label: label.into() }
+    }
+}
+
+impl<F> Endpoint for FnEndpoint<F>
+where
+    F: Fn(Envelope) -> Option<Envelope> + Send + Sync,
+{
+    fn handle(&self, env: Envelope) -> Option<Envelope> {
+        (self.f)(env)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrf_xml::Element;
+
+    #[test]
+    fn fn_endpoint_invokes_closure() {
+        let ep = FnEndpoint::new("echo", Some);
+        let env = Envelope::new(Element::local("Ping"));
+        assert_eq!(ep.handle(env.clone()), Some(env));
+        assert_eq!(ep.name(), "echo");
+    }
+}

@@ -1,0 +1,56 @@
+//! Transport-level errors (distinct from SOAP faults, which travel
+//! *inside* successfully delivered envelopes).
+
+use std::fmt;
+
+/// An error raised by a transport while routing or moving bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No endpoint is registered at (or listening on) the address.
+    NoRoute(String),
+    /// Connecting or talking to a real socket failed.
+    Io(String),
+    /// The peer violated the wire protocol (bad framing, bad HTTP, a
+    /// response that is not an envelope, ...).
+    Protocol(String),
+    /// A request/response exchange got no response (the endpoint
+    /// treated it as one-way).
+    NoResponse(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::NoRoute(a) => write!(f, "no route to '{a}'"),
+            TransportError::Io(m) => write!(f, "transport i/o error: {m}"),
+            TransportError::Protocol(m) => write!(f, "protocol error: {m}"),
+            TransportError::NoResponse(a) => write!(f, "no response from '{a}'"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_address() {
+        let e = TransportError::NoRoute("inproc://m1/Svc".into());
+        assert_eq!(e.to_string(), "no route to 'inproc://m1/Svc'");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "refused");
+        let t: TransportError = io.into();
+        assert!(matches!(t, TransportError::Io(_)));
+    }
+}

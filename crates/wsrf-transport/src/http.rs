@@ -1,0 +1,285 @@
+//! A minimal real SOAP-over-HTTP transport (HTTP/1.1 POST, one request
+//! per connection) — the analogue of the paper's IIS/ASP.NET front end,
+//! used to exercise true wire encoding/decoding costs in experiment E5
+//! and the cross-process tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use wsrf_soap::Envelope;
+
+use crate::endpoint::Endpoint;
+use crate::error::TransportError;
+
+/// A listening HTTP SOAP endpoint.
+pub struct HttpSoapServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpSoapServer {
+    /// Bind to `127.0.0.1:0` (ephemeral port) and start serving
+    /// `endpoint`.
+    pub fn start(endpoint: Arc<dyn Endpoint>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sd = shutdown.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("http-soap-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if sd.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    stream.set_nodelay(true).ok();
+                    let ep = endpoint.clone();
+                    // Thread per connection; connections are short-lived
+                    // (Connection: close), matching 2004-era SOAP stacks.
+                    let _ = std::thread::Builder::new()
+                        .name("http-soap-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, ep);
+                        });
+                }
+            })?;
+        Ok(HttpSoapServer { addr, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address, e.g. `127.0.0.1:49152`.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The `http://host:port` authority string for building EPRs.
+    pub fn authority(&self) -> String {
+        self.addr.to_string()
+    }
+}
+
+impl Drop for HttpSoapServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, endpoint: Arc<dyn Endpoint>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    // Request line.
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if !line.starts_with("POST ") {
+        write_response(&mut writer, 405, "Method Not Allowed", b"")?;
+        return Ok(());
+    }
+
+    // Headers.
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h)?;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let Some(len) = content_length else {
+        write_response(&mut writer, 411, "Length Required", b"")?;
+        return Ok(());
+    };
+    if len > 64 << 20 {
+        write_response(&mut writer, 413, "Payload Too Large", b"")?;
+        return Ok(());
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+
+    let Ok(text) = std::str::from_utf8(&body) else {
+        write_response(&mut writer, 400, "Bad Request", b"body is not utf-8")?;
+        return Ok(());
+    };
+    match Envelope::parse(text) {
+        Err(e) => {
+            let fault = wsrf_soap::SoapFault::client(format!("unparseable envelope: {e}"));
+            let xml = fault.to_envelope().to_xml();
+            write_response(&mut writer, 500, "Internal Server Error", xml.as_bytes())?;
+        }
+        Ok(env) => match endpoint.handle(env) {
+            // SOAP 1.1 over HTTP: faults ride status 500.
+            Some(resp) if resp.is_fault() => {
+                write_response(&mut writer, 500, "Internal Server Error", resp.to_xml().as_bytes())?;
+            }
+            Some(resp) => {
+                write_response(&mut writer, 200, "OK", resp.to_xml().as_bytes())?;
+            }
+            None => {
+                write_response(&mut writer, 202, "Accepted", b"")?;
+            }
+        },
+    }
+    Ok(())
+}
+
+fn write_response(w: &mut TcpStream, code: u16, reason: &str, body: &[u8]) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: text/xml; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// POST an envelope to `authority` (`host:port`) at `path`; returns the
+/// response envelope (which may be a fault envelope), or `None` for a
+/// 202 one-way acknowledgement.
+pub fn http_post(
+    authority: &str,
+    path: &str,
+    env: &Envelope,
+) -> Result<Option<Envelope>, TransportError> {
+    let stream = TcpStream::connect(authority)
+        .map_err(|e| TransportError::Io(format!("connect {authority}: {e}")))?;
+    stream.set_nodelay(true).ok();
+    let body = env.to_xml();
+    let mut writer = stream.try_clone()?;
+    write!(
+        writer,
+        "POST /{} HTTP/1.1\r\nHost: {authority}\r\nContent-Type: text/xml; charset=utf-8\r\nSOAPAction: \"\"\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        path.trim_start_matches('/'),
+        body.len()
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| TransportError::Protocol(format!("bad status line {status_line:?}")))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h)?;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    if code == 202 {
+        return Ok(None);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    if !(code == 200 || code == 500) {
+        return Err(TransportError::Protocol(format!("http status {code}")));
+    }
+    let text = std::str::from_utf8(&body)
+        .map_err(|_| TransportError::Protocol("response not utf-8".into()))?;
+    Envelope::parse(text)
+        .map(Some)
+        .map_err(|e| TransportError::Protocol(format!("bad response envelope: {e}")))
+}
+
+/// Request/response call over HTTP; `None` responses become errors.
+pub fn http_call(authority: &str, path: &str, env: &Envelope) -> Result<Envelope, TransportError> {
+    http_post(authority, path, env)?
+        .ok_or_else(|| TransportError::NoResponse(format!("http://{authority}/{path}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::FnEndpoint;
+    use wsrf_xml::Element;
+
+    #[test]
+    fn end_to_end_call_over_real_sockets() {
+        let server = HttpSoapServer::start(Arc::new(FnEndpoint::new("echo", |env| {
+            let mut e = env;
+            e.body = Element::local("Pong").child(e.body);
+            Some(e)
+        })))
+        .unwrap();
+        let req = Envelope::new(Element::local("Ping").text("payload"));
+        let resp = http_call(&server.authority(), "svc", &req).unwrap();
+        assert_eq!(resp.body.name.local, "Pong");
+        assert_eq!(resp.body.text_content(), "payload");
+    }
+
+    #[test]
+    fn fault_travels_as_http_500() {
+        let server = HttpSoapServer::start(Arc::new(FnEndpoint::new("faulty", |_| {
+            Some(wsrf_soap::SoapFault::server("boom").to_envelope())
+        })))
+        .unwrap();
+        let resp =
+            http_call(&server.authority(), "svc", &Envelope::new(Element::local("X"))).unwrap();
+        assert!(resp.is_fault());
+        assert_eq!(resp.fault().unwrap().reason, "boom");
+    }
+
+    #[test]
+    fn oneway_gets_202() {
+        let server =
+            HttpSoapServer::start(Arc::new(FnEndpoint::new("sink", |_| None))).unwrap();
+        let out =
+            http_post(&server.authority(), "svc", &Envelope::new(Element::local("X"))).unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn connect_to_dead_port_is_io_error() {
+        // Bind-then-drop to find a (very likely) dead port.
+        let dead = {
+            let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = http_call(&dead, "svc", &Envelope::new(Element::local("X"))).unwrap_err();
+        assert!(matches!(err, TransportError::Io(_)));
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = HttpSoapServer::start(Arc::new(FnEndpoint::new("echo", Some))).unwrap();
+        let auth = server.authority();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let auth = auth.clone();
+                std::thread::spawn(move || {
+                    let req = Envelope::new(Element::local("Ping").attr("i", i.to_string()));
+                    let resp = http_call(&auth, "svc", &req).unwrap();
+                    assert_eq!(resp, req);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+}

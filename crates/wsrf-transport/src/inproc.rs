@@ -1,0 +1,342 @@
+//! The simulated campus network.
+//!
+//! Every machine's services register here under their full address
+//! (`inproc://machine01/ExecutionService`, `soap.tcp://client/files`).
+//! Message *costs* come from the [`NetConfig`] model against the shared
+//! virtual clock; message *delivery* is an in-process method call, so a
+//! whole campus grid runs in one address space at memory speed while
+//! still exhibiting realistic timing and traffic metrics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use simclock::Clock;
+use wsrf_soap::{Envelope, Uri};
+
+use crate::endpoint::Endpoint;
+use crate::error::TransportError;
+use crate::netsim::NetConfig;
+use crate::pool::ThreadPool;
+
+/// Traffic counters, readable at any time (experiments E5/E8 plot
+/// these).
+#[derive(Default)]
+pub struct NetMetrics {
+    /// Request/response exchanges completed.
+    pub calls: AtomicU64,
+    /// One-way messages accepted for delivery.
+    pub oneways: AtomicU64,
+    /// Serialized payload bytes moved (requests + responses).
+    pub bytes: AtomicU64,
+    /// Accumulated modeled (virtual) transfer time in nanoseconds.
+    pub modeled_nanos: AtomicU64,
+    /// Messages dropped because the destination vanished between
+    /// scheduling and delivery.
+    pub undeliverable: AtomicU64,
+}
+
+impl NetMetrics {
+    /// Snapshot of (calls, oneways, bytes, modeled transfer time).
+    pub fn snapshot(&self) -> (u64, u64, u64, Duration) {
+        (
+            self.calls.load(Ordering::Relaxed),
+            self.oneways.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+            Duration::from_nanos(self.modeled_nanos.load(Ordering::Relaxed)),
+        )
+    }
+
+    fn record(&self, bytes: u64, modeled: Duration) {
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.modeled_nanos
+            .fetch_add(modeled.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// The simulated network fabric.
+pub struct InProcNetwork {
+    clock: Clock,
+    registry: RwLock<HashMap<String, Arc<dyn Endpoint>>>,
+    config: Mutex<NetConfig>,
+    /// Counters for experiments.
+    pub metrics: NetMetrics,
+    pool: ThreadPool,
+}
+
+impl InProcNetwork {
+    /// A network with zero-cost links (deterministic tests).
+    pub fn new(clock: Clock) -> Arc<Self> {
+        Self::with_config(clock, NetConfig::default())
+    }
+
+    /// A network with an explicit cost model.
+    pub fn with_config(clock: Clock, config: NetConfig) -> Arc<Self> {
+        Arc::new(InProcNetwork {
+            clock,
+            registry: RwLock::new(HashMap::new()),
+            config: Mutex::new(config),
+            metrics: NetMetrics::default(),
+            pool: ThreadPool::new(4, "inproc-oneway"),
+        })
+    }
+
+    /// The clock this network charges costs against.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Replace the cost model (benches sweep this).
+    pub fn set_config(&self, config: NetConfig) {
+        *self.config.lock() = config;
+    }
+
+    /// Register an endpoint at a full address
+    /// (`scheme://authority/path`). Re-registering replaces.
+    pub fn register(&self, address: impl Into<String>, endpoint: Arc<dyn Endpoint>) {
+        self.registry.write().insert(normalize(&address.into()), endpoint);
+    }
+
+    /// Remove an endpoint; true if it existed.
+    pub fn unregister(&self, address: &str) -> bool {
+        self.registry.write().remove(&normalize(address)).is_some()
+    }
+
+    /// Addresses currently registered (diagnostics).
+    pub fn addresses(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.registry.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    fn lookup(&self, address: &str) -> Result<Arc<dyn Endpoint>, TransportError> {
+        self.registry
+            .read()
+            .get(&normalize(address))
+            .cloned()
+            .ok_or_else(|| TransportError::NoRoute(address.to_string()))
+    }
+
+    fn cost(&self, address: &str, bytes: u64) -> Duration {
+        match Uri::parse(address) {
+            Some(u) => self.config.lock().transfer_time(&u.scheme, &u.authority, bytes),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Synchronous request/response exchange.
+    ///
+    /// The caller experiences the modeled request + response transfer
+    /// times: on a scaled clock it genuinely sleeps (scaled); on a
+    /// manual clock costs are recorded in [`NetMetrics`] but delivery
+    /// is inline, keeping tests single-threaded and deterministic.
+    pub fn call(&self, to: &str, env: Envelope) -> Result<Envelope, TransportError> {
+        let ep = self.lookup(to)?;
+        let req_bytes = env.to_xml().len() as u64;
+        let req_cost = self.cost(to, req_bytes);
+        self.metrics.record(req_bytes, req_cost);
+        self.charge(req_cost);
+        let resp = ep
+            .handle(env)
+            .ok_or_else(|| TransportError::NoResponse(to.to_string()))?;
+        let resp_bytes = resp.to_xml().len() as u64;
+        let resp_cost = self.cost(to, resp_bytes);
+        self.metrics.record(resp_bytes, resp_cost);
+        self.charge(resp_cost);
+        self.metrics.calls.fetch_add(1, Ordering::Relaxed);
+        Ok(resp)
+    }
+
+    /// One-way message: returns as soon as the message is "on the
+    /// wire". Routing failures surface immediately; delivery happens
+    /// after the modeled transfer time (via the clock in manual mode,
+    /// via the worker pool in scaled mode).
+    pub fn send_oneway(&self, to: &str, env: Envelope) -> Result<(), TransportError> {
+        let ep = self.lookup(to)?;
+        let bytes = env.to_xml().len() as u64;
+        let cost = self.cost(to, bytes);
+        self.metrics.record(bytes, cost);
+        self.metrics.oneways.fetch_add(1, Ordering::Relaxed);
+        if self.clock.is_manual() {
+            if cost.is_zero() {
+                ep.handle(env);
+            } else {
+                self.clock.schedule(cost, move |_| {
+                    ep.handle(env);
+                });
+            }
+        } else {
+            let clock = self.clock.clone();
+            self.pool.execute(move || {
+                clock.sleep(cost);
+                ep.handle(env);
+            });
+        }
+        Ok(())
+    }
+
+    /// Charge a modeled duration to the caller.
+    fn charge(&self, cost: Duration) {
+        if !cost.is_zero() && !self.clock.is_manual() {
+            self.clock.sleep(cost);
+        }
+    }
+}
+
+fn normalize(address: &str) -> String {
+    address.trim_end_matches('/').to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::FnEndpoint;
+    use wsrf_xml::Element;
+
+    fn echo() -> Arc<dyn Endpoint> {
+        Arc::new(FnEndpoint::new("echo", Some))
+    }
+
+    fn ping() -> Envelope {
+        Envelope::new(Element::local("Ping"))
+    }
+
+    #[test]
+    fn call_routes_to_registered_endpoint() {
+        let net = InProcNetwork::new(Clock::manual());
+        net.register("inproc://m1/Echo", echo());
+        let resp = net.call("inproc://m1/Echo", ping()).unwrap();
+        assert_eq!(resp, ping());
+        let (calls, oneways, bytes, _) = net.metrics.snapshot();
+        assert_eq!((calls, oneways), (1, 0));
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn unknown_address_is_no_route() {
+        let net = InProcNetwork::new(Clock::manual());
+        assert_eq!(
+            net.call("inproc://nowhere/X", ping()),
+            Err(TransportError::NoRoute("inproc://nowhere/X".into()))
+        );
+        assert_eq!(
+            net.send_oneway("inproc://nowhere/X", ping()),
+            Err(TransportError::NoRoute("inproc://nowhere/X".into()))
+        );
+    }
+
+    #[test]
+    fn addresses_are_case_insensitive_and_slash_tolerant() {
+        let net = InProcNetwork::new(Clock::manual());
+        net.register("inproc://M1/Echo/", echo());
+        assert!(net.call("INPROC://m1/echo", ping()).is_ok());
+    }
+
+    #[test]
+    fn unregister_removes_route() {
+        let net = InProcNetwork::new(Clock::manual());
+        net.register("inproc://m1/Echo", echo());
+        assert!(net.unregister("inproc://m1/Echo"));
+        assert!(!net.unregister("inproc://m1/Echo"));
+        assert!(matches!(
+            net.call("inproc://m1/Echo", ping()),
+            Err(TransportError::NoRoute(_))
+        ));
+    }
+
+    #[test]
+    fn oneway_with_zero_cost_delivers_inline_on_manual_clock() {
+        use std::sync::atomic::AtomicUsize;
+        let net = InProcNetwork::new(Clock::manual());
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        net.register(
+            "inproc://m1/Sink",
+            Arc::new(FnEndpoint::new("sink", move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+                None
+            })),
+        );
+        net.send_oneway("inproc://m1/Sink", ping()).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn oneway_with_modeled_cost_waits_for_advance() {
+        use std::sync::atomic::AtomicUsize;
+        let clock = Clock::manual();
+        let cfg = NetConfig {
+            default: crate::netsim::LinkProfile {
+                latency: Duration::from_millis(10),
+                bandwidth_bps: u64::MAX,
+                overhead_bytes: 0,
+                inflation: 1.0,
+            },
+            ..NetConfig::default()
+        };
+        let net = InProcNetwork::with_config(clock.clone(), cfg);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        net.register(
+            "inproc://m1/Sink",
+            Arc::new(FnEndpoint::new("sink", move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+                None
+            })),
+        );
+        net.send_oneway("inproc://m1/Sink", ping()).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "not yet delivered");
+        clock.advance(Duration::from_millis(10));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn endpoint_returning_none_on_call_is_an_error() {
+        let net = InProcNetwork::new(Clock::manual());
+        net.register("inproc://m1/Sink", Arc::new(FnEndpoint::new("sink", |_| None)));
+        assert!(matches!(
+            net.call("inproc://m1/Sink", ping()),
+            Err(TransportError::NoResponse(_))
+        ));
+    }
+
+    #[test]
+    fn modeled_time_accumulates_in_metrics() {
+        let clock = Clock::manual();
+        let cfg = NetConfig {
+            default: crate::netsim::LinkProfile {
+                latency: Duration::from_millis(5),
+                bandwidth_bps: u64::MAX,
+                overhead_bytes: 0,
+                inflation: 1.0,
+            },
+            ..NetConfig::default()
+        };
+        let net = InProcNetwork::with_config(clock, cfg);
+        net.register("inproc://m1/Echo", echo());
+        net.call("inproc://m1/Echo", ping()).unwrap();
+        let (_, _, _, modeled) = net.metrics.snapshot();
+        assert_eq!(modeled, Duration::from_millis(10), "request + response");
+    }
+
+    #[test]
+    fn scaled_clock_call_experiences_latency() {
+        let clock = Clock::scaled(1000.0); // 1 virtual ms = 1 real us
+        let cfg = NetConfig {
+            default: crate::netsim::LinkProfile {
+                latency: Duration::from_secs(1), // 1 virtual s = 1 real ms
+                bandwidth_bps: u64::MAX,
+                overhead_bytes: 0,
+                inflation: 1.0,
+            },
+            ..NetConfig::default()
+        };
+        let net = InProcNetwork::with_config(clock, cfg);
+        net.register("inproc://m1/Echo", echo());
+        let t0 = std::time::Instant::now();
+        net.call("inproc://m1/Echo", ping()).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(2), "two modeled seconds");
+    }
+}

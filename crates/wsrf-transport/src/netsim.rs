@@ -1,0 +1,194 @@
+//! The network cost model for the simulated campus grid.
+//!
+//! The paper contrasts transfer paths (client-side `soap.tcp` bulk
+//! transfer vs HTTP `Read()` calls vs same-machine moves); this module
+//! gives each scheme and each link a latency/bandwidth profile so those
+//! comparisons are quantitative in our reproduction (experiment E5).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Latency/bandwidth description of a link (or scheme default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// One-way propagation + protocol handshake latency.
+    pub latency: Duration,
+    /// Payload bandwidth in bytes per (virtual) second.
+    pub bandwidth_bps: u64,
+    /// Fixed per-message protocol overhead bytes (HTTP headers, SOAP
+    /// framing...), added to the payload before the bandwidth term.
+    pub overhead_bytes: u64,
+    /// Multiplier on payload size (e.g. base64 inflation for binary
+    /// payloads carried in XML).
+    pub inflation: f64,
+}
+
+impl LinkProfile {
+    /// A zero-cost link (useful for deterministic unit tests).
+    pub fn instant() -> Self {
+        LinkProfile {
+            latency: Duration::ZERO,
+            bandwidth_bps: u64::MAX,
+            overhead_bytes: 0,
+            inflation: 1.0,
+        }
+    }
+
+    /// A campus LAN profile: 1 ms latency, 100 Mbit/s.
+    pub fn lan() -> Self {
+        LinkProfile {
+            latency: Duration::from_millis(1),
+            bandwidth_bps: 12_500_000,
+            overhead_bytes: 0,
+            inflation: 1.0,
+        }
+    }
+
+    /// Time to move `payload_bytes` across this link.
+    pub fn transfer_time(&self, payload_bytes: u64) -> Duration {
+        let effective = (payload_bytes as f64 * self.inflation) as u64 + self.overhead_bytes;
+        if self.bandwidth_bps == u64::MAX || self.bandwidth_bps == 0 {
+            return self.latency;
+        }
+        self.latency + Duration::from_secs_f64(effective as f64 / self.bandwidth_bps as f64)
+    }
+}
+
+/// Cost configuration for the whole simulated network.
+///
+/// Resolution order for a destination address: exact-authority override
+/// → scheme override → default.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Fallback profile.
+    pub default: LinkProfile,
+    /// Per-scheme profiles (`http` slower per message than `soap.tcp`,
+    /// mirroring the paper's preference for WSE TCP on large files).
+    pub per_scheme: HashMap<String, LinkProfile>,
+    /// Per-destination-authority overrides (e.g. a slow building
+    /// uplink).
+    pub per_authority: HashMap<String, LinkProfile>,
+}
+
+impl Default for NetConfig {
+    /// Everything instant — unit tests want determinism, not delays.
+    fn default() -> Self {
+        NetConfig {
+            default: LinkProfile::instant(),
+            per_scheme: HashMap::new(),
+            per_authority: HashMap::new(),
+        }
+    }
+}
+
+impl NetConfig {
+    /// The campus-grid profile used by the examples and benches:
+    /// a LAN with HTTP's per-message overhead and base64 inflation
+    /// versus lean `soap.tcp` framing.
+    pub fn campus() -> Self {
+        let mut per_scheme = HashMap::new();
+        per_scheme.insert(
+            "http".to_string(),
+            LinkProfile {
+                latency: Duration::from_millis(2),
+                bandwidth_bps: 12_500_000,
+                overhead_bytes: 600,
+                inflation: 4.0 / 3.0, // binary payloads ride as base64
+            },
+        );
+        per_scheme.insert(
+            "soap.tcp".to_string(),
+            LinkProfile {
+                latency: Duration::from_millis(1),
+                bandwidth_bps: 12_500_000,
+                overhead_bytes: 64,
+                inflation: 1.0,
+            },
+        );
+        per_scheme.insert(
+            "inproc".to_string(),
+            LinkProfile {
+                latency: Duration::from_millis(1),
+                bandwidth_bps: 12_500_000,
+                overhead_bytes: 200,
+                inflation: 1.0,
+            },
+        );
+        NetConfig { default: LinkProfile::lan(), per_scheme, per_authority: HashMap::new() }
+    }
+
+    /// Select the profile for a destination.
+    pub fn profile_for(&self, scheme: &str, authority: &str) -> LinkProfile {
+        if let Some(p) = self.per_authority.get(authority) {
+            return *p;
+        }
+        if let Some(p) = self.per_scheme.get(scheme) {
+            return *p;
+        }
+        self.default
+    }
+
+    /// Cost of moving `bytes` to `scheme://authority/...`.
+    pub fn transfer_time(&self, scheme: &str, authority: &str, bytes: u64) -> Duration {
+        self.profile_for(scheme, authority).transfer_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_profile_is_free() {
+        assert_eq!(LinkProfile::instant().transfer_time(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let p = LinkProfile {
+            latency: Duration::from_millis(1),
+            bandwidth_bps: 1_000_000,
+            overhead_bytes: 0,
+            inflation: 1.0,
+        };
+        assert_eq!(p.transfer_time(0), Duration::from_millis(1));
+        assert_eq!(p.transfer_time(1_000_000), Duration::from_millis(1001));
+    }
+
+    #[test]
+    fn overhead_and_inflation_apply() {
+        let p = LinkProfile {
+            latency: Duration::ZERO,
+            bandwidth_bps: 1000,
+            overhead_bytes: 500,
+            inflation: 2.0,
+        };
+        // 250 bytes * 2 + 500 = 1000 bytes -> 1 s.
+        assert_eq!(p.transfer_time(250), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn resolution_order() {
+        let mut cfg = NetConfig::default();
+        cfg.per_scheme.insert("http".into(), LinkProfile::lan());
+        let slow = LinkProfile {
+            latency: Duration::from_secs(1),
+            bandwidth_bps: 10,
+            overhead_bytes: 0,
+            inflation: 1.0,
+        };
+        cfg.per_authority.insert("far-building".into(), slow);
+        assert_eq!(cfg.profile_for("http", "near"), LinkProfile::lan());
+        assert_eq!(cfg.profile_for("http", "far-building"), slow);
+        assert_eq!(cfg.profile_for("soap.tcp", "near"), LinkProfile::instant());
+    }
+
+    #[test]
+    fn campus_prefers_tcp_for_large_files() {
+        let cfg = NetConfig::campus();
+        let size = 10_000_000;
+        let http = cfg.transfer_time("http", "m1", size);
+        let tcp = cfg.transfer_time("soap.tcp", "m1", size);
+        assert!(tcp < http, "soap.tcp {tcp:?} should beat http {http:?}");
+    }
+}

@@ -1,0 +1,86 @@
+//! A small fixed-size worker pool for asynchronous one-way message
+//! delivery (thread-per-message would melt under the notification
+//! benches).
+
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send>;
+
+/// Fixed-size thread pool. Tasks run FIFO across workers.
+pub struct ThreadPool {
+    tx: Option<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `n` workers (at least 1).
+    pub fn new(n: usize, label: &str) -> Self {
+        let (tx, rx) = unbounded::<Task>();
+        let workers = (0..n.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("{label}-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            task();
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { tx: Some(tx), workers }
+    }
+
+    /// Enqueue a task.
+    pub fn execute(&self, task: impl FnOnce() + Send + 'static) {
+        if let Some(tx) = &self.tx {
+            // Receivers only disappear at shutdown; ignore failure then.
+            let _ = tx.send(Box::new(task));
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel; workers drain remaining tasks then exit.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_all_tasks() {
+        let pool = ThreadPool::new(4, "test");
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = count.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // drains
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let pool = ThreadPool::new(0, "clamp");
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        pool.execute(move || {
+            d.store(1, Ordering::SeqCst);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Standard-alphabet base64, used wherever binary data rides inside an
+//! XML text node (`xsd:base64Binary`): file contents in the File
+//! System Service messages, key material in WS-Security headers.
+
+/// Encode bytes with the standard alphabet and `=` padding.
+pub fn encode(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] =
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+/// Decode base64; whitespace is permitted and ignored (XML canonical
+/// form allows line wrapping). Returns `None` on any malformed input.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let mut out = Vec::with_capacity(s.len() / 4 * 3);
+    let mut acc: u32 = 0;
+    let mut nbits = 0u32;
+    let mut pad = 0usize;
+    for &c in s.as_bytes() {
+        if c.is_ascii_whitespace() {
+            continue;
+        }
+        if c == b'=' {
+            pad += 1;
+            if pad > 2 {
+                return None;
+            }
+            continue;
+        }
+        if pad > 0 {
+            return None; // data after padding
+        }
+        acc = (acc << 6) | val(c)?;
+        nbits += 6;
+        if nbits >= 8 {
+            nbits -= 8;
+            out.push((acc >> nbits) as u8);
+        }
+    }
+    // Leftover bits must be zero padding-compatible.
+    if nbits >= 6 || (acc & ((1 << nbits) - 1)) != 0 {
+        return None;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        let cases: &[(&str, &str)] = &[
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, enc) in cases {
+            assert_eq!(encode(plain.as_bytes()), *enc);
+            assert_eq!(decode(enc).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn whitespace_is_ignored_on_decode() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(decode("Zm9v!").is_none());
+        assert!(decode("Zg=").is_some(), "single pad with complete byte ok");
+        assert!(decode("Z===").is_none());
+        assert!(decode("Zg==Zg==").is_none(), "data after padding");
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type shared by the parser and the XPath engine.
+
+use std::fmt;
+
+/// An error raised while parsing an XML document or an XPath-lite
+/// expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Human readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the input at which the error was detected, when
+    /// known.
+    pub offset: Option<usize>,
+}
+
+impl XmlError {
+    /// Create an error with no position information.
+    pub fn new(message: impl Into<String>) -> Self {
+        XmlError { message: message.into(), offset: None }
+    }
+
+    /// Create an error anchored at a byte offset in the input.
+    pub fn at(message: impl Into<String>, offset: usize) -> Self {
+        XmlError { message: message.into(), offset: Some(offset) }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "xml error at byte {}: {}", o, self.message),
+            None => write!(f, "xml error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = XmlError::at("unexpected '<'", 17);
+        assert_eq!(e.to_string(), "xml error at byte 17: unexpected '<'");
+        let e = XmlError::new("truncated");
+        assert_eq!(e.to_string(), "xml error: truncated");
+    }
+}

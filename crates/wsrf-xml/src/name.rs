@@ -1,0 +1,102 @@
+//! Namespace-qualified XML names.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A namespace-qualified XML name: `{namespace-uri}local-part`.
+///
+/// Namespace URIs are interned behind an [`Arc`] because the same few
+/// specification namespaces (WS-Addressing, WS-ResourceProperties, ...)
+/// are repeated thousands of times across a message exchange.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct QName {
+    /// The namespace URI, or `None` for names in no namespace.
+    pub ns: Option<Arc<str>>,
+    /// The local part of the name.
+    pub local: String,
+}
+
+impl QName {
+    /// A name in the given namespace.
+    pub fn new(ns: impl AsRef<str>, local: impl Into<String>) -> Self {
+        QName { ns: Some(Arc::from(ns.as_ref())), local: local.into() }
+    }
+
+    /// A name in no namespace.
+    pub fn local(local: impl Into<String>) -> Self {
+        QName { ns: None, local: local.into() }
+    }
+
+    /// The namespace URI as a plain `&str`, if any.
+    pub fn ns_str(&self) -> Option<&str> {
+        self.ns.as_deref()
+    }
+
+    /// True when this name has the given namespace URI and local part.
+    pub fn is(&self, ns: &str, local: &str) -> bool {
+        self.local == local && self.ns_str() == Some(ns)
+    }
+
+    /// Parse Clark notation, `{uri}local` or bare `local`.
+    pub fn from_clark(s: &str) -> Self {
+        if let Some(rest) = s.strip_prefix('{') {
+            if let Some(end) = rest.find('}') {
+                let (uri, local) = rest.split_at(end);
+                return QName::new(uri, &local[1..]);
+            }
+        }
+        QName::local(s)
+    }
+}
+
+impl fmt::Display for QName {
+    /// Clark notation: `{uri}local`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.ns {
+            Some(ns) => write!(f, "{{{}}}{}", ns, self.local),
+            None => f.write_str(&self.local),
+        }
+    }
+}
+
+impl fmt::Debug for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QName({})", self)
+    }
+}
+
+impl From<&str> for QName {
+    fn from(s: &str) -> Self {
+        QName::from_clark(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clark_roundtrip() {
+        let q = QName::new("http://example.org/ns", "Job");
+        assert_eq!(q.to_string(), "{http://example.org/ns}Job");
+        assert_eq!(QName::from_clark(&q.to_string()), q);
+        let bare = QName::local("Job");
+        assert_eq!(bare.to_string(), "Job");
+        assert_eq!(QName::from_clark("Job"), bare);
+    }
+
+    #[test]
+    fn is_matches_namespace_and_local() {
+        let q = QName::new("urn:a", "x");
+        assert!(q.is("urn:a", "x"));
+        assert!(!q.is("urn:b", "x"));
+        assert!(!q.is("urn:a", "y"));
+        assert!(!QName::local("x").is("urn:a", "x"));
+    }
+
+    #[test]
+    fn from_str_conversion() {
+        let q: QName = "{urn:a}x".into();
+        assert!(q.is("urn:a", "x"));
+    }
+}

@@ -1,0 +1,476 @@
+//! A single-pass, namespace-resolving XML parser.
+//!
+//! Supports the subset of XML 1.0 that appears on SOAP wires: elements,
+//! attributes, character data, the five predefined entities plus
+//! numeric character references, CDATA sections, comments, processing
+//! instructions and the XML declaration. DTDs are rejected (as real
+//! SOAP stacks do, to avoid entity-expansion attacks).
+
+use std::collections::HashMap;
+
+use crate::error::XmlError;
+use crate::name::QName;
+use crate::node::{Element, Node};
+use crate::Result;
+
+/// Maximum element nesting depth accepted by [`parse`]. The parser is
+/// recursive and debug-build frames are large, so this is set well
+/// inside a 2 MiB test-thread stack while remaining far beyond any
+/// real SOAP message (real stacks bound nesting too).
+pub const MAX_DEPTH: usize = 100;
+
+/// Parse a complete XML document (or bare element) into an [`Element`].
+pub fn parse(input: &str) -> Result<Element> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, ns_stack: Vec::new() };
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if p.pos != p.bytes.len() {
+        return Err(XmlError::at("trailing content after document element", p.pos));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Stack of per-element namespace bindings: prefix -> uri. The
+    /// empty-string prefix holds the default namespace.
+    ns_stack: Vec<HashMap<String, String>>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(XmlError::at(format!("expected '{}'", b as char), self.pos))
+        }
+    }
+
+    fn skip_until(&mut self, pat: &str) -> Result<()> {
+        let hay = &self.bytes[self.pos..];
+        match find_sub(hay, pat.as_bytes()) {
+            Some(i) => {
+                self.pos += i + pat.len();
+                Ok(())
+            }
+            None => Err(XmlError::at(format!("unterminated construct, expected '{}'", pat), self.pos)),
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            self.skip_until("?>")?;
+        }
+        self.skip_misc();
+        if self.starts_with("<!DOCTYPE") {
+            return Err(XmlError::at("DTDs are not accepted", self.pos));
+        }
+        Ok(())
+    }
+
+    /// Skip comments, PIs and whitespace between top-level constructs.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                if self.skip_until("-->").is_err() {
+                    return;
+                }
+            } else if self.starts_with("<?") {
+                if self.skip_until("?>").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(XmlError::at("expected a name", self.pos));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| XmlError::at("invalid utf-8 in name", start))?
+            .to_string())
+    }
+
+    fn resolve(&self, prefix: &str, pos: usize, is_attr: bool) -> Result<Option<String>> {
+        if prefix == "xml" {
+            return Ok(Some("http://www.w3.org/XML/1998/namespace".to_string()));
+        }
+        for frame in self.ns_stack.iter().rev() {
+            if let Some(uri) = frame.get(prefix) {
+                if uri.is_empty() {
+                    return Ok(None); // xmlns="" un-declares the default ns
+                }
+                return Ok(Some(uri.clone()));
+            }
+        }
+        if prefix.is_empty() || (is_attr && prefix.is_empty()) {
+            Ok(None)
+        } else {
+            Err(XmlError::at(format!("undeclared namespace prefix '{}'", prefix), pos))
+        }
+    }
+
+    fn split_prefixed(raw: &str) -> (&str, &str) {
+        match raw.find(':') {
+            Some(i) => (&raw[..i], &raw[i + 1..]),
+            None => ("", raw),
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<Element> {
+        if self.ns_stack.len() >= crate::parser::MAX_DEPTH {
+            return Err(XmlError::at(
+                format!("element nesting exceeds {} levels", MAX_DEPTH),
+                self.pos,
+            ));
+        }
+        let tag_pos = self.pos;
+        self.expect_byte(b'<')?;
+        let raw_name = self.parse_name()?;
+
+        // First pass over attributes: gather raw attrs and ns decls.
+        let mut frame: HashMap<String, String> = HashMap::new();
+        let mut raw_attrs: Vec<(String, String, usize)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') => break,
+                Some(_) => {
+                    let apos = self.pos;
+                    let aname = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect_byte(b'=')?;
+                    self.skip_ws();
+                    let quote = self.peek().ok_or_else(|| XmlError::at("eof in attribute", self.pos))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(XmlError::at("attribute value must be quoted", self.pos));
+                    }
+                    self.pos += 1;
+                    let vstart = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote {
+                            break;
+                        }
+                        if b == b'<' {
+                            return Err(XmlError::at("'<' in attribute value", self.pos));
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(XmlError::at("unterminated attribute value", vstart));
+                    }
+                    let raw_val = std::str::from_utf8(&self.bytes[vstart..self.pos])
+                        .map_err(|_| XmlError::at("invalid utf-8", vstart))?;
+                    let value = unescape(raw_val, vstart)?;
+                    self.pos += 1; // closing quote
+                    if aname == "xmlns" {
+                        frame.insert(String::new(), value);
+                    } else if let Some(pfx) = aname.strip_prefix("xmlns:") {
+                        frame.insert(pfx.to_string(), value);
+                    } else {
+                        raw_attrs.push((aname, value, apos));
+                    }
+                }
+                None => return Err(XmlError::at("eof inside start tag", self.pos)),
+            }
+        }
+        self.ns_stack.push(frame);
+
+        // Resolve the element name and attribute names.
+        let (prefix, local) = Self::split_prefixed(&raw_name);
+        let ns = self.resolve(prefix, tag_pos, false)?;
+        let name = match ns {
+            Some(uri) => QName::new(uri, local),
+            None => QName::local(local),
+        };
+        let mut element = Element::with_name(name);
+        for (raw, value, apos) in raw_attrs {
+            let (pfx, loc) = Self::split_prefixed(&raw);
+            // Per the namespaces spec, unprefixed attributes are in no
+            // namespace (they do NOT inherit the default namespace).
+            let qn = if pfx.is_empty() {
+                QName::local(loc)
+            } else {
+                match self.resolve(pfx, apos, true)? {
+                    Some(uri) => QName::new(uri, loc),
+                    None => QName::local(loc),
+                }
+            };
+            element.attrs.push((qn, value));
+        }
+
+        // Empty-element tag?
+        if self.peek() == Some(b'/') {
+            self.pos += 1;
+            self.expect_byte(b'>')?;
+            self.ns_stack.pop();
+            return Ok(element);
+        }
+        self.expect_byte(b'>')?;
+
+        // Content.
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close_pos = self.pos;
+                let close_name = self.parse_name()?;
+                self.skip_ws();
+                self.expect_byte(b'>')?;
+                if close_name != raw_name {
+                    return Err(XmlError::at(
+                        format!("mismatched close tag </{}> for <{}>", close_name, raw_name),
+                        close_pos,
+                    ));
+                }
+                self.ns_stack.pop();
+                return Ok(element);
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let start = self.pos;
+                self.skip_until("]]>")?;
+                let text = std::str::from_utf8(&self.bytes[start..self.pos - 3])
+                    .map_err(|_| XmlError::at("invalid utf-8 in CDATA", start))?;
+                push_text(&mut element, text.to_string());
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element()?;
+                element.children.push(Node::Element(child));
+            } else if self.peek().is_some() {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| XmlError::at("invalid utf-8 in text", start))?;
+                push_text(&mut element, unescape(raw, start)?);
+            } else {
+                return Err(XmlError::at("eof inside element content", self.pos));
+            }
+        }
+    }
+}
+
+/// Append text, merging with a trailing text node (CDATA adjacency).
+fn push_text(element: &mut Element, text: String) {
+    if text.is_empty() {
+        return;
+    }
+    if let Some(Node::Text(prev)) = element.children.last_mut() {
+        prev.push_str(&text);
+    } else {
+        element.children.push(Node::Text(text));
+    }
+}
+
+fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || hay.len() < needle.len() {
+        return None;
+    }
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Decode the predefined entities and numeric character references.
+fn unescape(raw: &str, offset: usize) -> Result<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| XmlError::at("unterminated entity reference", offset))?;
+        let entity = &rest[1..end];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| XmlError::at("bad hex character reference", offset))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| XmlError::at("invalid character reference", offset))?,
+                );
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..]
+                    .parse()
+                    .map_err(|_| XmlError::at("bad character reference", offset))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| XmlError::at("invalid character reference", offset))?,
+                );
+            }
+            other => {
+                return Err(XmlError::at(format!("unknown entity '&{};'", other), offset));
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let e = parse("<?xml version=\"1.0\"?><a x=\"1\"><b>hi</b></a>").unwrap();
+        assert_eq!(e.name.local, "a");
+        assert_eq!(e.attr_value("x"), Some("1"));
+        assert_eq!(e.find_local("b").unwrap().text_content(), "hi");
+    }
+
+    #[test]
+    fn resolves_default_and_prefixed_namespaces() {
+        let e = parse(
+            "<a xmlns=\"urn:d\" xmlns:p=\"urn:p\"><p:b/><c/></a>",
+        )
+        .unwrap();
+        assert!(e.name.is("urn:d", "a"));
+        assert!(e.elements().next().unwrap().name.is("urn:p", "b"));
+        assert!(e.elements().nth(1).unwrap().name.is("urn:d", "c"));
+    }
+
+    #[test]
+    fn unprefixed_attributes_have_no_namespace() {
+        let e = parse("<a xmlns=\"urn:d\" k=\"v\"/>").unwrap();
+        assert_eq!(e.attrs[0].0, QName::local("k"));
+    }
+
+    #[test]
+    fn namespace_scoping_and_shadowing() {
+        let e = parse("<a xmlns:p=\"urn:1\"><b xmlns:p=\"urn:2\"><p:x/></b><p:y/></a>").unwrap();
+        let b = e.elements().next().unwrap();
+        assert!(b.elements().next().unwrap().name.is("urn:2", "x"));
+        assert!(e.elements().nth(1).unwrap().name.is("urn:1", "y"));
+    }
+
+    #[test]
+    fn undeclared_prefix_is_an_error() {
+        assert!(parse("<p:a/>").is_err());
+    }
+
+    #[test]
+    fn entities_and_char_refs() {
+        let e = parse("<a>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</a>").unwrap();
+        assert_eq!(e.text_content(), "<>&\"'AB");
+    }
+
+    #[test]
+    fn cdata_is_literal_text() {
+        let e = parse("<a><![CDATA[1 < 2 & x]]></a>").unwrap();
+        assert_eq!(e.text_content(), "1 < 2 & x");
+    }
+
+    #[test]
+    fn adjacent_text_and_cdata_merge() {
+        let e = parse("<a>x<![CDATA[y]]>z</a>").unwrap();
+        assert_eq!(e.children.len(), 1);
+        assert_eq!(e.text_content(), "xyz");
+    }
+
+    #[test]
+    fn comments_and_pis_are_skipped() {
+        let e = parse("<!-- c --><a><!-- c2 --><?pi data?><b/></a><!-- tail -->").unwrap();
+        assert_eq!(e.element_count(), 1);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn doctype_rejected() {
+        assert!(parse("<!DOCTYPE a []><a/>").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert!(parse("<a>&nope;</a>").is_err());
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let e = parse("<a k='v\"w'/>").unwrap();
+        assert_eq!(e.attr_value("k"), Some("v\"w"));
+    }
+
+    #[test]
+    fn xmlns_empty_undeclares_default() {
+        let e = parse("<a xmlns=\"urn:d\"><b xmlns=\"\"/></a>").unwrap();
+        assert!(e.elements().next().unwrap().name.ns.is_none());
+    }
+
+    #[test]
+    fn depth_limit_rejects_hostile_nesting() {
+        let deep = "<a>".repeat(MAX_DEPTH + 1) + &"</a>".repeat(MAX_DEPTH + 1);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Depth just under the limit is fine.
+        let ok = "<a>".repeat(MAX_DEPTH - 1) + &"</a>".repeat(MAX_DEPTH - 1);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let src = crate::Element::new("urn:x", "root")
+            .attr("a", "1 < 2")
+            .child(crate::Element::new("urn:y", "kid").text("t&t"))
+            .child(crate::Element::new("urn:x", "kid2"));
+        let parsed = parse(&src.to_xml()).unwrap();
+        assert_eq!(parsed, src);
+    }
+}

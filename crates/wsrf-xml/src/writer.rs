@@ -1,0 +1,250 @@
+//! XML serialization with automatic namespace-prefix management.
+//!
+//! The writer walks the element tree, assigning prefixes (`ns0`,
+//! `ns1`, ...) to namespace URIs the first time they appear and emitting
+//! the corresponding `xmlns:` declarations on the element that
+//! introduced them. Prefix bindings are scoped: siblings reuse a
+//! binding introduced by an ancestor but not one introduced by an
+//! earlier sibling subtree.
+
+use crate::node::{Element, Node};
+
+/// Escape character data for use inside element content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape character data for use inside a double-quoted attribute.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Scoped prefix table used during a single serialization pass.
+struct Scope {
+    /// Stack of (uri, prefix) bindings; later entries shadow earlier.
+    bindings: Vec<(String, String)>,
+    next_id: usize,
+}
+
+impl Scope {
+    fn lookup(&self, uri: &str) -> Option<&str> {
+        self.bindings.iter().rev().find(|(u, _)| u == uri).map(|(_, p)| p.as_str())
+    }
+}
+
+impl Element {
+    /// Serialize this element (and subtree) to a compact XML string.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let mut scope = Scope { bindings: Vec::new(), next_id: 0 };
+        write_element(self, &mut out, &mut scope);
+        out
+    }
+
+    /// Serialize with a leading XML declaration, as sent on the wire.
+    pub fn to_document(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"utf-8\"?>");
+        out.push_str(&self.to_xml());
+        out
+    }
+
+    /// Serialize to an indented, human-readable string (used by the
+    /// examples and by diagnostics; never on the wire).
+    pub fn to_pretty_xml(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let mut scope = Scope { bindings: Vec::new(), next_id: 0 };
+        write_pretty(self, &mut out, &mut scope, 0);
+        out
+    }
+}
+
+fn write_name(
+    name: &crate::QName,
+    out: &mut String,
+    scope: &mut Scope,
+    new_decls: &mut Vec<(String, String)>,
+) {
+    match name.ns_str() {
+        None => out.push_str(&name.local),
+        Some(uri) => {
+            let prefix = match scope.lookup(uri) {
+                Some(p) => p.to_string(),
+                None => {
+                    // Also check declarations added for this very tag.
+                    if let Some((_, p)) = new_decls.iter().find(|(u, _)| u == uri) {
+                        p.clone()
+                    } else {
+                        let p = format!("ns{}", scope.next_id);
+                        scope.next_id += 1;
+                        new_decls.push((uri.to_string(), p.clone()));
+                        p
+                    }
+                }
+            };
+            out.push_str(&prefix);
+            out.push(':');
+            out.push_str(&name.local);
+        }
+    }
+}
+
+fn open_tag(e: &Element, out: &mut String, scope: &mut Scope) -> usize {
+    let mut new_decls: Vec<(String, String)> = Vec::new();
+    out.push('<');
+    write_name(&e.name, out, scope, &mut new_decls);
+    // Attribute names may introduce further prefixes.
+    let mut attr_text = String::new();
+    for (an, av) in &e.attrs {
+        attr_text.push(' ');
+        write_name(an, &mut attr_text, scope, &mut new_decls);
+        attr_text.push_str("=\"");
+        attr_text.push_str(&escape_attr(av));
+        attr_text.push('"');
+    }
+    for (uri, prefix) in &new_decls {
+        out.push_str(" xmlns:");
+        out.push_str(prefix);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(uri));
+        out.push('"');
+    }
+    out.push_str(&attr_text);
+    let added = new_decls.len();
+    scope.bindings.extend(new_decls);
+    added
+}
+
+fn write_element(e: &Element, out: &mut String, scope: &mut Scope) {
+    let added = open_tag(e, out, scope);
+    if e.children.is_empty() {
+        out.push_str("/>");
+    } else {
+        out.push('>');
+        for c in &e.children {
+            match c {
+                Node::Text(t) => out.push_str(&escape_text(t)),
+                Node::Element(el) => write_element(el, out, scope),
+            }
+        }
+        out.push_str("</");
+        let mut dummy = Vec::new();
+        write_name(&e.name, out, scope, &mut dummy);
+        debug_assert!(dummy.is_empty(), "close tag must reuse an existing prefix");
+        out.push('>');
+    }
+    scope.bindings.truncate(scope.bindings.len() - added);
+}
+
+fn write_pretty(e: &Element, out: &mut String, scope: &mut Scope, depth: usize) {
+    let indent = "  ".repeat(depth);
+    out.push_str(&indent);
+    let added = open_tag(e, out, scope);
+    let has_child_elems = e.elements().next().is_some();
+    if e.children.is_empty() {
+        out.push_str("/>\n");
+    } else if !has_child_elems {
+        out.push('>');
+        for c in &e.children {
+            if let Node::Text(t) = c {
+                out.push_str(&escape_text(t));
+            }
+        }
+        out.push_str("</");
+        let mut dummy = Vec::new();
+        write_name(&e.name, out, scope, &mut dummy);
+        out.push_str(">\n");
+    } else {
+        out.push_str(">\n");
+        for c in &e.children {
+            match c {
+                Node::Text(t) if t.trim().is_empty() => {}
+                Node::Text(t) => {
+                    out.push_str(&"  ".repeat(depth + 1));
+                    out.push_str(&escape_text(t));
+                    out.push('\n');
+                }
+                Node::Element(el) => write_pretty(el, out, scope, depth + 1),
+            }
+        }
+        out.push_str(&indent);
+        out.push_str("</");
+        let mut dummy = Vec::new();
+        write_name(&e.name, out, scope, &mut dummy);
+        out.push_str(">\n");
+    }
+    scope.bindings.truncate(scope.bindings.len() - added);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Element;
+
+    #[test]
+    fn writes_empty_element() {
+        assert_eq!(Element::local("a").to_xml(), "<a/>");
+    }
+
+    #[test]
+    fn writes_namespace_declarations_once() {
+        let e = Element::new("urn:x", "a")
+            .child(Element::new("urn:x", "b"))
+            .child(Element::new("urn:y", "c"));
+        let xml = e.to_xml();
+        assert_eq!(
+            xml,
+            "<ns0:a xmlns:ns0=\"urn:x\"><ns0:b/><ns1:c xmlns:ns1=\"urn:y\"/></ns0:a>"
+        );
+    }
+
+    #[test]
+    fn escapes_text_and_attributes() {
+        let e = Element::local("a").attr("v", "x<\">&").text("1 < 2 & 3 > 2");
+        let xml = e.to_xml();
+        assert_eq!(xml, "<a v=\"x&lt;&quot;&gt;&amp;\">1 &lt; 2 &amp; 3 &gt; 2</a>");
+    }
+
+    #[test]
+    fn sibling_scopes_do_not_leak_prefixes() {
+        // urn:y is introduced inside the first child's subtree; the
+        // second child must re-declare it.
+        let e = Element::local("r")
+            .child(Element::local("c1").child(Element::new("urn:y", "x")))
+            .child(Element::new("urn:y", "x"));
+        let xml = e.to_xml();
+        assert_eq!(xml.matches("xmlns:").count(), 2, "{}", xml);
+    }
+
+    #[test]
+    fn document_has_declaration() {
+        assert!(Element::local("a").to_document().starts_with("<?xml"));
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let e = Element::local("a").child(Element::local("b").text("t"));
+        let pretty = e.to_pretty_xml();
+        assert_eq!(pretty, "<a>\n  <b>t</b>\n</a>\n");
+    }
+}

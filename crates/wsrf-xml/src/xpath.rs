@@ -1,0 +1,405 @@
+//! XPath-lite: the query language behind `QueryResourceProperties`.
+//!
+//! WSRF's `QueryResourceProperties` operation takes a query expression
+//! in a dialect (the spec mandates XPath 1.0 as the baseline dialect).
+//! This module implements the subset of XPath that grid clients
+//! actually use against resource-property documents:
+//!
+//! * absolute (`/a/b`) and relative (`a/b`) location paths,
+//! * the child (`/`) and descendant-or-self (`//`) axes,
+//! * name tests by local name (`Status`), by qualified name in Clark
+//!   notation (`{urn:es}Status`) and the wildcard `*`,
+//! * predicates: position (`[2]`), attribute equality
+//!   (`[@name='cpu0']`) and child-text equality (`[State='Running']`).
+//!
+//! Selection returns element references; [`Path::select_text`] is a
+//! convenience for the common "read one value" pattern.
+
+use crate::error::XmlError;
+use crate::name::QName;
+use crate::node::Element;
+use crate::Result;
+
+/// A parsed XPath-lite expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// True when the expression began with `/` (or `//`).
+    pub absolute: bool,
+    /// The location steps in order.
+    pub steps: Vec<Step>,
+}
+
+/// One location step of a [`Path`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis connecting this step to the previous one.
+    pub axis: Axis,
+    /// The node (name) test.
+    pub test: NameTest,
+    /// Predicates applied in order.
+    pub preds: Vec<Pred>,
+}
+
+/// Supported axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/` — direct children.
+    Child,
+    /// `//` — any descendant (descendant-or-self then child).
+    DescendantOrSelf,
+}
+
+/// Supported name tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NameTest {
+    /// `*` — any element.
+    Any,
+    /// Match by local name, ignoring namespace.
+    Local(String),
+    /// Match by full qualified name (written in Clark notation).
+    Qualified(QName),
+}
+
+impl NameTest {
+    fn matches(&self, e: &Element) -> bool {
+        match self {
+            NameTest::Any => true,
+            NameTest::Local(l) => e.name.local == *l,
+            NameTest::Qualified(q) => e.name == *q,
+        }
+    }
+}
+
+/// Supported predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// `[3]` — 1-based position among the step's matches for one
+    /// context node.
+    Position(usize),
+    /// `[@attr='v']` — attribute equality (attribute name matched by
+    /// local name).
+    AttrEq(String, String),
+    /// `[child='v']` — text content of a child element equals a value.
+    ChildTextEq(String, String),
+}
+
+impl Path {
+    /// Parse an expression. Errors carry the offending offset.
+    pub fn parse(expr: &str) -> Result<Path> {
+        PathParser { bytes: expr.as_bytes(), pos: 0 }.parse()
+    }
+
+    /// Evaluate against `root`, returning matching elements in document
+    /// order (duplicates removed).
+    ///
+    /// For absolute paths the first step is tested against the document
+    /// element itself (i.e. `/Doc/Child` selects children of a root
+    /// named `Doc`). Relative paths start at the children of `root`.
+    pub fn select<'a>(&self, root: &'a Element) -> Vec<&'a Element> {
+        // The virtual document node is represented by `None`.
+        let mut ctx: Vec<Option<&'a Element>> = vec![None];
+        if !self.absolute {
+            ctx = vec![Some(root)];
+        }
+        let mut result: Vec<&'a Element> = Vec::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            let mut next: Vec<&'a Element> = Vec::new();
+            for c in &ctx {
+                let candidates: Vec<&'a Element> = match (step.axis, c) {
+                    (Axis::Child, None) => vec![root],
+                    (Axis::Child, Some(e)) => e.elements().collect(),
+                    (Axis::DescendantOrSelf, None) => root.descendants().collect(),
+                    (Axis::DescendantOrSelf, Some(e)) => {
+                        e.elements().flat_map(|k| k.descendants()).collect()
+                    }
+                };
+                let mut matched: Vec<&'a Element> =
+                    candidates.into_iter().filter(|e| step.test.matches(e)).collect();
+                for p in &step.preds {
+                    matched = apply_pred(matched, p);
+                }
+                next.extend(matched);
+            }
+            dedup_by_ptr(&mut next);
+            if i + 1 == self.steps.len() {
+                result = next;
+                break;
+            }
+            ctx = next.into_iter().map(Some).collect();
+        }
+        result
+    }
+
+    /// Text content of the first match, if any.
+    pub fn select_text(&self, root: &Element) -> Option<String> {
+        self.select(root).first().map(|e| e.text_content())
+    }
+}
+
+fn apply_pred<'a>(matched: Vec<&'a Element>, p: &Pred) -> Vec<&'a Element> {
+    match p {
+        Pred::Position(n) => {
+            if *n >= 1 && *n <= matched.len() {
+                vec![matched[*n - 1]]
+            } else {
+                Vec::new()
+            }
+        }
+        Pred::AttrEq(name, value) => matched
+            .into_iter()
+            .filter(|e| {
+                e.attrs
+                    .iter()
+                    .any(|(q, v)| q.local == *name && v == value)
+            })
+            .collect(),
+        Pred::ChildTextEq(name, value) => matched
+            .into_iter()
+            .filter(|e| {
+                e.elements()
+                    .any(|k| k.name.local == *name && k.text_content() == *value)
+            })
+            .collect(),
+    }
+}
+
+fn dedup_by_ptr(v: &mut Vec<&Element>) {
+    let mut seen: Vec<*const Element> = Vec::with_capacity(v.len());
+    v.retain(|e| {
+        let p = *e as *const Element;
+        if seen.contains(&p) {
+            false
+        } else {
+            seen.push(p);
+            true
+        }
+    });
+}
+
+struct PathParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PathParser<'a> {
+    fn parse(mut self) -> Result<Path> {
+        if self.bytes.is_empty() {
+            return Err(XmlError::new("empty xpath expression"));
+        }
+        let mut absolute = false;
+        let mut axis = Axis::Child;
+        if self.eat("//") {
+            absolute = true;
+            axis = Axis::DescendantOrSelf;
+        } else if self.eat("/") {
+            absolute = true;
+        }
+        let mut steps = Vec::new();
+        loop {
+            let step = self.parse_step(axis)?;
+            steps.push(step);
+            if self.pos == self.bytes.len() {
+                break;
+            }
+            if self.eat("//") {
+                axis = Axis::DescendantOrSelf;
+            } else if self.eat("/") {
+                axis = Axis::Child;
+            } else {
+                return Err(XmlError::at("expected '/' between steps", self.pos));
+            }
+        }
+        Ok(Path { absolute, steps })
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_step(&mut self, axis: Axis) -> Result<Step> {
+        let test = if self.eat("*") {
+            NameTest::Any
+        } else if self.bytes.get(self.pos) == Some(&b'{') {
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| *b != b'}') {
+                self.pos += 1;
+            }
+            if self.bytes.get(self.pos) != Some(&b'}') {
+                return Err(XmlError::at("unterminated '{uri}' in name test", start));
+            }
+            self.pos += 1;
+            let local = self.parse_ident()?;
+            let uri = std::str::from_utf8(&self.bytes[start + 1..self.pos - local.len() - 1])
+                .map_err(|_| XmlError::at("invalid utf-8", start))?;
+            NameTest::Qualified(QName::new(uri, local))
+        } else {
+            NameTest::Local(self.parse_ident()?)
+        };
+        let mut preds = Vec::new();
+        while self.eat("[") {
+            preds.push(self.parse_pred()?);
+            if !self.eat("]") {
+                return Err(XmlError::at("expected ']'", self.pos));
+            }
+        }
+        Ok(Step { axis, test, preds })
+    }
+
+    fn parse_ident(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(XmlError::at("expected a name", self.pos));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_string())
+    }
+
+    fn parse_pred(&mut self) -> Result<Pred> {
+        if self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+            let n: usize = std::str::from_utf8(&self.bytes[start..self.pos])
+                .unwrap()
+                .parse()
+                .map_err(|_| XmlError::at("bad position predicate", start))?;
+            return Ok(Pred::Position(n));
+        }
+        let is_attr = self.eat("@");
+        let name = self.parse_ident()?;
+        if !self.eat("=") {
+            return Err(XmlError::at("expected '=' in predicate", self.pos));
+        }
+        let quote = match self.bytes.get(self.pos) {
+            Some(&q @ (b'\'' | b'"')) => q,
+            _ => return Err(XmlError::at("expected quoted value in predicate", self.pos)),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| *b != quote) {
+            self.pos += 1;
+        }
+        if self.bytes.get(self.pos) != Some(&quote) {
+            return Err(XmlError::at("unterminated predicate value", start));
+        }
+        let value = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| XmlError::at("invalid utf-8", start))?
+            .to_string();
+        self.pos += 1;
+        Ok(if is_attr { Pred::AttrEq(name, value) } else { Pred::ChildTextEq(name, value) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn doc() -> Element {
+        parse(
+            r#"<Props xmlns="urn:es">
+                 <Job id="1"><Status>Running</Status><Cpu>1.5</Cpu></Job>
+                 <Job id="2"><Status>Exited</Status><Cpu>9.0</Cpu></Job>
+                 <Nested><Job id="3"><Status>Running</Status></Job></Nested>
+               </Props>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn absolute_child_path() {
+        let p = Path::parse("/Props/Job").unwrap();
+        assert_eq!(p.select(&doc()).len(), 2);
+    }
+
+    #[test]
+    fn relative_path_starts_at_children() {
+        let p = Path::parse("Job/Status").unwrap();
+        let d = doc();
+        let sel = p.select(&d);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel[0].text_content(), "Running");
+    }
+
+    #[test]
+    fn descendant_axis_finds_nested() {
+        let p = Path::parse("//Job").unwrap();
+        assert_eq!(p.select(&doc()).len(), 3);
+    }
+
+    #[test]
+    fn descendant_axis_includes_root_match() {
+        let p = Path::parse("//Props").unwrap();
+        assert_eq!(p.select(&doc()).len(), 1);
+    }
+
+    #[test]
+    fn attribute_predicate() {
+        let p = Path::parse("/Props/Job[@id='2']/Status").unwrap();
+        assert_eq!(p.select_text(&doc()).unwrap(), "Exited");
+    }
+
+    #[test]
+    fn child_text_predicate() {
+        let p = Path::parse("//Job[Status='Running']").unwrap();
+        assert_eq!(p.select(&doc()).len(), 2);
+    }
+
+    #[test]
+    fn position_predicate() {
+        let p = Path::parse("/Props/Job[2]/Cpu").unwrap();
+        assert_eq!(p.select_text(&doc()).unwrap(), "9.0");
+        let p = Path::parse("/Props/Job[9]").unwrap();
+        assert!(p.select(&doc()).is_empty());
+    }
+
+    #[test]
+    fn wildcard_and_qualified_tests() {
+        let p = Path::parse("/Props/*").unwrap();
+        assert_eq!(p.select(&doc()).len(), 3);
+        let p = Path::parse("/{urn:es}Props/{urn:es}Job").unwrap();
+        assert_eq!(p.select(&doc()).len(), 2);
+        let p = Path::parse("/{urn:other}Props").unwrap();
+        assert!(p.select(&doc()).is_empty());
+    }
+
+    #[test]
+    fn chained_predicates() {
+        let p = Path::parse("//Job[Status='Running'][2]").unwrap();
+        let d = doc();
+        let sel = p.select(&d);
+        // Second running job *within one context*: the descendant axis
+        // from the document node yields all three jobs in one context
+        // set, so [2] picks job id=3.
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].attr_value("id"), Some("3"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Path::parse("").is_err());
+        assert!(Path::parse("/a[").is_err());
+        assert!(Path::parse("/a[@x=]").is_err());
+        assert!(Path::parse("/a//").is_err());
+        assert!(Path::parse("/a[@x='v'").is_err());
+    }
+
+    #[test]
+    fn no_duplicates_from_overlapping_contexts() {
+        let p = Path::parse("//Status").unwrap();
+        let d = doc();
+        assert_eq!(p.select(&d).len(), 3);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests: any generated element tree must survive a
+//! write → parse roundtrip unchanged, and the writer must always emit
+//! well-formed XML.
+
+use proptest::prelude::*;
+use wsrf_xml::{parse, Element, Node, QName};
+
+/// Strategy for XML name-legal identifiers.
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_.-]{0,8}"
+}
+
+/// Strategy for namespace URIs (including none).
+fn ns() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        2 => Just(None),
+        3 => "[a-z]{1,6}".prop_map(|s| Some(format!("urn:{}", s))),
+    ]
+}
+
+/// Arbitrary text content. Excludes raw control characters (the writer
+/// does not escape those and real SOAP stacks reject them).
+fn text() -> impl Strategy<Value = String> {
+    "[ -~]{0,20}"
+}
+
+fn qname() -> impl Strategy<Value = QName> {
+    (ns(), ident()).prop_map(|(ns, local)| match ns {
+        Some(u) => QName::new(u, local),
+        None => QName::local(local),
+    })
+}
+
+fn leaf() -> impl Strategy<Value = Element> {
+    (
+        qname(),
+        prop::collection::vec((ident(), text()), 0..3),
+        prop::option::of(text()),
+    )
+        .prop_map(|(name, attrs, txt)| {
+            let mut e = Element::with_name(name);
+            // Attribute names must be unique within an element.
+            let mut seen = std::collections::HashSet::new();
+            for (an, av) in attrs {
+                if seen.insert(an.clone()) {
+                    e.attrs.push((QName::local(an), av));
+                }
+            }
+            if let Some(t) = txt {
+                if !t.is_empty() {
+                    e.push_text(t);
+                }
+            }
+            e
+        })
+}
+
+fn tree() -> impl Strategy<Value = Element> {
+    leaf().prop_recursive(3, 24, 4, |inner| {
+        (qname(), prop::collection::vec(inner, 0..4), prop::option::of(text())).prop_map(
+            |(name, kids, txt)| {
+                let mut e = Element::with_name(name);
+                // Interleave text between children so adjacent text
+                // nodes never occur (the parser merges them).
+                for (i, k) in kids.into_iter().enumerate() {
+                    if i == 0 {
+                        if let Some(t) = &txt {
+                            if !t.is_empty() {
+                                e.push_text(t.clone());
+                            }
+                        }
+                    }
+                    e.push_child(k);
+                }
+                e
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn write_parse_roundtrip(e in tree()) {
+        let xml = e.to_xml();
+        let back = parse(&xml).unwrap_or_else(|err| panic!("unparseable output {xml:?}: {err}"));
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn document_form_also_roundtrips(e in tree()) {
+        let xml = e.to_document();
+        let back = parse(&xml).unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn text_escaping_roundtrips(t in "[ -~]{0,40}") {
+        let e = Element::local("a").text(t.clone()).attr("k", t.clone());
+        let back = parse(&e.to_xml()).unwrap();
+        if t.is_empty() {
+            prop_assert!(back.children.is_empty());
+        } else {
+            prop_assert_eq!(back.text_content(), t.clone());
+        }
+        prop_assert_eq!(back.attr_value("k").unwrap(), t);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "[ -~<>&\"']{0,64}") {
+        let _ = parse(&s); // must return Err, not panic
+    }
+
+    #[test]
+    fn descendant_count_is_stable(e in tree()) {
+        let n = e.descendants().count();
+        let back = parse(&e.to_xml()).unwrap();
+        prop_assert_eq!(back.descendants().count(), n);
+    }
+}
+
+#[test]
+fn unicode_text_roundtrips() {
+    let e = Element::local("a").text("héllo ✓ 漢字").attr("k", "ünïcode");
+    let back = parse(&e.to_xml()).unwrap();
+    assert_eq!(back, e);
+}
+
+#[test]
+fn deeply_nested_tree_roundtrips() {
+    let mut e = Element::local("leaf");
+    for i in 0..90 {
+        e = Element::local(format!("n{}", i)).child(e);
+    }
+    let back = parse(&e.to_xml()).unwrap();
+    assert_eq!(back.descendants().count(), 91);
+}
+
+#[test]
+fn many_siblings_roundtrip() {
+    let mut root = Element::new("urn:x", "root");
+    for i in 0..500 {
+        root.push_child(Element::new("urn:x", "item").attr("i", i.to_string()));
+    }
+    let back = parse(&root.to_xml()).unwrap();
+    assert_eq!(back, root);
+    assert_eq!(
+        Node::Element(back).as_element().unwrap().element_count(),
+        500
+    );
+}

@@ -1,0 +1,83 @@
+//! Failure-handling tour: fault chains, a mid-run machine crash with
+//! the watchdog extension, and post-mortem rediscovery.
+//!
+//! ```text
+//! cargo run --example fault_tolerance
+//! ```
+
+use std::time::Duration;
+
+use wsrf_grid::prelude::*;
+
+fn main() {
+    let grid = CampusGrid::build(
+        GridConfig::with_machines(3)
+            .secure()
+            .with_job_timeout(Duration::from_secs(300)),
+        Clock::scaled(1000.0),
+    );
+    let client = grid.client("ops");
+
+    // 1. A job that exits nonzero: the fault chain names the culprit.
+    client.put_file("C:\\flaky.exe", JobProgram::compute(2.0).exiting(13).to_manifest());
+    let spec = JobSetSpec::new("flaky-run").job(JobSpec::new(
+        "flaky",
+        FileRef::parse("local://C:\\flaky.exe").unwrap(),
+    ));
+    let handle = client.submit(&spec, "griduser", "gridpass").expect("submit");
+    match handle.wait(Duration::from_secs(30)) {
+        Some(JobSetOutcome::Failed(fault)) => {
+            println!("1) nonzero exit surfaced as a WS-BaseFaults chain:");
+            println!("   {fault}");
+            println!("   chain depth = {}", fault.chain_len());
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // 2. Wrong password on a secure grid: three-level chain.
+    client.put_file("C:\\ok.exe", JobProgram::compute(1.0).to_manifest());
+    let spec = JobSetSpec::new("bad-creds").job(JobSpec::new(
+        "j",
+        FileRef::parse("local://C:\\ok.exe").unwrap(),
+    ));
+    let handle = client.submit(&spec, "griduser", "WRONG").expect("submit");
+    if let Some(JobSetOutcome::Failed(fault)) = handle.wait(Duration::from_secs(30)) {
+        println!("\n2) credential rejection (scheduler <- dispatch <- ES):");
+        println!("   {fault}");
+    }
+
+    // 3. Machine crash mid-run: watchdog converts silence into a fault.
+    client.put_file("C:\\long.exe", JobProgram::compute(200.0).to_manifest());
+    let spec = JobSetSpec::new("doomed-machine").job(JobSpec::new(
+        "victim",
+        FileRef::parse("local://C:\\long.exe").unwrap(),
+    ));
+    let handle = client.submit(&spec, "griduser", "gridpass").expect("submit");
+    assert!(handle.wait_job_started("victim", Duration::from_secs(30)));
+    let machine_addr = handle.job_epr("victim").unwrap().address;
+    let machine_name = machine_addr
+        .trim_start_matches("inproc://")
+        .split('/')
+        .next()
+        .unwrap()
+        .to_string();
+    println!("\n3) job running on {machine_name}; pulling its power cord...");
+    let machine = grid.machine(&machine_name).unwrap();
+    machine.crash();
+    grid.net.unregister(&format!("inproc://{machine_name}/Execution"));
+    grid.net.unregister(&format!("inproc://{machine_name}/FileSystem"));
+    match handle.wait(Duration::from_secs(30)) {
+        Some(JobSetOutcome::Failed(fault)) => {
+            println!("   watchdog fired: {}", fault.root_cause());
+        }
+        other => println!("   unexpected: {other:?}"),
+    }
+
+    // 4. Post-mortem: a fresh client rediscovers everything.
+    let auditor = grid.client("auditor");
+    println!("\n4) post-mortem rediscovery from a fresh client:");
+    for h in auditor.rediscover(None).expect("rediscover") {
+        let status = h.status().unwrap_or_else(|e| format!("<{e}>"));
+        println!("   {:<16} {status}", h.topic);
+    }
+}

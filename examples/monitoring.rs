@@ -1,0 +1,107 @@
+//! WSRF introspection tour: everything on the grid is a WS-Resource,
+//! so one generic toolset — GetResourceProperty, XPath queries,
+//! lifetimes, subscriptions — inspects jobs, directories, job sets,
+//! processors and even the broker's own subscriptions.
+//!
+//! ```text
+//! cargo run --example monitoring
+//! ```
+
+use std::time::Duration;
+
+use wsrf_grid::notification::{broker, NotificationListener, TopicExpression};
+use wsrf_grid::prelude::*;
+use wsrf_grid::soap::{ns, MessageInfo};
+use wsrf_grid::wsrf::porttypes::{wsrp_action, XPATH_DIALECT};
+use wsrf_grid::xml::Element as El;
+
+fn get_property(grid: &CampusGrid, epr: &EndpointReference, name: &str) -> String {
+    let mut env = Envelope::new(El::new(ns::WSRP, "GetResourceProperty").text(name));
+    MessageInfo::request(epr.clone(), wsrp_action("GetResourceProperty")).apply(&mut env);
+    grid.net.call(&epr.address, env).expect("call").body.text_content()
+}
+
+fn query(grid: &CampusGrid, epr: &EndpointReference, xpath: &str) -> String {
+    let mut env = Envelope::new(
+        El::new(ns::WSRP, "QueryResourceProperties").child(
+            El::new(ns::WSRP, "QueryExpression")
+                .attr("Dialect", XPATH_DIALECT)
+                .text(xpath),
+        ),
+    );
+    MessageInfo::request(epr.clone(), wsrp_action("QueryResourceProperties")).apply(&mut env);
+    grid.net.call(&epr.address, env).expect("call").body.text_content()
+}
+
+fn main() {
+    let grid = CampusGrid::build(GridConfig::with_machines(3), Clock::scaled(1000.0));
+    let client = grid.client("ops");
+
+    client.put_file("C:\\p.exe", JobProgram::compute(30.0).writing("o", 100).to_manifest());
+    let spec = JobSetSpec::new("observed").job(
+        JobSpec::new("watch-me", FileRef::parse("local://C:\\p.exe").unwrap()).output("o"),
+    );
+    let handle = client.submit(&spec, "griduser", "gridpass").expect("submit");
+    assert!(handle.wait_job_started("watch-me", Duration::from_secs(30)));
+
+    let job = handle.job_epr("watch-me").expect("job EPR");
+    let dir = handle.job_dir("watch-me").expect("dir EPR");
+
+    println!("== the job resource ==");
+    println!("  Status       = {}", get_property(&grid, &job, "Status"));
+    println!("  JobName      = {}", get_property(&grid, &job, "JobName"));
+    println!("  CpuTimeUsed  = {}", get_property(&grid, &job, "CpuTimeUsed"));
+    println!(
+        "  XPath [Status='Running']/JobName = {}",
+        query(&grid, &job, "/ResourcePropertyDocument[Status='Running']/JobName")
+    );
+
+    println!("\n== the directory resource ==");
+    println!("  Path = {}", get_property(&grid, &dir, "Path"));
+
+    println!("\n== the job-set resource ==");
+    println!("  Status = {}", get_property(&grid, &handle.jobset, "Status"));
+    println!(
+        "  JobStatus entries = {}",
+        query(&grid, &handle.jobset, "//JobStatus")
+    );
+
+    println!("\n== a processor entry in the Node Info group ==");
+    let nis = EndpointReference::service(&grid.nis_address);
+    let mut env = Envelope::new(El::new(ns::WSSG, "Entries"));
+    MessageInfo::request(
+        nis.clone(),
+        wsrf_grid::wsrf::servicegroup::group_action("NodeInfo", "Entries"),
+    )
+    .apply(&mut env);
+    let resp = grid.net.call(&nis.address, env).unwrap();
+    let entry =
+        EndpointReference::from_element(resp.body.elements().next().expect("entry")).unwrap();
+    for p in ["Machine", "CpuMhz", "Utilization"] {
+        println!("  {p:<12} = {}", get_property(&grid, &entry, p));
+    }
+
+    println!("\n== a subscription resource at the broker ==");
+    let probe = NotificationListener::register(&grid.net, "inproc://ops/probe");
+    let sub = broker::subscribe(
+        &grid.net,
+        &grid.broker,
+        &probe.epr(),
+        &TopicExpression::full(&format!("{}//", handle.topic)),
+        Some(10_000.0), // lease: virtual seconds
+    )
+    .expect("subscribe");
+    println!("  TopicExpression = {}", get_property(&grid, &sub, "TopicExpression"));
+    println!("  Paused          = {}", get_property(&grid, &sub, "Paused"));
+    broker::set_subscription_paused(&grid.net, &sub, true).unwrap();
+    println!("  Paused (after PauseSubscription) = {}", get_property(&grid, &sub, "Paused"));
+
+    let outcome = handle.wait(Duration::from_secs(60)).expect("finished");
+    println!("\njob set outcome: {outcome:?}");
+    println!("final job Status = {}", get_property(&grid, &job, "Status"));
+    println!("final CpuTimeUsed = {}", get_property(&grid, &job, "CpuTimeUsed"));
+    println!(
+        "probe heard {} events while paused (expected 0 extra)",
+        probe.count()
+    );
+}

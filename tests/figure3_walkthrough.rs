@@ -1,0 +1,211 @@
+//! The canonical scenario: Figure 3's ten numbered steps, replayed and
+//! asserted one by one.
+//!
+//! 1. the client sends the job-set description to the Scheduler,
+//! 2. the Scheduler polls the Node Info Service,
+//! 3. the chosen machine's Execution Service receives `Run`,
+//! 4. the ES has its FSS create a working directory and upload inputs,
+//! 5. files from the client come over the WSE-TCP file server,
+//! 6. files from other grid machines come via FSS `Read`,
+//! 7. the FSS one-way "upload complete" message releases the job,
+//! 8. ProcSpawn starts the process as the requested user,
+//! 9. the dir/job EPRs are broadcast so Scheduler + client can poll,
+//! 10. process exit flows back and is re-broadcast via the broker.
+
+use std::time::Duration;
+
+use wsrf_grid::prelude::*;
+use wsrf_grid::testbed::{es, nis};
+
+fn grid() -> CampusGrid {
+    // machine01 @1000 MHz and machine02 @1500 MHz / 2 cores.
+    CampusGrid::build(GridConfig::with_machines(2), Clock::manual())
+}
+
+#[test]
+fn all_ten_steps_observable() {
+    let grid = grid();
+    let client = grid.client("scientist");
+
+    // The scientist's local files (served by the client's file
+    // server thread — step 5's source).
+    client.put_file(
+        "C:\\proj\\stage1.exe",
+        JobProgram::compute(2.0).reading("in1").writing("output2", 512).to_manifest(),
+    );
+    client.put_file("C:\\proj\\file1", vec![7u8; 128]);
+    client.put_file(
+        "C:\\proj\\stage2.exe",
+        JobProgram::compute(1.0).reading("input.dat").writing("final.out", 64).to_manifest(),
+    );
+
+    // The paper's own example descriptions: "local://C:\file1" and
+    // "job1://output2".
+    let spec = JobSetSpec::new("walkthrough")
+        .job(
+            JobSpec::new("job1", FileRef::parse("local://C:\\proj\\stage1.exe").unwrap())
+                .input(FileRef::parse("local://C:\\proj\\file1").unwrap(), "in1")
+                .output("output2"),
+        )
+        .job(
+            JobSpec::new("job2", FileRef::parse("local://C:\\proj\\stage2.exe").unwrap())
+                .input(FileRef::parse("job1://output2").unwrap(), "input.dat"),
+        );
+
+    // Step 1: submission.
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    assert!(handle.topic.starts_with("jobset-"), "unique topic generated");
+
+    // Steps 2-9 for job1 happen synchronously on the zero-latency
+    // manual-clock network: the scheduler polled the NIS, picked the
+    // fastest machine (machine02: 1500 MHz x 2 cores), the ES created
+    // a directory, the FSS pulled both files from the client's file
+    // server, and ProcSpawn started the process.
+    let dir1 = handle.job_dir("job1").expect("step 9: dir EPR broadcast");
+    let job1 = handle.job_epr("job1").expect("step 9: job EPR broadcast");
+    assert_eq!(job1.address, "inproc://machine02/Execution", "fastest machine chosen");
+    assert_eq!(dir1.address, "inproc://machine02/FileSystem");
+
+    // Step 8/9: the client polls the job's Status resource property.
+    assert_eq!(handle.poll_job_status("job1").unwrap(), "Running");
+
+    // Step 5 evidence: both client files are in the working directory.
+    let names: Vec<String> =
+        handle.list_job_dir("job1").unwrap().into_iter().map(|(n, _)| n).collect();
+    assert!(names.contains(&"stage1.exe".to_string()), "{names:?}");
+    assert!(names.contains(&"in1".to_string()));
+
+    // job2 must NOT have started yet — dependency.
+    assert!(handle.job_epr("job2").is_none(), "step 7 gate: job2 waits for job1");
+
+    // Run job1 to completion (2 cpu-sec at 1.5 speed / free core).
+    grid.clock.advance(Duration::from_secs(3));
+
+    // Step 10: exit notification was re-broadcast; the scheduler
+    // dispatched job2, filling in job1's directory EPR as its input
+    // source (step 6: FSS-to-FSS Read if machines differ).
+    let exit_events = handle
+        .events()
+        .into_iter()
+        .filter(|m| m.topic.to_string().ends_with("/exit"))
+        .collect::<Vec<_>>();
+    assert!(!exit_events.is_empty(), "exit event for job1");
+    assert_eq!(exit_events[0].payload.attr_value("code"), Some("0"));
+
+    grid.clock.advance(Duration::from_secs(5));
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+
+    // job2 consumed job1's output (exit 66 otherwise) and produced its
+    // own, fetchable through the directory EPR.
+    assert_eq!(handle.fetch_output("job2", "final.out").unwrap().len(), 64);
+    // job1's intermediate output also remains fetchable.
+    assert_eq!(handle.fetch_output("job1", "output2").unwrap().len(), 512);
+
+    // The full event stream, in order, as the client GUI would show it.
+    let topics: Vec<String> =
+        handle.events().iter().map(|m| m.topic.to_string()).collect();
+    let t = &handle.topic;
+    assert_eq!(
+        topics,
+        vec![
+            format!("{t}/job/job1/dir"),
+            format!("{t}/job/job1/started"),
+            format!("{t}/job/job1/exit"),
+            format!("{t}/job/job2/dir"),
+            format!("{t}/job/job2/started"),
+            format!("{t}/job/job2/exit"),
+            format!("{t}/completed"),
+        ]
+    );
+}
+
+#[test]
+fn scheduler_fills_in_cross_machine_transfers() {
+    // Force the two jobs onto different machines (round robin) and
+    // verify the FSS-to-FSS path (step 6) carries the intermediate.
+    let grid = CampusGrid::build(
+        GridConfig {
+            machines: vec![MachineSpec::new("alpha"), MachineSpec::new("beta")],
+            policy: std::sync::Arc::new(RoundRobin::default()),
+            ..GridConfig::default()
+        },
+        Clock::manual(),
+    );
+    let client = grid.client("scientist");
+    client.put_file(
+        "C:\\a.exe",
+        JobProgram::compute(1.0).writing("mid.dat", 256).to_manifest(),
+    );
+    client.put_file(
+        "C:\\b.exe",
+        JobProgram::compute(1.0).reading("mid.dat").to_manifest(),
+    );
+    let spec = JobSetSpec::new("x")
+        .job(JobSpec::new("a", FileRef::parse("local://C:\\a.exe").unwrap()).output("mid.dat"))
+        .job(
+            JobSpec::new("b", FileRef::parse("local://C:\\b.exe").unwrap())
+                .input(FileRef::parse("a://mid.dat").unwrap(), "mid.dat"),
+        );
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    grid.clock.advance(Duration::from_secs(10));
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    let da = handle.job_dir("a").unwrap();
+    let db = handle.job_dir("b").unwrap();
+    assert_ne!(da.address, db.address, "jobs on different machines");
+}
+
+#[test]
+fn client_can_kill_a_job_mid_set() {
+    let grid = grid();
+    let client = grid.client("scientist");
+    client.put_file("C:\\forever.exe", JobProgram::compute(1e6).to_manifest());
+    let spec = JobSetSpec::new("runaway").job(JobSpec::new(
+        "spin",
+        FileRef::parse("local://C:\\forever.exe").unwrap(),
+    ));
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    grid.clock.advance(Duration::from_secs(100));
+    assert!(handle.outcome().is_none());
+    assert!(handle.kill_job("spin").unwrap());
+    match handle.outcome().unwrap() {
+        JobSetOutcome::Failed(fault) => {
+            assert!(fault.root_cause().description.contains("code -9"), "{fault}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn cpu_time_property_tracks_the_processor_sharing_model() {
+    let grid = grid();
+    let client = grid.client("scientist");
+    client.put_file("C:\\p.exe", JobProgram::compute(100.0).to_manifest());
+    let spec = JobSetSpec::new("cpu").job(JobSpec::new(
+        "j",
+        FileRef::parse("local://C:\\p.exe").unwrap(),
+    ));
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    let job = handle.job_epr("j").unwrap();
+    grid.clock.advance(Duration::from_secs(4));
+    let cpu = es::job_cpu_time(&grid.net, &job).unwrap();
+    // machine02 (1.5 GHz, idle core) ran 4 virtual seconds.
+    assert!((cpu - 6.0).abs() < 1e-3, "cpu so far {cpu}");
+}
+
+#[test]
+fn nis_snapshot_reflects_running_jobs() {
+    let grid = grid();
+    let client = grid.client("scientist");
+    client.put_file("C:\\p.exe", JobProgram::compute(1000.0).to_manifest());
+    let before = nis::snapshot(&grid.net, &grid.nis_address).unwrap();
+    assert!(before.iter().all(|n| n.utilization == 0.0));
+    let spec = JobSetSpec::new("load").job(JobSpec::new(
+        "j",
+        FileRef::parse("local://C:\\p.exe").unwrap(),
+    ));
+    let _handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    let after = nis::snapshot(&grid.net, &grid.nis_address).unwrap();
+    let loaded: Vec<&NodeSnapshot> =
+        after.iter().filter(|n| n.utilization > 0.0).collect();
+    assert_eq!(loaded.len(), 1, "one machine took the job: {after:?}");
+}

@@ -1,0 +1,252 @@
+//! Dependency-structure coverage: chains, fan-outs, diamonds and
+//! random-ish wide DAGs, checking both correctness (every consumer
+//! sees its producer's bytes) and schedule shape (dependents never
+//! start before producers finish).
+
+use std::time::Duration;
+
+use wsrf_grid::prelude::*;
+
+fn grid(n: usize) -> CampusGrid {
+    CampusGrid::build(GridConfig::with_machines(n), Clock::manual())
+}
+
+fn exe(client: &Client, name: &str, prog: &JobProgram) -> FileRef {
+    let path = format!("C:\\{name}");
+    client.put_file(&path, prog.to_manifest());
+    FileRef::parse(&format!("local://{path}")).unwrap()
+}
+
+fn run_to_completion(grid: &CampusGrid, handle: &JobSetHandle, budget_secs: u64) {
+    let mut elapsed = 0;
+    while handle.outcome().is_none() && elapsed < budget_secs {
+        grid.clock.advance(Duration::from_secs(1));
+        elapsed += 1;
+    }
+}
+
+#[test]
+fn linear_chain_of_five() {
+    let grid = grid(3);
+    let client = grid.client("c");
+    let mut spec = JobSetSpec::new("chain");
+    for i in 0..5 {
+        let mut prog = JobProgram::compute(1.0).writing(format!("out{i}"), 64);
+        if i > 0 {
+            prog = prog.reading("prev");
+        }
+        let mut job = JobSpec::new(format!("j{i}"), exe(&client, &format!("j{i}.exe"), &prog))
+            .output(format!("out{i}"));
+        if i > 0 {
+            job = job.input(
+                FileRef::parse(&format!("j{}://out{}", i - 1, i - 1)).unwrap(),
+                "prev",
+            );
+        }
+        spec = spec.job(job);
+    }
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    run_to_completion(&grid, &handle, 120);
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+
+    // Events prove strict ordering: jN's start never precedes
+    // j(N-1)'s exit.
+    let topics: Vec<String> = handle.events().iter().map(|m| m.topic.to_string()).collect();
+    for i in 1..5 {
+        let started = topics
+            .iter()
+            .position(|t| t.ends_with(&format!("j{i}/started")))
+            .unwrap();
+        let prev_exit = topics
+            .iter()
+            .position(|t| t.ends_with(&format!("j{}/exit", i - 1)))
+            .unwrap();
+        assert!(prev_exit < started, "j{i} started before j{} exited", i - 1);
+    }
+}
+
+#[test]
+fn fan_out_runs_in_parallel() {
+    let grid = grid(4);
+    let client = grid.client("c");
+    let producer = exe(
+        &client,
+        "seed.exe",
+        &JobProgram::compute(1.0).writing("seed.dat", 128),
+    );
+    let consumer = exe(
+        &client,
+        "leaf.exe",
+        &JobProgram::compute(10.0).reading("seed.dat"),
+    );
+    let mut spec = JobSetSpec::new("fanout")
+        .job(JobSpec::new("seed", producer).output("seed.dat"));
+    for i in 0..4 {
+        spec = spec.job(
+            JobSpec::new(format!("leaf{i}"), consumer.clone())
+                .input(FileRef::parse("seed://seed.dat").unwrap(), "seed.dat"),
+        );
+    }
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    // Finish the seed.
+    grid.clock.advance(Duration::from_secs(2));
+    // All four leaves should now be started, spread over machines.
+    let mut machines = std::collections::HashSet::new();
+    for i in 0..4 {
+        let epr = handle
+            .job_epr(&format!("leaf{i}"))
+            .unwrap_or_else(|| panic!("leaf{i} not started"));
+        machines.insert(epr.address.clone());
+    }
+    assert!(machines.len() >= 3, "parallel leaves spread: {machines:?}");
+    run_to_completion(&grid, &handle, 200);
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+}
+
+#[test]
+fn diamond_consumes_one_output_twice() {
+    let grid = grid(2);
+    let client = grid.client("c");
+    let spec = JobSetSpec::new("diamond")
+        .job(
+            JobSpec::new(
+                "top",
+                exe(&client, "top.exe", &JobProgram::compute(1.0).writing("o", 100)),
+            )
+            .output("o"),
+        )
+        .job(
+            JobSpec::new(
+                "left",
+                exe(
+                    &client,
+                    "left.exe",
+                    &JobProgram::compute(1.0).reading("i").writing("lo", 10),
+                ),
+            )
+            .input(FileRef::parse("top://o").unwrap(), "i")
+            .output("lo"),
+        )
+        .job(
+            JobSpec::new(
+                "right",
+                exe(
+                    &client,
+                    "right.exe",
+                    &JobProgram::compute(1.0).reading("i").writing("ro", 10),
+                ),
+            )
+            .input(FileRef::parse("top://o").unwrap(), "i")
+            .output("ro"),
+        )
+        .job(
+            JobSpec::new(
+                "bottom",
+                exe(
+                    &client,
+                    "bottom.exe",
+                    &JobProgram::compute(1.0).reading("a").reading("b").writing("fin", 5),
+                ),
+            )
+            .input(FileRef::parse("left://lo").unwrap(), "a")
+            .input(FileRef::parse("right://ro").unwrap(), "b"),
+        );
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    run_to_completion(&grid, &handle, 120);
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    assert_eq!(handle.fetch_output("bottom", "fin").unwrap().len(), 5);
+}
+
+#[test]
+fn wide_layered_dag_completes() {
+    // Three layers of four jobs; each consumes one output from the
+    // layer above (staggered), on a 3-machine grid.
+    let grid = grid(3);
+    let client = grid.client("c");
+    let mut spec = JobSetSpec::new("layers");
+    for layer in 0..3 {
+        for i in 0..4 {
+            let name = format!("l{layer}n{i}");
+            let mut prog = JobProgram::compute(1.0 + i as f64 * 0.5)
+                .writing(format!("{name}.out"), 32);
+            let mut job;
+            if layer == 0 {
+                job = JobSpec::new(
+                    &name,
+                    exe(&client, &format!("{name}.exe"), &prog),
+                );
+            } else {
+                prog = prog.reading("up.dat");
+                let dep = format!("l{}n{}", layer - 1, (i + 1) % 4);
+                job = JobSpec::new(&name, exe(&client, &format!("{name}.exe"), &prog)).input(
+                    FileRef::parse(&format!("{dep}://{dep}.out")).unwrap(),
+                    "up.dat",
+                );
+            }
+            job = job.output(format!("{name}.out"));
+            spec = spec.job(job);
+        }
+    }
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    run_to_completion(&grid, &handle, 300);
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    // Every leaf output is retrievable.
+    for i in 0..4 {
+        let name = format!("l2n{i}");
+        assert_eq!(
+            handle.fetch_output(&name, &format!("{name}.out")).unwrap().len(),
+            32
+        );
+    }
+}
+
+#[test]
+fn output_content_is_byte_identical_across_staging() {
+    // The bytes a consumer reads must equal what the producer's
+    // program deterministically generated.
+    let grid = grid(2);
+    let client = grid.client("c");
+    let spec = JobSetSpec::new("bytes")
+        .job(
+            JobSpec::new(
+                "p",
+                exe(&client, "p.exe", &JobProgram::compute(0.5).writing("data.bin", 1000)),
+            )
+            .output("data.bin"),
+        )
+        .job(
+            JobSpec::new(
+                "q",
+                exe(&client, "q.exe", &JobProgram::compute(0.5).reading("data.bin")),
+            )
+            .input(FileRef::parse("p://data.bin").unwrap(), "data.bin"),
+        );
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    run_to_completion(&grid, &handle, 60);
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    let from_p = handle.fetch_output("p", "data.bin").unwrap();
+    let in_q_dir = handle.fetch_output("q", "data.bin").unwrap();
+    assert_eq!(from_p, in_q_dir);
+    assert_eq!(from_p, JobProgram::generate_output("data.bin", 1000));
+}
+
+#[test]
+fn sixteen_independent_jobs_on_four_machines() {
+    let grid = grid(4);
+    let client = grid.client("c");
+    let program = exe(&client, "work.exe", &JobProgram::compute(5.0));
+    let mut spec = JobSetSpec::new("batch");
+    for i in 0..16 {
+        spec = spec.job(JobSpec::new(format!("job{i:02}"), program.clone()));
+    }
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    run_to_completion(&grid, &handle, 600);
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    // All 16 exits observed.
+    let exits = handle
+        .events()
+        .iter()
+        .filter(|m| m.topic.to_string().ends_with("/exit"))
+        .count();
+    assert_eq!(exits, 16);
+}

@@ -1,0 +1,187 @@
+//! WS-Notification behaviour over live job-set traffic: topic
+//! filtering, pause/resume mid-run, direct-vs-brokered parity, and
+//! listener callback wiring.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wsrf_grid::notification::{broker, NotificationListener, TopicExpression};
+use wsrf_grid::prelude::*;
+
+fn grid() -> CampusGrid {
+    CampusGrid::build(GridConfig::with_machines(2), Clock::manual())
+}
+
+fn submit_n_jobs(_grid: &CampusGrid, client: &Client, n: usize, cpu: f64) -> JobSetHandle {
+    client.put_file("C:\\p.exe", JobProgram::compute(cpu).to_manifest());
+    let mut spec = JobSetSpec::new("batch");
+    for i in 0..n {
+        spec = spec.job(JobSpec::new(
+            format!("j{i}"),
+            FileRef::parse("local://C:\\p.exe").unwrap(),
+        ));
+    }
+    client.submit(&spec, "griduser", "gridpass").unwrap()
+}
+
+#[test]
+fn third_party_can_subscribe_to_exit_events_only() {
+    let grid = grid();
+    let client = grid.client("c");
+    // An auditor subscribing to only the exit subtopics of everything.
+    let auditor = NotificationListener::register(&grid.net, "inproc://audit/listener");
+    broker::subscribe(
+        &grid.net,
+        &grid.broker,
+        &auditor.epr(),
+        &TopicExpression::full("//exit"),
+        None,
+    )
+    .unwrap();
+    let handle = submit_n_jobs(&grid, &client, 3, 1.0);
+    grid.clock.advance(Duration::from_secs(10));
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    assert_eq!(auditor.count(), 3, "exactly the three exit events");
+    assert!(auditor
+        .received()
+        .iter()
+        .all(|m| m.topic.to_string().ends_with("/exit")));
+}
+
+#[test]
+fn paused_subscription_misses_events_and_resumes() {
+    let grid = grid();
+    let client = grid.client("c");
+    let watcher = NotificationListener::register(&grid.net, "inproc://w/listener");
+    let sub = broker::subscribe(
+        &grid.net,
+        &grid.broker,
+        &watcher.epr(),
+        &TopicExpression::full("//"),
+        None,
+    )
+    .unwrap();
+
+    let handle = submit_n_jobs(&grid, &client, 1, 5.0);
+    let before = watcher.count();
+    assert!(before >= 2, "dir + started seen: {before}");
+
+    // Pause across the exit.
+    broker::set_subscription_paused(&grid.net, &sub, true).unwrap();
+    grid.clock.advance(Duration::from_secs(10));
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    assert_eq!(watcher.count(), before, "paused: no exit/completed events");
+
+    // Resume and observe a second run.
+    broker::set_subscription_paused(&grid.net, &sub, false).unwrap();
+    let handle2 = submit_n_jobs(&grid, &client, 1, 1.0);
+    grid.clock.advance(Duration::from_secs(5));
+    assert_eq!(handle2.outcome(), Some(JobSetOutcome::Completed));
+    assert!(watcher.count() > before);
+}
+
+#[test]
+fn callbacks_fire_during_live_runs() {
+    let grid = grid();
+    let client = grid.client("c");
+    let exits = Arc::new(AtomicUsize::new(0));
+    let e = exits.clone();
+    client.listener().on_topic(TopicExpression::full("//exit"), move |_| {
+        e.fetch_add(1, Ordering::SeqCst);
+    });
+    let handle = submit_n_jobs(&grid, &client, 4, 1.0);
+    grid.clock.advance(Duration::from_secs(20));
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    assert_eq!(exits.load(Ordering::SeqCst), 4);
+}
+
+#[test]
+fn producer_reference_lets_consumers_poll_the_job() {
+    let grid = grid();
+    let client = grid.client("c");
+    let handle = submit_n_jobs(&grid, &client, 1, 100.0);
+    // The "started" event's producer reference is the job EPR itself —
+    // "this will ... allow either to poll the job for its status".
+    let started = handle
+        .events()
+        .into_iter()
+        .find(|m| m.topic.to_string().ends_with("/started"))
+        .unwrap();
+    let producer = started.producer.unwrap();
+    let status = wsrf_grid::testbed::es::job_status(&grid.net, &producer).unwrap();
+    assert_eq!(status, "Running");
+}
+
+#[test]
+fn two_clients_receive_only_their_topics() {
+    let grid = grid();
+    let c1 = grid.client("one");
+    let c2 = grid.client("two");
+    let h1 = submit_n_jobs(&grid, &c1, 2, 1.0);
+    let h2 = submit_n_jobs(&grid, &c2, 2, 1.0);
+    grid.clock.advance(Duration::from_secs(20));
+    assert_eq!(h1.outcome(), Some(JobSetOutcome::Completed));
+    assert_eq!(h2.outcome(), Some(JobSetOutcome::Completed));
+    assert!(c1.listener().received().iter().all(|m| m.topic.to_string().starts_with(&h1.topic)));
+    assert!(c2.listener().received().iter().all(|m| m.topic.to_string().starts_with(&h2.topic)));
+    assert_ne!(h1.topic, h2.topic, "unique topic per job set");
+}
+
+#[test]
+fn broker_delivery_counts_scale_with_subscribers() {
+    let grid = grid();
+    let client = grid.client("c");
+    // Add 5 wildcard listeners; every event then fans out 7 ways
+    // (client + scheduler + 5).
+    for i in 0..5 {
+        let l = NotificationListener::register(&grid.net, &format!("inproc://extra{i}/l"));
+        broker::subscribe(&grid.net, &grid.broker, &l.epr(), &TopicExpression::full("//"), None)
+            .unwrap();
+    }
+    let (_, before_oneways, _, _) = grid.net.metrics.snapshot();
+    let handle = submit_n_jobs(&grid, &client, 1, 1.0);
+    grid.clock.advance(Duration::from_secs(5));
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    let (_, after_oneways, _, _) = grid.net.metrics.snapshot();
+    // 4 events (dir, started, exit, completed) × 7 consumers plus the
+    // 4 publisher→broker messages and the FSS upload pair.
+    assert!(
+        after_oneways - before_oneways >= 4 * 7 + 4,
+        "fanout traffic: {}",
+        after_oneways - before_oneways
+    );
+}
+
+#[test]
+fn direct_producer_matches_brokered_delivery_semantics() {
+    // The same topic expression filters identically via the direct
+    // SubscriptionManager and via the broker.
+    let grid = grid();
+    let direct = wsrf_grid::notification::NotificationProducer::new(
+        EndpointReference::service("inproc://p/svc"),
+        grid.net.clone(),
+    );
+    let l1 = NotificationListener::register(&grid.net, "inproc://d1/l");
+    let l2 = NotificationListener::register(&grid.net, "inproc://d2/l");
+    direct.subscriptions.subscribe(l1.epr(), TopicExpression::full("a//"));
+    broker::subscribe(&grid.net, &grid.broker, &l2.epr(), &TopicExpression::full("a//"), None)
+        .unwrap();
+
+    for topic in ["a/x", "a/y/z", "b/x"] {
+        let payload = wsrf_grid::xml::Element::local("E").text(topic);
+        direct.notify(topic, payload.clone());
+        broker::publish(
+            &grid.net,
+            &grid.broker,
+            &wsrf_grid::notification::NotificationMessage::new(topic, payload),
+        )
+        .unwrap();
+    }
+    let direct_topics: Vec<String> =
+        l1.received().iter().map(|m| m.topic.to_string()).collect();
+    let brokered_topics: Vec<String> =
+        l2.received().iter().map(|m| m.topic.to_string()).collect();
+    assert_eq!(direct_topics, brokered_topics);
+    assert_eq!(direct_topics, ["a/x", "a/y/z"]);
+}

@@ -1,0 +1,146 @@
+//! Property-based tests over the live testbed: randomly shaped (but
+//! valid) job sets must always complete, dependency order must always
+//! hold, and random binary content must survive the staging path
+//! byte-for-byte.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use wsrf_grid::prelude::*;
+
+/// A generated DAG description: `deps[i]` lists indices < i.
+#[derive(Debug, Clone)]
+struct DagShape {
+    deps: Vec<Vec<usize>>,
+    cpu: Vec<f64>,
+}
+
+fn dag_strategy(max_jobs: usize) -> impl Strategy<Value = DagShape> {
+    (2..=max_jobs)
+        .prop_flat_map(|n| {
+            let deps = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        Just(Vec::new()).boxed()
+                    } else {
+                        proptest::collection::vec(0..i, 0..=i.min(2)).boxed()
+                    }
+                })
+                .collect::<Vec<_>>();
+            (deps, proptest::collection::vec(0.1f64..2.0, n..=n))
+        })
+        .prop_map(|(mut deps, cpu)| {
+            for d in &mut deps {
+                d.sort_unstable();
+                d.dedup();
+            }
+            DagShape { deps, cpu }
+        })
+}
+
+fn build_spec(client: &Client, shape: &DagShape) -> JobSetSpec {
+    let mut spec = JobSetSpec::new("prop");
+    for (i, deps) in shape.deps.iter().enumerate() {
+        let mut prog = JobProgram::compute(shape.cpu[i]).writing(format!("out{i}"), 16);
+        for d in deps {
+            prog = prog.reading(format!("dep{d}"));
+        }
+        let path = format!("C:\\prog{i}.exe");
+        client.put_file(&path, prog.to_manifest());
+        let mut job = JobSpec::new(
+            format!("job{i}"),
+            FileRef::parse(&format!("local://{path}")).unwrap(),
+        )
+        .output(format!("out{i}"));
+        for d in deps {
+            job = job.input(
+                FileRef::parse(&format!("job{d}://out{d}")).unwrap(),
+                format!("dep{d}"),
+            );
+        }
+        spec = spec.job(job);
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_dags_always_complete(shape in dag_strategy(7), machines in 1usize..4) {
+        let grid = CampusGrid::build(GridConfig::with_machines(machines), Clock::manual());
+        let client = grid.client("p");
+        let spec = build_spec(&client, &shape);
+        prop_assert!(spec.validate().is_ok());
+        let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+        // Generous budget: total work is < 14 cpu-sec on >= 1 machine.
+        for _ in 0..120 {
+            if handle.outcome().is_some() {
+                break;
+            }
+            grid.clock.advance(Duration::from_secs(1));
+        }
+        prop_assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed), "{:?}", shape);
+
+        // Causality: each job started after all its deps exited.
+        let topics: Vec<String> = handle.events().iter().map(|m| m.topic.to_string()).collect();
+        for (i, deps) in shape.deps.iter().enumerate() {
+            let started = topics.iter().position(|t| t.ends_with(&format!("job{i}/started")));
+            prop_assert!(started.is_some());
+            for d in deps {
+                let dep_exit = topics.iter().position(|t| t.ends_with(&format!("job{d}/exit")));
+                prop_assert!(dep_exit.unwrap() < started.unwrap(),
+                    "job{i} started before job{d} exited");
+            }
+        }
+    }
+
+    #[test]
+    fn random_bytes_survive_staging(content in proptest::collection::vec(any::<u8>(), 1..4096)) {
+        // Client file -> FSS upload -> job input: the program requires
+        // the file, so completion proves presence; then read it back
+        // from the working directory and compare bytes.
+        let grid = CampusGrid::build(GridConfig::with_machines(1), Clock::manual());
+        let client = grid.client("p");
+        client.put_file("C:\\data.bin", content.clone());
+        client.put_file(
+            "C:\\check.exe",
+            JobProgram::compute(0.1).reading("data.bin").to_manifest(),
+        );
+        let spec = JobSetSpec::new("bytes").job(
+            JobSpec::new("check", FileRef::parse("local://C:\\check.exe").unwrap())
+                .input(FileRef::parse("local://C:\\data.bin").unwrap(), "data.bin"),
+        );
+        let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+        grid.clock.advance(Duration::from_secs(5));
+        prop_assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+        let staged = handle.fetch_output("check", "data.bin").unwrap();
+        prop_assert_eq!(staged.to_vec(), content);
+    }
+
+    #[test]
+    fn all_policies_schedule_every_valid_set(policy_idx in 0usize..4, n_jobs in 1usize..6) {
+        let policy: std::sync::Arc<dyn SchedulingPolicy> = match policy_idx {
+            0 => std::sync::Arc::new(FastestAvailable),
+            1 => std::sync::Arc::new(RoundRobin::default()),
+            2 => std::sync::Arc::new(Random::new(42)),
+            _ => std::sync::Arc::new(LeastLoaded),
+        };
+        let grid = CampusGrid::build(
+            GridConfig::with_machines(3).with_policy(policy),
+            Clock::manual(),
+        );
+        let client = grid.client("p");
+        client.put_file("C:\\p.exe", JobProgram::compute(0.5).to_manifest());
+        let mut spec = JobSetSpec::new("pol");
+        for i in 0..n_jobs {
+            spec = spec.job(JobSpec::new(
+                format!("j{i}"),
+                FileRef::parse("local://C:\\p.exe").unwrap(),
+            ));
+        }
+        let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+        grid.clock.advance(Duration::from_secs(30));
+        prop_assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    }
+}

@@ -1,0 +1,152 @@
+//! Campus-scale stress: larger grids and job sets than any single test
+//! above, checking completeness, conservation and bounded makespans.
+
+use std::time::Duration;
+
+use wsrf_grid::prelude::*;
+
+fn drive(grid: &CampusGrid, handle: &JobSetHandle, budget: u64) {
+    let mut elapsed = 0;
+    while handle.outcome().is_none() {
+        assert!(elapsed < budget, "budget exceeded");
+        grid.clock.advance(Duration::from_secs(5));
+        elapsed += 5;
+    }
+}
+
+#[test]
+fn forty_jobs_on_eight_machines() {
+    let grid = CampusGrid::build(GridConfig::with_machines(8), Clock::manual());
+    let client = grid.client("c");
+    client.put_file(
+        "C:\\p.exe",
+        JobProgram::compute(10.0).writing("o.dat", 2048).to_manifest(),
+    );
+    let mut spec = JobSetSpec::new("forty");
+    for i in 0..40 {
+        spec = spec.job(
+            JobSpec::new(format!("job{i:02}"), FileRef::parse("local://C:\\p.exe").unwrap())
+                .output("o.dat"),
+        );
+    }
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    drive(&grid, &handle, 3000);
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+
+    // Conservation: 40 exits, 40 dirs, 40 starts, 1 completed.
+    let topics: Vec<String> = handle.events().iter().map(|m| m.topic.to_string()).collect();
+    assert_eq!(topics.iter().filter(|t| t.ends_with("/exit")).count(), 40);
+    assert_eq!(topics.iter().filter(|t| t.ends_with("/dir")).count(), 40);
+    assert_eq!(topics.iter().filter(|t| t.ends_with("/started")).count(), 40);
+    assert_eq!(topics.iter().filter(|t| t.ends_with("/completed")).count(), 1);
+
+    // All machines idle afterwards; every output retrievable.
+    assert!(grid.machines.iter().all(|m| m.utilization() == 0.0));
+    assert_eq!(handle.fetch_output("job39", "o.dat").unwrap().len(), 2048);
+
+    // Makespan sanity: 40 × 10 cpu-s over ~14 GHz-equivalents of
+    // capacity can't beat the work bound, and must not exceed the
+    // serial bound on the slowest machine.
+    let makespan = grid.clock.now().as_secs_f64();
+    assert!(makespan >= 10.0, "work bound: {makespan}");
+    assert!(makespan <= 400.0, "parallelism bound: {makespan}");
+}
+
+#[test]
+fn ten_deep_chain_with_growing_files() {
+    let grid = CampusGrid::build(GridConfig::with_machines(4), Clock::manual());
+    let client = grid.client("c");
+    let mut spec = JobSetSpec::new("deep");
+    for i in 0..10 {
+        let size = 1000 * (i as u64 + 1);
+        let mut prog = JobProgram::compute(2.0).writing(format!("stage{i}.out"), size);
+        if i > 0 {
+            prog = prog.reading("in.dat");
+        }
+        let path = format!("C:\\s{i}.exe");
+        client.put_file(&path, prog.to_manifest());
+        let mut job = JobSpec::new(
+            format!("s{i}"),
+            FileRef::parse(&format!("local://{path}")).unwrap(),
+        )
+        .output(format!("stage{i}.out"));
+        if i > 0 {
+            job = job.input(
+                FileRef::parse(&format!("s{}://stage{}.out", i - 1, i - 1)).unwrap(),
+                "in.dat",
+            );
+        }
+        spec = spec.job(job);
+    }
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    drive(&grid, &handle, 600);
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    for i in 0..10 {
+        assert_eq!(
+            handle
+                .fetch_output(&format!("s{i}"), &format!("stage{i}.out"))
+                .unwrap()
+                .len() as u64,
+            1000 * (i as u64 + 1)
+        );
+    }
+}
+
+#[test]
+fn twenty_job_sets_interleaved() {
+    let grid = CampusGrid::build(GridConfig::with_machines(6), Clock::manual());
+    let clients: Vec<Client> = (0..5).map(|i| grid.client(&format!("c{i}"))).collect();
+    let mut handles = Vec::new();
+    for (ci, client) in clients.iter().enumerate() {
+        client.put_file("C:\\p.exe", JobProgram::compute(3.0).to_manifest());
+        for s in 0..4 {
+            let spec = JobSetSpec::new(format!("c{ci}s{s}"))
+                .job(JobSpec::new("a", FileRef::parse("local://C:\\p.exe").unwrap()))
+                .job(JobSpec::new("b", FileRef::parse("local://C:\\p.exe").unwrap()));
+            handles.push(client.submit(&spec, "griduser", "gridpass").unwrap());
+        }
+    }
+    assert_eq!(handles.len(), 20);
+    let mut elapsed = 0;
+    while handles.iter().any(|h| h.outcome().is_none()) {
+        assert!(elapsed < 1000, "budget exceeded");
+        grid.clock.advance(Duration::from_secs(5));
+        elapsed += 5;
+    }
+    for h in &handles {
+        assert_eq!(h.outcome(), Some(JobSetOutcome::Completed), "{}", h.topic);
+    }
+    // Topics are all distinct.
+    let mut topics: Vec<&str> = handles.iter().map(|h| h.topic.as_str()).collect();
+    topics.sort();
+    topics.dedup();
+    assert_eq!(topics.len(), 20);
+}
+
+#[test]
+fn zero_cpu_jobs_complete_without_state_clobbering() {
+    // A zero-work program exits *inside* the UploadComplete handler
+    // (spawn -> immediate completion callback). The ES must not
+    // overwrite the Exited status with Running afterwards.
+    let grid = CampusGrid::build(GridConfig::with_machines(2), Clock::manual());
+    let client = grid.client("c");
+    client.put_file("C:\\instant.exe", JobProgram::compute(0.0).writing("o", 8).to_manifest());
+    let mut spec = JobSetSpec::new("instant");
+    for i in 0..5 {
+        let mut job = JobSpec::new(
+            format!("j{i}"),
+            FileRef::parse("local://C:\\instant.exe").unwrap(),
+        )
+        .output("o");
+        if i > 0 {
+            job = job.input(FileRef::parse(&format!("j{}://o", i - 1)).unwrap(), "prev");
+        }
+        spec = spec.job(job);
+    }
+    // The whole chain completes synchronously inside submit().
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    for i in 0..5 {
+        assert_eq!(handle.poll_job_status(&format!("j{i}")).unwrap(), "Exited");
+    }
+}
