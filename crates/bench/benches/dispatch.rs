@@ -48,7 +48,10 @@ fn bench_dispatch(c: &mut Criterion) {
     // read-only operation where the difference is maximal.
     for (label, policy) in [
         ("save-always", wsrf_core::container::SavePolicy::Always),
-        ("save-when-changed", wsrf_core::container::SavePolicy::WhenChanged),
+        (
+            "save-when-changed",
+            wsrf_core::container::SavePolicy::WhenChanged,
+        ),
     ] {
         let clock = simclock::Clock::manual();
         let net = wsrf_transport::InProcNetwork::new(clock.clone());
@@ -64,7 +67,10 @@ fn bench_dispatch(c: &mut Criterion) {
                 .text(doc.text_local("Status").unwrap_or_default()))
         })
         .build(clock, net);
-        let epr = svc.core().create_resource_with_key("r1", job_doc(8)).unwrap();
+        let epr = svc
+            .core()
+            .create_resource_with_key("r1", job_doc(8))
+            .unwrap();
         let env = request(&epr, "Abl", "Peek", Element::new(UVACG, "Peek"));
         group.bench_function(format!("read-only-dispatch-{label}"), |b| {
             b.iter(|| black_box(svc.dispatch(env.clone())))

@@ -10,22 +10,23 @@ use std::hint::black_box;
 fn bench_jobset(c: &mut Criterion) {
     let mut group = c.benchmark_group("E3-jobset-protocol");
     group.sample_size(20);
-    for (shape, n) in [("independent", 4usize), ("chain", 4), ("fanout", 4), ("independent", 16)] {
-        group.bench_with_input(
-            BenchmarkId::new(shape, n),
-            &(shape, n),
-            |b, &(shape, n)| {
-                b.iter(|| {
-                    // Fresh grid per iteration: the measurement is the
-                    // full protocol including deployment.
-                    let (grid, client) = grid_with_client(4, 1.0);
-                    let spec = shaped_spec(shape, n);
-                    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
-                    let makespan = drive(&grid, &handle, 600);
-                    black_box(makespan);
-                })
-            },
-        );
+    for (shape, n) in [
+        ("independent", 4usize),
+        ("chain", 4),
+        ("fanout", 4),
+        ("independent", 16),
+    ] {
+        group.bench_with_input(BenchmarkId::new(shape, n), &(shape, n), |b, &(shape, n)| {
+            b.iter(|| {
+                // Fresh grid per iteration: the measurement is the
+                // full protocol including deployment.
+                let (grid, client) = grid_with_client(4, 1.0);
+                let spec = shaped_spec(shape, n);
+                let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+                let makespan = drive(&grid, &handle, 600);
+                black_box(makespan);
+            })
+        });
     }
     group.finish();
 

@@ -23,11 +23,15 @@ fn bench_fanout(c: &mut Criterion) {
         // Direct producer.
         {
             let net = InProcNetwork::new(Clock::manual());
-            let producer =
-                NotificationProducer::new(EndpointReference::service("inproc://p/svc"), net.clone());
+            let producer = NotificationProducer::new(
+                EndpointReference::service("inproc://p/svc"),
+                net.clone(),
+            );
             for i in 0..subscribers {
                 let l = NotificationListener::register(&net, &format!("inproc://c{i}/l"));
-                producer.subscriptions.subscribe(l.epr(), TopicExpression::full("js//"));
+                producer
+                    .subscriptions
+                    .subscribe(l.epr(), TopicExpression::full("js//"));
             }
             group.bench_with_input(
                 BenchmarkId::new("direct", subscribers),
@@ -83,7 +87,10 @@ fn bench_matching(c: &mut Criterion) {
         .collect();
     let cases = [
         ("simple", TopicExpression::simple("jobset-5")),
-        ("concrete", TopicExpression::concrete("jobset-5/job/j105/exit")),
+        (
+            "concrete",
+            TopicExpression::concrete("jobset-5/job/j105/exit"),
+        ),
         ("full-star", TopicExpression::full("jobset-5/*/j105/exit")),
         ("full-descend", TopicExpression::full("jobset-5//exit")),
         ("full-any", TopicExpression::full("//exit")),
@@ -104,9 +111,15 @@ fn bench_wire(c: &mut Criterion) {
     // tax WS-Notification pays for interoperability.
     let msg = NotificationMessage::new(
         "jobset-1/job/j1/exit",
-        Element::local("JobExit").attr("code", "0").attr("cpu", "12.5"),
+        Element::local("JobExit")
+            .attr("code", "0")
+            .attr("cpu", "12.5"),
     )
-    .from_producer(EndpointReference::resource("inproc://m1/Exec", "JobKey", "j1"));
+    .from_producer(EndpointReference::resource(
+        "inproc://m1/Exec",
+        "JobKey",
+        "j1",
+    ));
     let consumer = EndpointReference::service("inproc://client/listener");
     c.bench_function("E4-notify-envelope-roundtrip", |b| {
         b.iter(|| {

@@ -34,9 +34,15 @@ fn bench_poll_vs_push(c: &mut Criterion) {
         "prog.exe",
         JobProgram::compute(1e9).to_manifest(),
     );
-    let job_id =
-        baseline::submit(&net, "inproc://hub/JobManager", &src, "prog.exe", "griduser", "gridpass")
-            .unwrap();
+    let job_id = baseline::submit(
+        &net,
+        "inproc://hub/JobManager",
+        &src,
+        "prog.exe",
+        "griduser",
+        "gridpass",
+    )
+    .unwrap();
 
     let mut group = c.benchmark_group("E8-push-vs-poll");
     group.bench_function("one poll round trip (GRAM-style)", |b| {
@@ -49,11 +55,15 @@ fn bench_poll_vs_push(c: &mut Criterion) {
 
     // One notification delivery to a registered listener.
     let listener = NotificationListener::register(&net, "inproc://client/listener");
-    let msg = NotificationMessage::new("js/job/j1/exit", Element::local("JobExit").attr("code", "0"));
+    let msg = NotificationMessage::new(
+        "js/job/j1/exit",
+        Element::local("JobExit").attr("code", "0"),
+    );
     let env = msg.to_envelope(&listener.epr());
     group.bench_function("one notification delivery (WSRF-style)", |b| {
         b.iter(|| {
-            net.send_oneway("inproc://client/listener", env.clone()).unwrap();
+            net.send_oneway("inproc://client/listener", env.clone())
+                .unwrap();
             black_box(());
         })
     });

@@ -23,17 +23,24 @@ fn bench_properties(c: &mut Criterion) {
     let net = InProcNetwork::new(clock.clone());
     // One service with both the standard port types and a custom op
     // that returns the same three fields in a bespoke shape.
-    let svc = ServiceBuilder::new("Props", "inproc://bench/Props", Arc::new(MemoryStore::new()))
-        .operation("CustomGetInfo", |ctx| {
-            let doc = ctx.resource_mut()?;
-            Ok(Element::new(UVACG, "CustomGetInfoResponse")
-                .attr("status", doc.text(&q("Status")).unwrap_or_default())
-                .attr("cpu", doc.text(&q("CpuTime")).unwrap_or_default())
-                .attr("name", doc.text(&q("JobName")).unwrap_or_default()))
-        })
-        .build(clock, net.clone());
+    let svc = ServiceBuilder::new(
+        "Props",
+        "inproc://bench/Props",
+        Arc::new(MemoryStore::new()),
+    )
+    .operation("CustomGetInfo", |ctx| {
+        let doc = ctx.resource_mut()?;
+        Ok(Element::new(UVACG, "CustomGetInfoResponse")
+            .attr("status", doc.text(&q("Status")).unwrap_or_default())
+            .attr("cpu", doc.text(&q("CpuTime")).unwrap_or_default())
+            .attr("name", doc.text(&q("JobName")).unwrap_or_default()))
+    })
+    .build(clock, net.clone());
     svc.register(&net);
-    let epr = svc.core().create_resource_with_key("r1", job_doc(8)).unwrap();
+    let epr = svc
+        .core()
+        .create_resource_with_key("r1", job_doc(8))
+        .unwrap();
 
     let mut group = c.benchmark_group("E2-properties");
 
@@ -77,11 +84,9 @@ fn bench_properties(c: &mut Criterion) {
     });
 
     let set = {
-        let mut env = Envelope::new(
-            Element::new(WSRP, "SetResourceProperties").child(
-                Element::new(WSRP, "Update").child(Element::new(UVACG, "Status").text("Exited")),
-            ),
-        );
+        let mut env = Envelope::new(Element::new(WSRP, "SetResourceProperties").child(
+            Element::new(WSRP, "Update").child(Element::new(UVACG, "Status").text("Exited")),
+        ));
         MessageInfo::request(epr.clone(), wsrp_action("SetResourceProperties")).apply(&mut env);
         env
     };
@@ -89,7 +94,12 @@ fn bench_properties(c: &mut Criterion) {
         b.iter(|| black_box(svc.dispatch(set.clone())))
     });
 
-    let custom = request(&epr, "Props", "CustomGetInfo", Element::new(UVACG, "CustomGetInfo"));
+    let custom = request(
+        &epr,
+        "Props",
+        "CustomGetInfo",
+        Element::new(UVACG, "CustomGetInfo"),
+    );
     group.bench_function("custom-interface (GRAM-style)", |b| {
         b.iter(|| black_box(svc.dispatch(custom.clone())))
     });

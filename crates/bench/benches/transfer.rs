@@ -18,7 +18,11 @@ fn payload_env(size: usize) -> Envelope {
     Envelope::new(
         Element::local("Write")
             .child(Element::local("FileName").text("f.bin"))
-            .child(Element::local("Content").attr("encoding", "base64").text(base64::encode(&data))),
+            .child(
+                Element::local("Content")
+                    .attr("encoding", "base64")
+                    .text(base64::encode(&data)),
+            ),
     )
 }
 

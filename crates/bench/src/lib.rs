@@ -58,13 +58,24 @@ pub fn job_schema(extra: usize) -> Vec<(QName, ColumnType)> {
 }
 
 /// A minimal one-op service on the given store; returns (service,
-/// resource EPR, network).
+/// resource EPR, network). Observability off — see
+/// [`bench_service_obs`] for the instrumented variant.
 pub fn bench_service(
     store: Arc<dyn ResourceStore>,
+) -> (Arc<Service>, EndpointReference, Arc<InProcNetwork>) {
+    bench_service_obs(store, wsrf_obs::MetricsRegistry::disabled())
+}
+
+/// [`bench_service`] with an explicit metrics registry (E1 measures
+/// the instrumented container against the opted-out one).
+pub fn bench_service_obs(
+    store: Arc<dyn ResourceStore>,
+    metrics: Arc<wsrf_obs::MetricsRegistry>,
 ) -> (Arc<Service>, EndpointReference, Arc<InProcNetwork>) {
     let clock = Clock::manual();
     let net = InProcNetwork::new(clock.clone());
     let svc = ServiceBuilder::new("Bench", "inproc://bench/Svc", store)
+        .with_metrics(metrics)
         .operation("Touch", |ctx| {
             let doc = ctx.resource_mut()?;
             let n = doc.i64(&q("Pid")).unwrap_or(0) + 1;
@@ -73,7 +84,10 @@ pub fn bench_service(
         })
         .build(clock, net.clone());
     svc.register(&net);
-    let epr = svc.core().create_resource_with_key("r1", job_doc(0)).unwrap();
+    let epr = svc
+        .core()
+        .create_resource_with_key("r1", job_doc(0))
+        .unwrap();
     (svc, epr, net)
 }
 
@@ -91,7 +105,9 @@ pub fn grid_with_client(machines: usize, cpu: f64) -> (CampusGrid, Client) {
     let client = grid.client("bench");
     client.put_file(
         "C:\\prog.exe",
-        JobProgram::compute(cpu).writing("out.dat", 1024).to_manifest(),
+        JobProgram::compute(cpu)
+            .writing("out.dat", 1024)
+            .to_manifest(),
     );
     (grid, client)
 }
@@ -169,7 +185,11 @@ pub fn drive(grid: &CampusGrid, handle: &JobSetHandle, budget_virtual_secs: u64)
     let start = grid.clock.now();
     let mut elapsed = 0;
     while handle.outcome().is_none() {
-        assert!(elapsed < budget_virtual_secs, "budget exceeded for {}", handle.topic);
+        assert!(
+            elapsed < budget_virtual_secs,
+            "budget exceeded for {}",
+            handle.topic
+        );
         grid.clock.advance(Duration::from_secs(1));
         elapsed += 1;
     }
@@ -200,7 +220,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("{}", line(headers.iter().map(|s| s.to_string()).collect()));
     println!(
         "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
     );
     for row in rows {
         println!("{}", line(row.clone()));

@@ -1,0 +1,254 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces this workspace uses:
+//!
+//! * [`channel`] — an unbounded MPMC channel whose `Receiver` is
+//!   `Clone` (every clone drains the *same* queue, so cloned receivers
+//!   act as competing consumers, exactly how the transport thread pool
+//!   uses them).
+//! * [`thread::scope`] — scoped spawns, delegating to
+//!   `std::thread::scope` with crossbeam's closure signature.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Sending half; cloning adds another producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloning adds another *competing* consumer over
+    /// the same queue (MPMC), unlike `std::sync::mpsc`.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            cv: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            st.items.push_back(item);
+            drop(st);
+            self.shared.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut st = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            st.senders += 1;
+            drop(st);
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            st.senders -= 1;
+            let disconnected = st.senders == 0;
+            drop(st);
+            if disconnected {
+                self.shared.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until an item is available or every `Sender` is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(item) = st.items.pop_front() {
+                    return Ok(item);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(item) = st.items.pop_front() {
+                Ok(item)
+            } else if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            let st = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            st.items.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+}
+
+pub mod thread {
+    /// Scoped threads with crossbeam's closure signature: spawned
+    /// closures receive a `&Scope` argument (unused by this shim's
+    /// callers beyond nesting spawns).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = self.inner;
+            ScopedJoinHandle {
+                inner: scope.spawn(move || f(&Scope { inner: scope })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned through the
+    /// scope are joined before `scope` returns. Returns `Err` if any
+    /// unjoined spawned thread panicked, mirroring crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let result = std::thread::scope(|s| f(&Scope { inner: s }));
+        Ok(result)
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError, TryRecvError};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn cloned_receivers_compete_for_items() {
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total = AtomicU64::new(0);
+        let seen = AtomicU64::new(0);
+        crate::thread::scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let total = &total;
+                let seen = &seen;
+                s.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        total.fetch_add(u64::from(v), Ordering::Relaxed);
+                        seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 100);
+        assert_eq!(total.load(Ordering::Relaxed), (0..100u64).sum::<u64>());
+    }
+
+    #[test]
+    fn recv_errors_once_senders_dropped() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn scope_joins_and_propagates_results() {
+        let mut vals = vec![0u32; 3];
+        crate::scope(|s| {
+            for (i, v) in vals.iter_mut().enumerate() {
+                s.spawn(move |_| *v = i as u32 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+}

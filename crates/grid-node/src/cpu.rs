@@ -32,7 +32,10 @@ pub enum ProcStatus {
     /// Still running; CPU-seconds consumed so far.
     Running { cpu_used: f64 },
     /// Completed (finished or killed); CPU-seconds consumed.
-    Done { completion: Completion, cpu_used: f64 },
+    Done {
+        completion: Completion,
+        cpu_used: f64,
+    },
 }
 
 type CompleteFn = Box<dyn FnOnce(Completion, f64) + Send>;
@@ -99,7 +102,11 @@ impl CpuSim {
     /// Start a process with `work` CPU-seconds (reference speed) of
     /// demand. `on_complete(reason, cpu_used)` runs when it finishes or
     /// is killed.
-    pub fn spawn(&self, work: f64, on_complete: impl FnOnce(Completion, f64) + Send + 'static) -> Pid {
+    pub fn spawn(
+        &self,
+        work: f64,
+        on_complete: impl FnOnce(Completion, f64) + Send + 'static,
+    ) -> Pid {
         let mut callbacks = Vec::new();
         let pid = {
             let mut st = self.inner.state.lock();
@@ -166,11 +173,14 @@ impl CpuSim {
         let mut st = self.inner.state.lock();
         self.settle(&mut st);
         if let Some(p) = st.running.get(&pid) {
-            return Some(ProcStatus::Running { cpu_used: p.cpu_used });
+            return Some(ProcStatus::Running {
+                cpu_used: p.cpu_used,
+            });
         }
-        st.done
-            .get(&pid)
-            .map(|(c, used)| ProcStatus::Done { completion: *c, cpu_used: *used })
+        st.done.get(&pid).map(|(c, used)| ProcStatus::Done {
+            completion: *c,
+            cpu_used: *used,
+        })
     }
 
     /// Number of running processes.
@@ -380,7 +390,10 @@ mod tests {
         assert!((done[0].1 - 3.0).abs() < 1e-6);
         assert_eq!(
             cpu.status(pid),
-            Some(ProcStatus::Done { completion: Completion::Killed, cpu_used: done[0].1 })
+            Some(ProcStatus::Done {
+                completion: Completion::Killed,
+                cpu_used: done[0].1
+            })
         );
     }
 

@@ -33,8 +33,14 @@ impl std::fmt::Display for FsError {
             FsError::NotFound(p) => write!(f, "no such file or directory: '{p}'"),
             FsError::AlreadyExists(p) => write!(f, "already exists: '{p}'"),
             FsError::NotADirectory(p) => write!(f, "not a directory: '{p}'"),
-            FsError::QuotaExceeded { requested, available } => {
-                write!(f, "quota exceeded: need {requested} bytes, {available} available")
+            FsError::QuotaExceeded {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "quota exceeded: need {requested} bytes, {available} available"
+                )
             }
             FsError::InvalidPath(p) => write!(f, "invalid path: '{p}'"),
         }
@@ -76,8 +82,10 @@ pub struct SimFs {
 }
 
 fn split(path: &str) -> Result<Vec<&str>, FsError> {
-    let parts: Vec<&str> =
-        path.split('/').filter(|p| !p.is_empty() && *p != ".").collect();
+    let parts: Vec<&str> = path
+        .split('/')
+        .filter(|p| !p.is_empty() && *p != ".")
+        .collect();
     if parts.is_empty() || parts.contains(&"..") {
         return Err(FsError::InvalidPath(path.to_string()));
     }
@@ -97,7 +105,10 @@ impl SimFs {
 
     /// Filesystem with a byte quota.
     pub fn with_quota(quota_bytes: u64) -> Self {
-        SimFs { quota: Some(quota_bytes), ..SimFs::new() }
+        SimFs {
+            quota: Some(quota_bytes),
+            ..SimFs::new()
+        }
     }
 
     /// Bytes currently stored.
@@ -224,7 +235,9 @@ impl SimFs {
     pub fn exists(&self, path: &str) -> bool {
         let Ok(parts) = split(path) else { return false };
         self.with_parent(&parts, false, |dir, leaf| {
-            dir.get(leaf).map(|_| ()).ok_or_else(|| FsError::NotFound(path.to_string()))
+            dir.get(leaf)
+                .map(|_| ())
+                .ok_or_else(|| FsError::NotFound(path.to_string()))
         })
         .is_ok()
     }
@@ -233,7 +246,8 @@ impl SimFs {
     pub fn delete(&self, path: &str) -> Result<(), FsError> {
         let parts = split(path)?;
         let removed = self.with_parent(&parts, false, |dir, leaf| {
-            dir.remove(leaf).ok_or_else(|| FsError::NotFound(path.to_string()))
+            dir.remove(leaf)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))
         })?;
         let freed = node_bytes(&removed);
         self.used.fetch_sub(freed, Ordering::Relaxed);
@@ -314,10 +328,19 @@ mod tests {
         let entries = fs.list("jobs/j1").unwrap();
         assert_eq!(
             entries,
-            vec![DirEntry::File("out.dat".into(), 10), DirEntry::Dir("sub".into())]
+            vec![
+                DirEntry::File("out.dat".into(), 10),
+                DirEntry::Dir("sub".into())
+            ]
         );
-        assert!(matches!(fs.create_dir("jobs/j1"), Err(FsError::AlreadyExists(_))));
-        assert!(matches!(fs.list("jobs/j1/out.dat"), Err(FsError::NotADirectory(_))));
+        assert!(matches!(
+            fs.create_dir("jobs/j1"),
+            Err(FsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            fs.list("jobs/j1/out.dat"),
+            Err(FsError::NotADirectory(_))
+        ));
     }
 
     #[test]
@@ -371,7 +394,10 @@ mod tests {
     fn invalid_paths_rejected() {
         let fs = SimFs::new();
         assert!(matches!(fs.write("", vec![]), Err(FsError::InvalidPath(_))));
-        assert!(matches!(fs.write("a/../b", vec![]), Err(FsError::InvalidPath(_))));
+        assert!(matches!(
+            fs.write("a/../b", vec![]),
+            Err(FsError::InvalidPath(_))
+        ));
         assert!(matches!(fs.read("///"), Err(FsError::InvalidPath(_))));
     }
 
@@ -379,8 +405,14 @@ mod tests {
     fn write_through_file_component_fails() {
         let fs = SimFs::new();
         fs.write("a", vec![1]).unwrap();
-        assert!(matches!(fs.write("a/b", vec![2]), Err(FsError::NotADirectory(_))));
-        assert!(matches!(fs.write("a", vec![0u8; 3]), Ok(())), "overwrite file ok");
+        assert!(matches!(
+            fs.write("a/b", vec![2]),
+            Err(FsError::NotADirectory(_))
+        ));
+        assert!(
+            matches!(fs.write("a", vec![0u8; 3]), Ok(())),
+            "overwrite file ok"
+        );
         assert!(fs.create_dir("a").is_err(), "dir over file");
     }
 

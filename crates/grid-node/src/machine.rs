@@ -95,7 +95,12 @@ impl Machine {
             None => SimFs::new(),
         });
         let cpu = CpuSim::new(clock.clone(), spec.cores, spec.speed_factor());
-        Arc::new(Machine { spec, fs, cpu, clock })
+        Arc::new(Machine {
+            spec,
+            fs,
+            cpu,
+            clock,
+        })
     }
 
     /// The machine's clock.
@@ -105,7 +110,10 @@ impl Machine {
 
     /// Validate a local account.
     pub fn check_credentials(&self, user: &str, password: &str) -> bool {
-        self.spec.users.iter().any(|(u, p)| u == user && p == password)
+        self.spec
+            .users
+            .iter()
+            .any(|(u, p)| u == user && p == password)
     }
 
     /// Simulate a crash/power-cut: every process dies silently (no
@@ -158,7 +166,10 @@ mod tests {
 
     #[test]
     fn credentials_checked() {
-        let m = Machine::new(MachineSpec::new("m1").with_user("alice", "secret"), Clock::manual());
+        let m = Machine::new(
+            MachineSpec::new("m1").with_user("alice", "secret"),
+            Clock::manual(),
+        );
         assert!(m.check_credentials("alice", "secret"));
         assert!(m.check_credentials("griduser", "gridpass"));
         assert!(!m.check_credentials("alice", "wrong"));

@@ -41,7 +41,12 @@ pub const EXIT_KILLED: i32 = -9;
 impl JobProgram {
     /// A pure-compute program.
     pub fn compute(cpu_seconds: f64) -> Self {
-        JobProgram { cpu_seconds, reads: Vec::new(), outputs: Vec::new(), exit_code: 0 }
+        JobProgram {
+            cpu_seconds,
+            reads: Vec::new(),
+            outputs: Vec::new(),
+            exit_code: 0,
+        }
     }
 
     /// Builder: require an input file.

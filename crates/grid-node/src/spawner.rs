@@ -93,7 +93,11 @@ impl ProcSpawn {
 
         let fs = self.machine.fs.clone();
         let workdir_owned = workdir.to_string();
-        let work = if missing_input { 0.0 } else { program.cpu_seconds };
+        let work = if missing_input {
+            0.0
+        } else {
+            program.cpu_seconds
+        };
         let pid = self.machine.cpu.spawn(work, move |completion, cpu_used| {
             let code = match completion {
                 Completion::Killed => EXIT_KILLED,
@@ -104,7 +108,10 @@ impl ProcSpawn {
                     let mut failed = false;
                     for (name, size) in &program.outputs {
                         let content = JobProgram::generate_output(name, *size);
-                        if fs.write(&format!("{workdir_owned}/{name}"), content).is_err() {
+                        if fs
+                            .write(&format!("{workdir_owned}/{name}"), content)
+                            .is_err()
+                        {
                             failed = true;
                             break;
                         }
@@ -150,11 +157,18 @@ mod tests {
     fn fixture() -> Fixture {
         let clock = Clock::manual();
         let machine = Machine::new(
-            MachineSpec::new("m1").with_cpu_mhz(2000).with_user("alice", "pw"),
+            MachineSpec::new("m1")
+                .with_cpu_mhz(2000)
+                .with_user("alice", "pw"),
             clock.clone(),
         );
         let spawner = ProcSpawn::new(machine.clone());
-        Fixture { clock, machine, spawner, exits: Arc::new(Mutex::new(Vec::new())) }
+        Fixture {
+            clock,
+            machine,
+            spawner,
+            exits: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     fn exit_cb(f: &Fixture) -> impl FnOnce(i32, f64) + Send + 'static {
@@ -174,14 +188,19 @@ mod tests {
         let f = fixture();
         let prog = JobProgram::compute(4.0).writing("out.dat", 128).exiting(0);
         let (exe, workdir) = stage(&f, &prog);
-        f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
+        f.spawner
+            .spawn(&exe, &workdir, "alice", "pw", exit_cb(&f))
+            .unwrap();
         // 4 cpu-sec at 2x speed = 2 virtual seconds.
         f.clock.advance(Duration::from_secs_f64(2.1));
         let exits = f.exits.lock().clone();
         assert_eq!(exits.len(), 1);
         assert_eq!(exits[0].0, 0);
         assert!((exits[0].1 - 4.0).abs() < 1e-6, "cpu time {}", exits[0].1);
-        assert_eq!(f.machine.fs.file_size(&format!("{workdir}/out.dat")), Some(128));
+        assert_eq!(
+            f.machine.fs.file_size(&format!("{workdir}/out.dat")),
+            Some(128)
+        );
     }
 
     #[test]
@@ -203,7 +222,8 @@ mod tests {
         let f = fixture();
         let (exe, workdir) = stage(&f, &JobProgram::compute(1.0));
         assert!(matches!(
-            f.spawner.spawn("jobs/nope.exe", &workdir, "alice", "pw", |_, _| {}),
+            f.spawner
+                .spawn("jobs/nope.exe", &workdir, "alice", "pw", |_, _| {}),
             Err(SpawnError::NoSuchExecutable(_))
         ));
         assert!(matches!(
@@ -217,7 +237,10 @@ mod tests {
         let f = fixture();
         let workdir = f.machine.fs.create_unique_dir("jobs", "job").unwrap();
         let exe = format!("{workdir}/bad.exe");
-        f.machine.fs.write(&exe, &b"#!/bin/sh\necho hi"[..]).unwrap();
+        f.machine
+            .fs
+            .write(&exe, &b"#!/bin/sh\necho hi"[..])
+            .unwrap();
         assert!(matches!(
             f.spawner.spawn(&exe, &workdir, "alice", "pw", |_, _| {}),
             Err(SpawnError::NotExecutable(_))
@@ -229,7 +252,9 @@ mod tests {
         let f = fixture();
         let prog = JobProgram::compute(5.0).reading("input.dat");
         let (exe, workdir) = stage(&f, &prog);
-        f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
+        f.spawner
+            .spawn(&exe, &workdir, "alice", "pw", exit_cb(&f))
+            .unwrap();
         f.clock.advance(Duration::from_millis(1));
         let exits = f.exits.lock().clone();
         assert_eq!(exits.len(), 1);
@@ -241,8 +266,13 @@ mod tests {
         let f = fixture();
         let prog = JobProgram::compute(1.0).reading("input.dat");
         let (exe, workdir) = stage(&f, &prog);
-        f.machine.fs.write(&format!("{workdir}/input.dat"), &b"data"[..]).unwrap();
-        f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
+        f.machine
+            .fs
+            .write(&format!("{workdir}/input.dat"), &b"data"[..])
+            .unwrap();
+        f.spawner
+            .spawn(&exe, &workdir, "alice", "pw", exit_cb(&f))
+            .unwrap();
         f.clock.advance(Duration::from_secs(1));
         assert_eq!(f.exits.lock()[0].0, 0);
     }
@@ -251,23 +281,26 @@ mod tests {
     fn kill_reports_minus_nine() {
         let f = fixture();
         let (exe, workdir) = stage(&f, &JobProgram::compute(100.0));
-        let pid = f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
+        let pid = f
+            .spawner
+            .spawn(&exe, &workdir, "alice", "pw", exit_cb(&f))
+            .unwrap();
         f.clock.advance(Duration::from_secs(1));
         assert!(f.spawner.kill(pid));
         assert_eq!(f.exits.lock()[0].0, EXIT_KILLED);
         assert!(matches!(
             f.spawner.status(pid),
-            Some(ProcStatus::Done { completion: Completion::Killed, .. })
+            Some(ProcStatus::Done {
+                completion: Completion::Killed,
+                ..
+            })
         ));
     }
 
     #[test]
     fn quota_failure_exits_73() {
         let clock = Clock::manual();
-        let machine = Machine::new(
-            MachineSpec::new("m1").with_disk_quota(256),
-            clock.clone(),
-        );
+        let machine = Machine::new(MachineSpec::new("m1").with_disk_quota(256), clock.clone());
         let spawner = ProcSpawn::new(machine.clone());
         let workdir = machine.fs.create_unique_dir("jobs", "job").unwrap();
         let prog = JobProgram::compute(1.0).writing("huge.dat", 10_000);
@@ -276,7 +309,9 @@ mod tests {
         let exits = Arc::new(Mutex::new(Vec::new()));
         let e = exits.clone();
         spawner
-            .spawn(&exe, &workdir, "griduser", "gridpass", move |c, u| e.lock().push((c, u)))
+            .spawn(&exe, &workdir, "griduser", "gridpass", move |c, u| {
+                e.lock().push((c, u))
+            })
             .unwrap();
         clock.advance(Duration::from_secs(2));
         assert_eq!(exits.lock()[0].0, EXIT_OUTPUT_FAILED);
@@ -286,7 +321,9 @@ mod tests {
     fn nonzero_program_exit_code_propagates() {
         let f = fixture();
         let (exe, workdir) = stage(&f, &JobProgram::compute(0.5).exiting(17));
-        f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
+        f.spawner
+            .spawn(&exe, &workdir, "alice", "pw", exit_cb(&f))
+            .unwrap();
         f.clock.advance(Duration::from_secs(1));
         assert_eq!(f.exits.lock()[0].0, 17);
     }
@@ -295,8 +332,12 @@ mod tests {
     fn processes_on_one_machine_share_cpu() {
         let f = fixture();
         let (exe, workdir) = stage(&f, &JobProgram::compute(2.0));
-        f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
-        f.spawner.spawn(&exe, &workdir, "alice", "pw", exit_cb(&f)).unwrap();
+        f.spawner
+            .spawn(&exe, &workdir, "alice", "pw", exit_cb(&f))
+            .unwrap();
+        f.spawner
+            .spawn(&exe, &workdir, "alice", "pw", exit_cb(&f))
+            .unwrap();
         // Each needs 1 virtual second alone (2 cpu-sec @2x); sharing
         // doubles that.
         f.clock.advance(Duration::from_secs_f64(1.5));

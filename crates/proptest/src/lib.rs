@@ -1,0 +1,857 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `prop_recursive` / `boxed`, range and
+//! regex-subset string strategies, `collection::vec`, `option::of`,
+//! `prop_oneof!`, and the `proptest!` test macro with
+//! `#![proptest_config(..)]` support.
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   verbatim; cases are seeded deterministically from the test name
+//!   and case index, so failures reproduce exactly on re-run.
+//! * String strategies accept the regex *subset* actually used here:
+//!   concatenations of literals and character classes (with ranges),
+//!   each optionally quantified by `{n}`, `{m,n}`, `*`, `+`, or `?`.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+// ---------------------------------------------------------------------------
+// Test runner plumbing
+// ---------------------------------------------------------------------------
+
+/// Error a property-test case can return to signal failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+
+    /// Alias kept for API compatibility.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only `cases` matters to this shim, the other
+/// fields exist so `..ProptestConfig::default()` spreads compile.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted and ignored (no rejection sampling in the shim).
+    pub max_local_rejects: u32,
+    /// Accepted and ignored (no shrinking in the shim).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_local_rejects: 65_536,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Per-case state handed to the generated test body: a seeded RNG plus
+/// a log of sampled inputs for failure reporting.
+pub struct TestRunner {
+    rng: StdRng,
+    inputs: RefCell<Vec<(&'static str, String)>>,
+}
+
+impl TestRunner {
+    fn new(seed: u64) -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+            inputs: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Samples one value and records its debug form under `name`.
+    pub fn sample<S: Strategy>(&mut self, name: &'static str, strategy: &S) -> S::Value
+    where
+        S::Value: fmt::Debug,
+    {
+        let value = strategy.generate(&mut self.rng);
+        self.inputs.borrow_mut().push((name, format!("{value:?}")));
+        value
+    }
+
+    fn describe_inputs(&self) -> String {
+        self.inputs
+            .borrow()
+            .iter()
+            .map(|(n, v)| format!("    {n} = {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+fn seed_for(test_name: &str, case: u32) -> u64 {
+    // FNV-1a over the name, mixed with the case index: stable across
+    // runs so failures reproduce.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Drives `config.cases` deterministic cases of one property. Called
+/// by the `proptest!` expansion; panics (failing the enclosing
+/// `#[test]`) on the first case that fails, printing the inputs.
+pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut case_fn: F)
+where
+    F: FnMut(&mut TestRunner) -> TestCaseResult,
+{
+    for case in 0..config.cases {
+        let mut runner = TestRunner::new(seed_for(test_name, case));
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case_fn(&mut runner)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(err)) => panic!(
+                "proptest case {case}/{total} of `{test_name}` failed: {err}\n  inputs:\n{inputs}",
+                total = config.cases,
+                inputs = runner.describe_inputs(),
+            ),
+            Err(panic_payload) => {
+                eprintln!(
+                    "proptest case {case}/{total} of `{test_name}` panicked\n  inputs:\n{inputs}",
+                    total = config.cases,
+                    inputs = runner.describe_inputs(),
+                );
+                std::panic::resume_unwind(panic_payload);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds trees up to `depth` recursion levels: the closure maps a
+    /// strategy for the previous level to one for the next. The size
+    /// parameters are accepted for API compatibility; bounded depth is
+    /// what terminates generation here.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = recurse(strat).boxed();
+        }
+        strat
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// Type-erased strategy; cheap to clone and reusable.
+pub struct BoxedStrategy<V> {
+    gen: Rc<dyn Fn(&mut StdRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: self.gen.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        (self.gen)(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of same-valued strategies (`prop_oneof!` backend).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (w, strat) in &self.arms {
+            if pick < *w {
+                return strat.generate(rng);
+            }
+            pick -= *w;
+        }
+        unreachable!("weights sum mismatch")
+    }
+}
+
+// Integer / float range strategies.
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+// Tuple strategies.
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+);)*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+}
+
+/// A `Vec` of strategies generates one value per element — used for
+/// "one strategy per position" shapes like per-node DAG dependency
+/// lists.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `any::<T>()`
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    fn arbitrary_value(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut StdRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut StdRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut StdRng) -> f64 {
+        rng.gen::<f64>()
+    }
+}
+
+pub struct Any<A> {
+    _marker: PhantomData<A>,
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut StdRng) -> A {
+        A::arbitrary_value(rng)
+    }
+}
+
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    Literal(char),
+    /// Flattened class alternatives (ranges expanded at sample time).
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    // `a-z` is a range unless the dash is last-in-class.
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                i += 1; // consume ']'
+                CharSet::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                CharSet::Literal(c)
+            }
+            c => {
+                i += 1;
+                CharSet::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated quantifier")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.parse().expect("bad quantifier"),
+                            hi.parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n: usize = body.parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+fn sample_char(set: &CharSet, rng: &mut StdRng) -> char {
+    match set {
+        CharSet::Literal(c) => *c,
+        CharSet::Class(ranges) => {
+            let idx = rng.gen_range(0..ranges.len());
+            let (lo, hi) = ranges[idx];
+            let v = rng.gen_range(lo as u32..=hi as u32);
+            char::from_u32(v).expect("range produced invalid char")
+        }
+    }
+}
+
+/// String strategies from `&'static str` regex-subset patterns.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.gen_range(atom.min..=atom.max)
+            };
+            for _ in 0..count {
+                out.push(sample_char(&atom.set, rng));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collection / option modules
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::*;
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.min == self.size.max {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..=self.size.max)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            // Some ~75% of the time, like real proptest's default.
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Alias namespace so `prop::collection::vec(..)` / `prop::option::of(..)`
+/// resolve after `use proptest::prelude::*`.
+pub mod prop {
+    pub use super::{collection, option};
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left, right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(config, stringify!($name), |__runner| {
+                $(let $pat = __runner.sample(stringify!($pat), &($strat));)+
+                let __result: $crate::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                __result
+            });
+        }
+        $crate::__proptest_body! { @cfg($cfg) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let strat = "[A-Za-z][A-Za-z0-9_.-]{0,8}";
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_alphabetic());
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_in_class_is_literal() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+        for _ in 0..300 {
+            let s = Strategy::generate(&"[a-z0-9-]{4}", &mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_respects_size_bounds(v in prop::collection::vec(0u8..10, 2..=5)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn oneof_draws_every_arm_eventually(x in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(pair in (0u32..5, "[a-z]{2}").prop_map(|(n, s)| (n, s.len()))) {
+            prop_assert!(pair.0 < 5);
+            prop_assert_eq!(pair.1, 2);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases(ProptestConfig::with_cases(4), "always_fails", |r| {
+                let _v = r.sample("v", &(0u8..4));
+                Err(TestCaseError::fail("nope"))
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails") && msg.contains("v ="), "{msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let mut first = Vec::new();
+        crate::run_cases(ProptestConfig::with_cases(8), "det", |r| {
+            first.push(r.sample("x", &(0u64..1_000_000)));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::run_cases(ProptestConfig::with_cases(8), "det", |r| {
+            second.push(r.sample("x", &(0u64..1_000_000)));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -86,7 +86,10 @@ impl Clock {
     /// # Panics
     /// Panics if `speedup` is not finite and positive.
     pub fn scaled(speedup: f64) -> Self {
-        assert!(speedup.is_finite() && speedup > 0.0, "speedup must be positive");
+        assert!(
+            speedup.is_finite() && speedup > 0.0,
+            "speedup must be positive"
+        );
         let clock = Clock::new(Mode::Scaled { speedup });
         let weak = Arc::downgrade(&clock.inner);
         std::thread::Builder::new()
@@ -136,11 +139,7 @@ impl Clock {
 
     /// Schedule `cb` to run `delay` of virtual time from now. The
     /// callback receives the virtual time at which it fires.
-    pub fn schedule(
-        &self,
-        delay: Duration,
-        cb: impl FnOnce(SimTime) + Send + 'static,
-    ) -> TimerId {
+    pub fn schedule(&self, delay: Duration, cb: impl FnOnce(SimTime) + Send + 'static) -> TimerId {
         self.schedule_at(self.now() + delay, cb)
     }
 
@@ -244,7 +243,15 @@ impl Clock {
     pub fn drain(&self) {
         assert!(self.is_manual(), "drain() requires a manual clock");
         loop {
-            let last = { self.inner.state.lock().heap.iter().map(|Reverse(e)| e.deadline).max() };
+            let last = {
+                self.inner
+                    .state
+                    .lock()
+                    .heap
+                    .iter()
+                    .map(|Reverse(e)| e.deadline)
+                    .max()
+            };
             match last {
                 Some(t) => self.advance_to(t),
                 None => return,
@@ -347,7 +354,12 @@ impl Drop for Inner {
 
 impl std::fmt::Debug for Clock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Clock(now={}, pending={})", self.now(), self.pending_timers())
+        write!(
+            f,
+            "Clock(now={}, pending={})",
+            self.now(),
+            self.pending_timers()
+        )
     }
 }
 

@@ -127,14 +127,20 @@ pub fn job_manager(
                 *next += 1;
                 id
             };
-            st_submit.jobs.lock().insert(id, JobState::Running(mname.clone()));
+            st_submit
+                .jobs
+                .lock()
+                .insert(id, JobState::Running(mname.clone()));
             let jobs = st_submit.jobs.clone();
             match spawner.spawn(&exe_path, &workdir, &user, &password, move |code, _| {
                 jobs.lock().insert(id, JobState::Done(code));
             }) {
                 Ok(_) => Ok(Element::new(UVACG, "SubmitResponse").attr("jobId", id.to_string())),
                 Err(e) => {
-                    st_submit.jobs.lock().insert(id, JobState::Failed(e.to_string()));
+                    st_submit
+                        .jobs
+                        .lock()
+                        .insert(id, JobState::Failed(e.to_string()));
                     Err(BaseFault::new("gram:SpawnFailed", e.to_string()))
                 }
             }
@@ -150,9 +156,9 @@ pub fn job_manager(
                 .get(&id)
                 .ok_or_else(|| BaseFault::new("gram:NoSuchJob", format!("no job {id}")))?;
             let resp = match state {
-                JobState::Running(m) => {
-                    Element::new(UVACG, "PollResponse").attr("state", "Running").attr("machine", m)
-                }
+                JobState::Running(m) => Element::new(UVACG, "PollResponse")
+                    .attr("state", "Running")
+                    .attr("machine", m),
                 JobState::Done(code) => Element::new(UVACG, "PollResponse")
                     .attr("state", "Done")
                     .attr("exitCode", code.to_string()),
@@ -187,11 +193,20 @@ pub fn submit(
                 .attr("name", filename)
                 .child(source.to_element()),
         )
-        .child(Element::new(UVACG, "Credentials").attr("user", user).attr("password", password));
+        .child(
+            Element::new(UVACG, "Credentials")
+                .attr("user", user)
+                .attr("password", password),
+        );
     let mut env = Envelope::new(body);
-    MessageInfo::request(EndpointReference::service(manager), action_uri("JobManager", "Submit"))
-        .apply(&mut env);
-    let resp = net.call(manager, env).map_err(|e| SoapFault::server(e.to_string()))?;
+    MessageInfo::request(
+        EndpointReference::service(manager),
+        action_uri("JobManager", "Submit"),
+    )
+    .apply(&mut env);
+    let resp = net
+        .call(manager, env)
+        .map_err(|e| SoapFault::server(e.to_string()))?;
     if let Some(f) = resp.fault() {
         return Err(f);
     }
@@ -205,14 +220,22 @@ pub fn submit(
 pub fn poll(net: &InProcNetwork, manager: &str, job_id: u64) -> Result<Option<i32>, SoapFault> {
     let body = Element::new(UVACG, "Poll").attr("jobId", job_id.to_string());
     let mut env = Envelope::new(body);
-    MessageInfo::request(EndpointReference::service(manager), action_uri("JobManager", "Poll"))
-        .apply(&mut env);
-    let resp = net.call(manager, env).map_err(|e| SoapFault::server(e.to_string()))?;
+    MessageInfo::request(
+        EndpointReference::service(manager),
+        action_uri("JobManager", "Poll"),
+    )
+    .apply(&mut env);
+    let resp = net
+        .call(manager, env)
+        .map_err(|e| SoapFault::server(e.to_string()))?;
     if let Some(f) = resp.fault() {
         return Err(f);
     }
     match resp.body.attr_value("state") {
-        Some("Done") => Ok(resp.body.attr_value("exitCode").and_then(|c| c.parse().ok())),
+        Some("Done") => Ok(resp
+            .body
+            .attr_value("exitCode")
+            .and_then(|c| c.parse().ok())),
         Some("Failed") => Ok(Some(-1)),
         _ => Ok(None),
     }
@@ -261,7 +284,12 @@ mod tests {
                 (format!("m{i}"), m, s)
             })
             .collect();
-        let svc = job_manager("inproc://hub/JobManager", machines, clock.clone(), net.clone());
+        let svc = job_manager(
+            "inproc://hub/JobManager",
+            machines,
+            clock.clone(),
+            net.clone(),
+        );
         svc.register(&net);
         (clock, net, svc)
     }
@@ -275,8 +303,15 @@ mod tests {
             "prog.exe",
             JobProgram::compute(5.0).exiting(7).to_manifest(),
         );
-        let id = submit(&net, "inproc://hub/JobManager", &src, "prog.exe", "griduser", "gridpass")
-            .unwrap();
+        let id = submit(
+            &net,
+            "inproc://hub/JobManager",
+            &src,
+            "prog.exe",
+            "griduser",
+            "gridpass",
+        )
+        .unwrap();
         assert_eq!(poll(&net, "inproc://hub/JobManager", id).unwrap(), None);
         clock.advance(Duration::from_secs(3));
         assert_eq!(poll(&net, "inproc://hub/JobManager", id).unwrap(), None);
@@ -300,8 +335,15 @@ mod tests {
             "prog.exe",
             JobProgram::compute(1.0).to_manifest(),
         );
-        let err = submit(&net, "inproc://hub/JobManager", &src, "prog.exe", "nobody", "x")
-            .unwrap_err();
+        let err = submit(
+            &net,
+            "inproc://hub/JobManager",
+            &src,
+            "prog.exe",
+            "nobody",
+            "x",
+        )
+        .unwrap_err();
         assert_eq!(err.error_code(), Some("gram:SpawnFailed"));
     }
 
@@ -314,8 +356,15 @@ mod tests {
             "prog.exe",
             JobProgram::compute(1.0).to_manifest(),
         );
-        let err = submit(&net, "inproc://hub/JobManager", &src, "wrong-name.exe", "griduser", "gridpass")
-            .unwrap_err();
+        let err = submit(
+            &net,
+            "inproc://hub/JobManager",
+            &src,
+            "wrong-name.exe",
+            "griduser",
+            "gridpass",
+        )
+        .unwrap_err();
         assert_eq!(err.error_code(), Some("gram:StageFailed"));
     }
 
@@ -324,16 +373,18 @@ mod tests {
         let (_clock, net, _svc) = setup();
         // A GetResourceProperty call must be rejected — the baseline
         // has a custom interface only.
-        let mut env = Envelope::new(
-            Element::new(wsrf_soap::ns::WSRP, "GetResourceProperty").text("Status"),
-        );
+        let mut env =
+            Envelope::new(Element::new(wsrf_soap::ns::WSRP, "GetResourceProperty").text("Status"));
         MessageInfo::request(
             EndpointReference::service("inproc://hub/JobManager"),
             wsrf_core::porttypes::wsrp_action("GetResourceProperty"),
         )
         .apply(&mut env);
         let resp = net.call("inproc://hub/JobManager", env).unwrap();
-        assert_eq!(resp.fault().unwrap().error_code(), Some("wsrf:NoSuchOperation"));
+        assert_eq!(
+            resp.fault().unwrap().error_code(),
+            Some("wsrf:NoSuchOperation")
+        );
     }
 
     #[test]
@@ -347,9 +398,15 @@ mod tests {
         );
         let mut machines_seen = std::collections::HashSet::new();
         for _ in 0..2 {
-            let id =
-                submit(&net, "inproc://hub/JobManager", &src, "prog.exe", "griduser", "gridpass")
-                    .unwrap();
+            let id = submit(
+                &net,
+                "inproc://hub/JobManager",
+                &src,
+                "prog.exe",
+                "griduser",
+                "gridpass",
+            )
+            .unwrap();
             // Read the machine from a poll.
             let body = Element::new(UVACG, "Poll").attr("jobId", id.to_string());
             let mut env = Envelope::new(body);

@@ -97,10 +97,21 @@ impl Client {
         let fileserver_address = format!("soap.tcp://{id}/files");
         net.register(
             &fileserver_address,
-            Arc::new(ClientFileServer { files: files.clone() }) as Arc<dyn Endpoint>,
+            Arc::new(ClientFileServer {
+                files: files.clone(),
+            }) as Arc<dyn Endpoint>,
         );
         let listener = NotificationListener::register(&net, &format!("inproc://{id}/listener"));
-        Client { id: id.to_string(), net, clock, listener, files, fileserver_address, scheduler, security }
+        Client {
+            id: id.to_string(),
+            net,
+            clock,
+            listener,
+            files,
+            fileserver_address,
+            scheduler,
+            security,
+        }
     }
 
     /// Put a file on the client's local disk (e.g. `C:\data\in.dat`).
@@ -150,8 +161,12 @@ impl Client {
         }
         let mut handles = Vec::new();
         for js in resp.body.find_all(UVACG, "JobSet") {
-            let Some(epr_el) = js.find(UVACG, "JobSetEpr") else { continue };
-            let Ok(jobset) = EndpointReference::from_element(epr_el) else { continue };
+            let Some(epr_el) = js.find(UVACG, "JobSetEpr") else {
+                continue;
+            };
+            let Ok(jobset) = EndpointReference::from_element(epr_el) else {
+                continue;
+            };
             handles.push(JobSetHandle {
                 topic: js.attr_value("topic").unwrap_or_default().to_string(),
                 jobset,
@@ -365,9 +380,8 @@ impl JobSetHandle {
 
     /// The job set's `Status` resource property (server-side view).
     pub fn status(&self) -> Result<String, SoapFault> {
-        let mut env = Envelope::new(
-            Element::new(wsrf_soap::ns::WSRP, "GetResourceProperty").text("Status"),
-        );
+        let mut env =
+            Envelope::new(Element::new(wsrf_soap::ns::WSRP, "GetResourceProperty").text("Status"));
         wsrf_soap::MessageInfo::request(
             self.jobset.clone(),
             wsrf_core::porttypes::wsrp_action("GetResourceProperty"),

@@ -121,9 +121,11 @@ pub fn execution_service(cfg: EsConfig, clock: Clock, net: Arc<InProcNetwork>) -
             OpKind::Static,
             move |ctx| upload_complete_op(ctx, &rt_upload),
         )
-        .raw_operation(action_uri("Execution", "Kill"), OpKind::Static, move |ctx| {
-            kill_op(ctx, &rt_kill)
-        })
+        .raw_operation(
+            action_uri("Execution", "Kill"),
+            OpKind::Static,
+            move |ctx| kill_op(ctx, &rt_kill),
+        )
         .operation("GetExitCode", |ctx| {
             let doc = ctx.resource_mut()?;
             match doc.text(&q("ExitCode")) {
@@ -164,7 +166,10 @@ fn credentials(
             .header(WSSE, "Security")
             .ok_or_else(|| BaseFault::new("uvacg:MissingCredentials", "no WS-Security header"))?;
         let token = sec.decrypt_token(header, subject).map_err(|e| {
-            BaseFault::new("uvacg:BadCredentials", format!("cannot decrypt credentials: {e}"))
+            BaseFault::new(
+                "uvacg:BadCredentials",
+                format!("cannot decrypt credentials: {e}"),
+            )
         })?;
         return Ok((token.username, token.password));
     }
@@ -212,7 +217,10 @@ fn run_op(
             .attr_value("name")
             .ok_or_else(|| faults::bad_request("file element requires name"))?
             .to_string();
-        let as_name = fe.attr_value("as").map(str::to_string).unwrap_or_else(|| name.clone());
+        let as_name = fe
+            .attr_value("as")
+            .map(str::to_string)
+            .unwrap_or_else(|| name.clone());
         let src = fe
             .find(UVACG, "SourceEpr")
             .ok_or_else(|| faults::bad_request("file element requires SourceEpr"))?;
@@ -267,8 +275,13 @@ fn run_op(
     publish(
         ctx.core,
         &rt.broker,
-        &TopicPath::parse(&topic).child("job").child(&job_name).child("dir"),
-        dir_epr.to_element_named(UVACG, "WorkingDirectory").attr("job", &job_name),
+        &TopicPath::parse(&topic)
+            .child("job")
+            .child(&job_name)
+            .child("dir"),
+        dir_epr
+            .to_element_named(UVACG, "WorkingDirectory")
+            .attr("job", &job_name),
         &job_epr,
     );
 
@@ -293,7 +306,10 @@ fn run_op(
 fn upload_complete_op(ctx: &mut Ctx<'_>, rt: &Arc<EsRuntime>) -> Result<Element, BaseFault> {
     let key = ctx.key()?.to_string();
     let core = ctx.core.clone();
-    let mut doc = core.store.load(&core.name, &key).map_err(faults::from_store)?;
+    let mut doc = core
+        .store
+        .load(&core.name, &key)
+        .map_err(faults::from_store)?;
     let Some(pending) = rt.pending.lock().remove(&key) else {
         return Err(BaseFault::new(
             "uvacg:UnexpectedUpload",
@@ -309,12 +325,20 @@ fn upload_complete_op(ctx: &mut Ctx<'_>, rt: &Arc<EsRuntime>) -> Result<Element,
     let failures: Vec<String> = ctx
         .body
         .find_all(UVACG, "Failure")
-        .map(|f| format!("{}: {}", f.attr_value("file").unwrap_or("?"), f.text_content()))
+        .map(|f| {
+            format!(
+                "{}: {}",
+                f.attr_value("file").unwrap_or("?"),
+                f.text_content()
+            )
+        })
         .collect();
     if !failures.is_empty() {
         doc.set_text(q("Status"), status::FAILED);
         doc.set_text(q("FailureReason"), failures.join("; "));
-        core.store.save(&core.name, &key, &doc).map_err(faults::from_store)?;
+        core.store
+            .save(&core.name, &key, &doc)
+            .map_err(faults::from_store)?;
         publish(
             &core,
             &rt.broker,
@@ -332,14 +356,18 @@ fn upload_complete_op(ctx: &mut Ctx<'_>, rt: &Arc<EsRuntime>) -> Result<Element,
     // callback runs inline inside spawn(), and writing Running (or
     // publishing "started") after it would clobber/reorder the exit.
     doc.set_text(q("Status"), status::RUNNING);
-    core.store.save(&core.name, &key, &doc).map_err(faults::from_store)?;
+    core.store
+        .save(&core.name, &key, &doc)
+        .map_err(faults::from_store)?;
     // Step 9 (second half): broadcast the job's EPR so anyone may poll
     // its Status resource property.
     publish(
         &core,
         &rt.broker,
         &topic_base.child("started"),
-        job_epr.to_element_named(UVACG, "JobEpr").attr("job", &pending.job_name),
+        job_epr
+            .to_element_named(UVACG, "JobEpr")
+            .attr("job", &pending.job_name),
         &job_epr,
     );
 
@@ -372,16 +400,26 @@ fn upload_complete_op(ctx: &mut Ctx<'_>, rt: &Arc<EsRuntime>) -> Result<Element,
         Ok(pid) => {
             // Reload: the exit callback may already have run inline
             // (zero-work programs); only record the pid.
-            let mut doc = core.store.load(&core.name, &key).map_err(faults::from_store)?;
+            let mut doc = core
+                .store
+                .load(&core.name, &key)
+                .map_err(faults::from_store)?;
             doc.set_i64(q("Pid"), pid as i64);
-            core.store.save(&core.name, &key, &doc).map_err(faults::from_store)?;
+            core.store
+                .save(&core.name, &key, &doc)
+                .map_err(faults::from_store)?;
             Ok(Element::new(UVACG, "UploadCompleteAck"))
         }
         Err(e) => {
-            let mut doc = core.store.load(&core.name, &key).map_err(faults::from_store)?;
+            let mut doc = core
+                .store
+                .load(&core.name, &key)
+                .map_err(faults::from_store)?;
             doc.set_text(q("Status"), status::FAILED);
             doc.set_text(q("FailureReason"), e.to_string());
-            core.store.save(&core.name, &key, &doc).map_err(faults::from_store)?;
+            core.store
+                .save(&core.name, &key, &doc)
+                .map_err(faults::from_store)?;
             publish(
                 &core,
                 &rt.broker,
@@ -430,7 +468,10 @@ fn on_process_exit(
 fn kill_op(ctx: &mut Ctx<'_>, rt: &Arc<EsRuntime>) -> Result<Element, BaseFault> {
     let key = ctx.key()?.to_string();
     let core = ctx.core.clone();
-    let doc = core.store.load(&core.name, &key).map_err(faults::from_store)?;
+    let doc = core
+        .store
+        .load(&core.name, &key)
+        .map_err(faults::from_store)?;
     let pid = doc
         .i64(&q("Pid"))
         .ok_or_else(|| BaseFault::new("uvacg:NotRunning", "job has no process"))?;
@@ -483,11 +524,7 @@ pub struct RunReply {
 }
 
 /// Invoke `Run` on an Execution Service.
-pub fn run(
-    net: &InProcNetwork,
-    es_address: &str,
-    req: &RunRequest,
-) -> Result<RunReply, SoapFault> {
+pub fn run(net: &InProcNetwork, es_address: &str, req: &RunRequest) -> Result<RunReply, SoapFault> {
     let file_el = |tag: &str, (src, name, as_name): &(EndpointReference, String, String)| {
         Element::new(UVACG, tag)
             .attr("name", name)
@@ -502,15 +539,24 @@ pub fn run(
         body.push_child(file_el("Input", i));
     }
     if let Some((u, p)) = &req.plain_credentials {
-        body.push_child(Element::new(UVACG, "Credentials").attr("user", u).attr("password", p));
+        body.push_child(
+            Element::new(UVACG, "Credentials")
+                .attr("user", u)
+                .attr("password", p),
+        );
     }
     let mut env = Envelope::new(body);
-    MessageInfo::request(EndpointReference::service(es_address), action_uri("Execution", "Run"))
-        .apply(&mut env);
+    MessageInfo::request(
+        EndpointReference::service(es_address),
+        action_uri("Execution", "Run"),
+    )
+    .apply(&mut env);
     if let Some(h) = &req.security_header {
         env.headers.push(h.clone());
     }
-    let resp = net.call(es_address, env).map_err(|e| SoapFault::server(e.to_string()))?;
+    let resp = net
+        .call(es_address, env)
+        .map_err(|e| SoapFault::server(e.to_string()))?;
     if let Some(f) = resp.fault() {
         return Err(f);
     }
@@ -522,14 +568,19 @@ pub fn run(
                 EndpointReference::from_element(e).map_err(|e| SoapFault::server(e.to_string()))
             })
     };
-    Ok(RunReply { job: epr_in("JobEpr")?, workdir: epr_in("WorkingDirectory")? })
+    Ok(RunReply {
+        job: epr_in("JobEpr")?,
+        workdir: epr_in("WorkingDirectory")?,
+    })
 }
 
 /// Kill a job by its EPR.
 pub fn kill(net: &InProcNetwork, job: &EndpointReference) -> Result<bool, SoapFault> {
     let mut env = Envelope::new(Element::new(UVACG, "Kill"));
     MessageInfo::request(job.clone(), action_uri("Execution", "Kill")).apply(&mut env);
-    let resp = net.call(&job.address, env).map_err(|e| SoapFault::server(e.to_string()))?;
+    let resp = net
+        .call(&job.address, env)
+        .map_err(|e| SoapFault::server(e.to_string()))?;
     if let Some(f) = resp.fault() {
         return Err(f);
     }
@@ -554,15 +605,16 @@ fn get_property_text(
     resource: &EndpointReference,
     property: &str,
 ) -> Result<String, SoapFault> {
-    let mut env = Envelope::new(
-        Element::new(wsrf_soap::ns::WSRP, "GetResourceProperty").text(property),
-    );
+    let mut env =
+        Envelope::new(Element::new(wsrf_soap::ns::WSRP, "GetResourceProperty").text(property));
     MessageInfo::request(
         resource.clone(),
         wsrf_core::porttypes::wsrp_action("GetResourceProperty"),
     )
     .apply(&mut env);
-    let resp = net.call(&resource.address, env).map_err(|e| SoapFault::server(e.to_string()))?;
+    let resp = net
+        .call(&resource.address, env)
+        .map_err(|e| SoapFault::server(e.to_string()))?;
     if let Some(f) = resp.fault() {
         return Err(f);
     }
@@ -572,13 +624,13 @@ fn get_property_text(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wsrf_security::wsse::UsernameToken;
     use grid_node::{JobProgram, MachineSpec};
     use std::time::Duration;
     use ws_notification::broker::notification_broker;
     use ws_notification::consumer::NotificationListener;
     use ws_notification::topics::TopicExpression;
     use wsrf_core::store::MemoryStore;
+    use wsrf_security::wsse::UsernameToken;
 
     struct Fixture {
         clock: Clock,
@@ -594,7 +646,9 @@ mod tests {
         let clock = Clock::manual();
         let net = InProcNetwork::new(clock.clone());
         let machine = Machine::new(
-            MachineSpec::new("m1").with_cpu_mhz(1000).with_user("alice", "pw"),
+            MachineSpec::new("m1")
+                .with_cpu_mhz(1000)
+                .with_user("alice", "pw"),
             clock.clone(),
         );
         let fss = fss::file_system_service(
@@ -684,12 +738,21 @@ mod tests {
 
         // The output landed in the broadcast working directory.
         let entries = fss::list(&f.net, &reply.workdir).unwrap();
-        assert!(entries.iter().any(|(n, s)| n == "out.dat" && *s == Some(64)));
+        assert!(entries
+            .iter()
+            .any(|(n, s)| n == "out.dat" && *s == Some(64)));
 
         // Events: dir, started, exit.
-        let topics: Vec<String> =
-            f.listener.received().iter().map(|m| m.topic.to_string()).collect();
-        assert_eq!(topics, ["js/job/job1/dir", "js/job/job1/started", "js/job/job1/exit"]);
+        let topics: Vec<String> = f
+            .listener
+            .received()
+            .iter()
+            .map(|m| m.topic.to_string())
+            .collect();
+        assert_eq!(
+            topics,
+            ["js/job/job1/dir", "js/job/job1/started", "js/job/job1/exit"]
+        );
         let exit = &f.listener.received()[2];
         assert_eq!(exit.payload.attr_value("code"), Some("0"));
     }
@@ -736,7 +799,10 @@ mod tests {
         assert_eq!(job_status(&f.net, &reply.job).unwrap(), status::FAILED);
         let failed = f.listener.on(&"js/job/j/failed".into());
         assert_eq!(failed.len(), 1);
-        assert!(failed[0].payload.text_content().contains("no-such-file.dat"));
+        assert!(failed[0]
+            .payload
+            .text_content()
+            .contains("no-such-file.dat"));
     }
 
     #[test]
@@ -757,8 +823,10 @@ mod tests {
         // Rebuild the fixture with security enabled.
         let clock = Clock::manual();
         let net = InProcNetwork::new(clock.clone());
-        let machine =
-            Machine::new(MachineSpec::new("m1").with_user("alice", "pw"), clock.clone());
+        let machine = Machine::new(
+            MachineSpec::new("m1").with_user("alice", "pw"),
+            clock.clone(),
+        );
         let fss_svc = fss::file_system_service(
             "m1",
             machine.fs.clone(),
@@ -784,7 +852,13 @@ mod tests {
         es.register(&net);
 
         let (dir, _) = fss::create_directory(&net, "inproc://m1/FileSystem").unwrap();
-        fss::write(&net, &dir, "prog.exe", &JobProgram::compute(1.0).to_manifest()).unwrap();
+        fss::write(
+            &net,
+            &dir,
+            "prog.exe",
+            &JobProgram::compute(1.0).to_manifest(),
+        )
+        .unwrap();
         let header = sec
             .encrypt_token(&UsernameToken::new("alice", "pw"), "es@m1")
             .unwrap();
@@ -801,9 +875,17 @@ mod tests {
         assert_eq!(job_status(&net, &reply.job).unwrap(), status::EXITED);
         // A header encrypted to someone else is rejected.
         sec.enroll("other");
-        let bad = sec.encrypt_token(&UsernameToken::new("alice", "pw"), "other").unwrap();
+        let bad = sec
+            .encrypt_token(&UsernameToken::new("alice", "pw"), "other")
+            .unwrap();
         let (dir2, _) = fss::create_directory(&net, "inproc://m1/FileSystem").unwrap();
-        fss::write(&net, &dir2, "prog.exe", &JobProgram::compute(1.0).to_manifest()).unwrap();
+        fss::write(
+            &net,
+            &dir2,
+            "prog.exe",
+            &JobProgram::compute(1.0).to_manifest(),
+        )
+        .unwrap();
         let req2 = RunRequest {
             job_name: "bad".into(),
             executable: (dir2, "prog.exe".into(), "prog.exe".into()),
@@ -819,8 +901,12 @@ mod tests {
     #[test]
     fn kill_terminates_and_reports_minus_nine() {
         let f = fixture();
-        let reply = run(&f.net, &f.es_addr, &basic_request(&f, &JobProgram::compute(1000.0)))
-            .unwrap();
+        let reply = run(
+            &f.net,
+            &f.es_addr,
+            &basic_request(&f, &JobProgram::compute(1000.0)),
+        )
+        .unwrap();
         f.clock.advance(Duration::from_secs(5));
         assert!(kill(&f.net, &reply.job).unwrap());
         assert_eq!(job_status(&f.net, &reply.job).unwrap(), status::EXITED);
@@ -834,8 +920,12 @@ mod tests {
     #[test]
     fn get_exit_code_faults_while_running() {
         let f = fixture();
-        let reply = run(&f.net, &f.es_addr, &basic_request(&f, &JobProgram::compute(100.0)))
-            .unwrap();
+        let reply = run(
+            &f.net,
+            &f.es_addr,
+            &basic_request(&f, &JobProgram::compute(100.0)),
+        )
+        .unwrap();
         let mut env = Envelope::new(Element::new(UVACG, "GetExitCode"));
         MessageInfo::request(reply.job.clone(), action_uri("Execution", "GetExitCode"))
             .apply(&mut env);
@@ -846,9 +936,12 @@ mod tests {
     #[test]
     fn nonzero_exit_code_propagates_to_notification() {
         let f = fixture();
-        let reply =
-            run(&f.net, &f.es_addr, &basic_request(&f, &JobProgram::compute(1.0).exiting(42)))
-                .unwrap();
+        let reply = run(
+            &f.net,
+            &f.es_addr,
+            &basic_request(&f, &JobProgram::compute(1.0).exiting(42)),
+        )
+        .unwrap();
         f.clock.advance(Duration::from_secs(2));
         let exits = f.listener.on(&"js/job/job1/exit".into());
         assert_eq!(exits[0].payload.attr_value("code"), Some("42"));
@@ -858,7 +951,12 @@ mod tests {
     #[test]
     fn two_jobs_share_the_machine() {
         let f = fixture();
-        let r1 = run(&f.net, &f.es_addr, &basic_request(&f, &JobProgram::compute(2.0))).unwrap();
+        let r1 = run(
+            &f.net,
+            &f.es_addr,
+            &basic_request(&f, &JobProgram::compute(2.0)),
+        )
+        .unwrap();
         let mut req2 = basic_request(&f, &JobProgram::compute(2.0));
         req2.job_name = "job2".into();
         let r2 = run(&f.net, &f.es_addr, &req2).unwrap();

@@ -139,14 +139,20 @@ pub fn file_system_service(
                     .attr_value("name")
                     .ok_or_else(|| faults::bad_request("File requires name attribute"))?
                     .to_string();
-                let as_name =
-                    fe.attr_value("as").map(str::to_string).unwrap_or_else(|| filename.clone());
+                let as_name = fe
+                    .attr_value("as")
+                    .map(str::to_string)
+                    .unwrap_or_else(|| filename.clone());
                 let source_el = fe
                     .find(UVACG, "SourceEpr")
                     .ok_or_else(|| faults::bad_request("File requires SourceEpr"))?;
                 let source = EndpointReference::from_element(source_el)
                     .map_err(|e| faults::bad_request(&format!("bad SourceEpr: {e}")))?;
-                items.push(Item { source, filename, as_name });
+                items.push(Item {
+                    source,
+                    filename,
+                    as_name,
+                });
             }
 
             let dir = dir_path(ctx.resource_mut()?)?;
@@ -154,8 +160,12 @@ pub fn file_system_service(
             let own = own_machine.clone();
 
             // Stage each file (step 4/5/6 of Figure 3).
+            let staged_bytes = core.metrics.counter("fss.staged_bytes");
+            let staged_files = core.metrics.counter("fss.staged_files");
+            let stage_timer = core.metrics.timer("fss.stage");
             let mut failures: Vec<(String, String)> = Vec::new();
             for item in &items {
+                let stage_span = stage_timer.start(&core.clock);
                 let result: Result<(), String> = (|| {
                     let same_machine = wsrf_soap::Uri::parse(&item.source.address)
                         .map(|u| u.authority.eq_ignore_ascii_case(&own))
@@ -175,8 +185,9 @@ pub fn file_system_service(
                             .store
                             .load(&core.name, src_key)
                             .map_err(|e| e.to_string())?;
-                        let src_dir =
-                            src_doc.text(&q("Path")).ok_or("source directory has no Path")?;
+                        let src_dir = src_doc
+                            .text(&q("Path"))
+                            .ok_or("source directory has no Path")?;
                         fs_upload
                             .read(&join(&src_dir, &item.filename))
                             .map_err(|e| e.to_string())?
@@ -188,10 +199,13 @@ pub fn file_system_service(
                         remote_read(&core.net, &item.source, &item.filename)
                             .map_err(|e| e.to_string())?
                     };
+                    staged_bytes.add(content.len() as u64);
+                    staged_files.inc();
                     fs_upload
                         .write(&join(&dir, &item.as_name), content)
                         .map_err(|e| e.to_string())
                 })();
+                stage_span.finish();
                 if let Err(msg) = result {
                     failures.push((item.filename.clone(), msg));
                 }
@@ -206,7 +220,9 @@ pub fn file_system_service(
                     .child(Element::new(UVACG, "Context").text(&context_token));
                 for (file, reason) in &failures {
                     body.push_child(
-                        Element::new(UVACG, "Failure").attr("file", file).text(reason),
+                        Element::new(UVACG, "Failure")
+                            .attr("file", file)
+                            .text(reason),
                     );
                 }
                 let mut env = Envelope::new(body);
@@ -309,8 +325,7 @@ fn remote_read(
     source: &EndpointReference,
     filename: &str,
 ) -> Result<Bytes, SoapFault> {
-    let body = Element::new(UVACG, "Read")
-        .child(Element::new(UVACG, "FileName").text(filename));
+    let body = Element::new(UVACG, "Read").child(Element::new(UVACG, "FileName").text(filename));
     let mut env = Envelope::new(body);
     MessageInfo::request(source.clone(), action_uri("FileSystem", "Read")).apply(&mut env);
     let resp = net
@@ -449,9 +464,13 @@ mod tests {
         assert_eq!(epr.address, ADDR);
         // The Path resource property is readable via the standard port
         // type (the ES uses it as the job working directory).
-        let mut env = Envelope::new(Element::new(wsrf_soap::ns::WSRP, "GetResourceProperty").text("Path"));
-        MessageInfo::request(epr, wsrf_core::porttypes::wsrp_action("GetResourceProperty"))
-            .apply(&mut env);
+        let mut env =
+            Envelope::new(Element::new(wsrf_soap::ns::WSRP, "GetResourceProperty").text("Path"));
+        MessageInfo::request(
+            epr,
+            wsrf_core::porttypes::wsrp_action("GetResourceProperty"),
+        )
+        .apply(&mut env);
         let resp = f.net.call(ADDR, env).unwrap();
         assert_eq!(resp.body.text_content(), path);
     }
@@ -462,7 +481,10 @@ mod tests {
         let (dir, path) = create_directory(&f.net, ADDR).unwrap();
         write(&f.net, &dir, "input.dat", b"hello grid").unwrap();
         assert_eq!(&read(&f.net, &dir, "input.dat").unwrap()[..], b"hello grid");
-        assert_eq!(f.fs.read(&format!("{path}/input.dat")).unwrap(), &b"hello grid"[..]);
+        assert_eq!(
+            f.fs.read(&format!("{path}/input.dat")).unwrap(),
+            &b"hello grid"[..]
+        );
         let entries = list(&f.net, &dir).unwrap();
         assert_eq!(entries, vec![("input.dat".to_string(), Some(10))]);
     }
@@ -499,7 +521,10 @@ mod tests {
             "",
         )
         .unwrap();
-        assert_eq!(&f.fs.read(&format!("{dst_path}/in.dat")).unwrap()[..], b"payload");
+        assert_eq!(
+            &f.fs.read(&format!("{dst_path}/in.dat")).unwrap()[..],
+            b"payload"
+        );
         // No extra Read() call went over the network for the local copy.
         assert_eq!(f.net.metrics.snapshot().0, before_calls);
     }
@@ -510,18 +535,39 @@ mod tests {
         let net = InProcNetwork::new(clock.clone());
         let fs1 = Arc::new(SimFs::new());
         let fs2 = Arc::new(SimFs::new());
-        let svc1 = file_system_service("m1", fs1, Arc::new(MemoryStore::new()), clock.clone(), net.clone());
-        let svc2 =
-            file_system_service("m2", fs2.clone(), Arc::new(MemoryStore::new()), clock, net.clone());
+        let svc1 = file_system_service(
+            "m1",
+            fs1,
+            Arc::new(MemoryStore::new()),
+            clock.clone(),
+            net.clone(),
+        );
+        let svc2 = file_system_service(
+            "m2",
+            fs2.clone(),
+            Arc::new(MemoryStore::new()),
+            clock,
+            net.clone(),
+        );
         svc1.register(&net);
         svc2.register(&net);
 
         let (src, _) = create_directory(&net, "inproc://m1/FileSystem").unwrap();
         write(&net, &src, "result.bin", &[9u8; 64]).unwrap();
         let (dst, dst_path) = create_directory(&net, "inproc://m2/FileSystem").unwrap();
-        upload_files(&net, &dst, &[(src, "result.bin".into(), "input.bin".into())], None, "", "")
-            .unwrap();
-        assert_eq!(fs2.read(&format!("{dst_path}/input.bin")).unwrap(), Bytes::from(vec![9u8; 64]));
+        upload_files(
+            &net,
+            &dst,
+            &[(src, "result.bin".into(), "input.bin".into())],
+            None,
+            "",
+            "",
+        )
+        .unwrap();
+        assert_eq!(
+            fs2.read(&format!("{dst_path}/input.bin")).unwrap(),
+            Bytes::from(vec![9u8; 64])
+        );
     }
 
     #[test]
@@ -594,6 +640,9 @@ mod tests {
             "",
         )
         .unwrap();
-        assert_eq!(&f.fs.read(&format!("{dst_path}/in.dat")).unwrap()[..], b"client bytes");
+        assert_eq!(
+            &f.fs.read(&format!("{dst_path}/in.dat")).unwrap()[..],
+            b"client bytes"
+        );
     }
 }

@@ -8,6 +8,7 @@ use simclock::Clock;
 use ws_notification::broker::notification_broker;
 use wsrf_core::container::Service;
 use wsrf_core::store::MemoryStore;
+use wsrf_obs::{MetricsRegistry, MetricsSnapshot, ObsConfig};
 use wsrf_soap::EndpointReference;
 use wsrf_transport::{InProcNetwork, NetConfig};
 
@@ -37,6 +38,9 @@ pub struct GridConfig {
     /// Per-job watchdog timeout (virtual time); see
     /// [`crate::scheduler::SchedulerConfig::job_timeout`].
     pub job_timeout: Option<std::time::Duration>,
+    /// Observability switch; enabled grids record dispatch, transport,
+    /// broker and scheduler metrics into [`CampusGrid::metrics`].
+    pub obs: ObsConfig,
 }
 
 impl Default for GridConfig {
@@ -49,6 +53,7 @@ impl Default for GridConfig {
             utilization_delta: 0.1,
             seed: 0xCA11_AB1E,
             job_timeout: None,
+            obs: ObsConfig::enabled(),
         }
     }
 }
@@ -66,7 +71,10 @@ impl GridConfig {
                     .with_ram_mb(512 * (1 + (i % 4) as u32))
             })
             .collect();
-        GridConfig { machines, ..GridConfig::default() }
+        GridConfig {
+            machines,
+            ..GridConfig::default()
+        }
     }
 
     /// Builder: enable WS-Security credential encryption.
@@ -92,6 +100,13 @@ impl GridConfig {
         self.job_timeout = Some(timeout);
         self
     }
+
+    /// Builder: set the observability switch (E1 measures the disabled
+    /// configuration against the default enabled one).
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
 }
 
 /// A fully deployed campus grid.
@@ -110,6 +125,10 @@ pub struct CampusGrid {
     pub nis_address: String,
     /// The campus PKI when `secure` was set.
     pub security: Option<Arc<GridSecurity>>,
+    /// Deployment-wide metrics registry; every service, the network
+    /// and the broker record into it (disabled via
+    /// [`GridConfig::with_obs`]).
+    pub metrics: Arc<MetricsRegistry>,
     /// Keeps every deployed service alive.
     services: Vec<Arc<Service>>,
 }
@@ -126,7 +145,9 @@ pub const SCHEDULER_SUBJECT: &str = "scheduler";
 impl CampusGrid {
     /// Deploy the whole testbed on `clock`.
     pub fn build(config: GridConfig, clock: Clock) -> CampusGrid {
-        let net = InProcNetwork::with_config(clock.clone(), config.net.clone());
+        let metrics = MetricsRegistry::new(config.obs);
+        // Services built on this network inherit the registry.
+        let net = InProcNetwork::with_metrics(clock.clone(), config.net.clone(), &metrics);
         let mut services = Vec::new();
 
         // Campus PKI.
@@ -152,8 +173,12 @@ impl CampusGrid {
         services.push(broker_svc);
 
         // Node Info Service.
-        let nis_svc =
-            node_info_service(NIS_ADDRESS, Arc::new(MemoryStore::new()), clock.clone(), net.clone());
+        let nis_svc = node_info_service(
+            NIS_ADDRESS,
+            Arc::new(MemoryStore::new()),
+            clock.clone(),
+            net.clone(),
+        );
         nis_svc.register(&net);
         services.push(nis_svc);
 
@@ -182,9 +207,7 @@ impl CampusGrid {
                     spawner,
                     fss_address: fss_address.clone(),
                     broker: Some(broker.clone()),
-                    security: security
-                        .as_ref()
-                        .map(|s| (s.clone(), format!("es@{name}"))),
+                    security: security.as_ref().map(|s| (s.clone(), format!("es@{name}"))),
                     store: Arc::new(MemoryStore::new()),
                 },
                 clock.clone(),
@@ -243,8 +266,14 @@ impl CampusGrid {
             broker,
             nis_address: NIS_ADDRESS.to_string(),
             security,
+            metrics,
             services,
         }
+    }
+
+    /// A point-in-time snapshot of every metric in the deployment.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// A new client workstation attached to this grid.
@@ -301,7 +330,9 @@ mod tests {
         let client = grid.client("client-1");
         client.put_file(
             "C:\\prog.exe",
-            JobProgram::compute(2.0).writing("result.dat", 100).to_manifest(),
+            JobProgram::compute(2.0)
+                .writing("result.dat", 100)
+                .to_manifest(),
         );
         let spec = JobSetSpec::new("solo").job(
             JobSpec::new("job1", FileRef::parse("local://C:\\prog.exe").unwrap())
@@ -322,7 +353,9 @@ mod tests {
         let client = grid.client("client-1");
         client.put_file(
             "C:\\stage1.exe",
-            JobProgram::compute(1.0).writing("output2", 64).to_manifest(),
+            JobProgram::compute(1.0)
+                .writing("output2", 64)
+                .to_manifest(),
         );
         client.put_file(
             "C:\\stage2.exe",
@@ -352,13 +385,13 @@ mod tests {
     fn failing_job_fails_the_set_with_fault_chain() {
         let grid = two_machine_grid();
         let client = grid.client("client-1");
-        client.put_file("C:\\bad.exe", JobProgram::compute(1.0).exiting(3).to_manifest());
+        client.put_file(
+            "C:\\bad.exe",
+            JobProgram::compute(1.0).exiting(3).to_manifest(),
+        );
         client.put_file("C:\\never.exe", JobProgram::compute(1.0).to_manifest());
         let spec = JobSetSpec::new("doomed")
-            .job(
-                JobSpec::new("bad", FileRef::parse("local://C:\\bad.exe").unwrap())
-                    .output("o"),
-            )
+            .job(JobSpec::new("bad", FileRef::parse("local://C:\\bad.exe").unwrap()).output("o"))
             .job(
                 JobSpec::new("never", FileRef::parse("local://C:\\never.exe").unwrap())
                     .input(FileRef::parse("bad://o").unwrap(), "i"),
@@ -373,9 +406,9 @@ mod tests {
             other => panic!("expected failure, got {other:?}"),
         }
         // The dependent job never ran.
-        let states = grid.scheduler.job_states(
-            handle.jobset.resource_key().unwrap(),
-        );
+        let states = grid
+            .scheduler
+            .job_states(handle.jobset.resource_key().unwrap());
         let states = states.unwrap();
         let never = states.iter().find(|(n, _, _)| n == "never").unwrap();
         assert_eq!(never.1, "Waiting");
@@ -409,7 +442,11 @@ mod tests {
         grid.clock.advance(Duration::from_secs(30));
         match handle.outcome().unwrap() {
             JobSetOutcome::Failed(fault) => {
-                assert_eq!(fault.root_cause().error_code, "uvacg:BadCredentials", "{fault}");
+                assert_eq!(
+                    fault.root_cause().error_code,
+                    "uvacg:BadCredentials",
+                    "{fault}"
+                );
             }
             other => panic!("expected failure, got {other:?}"),
         }

@@ -38,7 +38,10 @@ impl FileRef {
         if scheme.eq_ignore_ascii_case("local") {
             Some(FileRef::Local(rest.to_string()))
         } else {
-            Some(FileRef::JobOutput { job: scheme.to_string(), file: rest.to_string() })
+            Some(FileRef::JobOutput {
+                job: scheme.to_string(),
+                file: rest.to_string(),
+            })
         }
     }
 
@@ -128,7 +131,10 @@ pub enum ValidationError {
     /// Two jobs share a name.
     DuplicateJobName(String),
     /// An input references a job that is not in the set.
-    UnknownJob { referencing: String, missing: String },
+    UnknownJob {
+        referencing: String,
+        missing: String,
+    },
     /// An input references an output the producing job does not
     /// declare.
     UndeclaredOutput { job: String, file: String },
@@ -142,7 +148,10 @@ impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ValidationError::DuplicateJobName(n) => write!(f, "duplicate job name '{n}'"),
-            ValidationError::UnknownJob { referencing, missing } => {
+            ValidationError::UnknownJob {
+                referencing,
+                missing,
+            } => {
                 write!(f, "job '{referencing}' references unknown job '{missing}'")
             }
             ValidationError::UndeclaredOutput { job, file } => {
@@ -161,7 +170,10 @@ impl std::error::Error for ValidationError {}
 impl JobSetSpec {
     /// A new empty job set.
     pub fn new(name: impl Into<String>) -> Self {
-        JobSetSpec { name: name.into(), jobs: Vec::new() }
+        JobSetSpec {
+            name: name.into(),
+            jobs: Vec::new(),
+        }
     }
 
     /// Builder: add a job.
@@ -286,8 +298,10 @@ impl JobSetSpec {
             let exe = FileRef::parse(je.find(UVACG, "Executable")?.attr_value("source")?)?;
             let mut job = JobSpec::new(jname, exe);
             for ie in je.find_all(UVACG, "Input") {
-                job.inputs
-                    .push((FileRef::parse(ie.attr_value("source")?)?, ie.attr_value("as")?.to_string()));
+                job.inputs.push((
+                    FileRef::parse(ie.attr_value("source")?)?,
+                    ie.attr_value("as")?.to_string(),
+                ));
             }
             for oe in je.find_all(UVACG, "Output") {
                 job.outputs.push(oe.attr_value("name")?.to_string());
@@ -327,7 +341,10 @@ mod tests {
         );
         assert_eq!(
             FileRef::parse("job1://output2").unwrap(),
-            FileRef::JobOutput { job: "job1".into(), file: "output2".into() }
+            FileRef::JobOutput {
+                job: "job1".into(),
+                file: "output2".into()
+            }
         );
         assert!(FileRef::parse("no-scheme").is_none());
         assert!(FileRef::parse("local://").is_none());
@@ -376,17 +393,25 @@ mod tests {
         let dup = JobSetSpec::new("d")
             .job(JobSpec::new("a", exe.clone()))
             .job(JobSpec::new("a", exe.clone()));
-        assert_eq!(dup.validate(), Err(ValidationError::DuplicateJobName("a".into())));
-
-        let unknown = JobSetSpec::new("u").job(
-            JobSpec::new("a", exe.clone()).input(FileRef::parse("ghost://x").unwrap(), "x"),
+        assert_eq!(
+            dup.validate(),
+            Err(ValidationError::DuplicateJobName("a".into()))
         );
-        assert!(matches!(unknown.validate(), Err(ValidationError::UnknownJob { .. })));
+
+        let unknown = JobSetSpec::new("u")
+            .job(JobSpec::new("a", exe.clone()).input(FileRef::parse("ghost://x").unwrap(), "x"));
+        assert!(matches!(
+            unknown.validate(),
+            Err(ValidationError::UnknownJob { .. })
+        ));
 
         let undeclared = JobSetSpec::new("o")
             .job(JobSpec::new("a", exe.clone()))
             .job(JobSpec::new("b", exe.clone()).input(FileRef::parse("a://nope").unwrap(), "x"));
-        assert!(matches!(undeclared.validate(), Err(ValidationError::UndeclaredOutput { .. })));
+        assert!(matches!(
+            undeclared.validate(),
+            Err(ValidationError::UndeclaredOutput { .. })
+        ));
 
         let cycle = JobSetSpec::new("c")
             .job(
@@ -399,14 +424,20 @@ mod tests {
                     .input(FileRef::parse("a://x").unwrap(), "i")
                     .output("y"),
             );
-        assert!(matches!(cycle.validate(), Err(ValidationError::DependencyCycle(_))));
+        assert!(matches!(
+            cycle.validate(),
+            Err(ValidationError::DependencyCycle(_))
+        ));
     }
 
     #[test]
     fn executable_from_job_output_is_a_dependency() {
         let set = JobSetSpec::new("x")
             .job(JobSpec::new("builder", FileRef::Local("cc.exe".into())).output("prog.exe"))
-            .job(JobSpec::new("runner", FileRef::parse("builder://prog.exe").unwrap()));
+            .job(JobSpec::new(
+                "runner",
+                FileRef::parse("builder://prog.exe").unwrap(),
+            ));
         assert_eq!(set.validate().unwrap(), ["builder", "runner"]);
     }
 

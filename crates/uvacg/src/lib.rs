@@ -48,13 +48,13 @@ pub mod proxies;
 pub mod scheduler;
 pub mod security;
 
-
-
 pub use client::{Client, JobSetHandle, JobSetOutcome};
 pub use grid::{CampusGrid, GridConfig};
 pub use jobset::{FileRef, JobSetSpec, JobSpec};
+pub use policy::{
+    FastestAvailable, LeastLoaded, NodeSnapshot, Random, RoundRobin, SchedulingPolicy,
+};
 pub use proxies::{DirectoryProxy, JobProxy};
-pub use policy::{FastestAvailable, LeastLoaded, NodeSnapshot, Random, RoundRobin, SchedulingPolicy};
 
 /// The testbed's XML namespace (re-exported for tests and benches).
 pub use wsrf_soap::ns::UVACG;

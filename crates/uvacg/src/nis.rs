@@ -70,14 +70,20 @@ pub fn node_info_service(
                     .ok_or_else(|| faults::bad_request("UpdateUtilization requires utilization"))?;
                 let core = ctx.core.clone();
                 for key in core.store.list(&core.name) {
-                    let Ok(mut doc) = core.store.load(&core.name, &key) else { continue };
+                    let Ok(mut doc) = core.store.load(&core.name, &key) else {
+                        continue;
+                    };
                     if doc.text(&q("Machine")).as_deref() == Some(machine.as_str()) {
                         doc.set_f64(q("Utilization"), utilization);
-                        core.store.save(&core.name, &key, &doc).map_err(faults::from_store)?;
+                        core.store
+                            .save(&core.name, &key, &doc)
+                            .map_err(faults::from_store)?;
                         return Ok(Element::new(UVACG, "UpdateUtilizationAck"));
                     }
                 }
-                Err(faults::bad_request(&format!("no member for machine '{machine}'")))
+                Err(faults::bad_request(&format!(
+                    "no member for machine '{machine}'"
+                )))
             },
         )
         // Step 2 of Figure 3: "the Scheduler polls the NIS to get the
@@ -90,7 +96,9 @@ pub fn node_info_service(
                 if key == wsrf_core::servicegroup::GROUP_KEY {
                     continue;
                 }
-                let Ok(doc) = core.store.load(&core.name, &key) else { continue };
+                let Ok(doc) = core.store.load(&core.name, &key) else {
+                    continue;
+                };
                 let text = |n: &str| doc.text(&q(n)).unwrap_or_default();
                 resp.push_child(
                     Element::new(UVACG, "Node")
@@ -136,9 +144,14 @@ pub fn register_machine(
         .child(member.to_element_named(WSSG, "MemberEPR"))
         .child(content);
     let mut env = Envelope::new(body);
-    MessageInfo::request(EndpointReference::service(nis_address), group_action(NIS_NAME, "Add"))
-        .apply(&mut env);
-    let resp = net.call(nis_address, env).map_err(|e| SoapFault::server(e.to_string()))?;
+    MessageInfo::request(
+        EndpointReference::service(nis_address),
+        group_action(NIS_NAME, "Add"),
+    )
+    .apply(&mut env);
+    let resp = net
+        .call(nis_address, env)
+        .map_err(|e| SoapFault::server(e.to_string()))?;
     if let Some(f) = resp.fault() {
         return Err(f);
     }
@@ -173,9 +186,14 @@ pub fn report_utilization(
 /// placement).
 pub fn snapshot(net: &InProcNetwork, nis_address: &str) -> Result<Vec<NodeSnapshot>, SoapFault> {
     let mut env = Envelope::new(Element::new(UVACG, "Snapshot"));
-    MessageInfo::request(EndpointReference::service(nis_address), action_uri(NIS_NAME, "Snapshot"))
-        .apply(&mut env);
-    let resp = net.call(nis_address, env).map_err(|e| SoapFault::server(e.to_string()))?;
+    MessageInfo::request(
+        EndpointReference::service(nis_address),
+        action_uri(NIS_NAME, "Snapshot"),
+    )
+    .apply(&mut env);
+    let resp = net
+        .call(nis_address, env)
+        .map_err(|e| SoapFault::server(e.to_string()))?;
     if let Some(f) = resp.fault() {
         return Err(f);
     }
@@ -278,8 +296,8 @@ mod tests {
     fn incomplete_registration_rejected_by_content_rule() {
         let (net, _svc) = setup();
         let member = EndpointReference::service("inproc://m1/Execution");
-        let content = Element::new(WSSG, "Content")
-            .child(Element::with_name(q("Machine")).text("m1"));
+        let content =
+            Element::new(WSSG, "Content").child(Element::with_name(q("Machine")).text("m1"));
         let body = Element::new(WSSG, "Add")
             .child(member.to_element_named(WSSG, "MemberEPR"))
             .child(content);
@@ -290,6 +308,9 @@ mod tests {
         )
         .apply(&mut env);
         let resp = net.call(ADDR, env).unwrap();
-        assert_eq!(resp.fault().unwrap().error_code(), Some("wssg:ContentCreationFailed"));
+        assert_eq!(
+            resp.fault().unwrap().error_code(),
+            Some("wssg:ContentCreationFailed")
+        );
     }
 }

@@ -97,7 +97,9 @@ pub struct Random {
 impl Random {
     /// Seeded RNG policy.
     pub fn new(seed: u64) -> Self {
-        Random { state: AtomicU64::new(seed.max(1)) }
+        Random {
+            state: AtomicU64::new(seed.max(1)),
+        }
     }
 }
 
@@ -168,10 +170,10 @@ mod tests {
     #[test]
     fn fastest_available_prefers_spare_speed() {
         let nodes = vec![
-            node("slow-idle", 1000, 1, 0.0),    // score 1000
-            node("fast-busy", 3000, 1, 0.9),    // score 300
-            node("fast-idle", 3000, 1, 0.1),    // score 2700
-            node("many-core", 1000, 4, 0.5),    // score 2000
+            node("slow-idle", 1000, 1, 0.0), // score 1000
+            node("fast-busy", 3000, 1, 0.9), // score 300
+            node("fast-idle", 3000, 1, 0.1), // score 2700
+            node("many-core", 1000, 4, 0.5), // score 2000
         ];
         assert_eq!(FastestAvailable.select(&nodes), Some(2));
     }
@@ -193,7 +195,11 @@ mod tests {
 
     #[test]
     fn round_robin_cycles() {
-        let nodes = vec![node("a", 1, 1, 0.0), node("b", 1, 1, 0.0), node("c", 1, 1, 0.0)];
+        let nodes = vec![
+            node("a", 1, 1, 0.0),
+            node("b", 1, 1, 0.0),
+            node("c", 1, 1, 0.0),
+        ];
         let rr = RoundRobin::default();
         let picks: Vec<usize> = (0..6).map(|_| rr.select(&nodes).unwrap()).collect();
         assert_eq!(picks, [0, 1, 2, 0, 1, 2]);

@@ -22,7 +22,11 @@ pub struct JobProxy<'a> {
 impl<'a> JobProxy<'a> {
     /// Wrap a job EPR.
     pub fn new(net: &'a InProcNetwork, epr: EndpointReference) -> Self {
-        JobProxy { net, inner: ResourceProxy::new(net, epr.clone()), epr }
+        JobProxy {
+            net,
+            inner: ResourceProxy::new(net, epr.clone()),
+            epr,
+        }
     }
 
     /// The job's `Status` property (`Staging` / `Running` / `Exited` /
@@ -58,8 +62,8 @@ impl<'a> JobProxy<'a> {
             .first()
             .cloned()
             .ok_or_else(|| SoapFault::server("job has no WorkingDirectory property"))?;
-        let epr = EndpointReference::from_element(&el)
-            .map_err(|e| SoapFault::server(e.to_string()))?;
+        let epr =
+            EndpointReference::from_element(&el).map_err(|e| SoapFault::server(e.to_string()))?;
         Ok(DirectoryProxy::new(self.net, epr))
     }
 
@@ -79,7 +83,11 @@ pub struct DirectoryProxy<'a> {
 impl<'a> DirectoryProxy<'a> {
     /// Wrap a directory EPR.
     pub fn new(net: &'a InProcNetwork, epr: EndpointReference) -> Self {
-        DirectoryProxy { net, inner: ResourceProxy::new(net, epr.clone()), epr }
+        DirectoryProxy {
+            net,
+            inner: ResourceProxy::new(net, epr.clone()),
+            epr,
+        }
     }
 
     /// The directory's single resource property: its path.
@@ -122,11 +130,13 @@ mod tests {
         let client = grid.client("c");
         client.put_file(
             "C:\\p.exe",
-            JobProgram::compute(10.0).writing("out.dat", 32).exiting(4).to_manifest(),
+            JobProgram::compute(10.0)
+                .writing("out.dat", 32)
+                .exiting(4)
+                .to_manifest(),
         );
-        let spec = JobSetSpec::new("p").job(
-            JobSpec::new("j", FileRef::parse("local://C:\\p.exe").unwrap()).output("out.dat"),
-        );
+        let spec = JobSetSpec::new("p")
+            .job(JobSpec::new("j", FileRef::parse("local://C:\\p.exe").unwrap()).output("out.dat"));
         let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
         let epr = handle.job_epr("j").unwrap();
         (handle, epr)
@@ -144,7 +154,10 @@ mod tests {
         grid.clock.advance(Duration::from_secs(10));
         assert_eq!(job.status().unwrap(), "Exited");
         assert_eq!(job.exit_code().unwrap(), Some(4));
-        assert!((job.cpu_time_used().unwrap() - 10.0).abs() < 1e-3, "frozen at exit");
+        assert!(
+            (job.cpu_time_used().unwrap() - 10.0).abs() < 1e-3,
+            "frozen at exit"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use simclock::Clock;
+use simclock::{Clock, SimTime};
 use ws_notification::broker;
 use ws_notification::consumer::NotificationListener;
 use ws_notification::message::NotificationMessage;
@@ -93,6 +93,7 @@ struct JobRun {
     dir_epr: Option<EndpointReference>,
     job_epr: Option<EndpointReference>,
     exit_code: Option<i32>,
+    cpu_used: Option<f64>,
 }
 
 struct RunState {
@@ -102,6 +103,7 @@ struct RunState {
     client_fileserver: Option<String>,
     jobs: HashMap<String, JobRun>,
     finished: bool,
+    submitted_at: SimTime,
 }
 
 struct SchedInner {
@@ -182,7 +184,9 @@ pub fn scheduler_service(
             keys.sort_by_key(|k| (k.len(), k.clone()));
             let mut resp = Element::new(UVACG, "FindJobSetsResponse");
             for key in keys {
-                let Ok(doc) = core.store.load(&core.name, &key) else { continue };
+                let Ok(doc) = core.store.load(&core.name, &key) else {
+                    continue;
+                };
                 let name = doc.text(&q("Name")).unwrap_or_default();
                 if let Some(f) = &name_filter {
                     if &name != f {
@@ -201,7 +205,11 @@ pub fn scheduler_service(
         })
         .build(clock, net);
 
-    Scheduler { service, listener, inner }
+    Scheduler {
+        service,
+        listener,
+        inner,
+    }
 }
 
 fn submit_op(
@@ -262,15 +270,22 @@ fn submit_op(
     let topic = format!("jobset-{key}");
     {
         let core = ctx.core.clone();
-        let mut doc = core.store.load(&core.name, &key).map_err(faults::from_store)?;
+        let mut doc = core
+            .store
+            .load(&core.name, &key)
+            .map_err(faults::from_store)?;
         doc.set_text(q("Topic"), &topic);
         for j in &spec.jobs {
             doc.insert(
                 q("JobStatus"),
-                Element::with_name(q("JobStatus")).attr("job", &j.name).text("Waiting"),
+                Element::with_name(q("JobStatus"))
+                    .attr("job", &j.name)
+                    .text("Waiting"),
             );
         }
-        core.store.save(&core.name, &key, &doc).map_err(faults::from_store)?;
+        core.store
+            .save(&core.name, &key, &doc)
+            .map_err(faults::from_store)?;
     }
 
     // "The SS then invokes the Subscribe() method on the Notification
@@ -305,6 +320,7 @@ fn submit_op(
                                 dir_epr: None,
                                 job_epr: None,
                                 exit_code: None,
+                                cpu_used: None,
                             },
                         )
                     })
@@ -314,9 +330,20 @@ fn submit_op(
                 credentials,
                 client_fileserver,
                 finished: false,
+                submitted_at: ctx.core.clock.now(),
             },
         );
     }
+
+    // Figure 3 step 1: the submission itself.
+    record_steps(
+        ctx.core,
+        inner,
+        &key,
+        "*",
+        &[(1, "submit")],
+        ctx.core.clock.now(),
+    );
 
     // Hook this job set's events.
     let core = ctx.core.clone();
@@ -332,6 +359,51 @@ fn submit_op(
     Ok(Element::new(UVACG, "SubmitJobSetResponse")
         .child(set_epr.to_element_named(UVACG, "JobSetEpr"))
         .child(Element::new(UVACG, "Topic").text(topic)))
+}
+
+/// Record Figure 3 steps for job set `key` at virtual time `at`: each
+/// becomes a `StepMetric` resource property on the job-set resource
+/// (`step`, `name`, `job`, `t` = virtual ns) and a
+/// `scheduler.step.<NN>_<name>_ns` histogram sample of the elapsed
+/// virtual time since submission. `job` is `"*"` for set-level steps.
+///
+/// Must not be called while `inner.runs` is locked.
+fn record_steps(
+    core: &Arc<ServiceCore>,
+    inner: &Arc<SchedInner>,
+    key: &str,
+    job: &str,
+    steps: &[(u8, &str)],
+    at: SimTime,
+) {
+    let submitted = {
+        let runs = inner.runs.lock();
+        match runs.get(key) {
+            Some(r) => r.submitted_at,
+            None => return,
+        }
+    };
+    if let Ok(mut doc) = core.store.load(&core.name, key) {
+        for (step, name) in steps {
+            doc.insert(
+                q("StepMetric"),
+                Element::with_name(q("StepMetric"))
+                    .attr("step", step.to_string())
+                    .attr("name", *name)
+                    .attr("job", job)
+                    .attr("t", at.as_nanos().to_string()),
+            );
+        }
+        let _ = core.store.save(&core.name, key, &doc);
+    }
+    if core.metrics.is_enabled() {
+        let elapsed = at.since(submitted).as_nanos() as u64;
+        for (step, name) in steps {
+            core.metrics
+                .histogram(&format!("scheduler.step.{step:02}_{name}_ns"))
+                .record(elapsed);
+        }
+    }
 }
 
 /// Handle a notification for job set `key`.
@@ -368,11 +440,43 @@ fn on_event(
                     });
                     doc.insert(
                         q("JobDirectory"),
-                        epr.to_element_named(UVACG, "JobDirectory").attr("job", &job_name),
+                        epr.to_element_named(UVACG, "JobDirectory")
+                            .attr("job", &job_name),
                     );
                     let _ = core.store.save(&core.name, key, &doc);
                 }
+                // Figure 3 step 4: the working directory exists on the
+                // chosen machine's FSS.
+                record_steps(
+                    core,
+                    inner,
+                    key,
+                    &job_name,
+                    &[(4, "workdir")],
+                    core.clock.now(),
+                );
             }
+        }
+        "started" => {
+            // By the time the ES broadcasts "started", staging has
+            // finished (client files over WSE-TCP, grid files via FSS
+            // Read), the FSS sent its one-way upload-complete, the
+            // process was spawned, and the job EPR is on the wire —
+            // Figure 3 steps 5-9, observed here as one instant.
+            record_steps(
+                core,
+                inner,
+                key,
+                &job_name,
+                &[
+                    (5, "client_stage"),
+                    (6, "grid_stage"),
+                    (7, "upload_complete"),
+                    (8, "spawn"),
+                    (9, "epr_broadcast"),
+                ],
+                core.clock.now(),
+            );
         }
         "exit" => {
             let code: i32 = msg
@@ -380,12 +484,30 @@ fn on_event(
                 .attr_value("code")
                 .and_then(|c| c.parse().ok())
                 .unwrap_or(-1);
+            let cpu_used: Option<f64> = msg.payload.attr_value("cpu").and_then(|c| c.parse().ok());
+            // Figure 3 step 10: the exit event reached us through the
+            // broker re-broadcast.
+            record_steps(
+                core,
+                inner,
+                key,
+                &job_name,
+                &[(10, "exit_broadcast")],
+                core.clock.now(),
+            );
             let all_done = {
                 let mut runs = inner.runs.lock();
                 let Some(run) = runs.get_mut(key) else { return };
-                let Some(jr) = run.jobs.get_mut(&job_name) else { return };
+                let Some(jr) = run.jobs.get_mut(&job_name) else {
+                    return;
+                };
                 jr.exit_code = Some(code);
-                jr.state = if code == 0 { JobState::Completed } else { JobState::Failed };
+                jr.cpu_used = cpu_used;
+                jr.state = if code == 0 {
+                    JobState::Completed
+                } else {
+                    JobState::Failed
+                };
                 update_job_status_property(core, key, &job_name, jr);
                 if code != 0 {
                     None // handled below as failure
@@ -440,7 +562,7 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
     loop {
         // Pick one ready job under the lock; dispatch outside it (the
         // Run call triggers notifications that re-enter this module).
-        let next: Option<(String, RunRequest, String)> = {
+        let next: Option<(String, RunRequest, String, SimTime)> = {
             let mut runs = inner.runs.lock();
             let Some(run) = runs.get_mut(key) else { return };
             if run.finished {
@@ -458,6 +580,7 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
             // Step 2: poll the NIS. (Inside the lock: a consistent
             // pick beats a stale one, and the NIS call does not
             // re-enter the scheduler.)
+            let t_nis = core.clock.now();
             let nodes = match crate::nis::snapshot(&core.net, &inner.nis_address) {
                 Ok(n) if !n.is_empty() => n,
                 _ => {
@@ -488,30 +611,29 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
             // Build the Run request, resolving file references — the
             // "filling in" of EPRs the paper describes.
             let built: Result<RunRequest, BaseFault> = (|| {
-                let resolve =
-                    |r: &FileRef| -> Result<(EndpointReference, String), BaseFault> {
-                        match r {
-                            FileRef::Local(path) => {
-                                let fs = run.client_fileserver.as_ref().ok_or_else(|| {
-                                    BaseFault::new(
-                                        "uvacg:NoFileServer",
-                                        "job set uses local:// but no client file server was given",
-                                    )
-                                })?;
-                                Ok((EndpointReference::service(fs), path.clone()))
-                            }
-                            FileRef::JobOutput { job, file } => {
-                                let dep = &run.jobs[job];
-                                let dir = dep.dir_epr.clone().ok_or_else(|| {
-                                    BaseFault::new(
-                                        "uvacg:MissingWorkdir",
-                                        format!("no working directory recorded for job '{job}'"),
-                                    )
-                                })?;
-                                Ok((dir, file.clone()))
-                            }
+                let resolve = |r: &FileRef| -> Result<(EndpointReference, String), BaseFault> {
+                    match r {
+                        FileRef::Local(path) => {
+                            let fs = run.client_fileserver.as_ref().ok_or_else(|| {
+                                BaseFault::new(
+                                    "uvacg:NoFileServer",
+                                    "job set uses local:// but no client file server was given",
+                                )
+                            })?;
+                            Ok((EndpointReference::service(fs), path.clone()))
                         }
-                    };
+                        FileRef::JobOutput { job, file } => {
+                            let dep = &run.jobs[job];
+                            let dir = dep.dir_epr.clone().ok_or_else(|| {
+                                BaseFault::new(
+                                    "uvacg:MissingWorkdir",
+                                    format!("no working directory recorded for job '{job}'"),
+                                )
+                            })?;
+                            Ok((dir, file.clone()))
+                        }
+                    }
+                };
                 let (exe_src, exe_name) = resolve(&job.executable)?;
                 let exe_as = basename(&exe_name);
                 let mut inputs = Vec::new();
@@ -549,7 +671,7 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
                     jr.state = JobState::Dispatched;
                     jr.machine = Some(node.machine.clone());
                     update_job_status_property(core, key, &job_name, jr);
-                    Some((job_name, req, node.execution))
+                    Some((job_name, req, node.execution, t_nis))
                 }
                 Err(fault) => {
                     drop(runs);
@@ -559,14 +681,29 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
             }
         };
 
-        let Some((job_name, req, es_address)) = next else { return };
+        let Some((job_name, req, es_address, t_nis)) = next else {
+            return;
+        };
+
+        // Figure 3 step 2: the NIS was polled for this job's placement.
+        record_steps(core, inner, key, &job_name, &[(2, "nis_poll")], t_nis);
 
         // Step 3: "the ES on that machine is sent a request to run a
         // job". Notifications triggered inline during this call may
         // already complete the job (zero-work programs) or even the
         // whole set; state transitions happened in on_event.
+        let es_run_span = core.metrics.timer("scheduler.es_run").start(&core.clock);
         match es::run(&core.net, &es_address, &req) {
             Ok(reply) => {
+                es_run_span.finish();
+                record_steps(
+                    core,
+                    inner,
+                    key,
+                    &job_name,
+                    &[(3, "es_run")],
+                    core.clock.now(),
+                );
                 {
                     let mut runs = inner.runs.lock();
                     if let Some(run) = runs.get_mut(key) {
@@ -642,6 +779,9 @@ fn update_job_status_property(core: &Arc<ServiceCore>, key: &str, job: &str, jr:
         if let Some(c) = jr.exit_code {
             el = el.attr("exitCode", c.to_string());
         }
+        if let Some(cpu) = jr.cpu_used {
+            el = el.attr("cpu", format!("{cpu:.6}"));
+        }
         doc.remove_value(&q("JobStatus"), |e| e.attr_value("job") == Some(job));
         doc.insert(q("JobStatus"), el);
         let _ = core.store.save(&core.name, key, &doc);
@@ -649,19 +789,24 @@ fn update_job_status_property(core: &Arc<ServiceCore>, key: &str, job: &str, jr:
 }
 
 fn complete_job_set(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
-    let topic = {
+    let (topic, submitted_at) = {
         let mut runs = inner.runs.lock();
         let Some(run) = runs.get_mut(key) else { return };
         if run.finished {
             return;
         }
         run.finished = true;
-        run.topic.clone()
+        (run.topic.clone(), run.submitted_at)
     };
+    let makespan = core.clock.now().since(submitted_at);
     if let Ok(mut doc) = core.store.load(&core.name, key) {
         doc.set_text(q("Status"), set_status::COMPLETED);
+        doc.set_f64(q("Makespan"), makespan.as_secs_f64());
         let _ = core.store.save(&core.name, key, &doc);
     }
+    core.metrics
+        .histogram("scheduler.makespan_ns")
+        .record(makespan.as_nanos() as u64);
     publish(
         core,
         &inner.broker,
@@ -677,15 +822,16 @@ fn fail_job_set(
     job: &str,
     cause: BaseFault,
 ) {
-    let topic = {
+    let (topic, submitted_at) = {
         let mut runs = inner.runs.lock();
         let Some(run) = runs.get_mut(key) else { return };
         if run.finished {
             return;
         }
         run.finished = true;
-        run.topic.clone()
+        (run.topic.clone(), run.submitted_at)
     };
+    let makespan = core.clock.now().since(submitted_at);
     let fault = BaseFault::new(
         "uvacg:JobSetFailed",
         format!("job set failed at job '{job}'"),
@@ -695,14 +841,23 @@ fn fail_job_set(
     .caused_by(cause);
     if let Ok(mut doc) = core.store.load(&core.name, key) {
         doc.set_text(q("Status"), set_status::FAILED);
-        doc.update(q("Fault"), vec![Element::with_name(q("Fault")).child(fault.to_element())]);
+        doc.set_f64(q("Makespan"), makespan.as_secs_f64());
+        doc.update(
+            q("Fault"),
+            vec![Element::with_name(q("Fault")).child(fault.to_element())],
+        );
         let _ = core.store.save(&core.name, key, &doc);
     }
+    core.metrics
+        .histogram("scheduler.makespan_ns")
+        .record(makespan.as_nanos() as u64);
     publish(
         core,
         &inner.broker,
         &TopicPath::parse(&topic).child("failed"),
-        Element::new(UVACG, "JobSetFailed").attr("job", job).child(fault.to_element()),
+        Element::new(UVACG, "JobSetFailed")
+            .attr("job", job)
+            .child(fault.to_element()),
     );
 }
 
@@ -712,9 +867,10 @@ fn publish(
     topic: &TopicPath,
     payload: Element,
 ) {
-    let msg = NotificationMessage::new(topic.clone(), payload)
-        .from_producer(core.service_epr());
-    let _ = core.net.send_oneway(&broker_epr.address, msg.to_envelope(broker_epr));
+    let msg = NotificationMessage::new(topic.clone(), payload).from_producer(core.service_epr());
+    let _ = core
+        .net
+        .send_oneway(&broker_epr.address, msg.to_envelope(broker_epr));
 }
 
 // ---------------------------------------------------------------------
@@ -748,7 +904,11 @@ pub fn submit(
         body.push_child(Element::new(UVACG, "ClientFileServer").text(fs));
     }
     if let Some((u, p)) = plain_credentials {
-        body.push_child(Element::new(UVACG, "Credentials").attr("user", u).attr("password", p));
+        body.push_child(
+            Element::new(UVACG, "Credentials")
+                .attr("user", u)
+                .attr("password", p),
+        );
     }
     let mut env = Envelope::new(body);
     MessageInfo::request(scheduler.clone(), action_uri("Scheduler", "SubmitJobSet"))

@@ -81,9 +81,9 @@ impl GridSecurity {
         header: &Element,
         as_subject: &str,
     ) -> Result<UsernameToken, SecurityError> {
-        let keys = self
-            .key_pair(as_subject)
-            .ok_or_else(|| SecurityError::MalformedHeader(format!("'{as_subject}' not enrolled")))?;
+        let keys = self.key_pair(as_subject).ok_or_else(|| {
+            SecurityError::MalformedHeader(format!("'{as_subject}' not enrolled"))
+        })?;
         UsernameToken::decrypt(header, &keys)
     }
 }
@@ -128,6 +128,8 @@ mod tests {
     fn unknown_principals_yield_none() {
         let sec = GridSecurity::new(5);
         assert!(sec.certificate("ghost").is_none());
-        assert!(sec.encrypt_token(&UsernameToken::new("u", "p"), "ghost").is_none());
+        assert!(sec
+            .encrypt_token(&UsernameToken::new("u", "p"), "ghost")
+            .is_none());
     }
 }

@@ -73,8 +73,10 @@ pub fn notification_broker(
                     .filter(|t| !t.is_empty())
                     .ok_or_else(|| faults::bad_request("GetCurrentMessage requires Topic"))?;
                 match current_get.lock().get(&topic) {
-                    Some(msg) => Ok(Element::new(ns::WSNT, "GetCurrentMessageResponse")
-                        .child(msg.to_element())),
+                    Some(msg) => {
+                        Ok(Element::new(ns::WSNT, "GetCurrentMessageResponse")
+                            .child(msg.to_element()))
+                    }
                     None => Err(BaseFault::new(
                         "wsnt:NoCurrentMessageOnTopic",
                         format!("no message has been published on '{topic}'"),
@@ -118,7 +120,10 @@ fn subscribe_op(ctx: &mut Ctx<'_>) -> Result<Element, BaseFault> {
     let expr = TopicExpression::parse(dialect, &expr_el.text_content());
 
     let mut doc = PropertyDoc::new();
-    doc.update(p_consumer(), vec![consumer.to_element_named(ns::WSNT, "ConsumerReference")]);
+    doc.update(
+        p_consumer(),
+        vec![consumer.to_element_named(ns::WSNT, "ConsumerReference")],
+    );
     doc.update(
         p_expression(),
         vec![Element::with_name(p_expression())
@@ -137,7 +142,8 @@ fn subscribe_op(ctx: &mut Ctx<'_>) -> Result<Element, BaseFault> {
                 .parse()
                 .map_err(|_| faults::bad_request("InitialTerminationTime must be seconds"))?;
             let key = sub_epr.resource_key().unwrap().to_string();
-            ctx.core.set_termination_time(&key, Some(SimTime::from_secs_f64(secs)));
+            ctx.core
+                .set_termination_time(&key, Some(SimTime::from_secs_f64(secs)));
         }
     }
 
@@ -148,7 +154,11 @@ fn subscribe_op(ctx: &mut Ctx<'_>) -> Result<Element, BaseFault> {
 fn set_paused_op(ctx: &mut Ctx<'_>, paused: bool) -> Result<Element, BaseFault> {
     let doc = ctx.resource_mut()?;
     doc.set_text(p_paused(), if paused { "true" } else { "false" });
-    let local = if paused { "PauseSubscriptionResponse" } else { "ResumeSubscriptionResponse" };
+    let local = if paused {
+        "PauseSubscriptionResponse"
+    } else {
+        "ResumeSubscriptionResponse"
+    };
     Ok(Element::new(ns::WSNT, local))
 }
 
@@ -174,6 +184,18 @@ fn notify_op(
 
     // Fan out to matching subscriptions.
     let core = ctx.core.clone();
+    let registry = &core.metrics;
+    let fanout_span = registry.timer("broker.fanout").start(&core.clock);
+    registry
+        .counter("broker.publishes")
+        .add(messages.len() as u64);
+    if registry.is_enabled() {
+        for m in &messages {
+            registry
+                .counter(&format!("broker.topic.{}.publishes", m.topic))
+                .inc();
+        }
+    }
     let mut delivered = 0usize;
     // Deliver in subscription order (keys are "<svc>-<n>"): consumers
     // that subscribed earlier hear about an event before consumers
@@ -182,25 +204,42 @@ fn notify_op(
     let mut keys = core.store.list(&core.name);
     keys.sort_by_key(|k| (k.len(), k.clone()));
     for key in keys {
-        let Ok(doc) = core.store.load(&core.name, &key) else { continue };
+        let Ok(doc) = core.store.load(&core.name, &key) else {
+            continue;
+        };
         if doc.text(&p_paused()).as_deref() == Some("true") {
             continue;
         }
-        let Some(expr_el) = doc.get(&p_expression()).first() else { continue };
+        let Some(expr_el) = doc.get(&p_expression()).first() else {
+            continue;
+        };
         let Some(dialect) = expr_el.attr_value("Dialect").and_then(Dialect::from_uri) else {
             continue;
         };
         let expr = TopicExpression::parse(dialect, &expr_el.text_content());
-        let Some(consumer_el) = doc.get(&p_consumer()).first() else { continue };
-        let Ok(consumer) = EndpointReference::from_element(consumer_el) else { continue };
+        let Some(consumer_el) = doc.get(&p_consumer()).first() else {
+            continue;
+        };
+        let Ok(consumer) = EndpointReference::from_element(consumer_el) else {
+            continue;
+        };
         for m in &messages {
             if expr.matches(&m.topic) {
                 // Forward preserving the original producer reference.
-                let _ = core.net.send_oneway(&consumer.address, m.to_envelope(&consumer));
+                let _ = core
+                    .net
+                    .send_oneway(&consumer.address, m.to_envelope(&consumer));
                 delivered += 1;
+                if registry.is_enabled() {
+                    registry
+                        .counter(&format!("broker.topic.{}.deliveries", m.topic))
+                        .inc();
+                }
             }
         }
     }
+    registry.counter("broker.deliveries").add(delivered as u64);
+    fanout_span.finish();
     Ok(Element::new(ns::WSNT, "NotifyResponse").attr("delivered", delivered.to_string()))
 }
 
@@ -257,7 +296,11 @@ pub fn set_subscription_paused(
     subscription: &EndpointReference,
     paused: bool,
 ) -> Result<(), SoapFault> {
-    let op = if paused { "PauseSubscription" } else { "ResumeSubscription" };
+    let op = if paused {
+        "PauseSubscription"
+    } else {
+        "ResumeSubscription"
+    };
     let mut env = Envelope::new(Element::new(ns::WSNT, op));
     MessageInfo::request(subscription.clone(), format!("{}/{op}", ns::WSNT)).apply(&mut env);
     let resp = net
@@ -279,8 +322,7 @@ pub fn get_current_message(
     let body = Element::new(ns::WSNT, "GetCurrentMessage")
         .child(Element::new(ns::WSNT, "Topic").text(topic));
     let mut env = Envelope::new(body);
-    MessageInfo::request(broker.clone(), format!("{}/GetCurrentMessage", ns::WSNT))
-        .apply(&mut env);
+    MessageInfo::request(broker.clone(), format!("{}/GetCurrentMessage", ns::WSNT)).apply(&mut env);
     let resp = net
         .call(&broker.address, env)
         .map_err(|e| SoapFault::server(e.to_string()))?;
@@ -328,7 +370,12 @@ mod tests {
         );
         broker.register(&net);
         let broker_epr = broker.core().service_epr();
-        Fixture { net, clock, broker_epr, broker }
+        Fixture {
+            net,
+            clock,
+            broker_epr,
+            broker,
+        }
     }
 
     fn msg(topic: &str) -> NotificationMessage {
@@ -342,12 +389,30 @@ mod tests {
         let sched = NotificationListener::register(&f.net, "inproc://hub/sched-listener");
         let client = NotificationListener::register(&f.net, "inproc://client/listener");
         let other = NotificationListener::register(&f.net, "inproc://other/listener");
-        subscribe(&f.net, &f.broker_epr, &sched.epr(), &TopicExpression::full("js-1//"), None)
-            .unwrap();
-        subscribe(&f.net, &f.broker_epr, &client.epr(), &TopicExpression::full("js-1//"), None)
-            .unwrap();
-        subscribe(&f.net, &f.broker_epr, &other.epr(), &TopicExpression::full("js-2//"), None)
-            .unwrap();
+        subscribe(
+            &f.net,
+            &f.broker_epr,
+            &sched.epr(),
+            &TopicExpression::full("js-1//"),
+            None,
+        )
+        .unwrap();
+        subscribe(
+            &f.net,
+            &f.broker_epr,
+            &client.epr(),
+            &TopicExpression::full("js-1//"),
+            None,
+        )
+        .unwrap();
+        subscribe(
+            &f.net,
+            &f.broker_epr,
+            &other.epr(),
+            &TopicExpression::full("js-2//"),
+            None,
+        )
+        .unwrap();
 
         publish(&f.net, &f.broker_epr, &msg("js-1/job/exit")).unwrap();
         assert_eq!(sched.count(), 1);
@@ -364,9 +429,14 @@ mod tests {
     fn pause_and_resume() {
         let f = fixture();
         let l = NotificationListener::register(&f.net, "inproc://c/l");
-        let sub =
-            subscribe(&f.net, &f.broker_epr, &l.epr(), &TopicExpression::simple("t"), None)
-                .unwrap();
+        let sub = subscribe(
+            &f.net,
+            &f.broker_epr,
+            &l.epr(),
+            &TopicExpression::simple("t"),
+            None,
+        )
+        .unwrap();
         publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
         assert_eq!(l.count(), 1);
 
@@ -383,15 +453,22 @@ mod tests {
     fn subscription_is_a_queryable_resource() {
         let f = fixture();
         let l = NotificationListener::register(&f.net, "inproc://c/l");
-        let sub =
-            subscribe(&f.net, &f.broker_epr, &l.epr(), &TopicExpression::full("a/*/c"), None)
-                .unwrap();
+        let sub = subscribe(
+            &f.net,
+            &f.broker_epr,
+            &l.epr(),
+            &TopicExpression::full("a/*/c"),
+            None,
+        )
+        .unwrap();
         // Read its TopicExpression through the standard port type.
-        let mut env = Envelope::new(
-            Element::new(ns::WSRP, "GetResourceProperty").text("TopicExpression"),
-        );
-        MessageInfo::request(sub, wsrf_core::porttypes::wsrp_action("GetResourceProperty"))
-            .apply(&mut env);
+        let mut env =
+            Envelope::new(Element::new(ns::WSRP, "GetResourceProperty").text("TopicExpression"));
+        MessageInfo::request(
+            sub,
+            wsrf_core::porttypes::wsrp_action("GetResourceProperty"),
+        )
+        .apply(&mut env);
         let resp = f.net.call("inproc://hub/Broker", env).unwrap();
         assert_eq!(resp.body.text_content(), "a/*/c");
     }
@@ -400,8 +477,14 @@ mod tests {
     fn subscription_lease_expires() {
         let f = fixture();
         let l = NotificationListener::register(&f.net, "inproc://c/l");
-        subscribe(&f.net, &f.broker_epr, &l.epr(), &TopicExpression::simple("t"), Some(30.0))
-            .unwrap();
+        subscribe(
+            &f.net,
+            &f.broker_epr,
+            &l.epr(),
+            &TopicExpression::simple("t"),
+            Some(30.0),
+        )
+        .unwrap();
         publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
         assert_eq!(l.count(), 1);
         f.clock.advance(std::time::Duration::from_secs(31));
@@ -413,9 +496,14 @@ mod tests {
     fn destroy_subscription_stops_delivery() {
         let f = fixture();
         let l = NotificationListener::register(&f.net, "inproc://c/l");
-        let sub =
-            subscribe(&f.net, &f.broker_epr, &l.epr(), &TopicExpression::simple("t"), None)
-                .unwrap();
+        let sub = subscribe(
+            &f.net,
+            &f.broker_epr,
+            &l.epr(),
+            &TopicExpression::simple("t"),
+            None,
+        )
+        .unwrap();
         let mut env = Envelope::new(Element::new(ns::WSRL, "Destroy"));
         MessageInfo::request(sub, wsrf_core::porttypes::wsrl_action("Destroy")).apply(&mut env);
         let resp = f.net.call("inproc://hub/Broker", env).unwrap();
@@ -427,14 +515,21 @@ mod tests {
     #[test]
     fn get_current_message_returns_latest_per_topic() {
         let f = fixture();
-        assert_eq!(get_current_message(&f.net, &f.broker_epr, "t").unwrap(), None);
+        assert_eq!(
+            get_current_message(&f.net, &f.broker_epr, "t").unwrap(),
+            None
+        );
         publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
         publish(&f.net, &f.broker_epr, &msg("other")).unwrap();
         let m2 = NotificationMessage::new("t", Element::new(ns::UVACG, "Evt").text("second"));
         publish(&f.net, &f.broker_epr, &m2).unwrap();
-        let got = get_current_message(&f.net, &f.broker_epr, "t").unwrap().unwrap();
+        let got = get_current_message(&f.net, &f.broker_epr, "t")
+            .unwrap()
+            .unwrap();
         assert_eq!(got.payload.text_content(), "second");
-        let other = get_current_message(&f.net, &f.broker_epr, "other").unwrap().unwrap();
+        let other = get_current_message(&f.net, &f.broker_epr, "other")
+            .unwrap()
+            .unwrap();
         assert_eq!(other.topic.to_string(), "other");
     }
 

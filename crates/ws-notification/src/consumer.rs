@@ -175,7 +175,8 @@ mod tests {
         let net = InProcNetwork::new(Clock::manual());
         let l = NotificationListener::register(&net, "inproc://c/l");
         let msg = NotificationMessage::new("a/b", Element::local("E"));
-        net.send_oneway("inproc://c/l", msg.to_envelope(&l.epr())).unwrap();
+        net.send_oneway("inproc://c/l", msg.to_envelope(&l.epr()))
+            .unwrap();
         assert_eq!(l.count(), 1);
         assert_eq!(l.on(&"a/b".into()).len(), 1);
         assert_eq!(l.drain().len(), 1);
@@ -193,7 +194,8 @@ mod tests {
         });
         for topic in ["js/job/exit", "js/job/start", "js/exit"] {
             let msg = NotificationMessage::new(topic, Element::local("E"));
-            net.send_oneway("inproc://c/l", msg.to_envelope(&l.epr())).unwrap();
+            net.send_oneway("inproc://c/l", msg.to_envelope(&l.epr()))
+                .unwrap();
         }
         assert_eq!(hits.load(Ordering::SeqCst), 2);
         assert_eq!(l.count(), 3, "all messages recorded regardless of handlers");
@@ -203,7 +205,8 @@ mod tests {
     fn non_notify_messages_ignored() {
         let net = InProcNetwork::new(Clock::manual());
         let l = NotificationListener::register(&net, "inproc://c/l");
-        net.send_oneway("inproc://c/l", Envelope::new(Element::local("Other"))).unwrap();
+        net.send_oneway("inproc://c/l", Envelope::new(Element::local("Other")))
+            .unwrap();
         assert_eq!(l.count(), 0);
     }
 
@@ -216,7 +219,8 @@ mod tests {
         let t = std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(20));
             let msg = NotificationMessage::new("t", Element::local("E"));
-            net2.send_oneway("inproc://c/l", msg.to_envelope(&epr)).unwrap();
+            net2.send_oneway("inproc://c/l", msg.to_envelope(&epr))
+                .unwrap();
         });
         assert!(l.wait_for(1, std::time::Duration::from_secs(5)));
         t.join().unwrap();

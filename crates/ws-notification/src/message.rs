@@ -26,7 +26,11 @@ pub struct NotificationMessage {
 impl NotificationMessage {
     /// Build a message.
     pub fn new(topic: impl Into<TopicPath>, payload: Element) -> Self {
-        NotificationMessage { topic: topic.into(), producer: None, payload }
+        NotificationMessage {
+            topic: topic.into(),
+            producer: None,
+            payload,
+        }
     }
 
     /// Attach the producer reference.
@@ -57,7 +61,11 @@ impl NotificationMessage {
             .find(ns::WSNT, "ProducerReference")
             .and_then(|p| EndpointReference::from_element(p).ok());
         let payload = e.find(ns::WSNT, "Message")?.elements().next()?.clone();
-        Some(NotificationMessage { topic, producer, payload })
+        Some(NotificationMessage {
+            topic,
+            producer,
+            payload,
+        })
     }
 
     /// Wrap one message in a complete one-way `Notify` envelope
@@ -91,7 +99,11 @@ mod tests {
             "jobset-1/job/exit",
             Element::new(ns::UVACG, "ExitCode").text("0"),
         )
-        .from_producer(EndpointReference::resource("inproc://m1/Exec", "JobKey", "j7"));
+        .from_producer(EndpointReference::resource(
+            "inproc://m1/Exec",
+            "JobKey",
+            "j7",
+        ));
         let back = NotificationMessage::from_element(&msg.to_element()).unwrap();
         assert_eq!(back, msg);
     }
@@ -118,9 +130,7 @@ mod tests {
     fn malformed_message_elements_are_skipped() {
         let body = Element::new(ns::WSNT, "Notify")
             .child(Element::new(ns::WSNT, "NotificationMessage")) // no Topic/Message
-            .child(
-                NotificationMessage::new("t", Element::local("P")).to_element(),
-            );
+            .child(NotificationMessage::new("t", Element::local("P")).to_element());
         let env = Envelope::new(body);
         assert_eq!(NotificationMessage::from_envelope(&env).len(), 1);
     }

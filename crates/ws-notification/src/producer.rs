@@ -49,7 +49,12 @@ impl SubscriptionManager {
     /// Add a subscription; returns its id.
     pub fn subscribe(&self, consumer: EndpointReference, expression: TopicExpression) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.subs.write().push(Subscription { id, consumer, expression, paused: false });
+        self.subs.write().push(Subscription {
+            id,
+            consumer,
+            expression,
+            paused: false,
+        });
         id
     }
 
@@ -106,7 +111,11 @@ pub struct NotificationProducer {
 impl NotificationProducer {
     /// A producer identified by `epr`, sending through `net`.
     pub fn new(epr: EndpointReference, net: Arc<InProcNetwork>) -> Self {
-        NotificationProducer { epr, subscriptions: SubscriptionManager::new(), net }
+        NotificationProducer {
+            epr,
+            subscriptions: SubscriptionManager::new(),
+            net,
+        }
     }
 
     /// Publish `payload` on `topic`: one one-way `Notify` envelope per
@@ -123,7 +132,10 @@ impl NotificationProducer {
         let mut sent = 0;
         let mut errors = Vec::new();
         for consumer in self.subscriptions.matching(&topic) {
-            match self.net.send_oneway(&consumer.address, msg.to_envelope(&consumer)) {
+            match self
+                .net
+                .send_oneway(&consumer.address, msg.to_envelope(&consumer))
+            {
                 Ok(()) => sent += 1,
                 Err(e) => errors.push(e),
             }
@@ -141,10 +153,8 @@ mod tests {
 
     fn setup() -> (Arc<InProcNetwork>, NotificationProducer) {
         let net = InProcNetwork::new(Clock::manual());
-        let producer = NotificationProducer::new(
-            EndpointReference::service("inproc://m1/Exec"),
-            net.clone(),
-        );
+        let producer =
+            NotificationProducer::new(EndpointReference::service("inproc://m1/Exec"), net.clone());
         (net, producer)
     }
 
@@ -187,10 +197,9 @@ mod tests {
     fn notify_delivers_to_matching_listeners() {
         let (net, producer) = setup();
         let listener = NotificationListener::register(&net, "inproc://client/listener");
-        producer.subscriptions.subscribe(
-            listener.epr(),
-            TopicExpression::full("jobset-1//"),
-        );
+        producer
+            .subscriptions
+            .subscribe(listener.epr(), TopicExpression::full("jobset-1//"));
         let (sent, errs) = producer.notify(
             "jobset-1/job/exit",
             Element::new(ns::UVACG, "ExitCode").text("0"),
@@ -200,7 +209,10 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].topic.to_string(), "jobset-1/job/exit");
         assert_eq!(got[0].payload.text_content(), "0");
-        assert_eq!(got[0].producer.as_ref().unwrap().address, "inproc://m1/Exec");
+        assert_eq!(
+            got[0].producer.as_ref().unwrap().address,
+            "inproc://m1/Exec"
+        );
     }
 
     #[test]

@@ -17,7 +17,12 @@ pub struct TopicPath(pub Vec<String>);
 impl TopicPath {
     /// Parse from `a/b/c` form. Empty segments are dropped.
     pub fn parse(s: &str) -> TopicPath {
-        TopicPath(s.split('/').filter(|p| !p.is_empty()).map(str::to_string).collect())
+        TopicPath(
+            s.split('/')
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect(),
+        )
     }
 
     /// Root topic name (empty string for the empty path).
@@ -112,14 +117,21 @@ pub struct TopicExpression {
 impl TopicExpression {
     /// Simple-dialect expression for a root topic.
     pub fn simple(root: impl Into<String>) -> TopicExpression {
-        TopicExpression { dialect: Dialect::Simple, segs: vec![Seg::Name(root.into())] }
+        TopicExpression {
+            dialect: Dialect::Simple,
+            segs: vec![Seg::Name(root.into())],
+        }
     }
 
     /// Concrete-dialect expression for an exact path.
     pub fn concrete(path: &str) -> TopicExpression {
         TopicExpression {
             dialect: Dialect::Concrete,
-            segs: TopicPath::parse(path).0.into_iter().map(Seg::Name).collect(),
+            segs: TopicPath::parse(path)
+                .0
+                .into_iter()
+                .map(Seg::Name)
+                .collect(),
         }
     }
 
@@ -145,7 +157,10 @@ impl TopicExpression {
         if segs.first() == Some(&Seg::Descend) && segs.len() > 1 && !expr.starts_with("//") {
             segs.remove(0);
         }
-        TopicExpression { dialect: Dialect::Full, segs }
+        TopicExpression {
+            dialect: Dialect::Full,
+            segs,
+        }
     }
 
     /// Parse with an explicit dialect (wire form).
@@ -229,7 +244,11 @@ mod tests {
     #[test]
     fn topic_path_parsing() {
         assert_eq!(t("a/b/c").0, vec!["a", "b", "c"]);
-        assert_eq!(t("a//b").0, vec!["a", "b"], "empty segments dropped in paths");
+        assert_eq!(
+            t("a//b").0,
+            vec!["a", "b"],
+            "empty segments dropped in paths"
+        );
         assert_eq!(t("").len(), 0);
         assert_eq!(t("a/b").child("c"), t("a/b/c"));
         assert_eq!(t("a/b").root(), "a");
@@ -257,7 +276,10 @@ mod tests {
         let e = TopicExpression::full("jobset-1/*/exit");
         assert!(e.matches(&t("jobset-1/job/exit")));
         assert!(e.matches(&t("jobset-1/upload/exit")));
-        assert!(!e.matches(&t("jobset-1/exit")), "* requires exactly one segment");
+        assert!(
+            !e.matches(&t("jobset-1/exit")),
+            "* requires exactly one segment"
+        );
         assert!(!e.matches(&t("jobset-1/a/b/exit")));
     }
 

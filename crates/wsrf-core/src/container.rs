@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use simclock::{Clock, SimTime, TimerId};
+use wsrf_obs::{Counter, MetricsRegistry, Timer};
 use wsrf_soap::{ns, BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault};
 use wsrf_transport::{Endpoint, InProcNetwork};
 use wsrf_xml::{Element, QName};
@@ -28,8 +29,7 @@ use crate::store::ResourceStore;
 /// property getter marked `[ResourceProperty]` in Figure 2. It is
 /// evaluated on demand against the stored state and merged into the
 /// property views returned by the standard port types.
-pub type ComputedProperty =
-    Box<dyn Fn(&PropertyDoc, SimTime) -> Vec<Element> + Send + Sync>;
+pub type ComputedProperty = Box<dyn Fn(&PropertyDoc, SimTime) -> Vec<Element> + Send + Sync>;
 
 /// Handler for one operation. Receives an invocation context and
 /// returns the response body element (or a fault).
@@ -81,6 +81,10 @@ pub struct ServiceCore {
     /// Qualified name of the reference property carrying the resource
     /// key (in Clark form), e.g. `{uvacg}JobKey`.
     pub key_property: String,
+    /// Deployment-wide metrics registry (disabled by default; see
+    /// [`ServiceBuilder::with_metrics`]). Handlers and higher layers
+    /// register their own metrics through this.
+    pub metrics: Arc<MetricsRegistry>,
     next_key: AtomicU64,
     /// Scheduled-destruction timers per resource key.
     lifetime: Mutex<HashMap<String, TimerId>>,
@@ -127,7 +131,9 @@ impl ServiceCore {
         if let Some(t) = self.lifetime.lock().remove(key) {
             self.clock.cancel(t);
         }
-        self.store.destroy(&self.name, key).map_err(faults::from_store)
+        self.store
+            .destroy(&self.name, key)
+            .map_err(faults::from_store)
     }
 
     /// Schedule destruction at an absolute virtual time
@@ -159,7 +165,10 @@ impl ServiceCore {
     /// Evaluate computed properties against stored state.
     pub fn computed_values(&self, doc: &PropertyDoc) -> Vec<Element> {
         let now = self.clock.now();
-        self.computed.iter().flat_map(|(_, f)| f(doc, now)).collect()
+        self.computed
+            .iter()
+            .flat_map(|(_, f)| f(doc, now))
+            .collect()
     }
 
     /// Full property view (stored + computed) as a document.
@@ -192,7 +201,9 @@ impl ServiceCore {
     /// Does the service declare a property with this name (stored
     /// schema is open, so this checks computed names only)?
     pub fn has_computed(&self, name: &QName) -> bool {
-        self.computed.iter().any(|(n, _)| n == name || n.local == name.local)
+        self.computed
+            .iter()
+            .any(|(n, _)| n == name || n.local == name.local)
     }
 }
 
@@ -235,12 +246,113 @@ impl Ctx<'_> {
     }
 }
 
+/// One sampled dispatch in every `STAGE_SAMPLE_EVERY` records its
+/// per-stage timings (the first always does, so even a one-dispatch
+/// service shows all four stages). Counters stay exact for every
+/// dispatch; only the stage histograms are sampled — this keeps the
+/// enabled-metrics dispatch overhead to a handful of atomic ops.
+const STAGE_SAMPLE_EVERY: u64 = 16;
+
+/// Pre-registered handles for the Figure 1 pipeline stages, created
+/// once at build time so the dispatch hot path never touches the
+/// registry. All handles are no-ops when metrics are disabled.
+struct DispatchObs {
+    enabled: bool,
+    /// Rolling tick deciding which dispatches sample stage timings.
+    sample_tick: AtomicU64,
+    /// Total dispatches entering the pipeline.
+    dispatches: Counter,
+    /// Dispatches that produced a fault envelope.
+    faults: Counter,
+    /// Stage (1)+(2): addressing-header extraction and EPR resolution.
+    resolve: Timer,
+    /// Stage (2b): resource state load from the store.
+    load: Timer,
+    /// Stage (3): handler invocation.
+    invoke: Timer,
+    /// Stage (4): state write-back.
+    save: Timer,
+    /// Bytes of resource state loaded / saved (serialized size).
+    load_bytes: Counter,
+    save_bytes: Counter,
+    /// Per-operation invocation counts, keyed by action URI.
+    per_op: HashMap<String, Counter>,
+}
+
+impl DispatchObs {
+    fn new(registry: &MetricsRegistry, service: &str, actions: &HashMap<String, Op>) -> Self {
+        let prefix = format!("container.{service}");
+        let per_op = actions
+            .keys()
+            .map(|action| {
+                let op = action.rsplit('/').next().unwrap_or(action);
+                (
+                    action.clone(),
+                    registry.counter(&format!("{prefix}.op.{op}.count")),
+                )
+            })
+            .collect();
+        DispatchObs {
+            enabled: registry.is_enabled(),
+            sample_tick: AtomicU64::new(0),
+            dispatches: registry.counter(&format!("{prefix}.dispatches")),
+            faults: registry.counter(&format!("{prefix}.faults")),
+            resolve: registry.timer(&format!("{prefix}.stage.resolve")),
+            load: registry.timer(&format!("{prefix}.stage.load")),
+            invoke: registry.timer(&format!("{prefix}.stage.invoke")),
+            save: registry.timer(&format!("{prefix}.stage.save")),
+            load_bytes: registry.counter(&format!("{prefix}.store.load_bytes")),
+            save_bytes: registry.counter(&format!("{prefix}.store.save_bytes")),
+            per_op,
+        }
+    }
+
+    /// Should this dispatch time its stages?
+    fn sample_stages(&self) -> bool {
+        self.enabled && self.sample_tick.fetch_add(1, Ordering::Relaxed) % STAGE_SAMPLE_EVERY == 0
+    }
+}
+
+/// Boundary tracker for one sampled dispatch: the stages are
+/// contiguous, so each edge needs a single read of each clock (instead
+/// of a start/stop pair per stage).
+struct StageLap {
+    virt: SimTime,
+    real: std::time::Instant,
+}
+
+impl StageLap {
+    fn begin(clock: &Clock) -> Self {
+        StageLap {
+            virt: clock.now(),
+            real: std::time::Instant::now(),
+        }
+    }
+
+    /// Close the current stage into `timer` and open the next one.
+    fn lap(&mut self, clock: &Clock, timer: &Timer) {
+        let virt = clock.now();
+        let real = std::time::Instant::now();
+        timer.record(virt.since(self.virt), real.duration_since(self.real));
+        self.virt = virt;
+        self.real = real;
+    }
+}
+
+/// Estimated serialized size of a property document, for byte
+/// accounting. Only evaluated when metrics are enabled; estimated
+/// rather than serialized so accounting never dominates dispatch.
+fn doc_bytes(doc: &PropertyDoc) -> u64 {
+    doc.approx_bytes() as u64
+}
+
 /// A deployed WSRF service: the wrapper web service of Figure 1.
 pub struct Service {
     core: Arc<ServiceCore>,
     ops: HashMap<String, Op>,
     save_policy: SavePolicy,
     description: Element,
+    obs: DispatchObs,
 }
 
 impl Service {
@@ -263,18 +375,28 @@ impl Service {
     /// Dispatch pipeline (see module docs). Public so in-process tests
     /// can invoke without a network.
     pub fn dispatch(&self, env: Envelope) -> Envelope {
+        self.obs.dispatches.inc();
         match self.try_dispatch(&env) {
             Ok(resp) => resp,
             Err(fault) => {
-                let f = fault.at(self.core.clock.now().as_secs_f64()).from_originator(
-                    self.core.service_epr(),
-                );
+                self.obs.faults.inc();
+                let f = fault
+                    .at(self.core.clock.now().as_secs_f64())
+                    .from_originator(self.core.service_epr());
                 SoapFault::from_base(f).to_envelope()
             }
         }
     }
 
     fn try_dispatch(&self, env: &Envelope) -> Result<Envelope, BaseFault> {
+        // Stage timings are sampled (see STAGE_SAMPLE_EVERY); a
+        // dispatch that faults mid-pipeline records only the stages it
+        // completed. Counters below are exact for every dispatch.
+        let mut lap = self
+            .obs
+            .sample_stages()
+            .then(|| StageLap::begin(&self.core.clock));
+
         // (1) Read the addressing headers / EPR.
         let info = MessageInfo::extract(env)
             .map_err(|e| faults::bad_request(&format!("bad addressing headers: {e}")))?;
@@ -282,6 +404,9 @@ impl Service {
             .ops
             .get(&info.action)
             .ok_or_else(|| faults::no_such_operation(&info.action))?;
+        if let Some(c) = self.obs.per_op.get(&info.action) {
+            c.inc();
+        }
 
         // (2) Resolve the WS-Resource named by the reference properties.
         let key = info
@@ -290,10 +415,13 @@ impl Service {
             .iter()
             .find(|(n, _)| {
                 *n == self.core.key_property
-                    || QName::from_clark(n).local == QName::from_clark(&self.core.key_property).local
+                    || QName::from_clark(n).local
+                        == QName::from_clark(&self.core.key_property).local
             })
             .map(|(_, v)| v.clone());
-
+        if let Some(l) = lap.as_mut() {
+            l.lap(&self.core.clock, &self.obs.resolve);
+        }
         let mut loaded: Option<PropertyDoc> = None;
         let mut before: Option<PropertyDoc> = None;
         if op.kind == OpKind::Resource {
@@ -305,10 +433,16 @@ impl Service {
                 .store
                 .load(&self.core.name, k)
                 .map_err(faults::from_store)?;
+            if self.obs.enabled {
+                self.obs.load_bytes.add(doc_bytes(&doc));
+            }
             if self.save_policy == SavePolicy::WhenChanged {
                 before = Some(doc.clone());
             }
             loaded = Some(doc);
+        }
+        if let Some(l) = lap.as_mut() {
+            l.lap(&self.core.clock, &self.obs.load);
         }
 
         // (3) Invoke the method with the state in scope.
@@ -321,6 +455,9 @@ impl Service {
             body: &env.body,
         };
         let result = (op.handler)(&mut ctx)?;
+        if let Some(l) = lap.as_mut() {
+            l.lap(&self.core.clock, &self.obs.invoke);
+        }
 
         // (4) Save changed state back. By default we save
         // unconditionally, like WSRF.NET; SavePolicy::WhenChanged
@@ -335,7 +472,13 @@ impl Service {
                     .store
                     .save(&self.core.name, k, &doc)
                     .map_err(faults::from_store)?;
+                if self.obs.enabled {
+                    self.obs.save_bytes.add(doc_bytes(&doc));
+                }
             }
+        }
+        if let Some(l) = lap.as_mut() {
+            l.lap(&self.core.clock, &self.obs.save);
         }
 
         // (5) Serialize the response.
@@ -366,6 +509,7 @@ pub struct ServiceBuilder {
     standard_port_types: bool,
     lifetime_port_type: bool,
     save_policy: SavePolicy,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ServiceBuilder {
@@ -386,7 +530,17 @@ impl ServiceBuilder {
             standard_port_types: true,
             lifetime_port_type: true,
             save_policy: SavePolicy::Always,
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics registry; dispatch-stage timings, per-operation
+    /// counts, and store byte counters are recorded into it. When not
+    /// set, the network's registry is used (a disabled registry unless
+    /// the network was built with one).
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
     }
 
     /// Choose the state write-back policy (ablation experiment E1b).
@@ -410,7 +564,13 @@ impl ServiceBuilder {
         handler: impl Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync + 'static,
     ) -> Self {
         let action = action_uri(&self.name, op_name);
-        self.ops.insert(action, Op { kind: OpKind::Resource, handler: Box::new(handler) });
+        self.ops.insert(
+            action,
+            Op {
+                kind: OpKind::Resource,
+                handler: Box::new(handler),
+            },
+        );
         self
     }
 
@@ -421,7 +581,13 @@ impl ServiceBuilder {
         handler: impl Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync + 'static,
     ) -> Self {
         let action = action_uri(&self.name, op_name);
-        self.ops.insert(action, Op { kind: OpKind::Static, handler: Box::new(handler) });
+        self.ops.insert(
+            action,
+            Op {
+                kind: OpKind::Static,
+                handler: Box::new(handler),
+            },
+        );
         self
     }
 
@@ -434,7 +600,13 @@ impl ServiceBuilder {
         kind: OpKind,
         handler: impl Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync + 'static,
     ) -> Self {
-        self.ops.insert(action.into(), Op { kind, handler: Box::new(handler) });
+        self.ops.insert(
+            action.into(),
+            Op {
+                kind,
+                handler: Box::new(handler),
+            },
+        );
         self
     }
 
@@ -465,6 +637,9 @@ impl ServiceBuilder {
 
     /// Finish: produce the deployable service.
     pub fn build(self, clock: Clock, net: Arc<InProcNetwork>) -> Arc<Service> {
+        let metrics = self
+            .metrics
+            .unwrap_or_else(|| net.metrics_registry().clone());
         let core = Arc::new(ServiceCore {
             name: self.name,
             address: self.address,
@@ -472,6 +647,7 @@ impl ServiceBuilder {
             net,
             store: self.store,
             key_property: self.key_property,
+            metrics,
             next_key: AtomicU64::new(1),
             lifetime: Mutex::new(HashMap::new()),
             computed: self.computed,
@@ -489,8 +665,7 @@ impl ServiceBuilder {
             .iter()
             .map(|(a, op)| (a.clone(), op.kind == OpKind::Resource))
             .collect();
-        let computed_names: Vec<QName> =
-            core.computed.iter().map(|(n, _)| n.clone()).collect();
+        let computed_names: Vec<QName> = core.computed.iter().map(|(n, _)| n.clone()).collect();
         let description = crate::wsdl::describe(
             &core.name,
             &core.address,
@@ -505,7 +680,14 @@ impl ServiceBuilder {
             OpKind::Static,
             Box::new(move |_| Ok(desc_for_op.clone())),
         );
-        Arc::new(Service { core, ops, save_policy: self.save_policy, description })
+        let obs = DispatchObs::new(&core.metrics, &core.name, &ops);
+        Arc::new(Service {
+            core,
+            ops,
+            save_policy: self.save_policy,
+            description,
+            obs,
+        })
     }
 }
 
@@ -560,8 +742,7 @@ mod tests {
             })
             .computed_property(q("Blurb"), |doc, now| {
                 let status = doc.text_local("Status").unwrap_or_default();
-                vec![Element::new(UVACG, "Blurb")
-                    .text(format!("At {now} the status is {status}"))]
+                vec![Element::new(UVACG, "Blurb").text(format!("At {now} the status is {status}"))]
             })
             .build(clock, net.clone());
         svc.register(&net);
@@ -576,10 +757,8 @@ mod tests {
             Element::new(UVACG, "Create"),
         );
         assert!(!resp.is_fault(), "{:?}", resp.fault());
-        EndpointReference::from_element(
-            resp.body.find(ns::WSA, "EndpointReference").unwrap(),
-        )
-        .unwrap()
+        EndpointReference::from_element(resp.body.find(ns::WSA, "EndpointReference").unwrap())
+            .unwrap()
     }
 
     #[test]
@@ -630,15 +809,26 @@ mod tests {
             &action_uri("Demo", "Touch"),
             Element::new(UVACG, "Touch"),
         );
-        assert_eq!(resp.fault().unwrap().error_code(), Some("wsrf:MissingResourceKey"));
+        assert_eq!(
+            resp.fault().unwrap().error_code(),
+            Some("wsrf:MissingResourceKey")
+        );
     }
 
     #[test]
     fn missing_resource_faults() {
         let (svc, _net) = demo_service();
         let ghost = svc.core().epr_for("demo-999");
-        let resp = call(&svc, ghost, &action_uri("Demo", "Touch"), Element::new(UVACG, "Touch"));
-        assert_eq!(resp.fault().unwrap().error_code(), Some("wsrf:NoSuchResource"));
+        let resp = call(
+            &svc,
+            ghost,
+            &action_uri("Demo", "Touch"),
+            Element::new(UVACG, "Touch"),
+        );
+        assert_eq!(
+            resp.fault().unwrap().error_code(),
+            Some("wsrf:NoSuchResource")
+        );
     }
 
     #[test]
@@ -670,9 +860,7 @@ mod tests {
         clock.advance(std::time::Duration::from_secs(42));
         let net = InProcNetwork::new(clock.clone());
         let svc = ServiceBuilder::new("F", "inproc://m1/F", Arc::new(MemoryStore::new()))
-            .static_operation("Boom", |_| {
-                Err(BaseFault::new("uvacg:Boom", "exploded"))
-            })
+            .static_operation("Boom", |_| Err(BaseFault::new("uvacg:Boom", "exploded")))
             .build(clock, net);
         let resp = call(
             &svc,
@@ -750,7 +938,12 @@ mod tests {
     }
 
     impl crate::store::ResourceStore for CountingStore {
-        fn create(&self, s: &str, k: &str, d: &PropertyDoc) -> Result<(), crate::store::StoreError> {
+        fn create(
+            &self,
+            s: &str,
+            k: &str,
+            d: &PropertyDoc,
+        ) -> Result<(), crate::store::StoreError> {
             self.inner.create(s, k, d)
         }
         fn load(&self, s: &str, k: &str) -> Result<PropertyDoc, crate::store::StoreError> {
@@ -806,7 +999,12 @@ mod tests {
     #[test]
     fn save_always_writes_on_read_only_ops() {
         let (svc, store, epr) = policy_fixture(SavePolicy::Always);
-        let resp = call(&svc, epr, &action_uri("SP", "Read"), Element::new(UVACG, "Read"));
+        let resp = call(
+            &svc,
+            epr,
+            &action_uri("SP", "Read"),
+            Element::new(UVACG, "Read"),
+        );
         assert!(!resp.is_fault());
         assert_eq!(store.saves.load(std::sync::atomic::Ordering::SeqCst), 1);
     }
@@ -814,14 +1012,37 @@ mod tests {
     #[test]
     fn save_when_changed_skips_clean_state_but_persists_mutations() {
         let (svc, store, epr) = policy_fixture(SavePolicy::WhenChanged);
-        let resp = call(&svc, epr.clone(), &action_uri("SP", "Read"), Element::new(UVACG, "Read"));
+        let resp = call(
+            &svc,
+            epr.clone(),
+            &action_uri("SP", "Read"),
+            Element::new(UVACG, "Read"),
+        );
         assert!(!resp.is_fault());
-        assert_eq!(store.saves.load(std::sync::atomic::Ordering::SeqCst), 0, "clean: no save");
-        let resp = call(&svc, epr.clone(), &action_uri("SP", "Bump"), Element::new(UVACG, "Bump"));
+        assert_eq!(
+            store.saves.load(std::sync::atomic::Ordering::SeqCst),
+            0,
+            "clean: no save"
+        );
+        let resp = call(
+            &svc,
+            epr.clone(),
+            &action_uri("SP", "Bump"),
+            Element::new(UVACG, "Bump"),
+        );
         assert_eq!(resp.body.text_content(), "1");
-        assert_eq!(store.saves.load(std::sync::atomic::Ordering::SeqCst), 1, "dirty: saved");
+        assert_eq!(
+            store.saves.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "dirty: saved"
+        );
         // The mutation really persisted.
-        let resp = call(&svc, epr, &action_uri("SP", "Read"), Element::new(UVACG, "Read"));
+        let resp = call(
+            &svc,
+            epr,
+            &action_uri("SP", "Read"),
+            Element::new(UVACG, "Read"),
+        );
         assert_eq!(resp.body.text_content(), "1");
     }
 

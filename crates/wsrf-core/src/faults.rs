@@ -4,12 +4,18 @@ use wsrf_soap::BaseFault;
 
 /// The EPR named no resource, or the resource has been destroyed.
 pub fn no_such_resource(key: &str) -> BaseFault {
-    BaseFault::new("wsrf:NoSuchResource", format!("no WS-Resource with key '{key}'"))
+    BaseFault::new(
+        "wsrf:NoSuchResource",
+        format!("no WS-Resource with key '{key}'"),
+    )
 }
 
 /// The invocation's action URI matches no operation of the service.
 pub fn no_such_operation(action: &str) -> BaseFault {
-    BaseFault::new("wsrf:NoSuchOperation", format!("no operation for action '{action}'"))
+    BaseFault::new(
+        "wsrf:NoSuchOperation",
+        format!("no operation for action '{action}'"),
+    )
 }
 
 /// The message omitted the resource-identifying reference properties.
@@ -58,7 +64,10 @@ mod tests {
 
     #[test]
     fn store_error_mapping() {
-        assert_eq!(from_store(StoreError::NotFound("k".into())).error_code, "wsrf:NoSuchResource");
+        assert_eq!(
+            from_store(StoreError::NotFound("k".into())).error_code,
+            "wsrf:NoSuchResource"
+        );
         assert_eq!(
             from_store(StoreError::Schema("bad".into())).error_code,
             "wsrf:StorageFault"
@@ -67,7 +76,13 @@ mod tests {
 
     #[test]
     fn fault_codes_are_stable() {
-        assert_eq!(no_such_operation("urn:x").error_code, "wsrf:NoSuchOperation");
-        assert_eq!(invalid_property("P").error_code, "wsrp:InvalidResourcePropertyQName");
+        assert_eq!(
+            no_such_operation("urn:x").error_code,
+            "wsrf:NoSuchOperation"
+        );
+        assert_eq!(
+            invalid_property("P").error_code,
+            "wsrp:InvalidResourcePropertyQName"
+        );
     }
 }

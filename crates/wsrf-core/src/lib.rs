@@ -40,8 +40,8 @@
 pub mod container;
 pub mod faults;
 pub mod porttypes;
-pub mod proxy;
 pub mod properties;
+pub mod proxy;
 pub mod servicegroup;
 pub mod store;
 pub mod wsdl;

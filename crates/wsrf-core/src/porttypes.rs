@@ -96,8 +96,10 @@ pub(crate) fn install_resource_properties(ops: &mut Ops) {
         Box::new(|ctx| {
             let core = ctx.core.clone();
             let doc = ctx.resource_mut()?;
-            Ok(Element::new(ns::WSRP, "GetResourcePropertyDocumentResponse")
-                .child(core.property_view(doc)))
+            Ok(
+                Element::new(ns::WSRP, "GetResourcePropertyDocumentResponse")
+                    .child(core.property_view(doc)),
+            )
         }),
     );
 
@@ -161,11 +163,9 @@ pub(crate) fn install_resource_properties(ops: &mut Ops) {
                         }
                     }
                     "Delete" => {
-                        let name = comp
-                            .attr_value("resourceProperty")
-                            .ok_or_else(|| {
-                                faults::bad_request("Delete requires resourceProperty attribute")
-                            })?;
+                        let name = comp.attr_value("resourceProperty").ok_or_else(|| {
+                            faults::bad_request("Delete requires resourceProperty attribute")
+                        })?;
                         edits.push(Edit::Delete(parse_property_name(name)));
                     }
                     other => {
@@ -403,7 +403,10 @@ mod tests {
                     .text("/x"),
             ),
         );
-        assert_eq!(resp.fault().unwrap().error_code(), Some("wsrp:InvalidQueryExpression"));
+        assert_eq!(
+            resp.fault().unwrap().error_code(),
+            Some("wsrp:InvalidQueryExpression")
+        );
     }
 
     #[test]
@@ -422,10 +425,10 @@ mod tests {
                     Element::new(ns::WSRP, "Update")
                         .child(Element::new(U, "Status").text("Exited")),
                 )
-                .child(Element::new(ns::WSRP, "Delete").attr(
-                    "resourceProperty",
-                    format!("{{{U}}}CpuTime"),
-                )),
+                .child(
+                    Element::new(ns::WSRP, "Delete")
+                        .attr("resourceProperty", format!("{{{U}}}CpuTime")),
+                ),
         );
         assert!(!resp.is_fault(), "{:?}", resp.fault());
         let doc = f.svc.core().store.load("Job", "job-1").unwrap();
@@ -437,12 +440,23 @@ mod tests {
     #[test]
     fn destroy_removes_resource() {
         let f = fixture();
-        let resp = invoke(&f, wsrl_action("Destroy"), Element::new(ns::WSRL, "Destroy"));
+        let resp = invoke(
+            &f,
+            wsrl_action("Destroy"),
+            Element::new(ns::WSRL, "Destroy"),
+        );
         assert!(!resp.is_fault());
         assert!(!f.svc.core().store.exists("Job", "job-1"));
         // Second destroy faults.
-        let resp = invoke(&f, wsrl_action("Destroy"), Element::new(ns::WSRL, "Destroy"));
-        assert_eq!(resp.fault().unwrap().error_code(), Some("wsrf:NoSuchResource"));
+        let resp = invoke(
+            &f,
+            wsrl_action("Destroy"),
+            Element::new(ns::WSRL, "Destroy"),
+        );
+        assert_eq!(
+            resp.fault().unwrap().error_code(),
+            Some("wsrf:NoSuchResource")
+        );
     }
 
     #[test]
@@ -458,7 +472,10 @@ mod tests {
         assert!(resp.body.find(ns::WSRL, "CurrentTime").is_some());
         // TerminationTime became a queryable property.
         let doc = f.svc.core().store.load("Job", "job-1").unwrap();
-        assert_eq!(doc.f64(&QName::new(ns::WSRL, "TerminationTime")).unwrap(), 60.0);
+        assert_eq!(
+            doc.f64(&QName::new(ns::WSRL, "TerminationTime")).unwrap(),
+            60.0
+        );
         f.clock.advance(Duration::from_secs(61));
         assert!(!f.svc.core().store.exists("Job", "job-1"));
     }

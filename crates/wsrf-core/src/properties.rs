@@ -164,12 +164,13 @@ impl PropertyDoc {
         pd
     }
 
-    /// Estimated serialized size (used by stores for metrics).
+    /// Estimated serialized size (used by stores for metrics); cheap —
+    /// no serialization, see [`Element::approx_size`].
     pub fn approx_bytes(&self) -> usize {
         self.entries
             .iter()
             .flat_map(|(_, v)| v.iter())
-            .map(|e| e.to_xml().len())
+            .map(|e| e.approx_size())
             .sum()
     }
 }
@@ -234,7 +235,10 @@ mod tests {
         let mut d = PropertyDoc::new();
         d.set_text(q("B"), "2");
         d.set_text(q("A"), "1");
-        d.insert(q("B2"), Element::with_name(q("B2")).child(Element::local("inner").text("x")));
+        d.insert(
+            q("B2"),
+            Element::with_name(q("B2")).child(Element::local("inner").text("x")),
+        );
         let doc = d.to_document(q("Props"));
         let names: Vec<&str> = doc.elements().map(|e| e.name.local.as_str()).collect();
         assert_eq!(names, ["B", "A", "B2"]);

@@ -122,8 +122,7 @@ impl<'a> ResourceProxy<'a> {
         self.call(
             wsrp_action("SetResourceProperties"),
             Element::new(ns::WSRP, "SetResourceProperties").child(
-                Element::new(ns::WSRP, "Update")
-                    .child(Element::with_name(property).text(value)),
+                Element::new(ns::WSRP, "Update").child(Element::with_name(property).text(value)),
             ),
         )?;
         Ok(())
@@ -158,7 +157,9 @@ impl<'a> ResourceProxy<'a> {
     /// WS-ResourceLifetime `SetTerminationTime` (absolute virtual
     /// time; `None` = never).
     pub fn set_termination_time(&self, at: Option<SimTime>) -> Result<(), SoapFault> {
-        let text = at.map(|t| format!("{}", t.as_secs_f64())).unwrap_or_default();
+        let text = at
+            .map(|t| format!("{}", t.as_secs_f64()))
+            .unwrap_or_default();
         self.call(
             wsrl_action("SetTerminationTime"),
             Element::new(ns::WSRL, "SetTerminationTime")
@@ -223,7 +224,9 @@ mod tests {
         let p = ResourceProxy::new(&net, epr);
         let doc = p.document().unwrap();
         assert_eq!(doc.len(), 3);
-        let hits = p.query("/ResourcePropertyDocument[Status='Running']/Pid").unwrap();
+        let hits = p
+            .query("/ResourcePropertyDocument[Status='Running']/Pid")
+            .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].text_content(), "7");
     }
@@ -246,7 +249,8 @@ mod tests {
         let (clock, net, epr) = setup();
         let p = ResourceProxy::new(&net, epr);
         assert!(p.exists().unwrap());
-        p.set_termination_time(Some(SimTime::from_secs(30))).unwrap();
+        p.set_termination_time(Some(SimTime::from_secs(30)))
+            .unwrap();
         clock.advance(Duration::from_secs(31));
         assert!(!p.exists().unwrap());
 

@@ -41,7 +41,9 @@ pub struct MembershipContentRule {
 impl MembershipContentRule {
     /// Rule requiring the listed property names in every entry content.
     pub fn requiring(names: &[&str]) -> Self {
-        MembershipContentRule { required: names.iter().map(|s| s.to_string()).collect() }
+        MembershipContentRule {
+            required: names.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     /// Validate a content document against the rule.
@@ -192,7 +194,9 @@ pub fn service_group_builder(
                 .load(&ctx.core.name, GROUP_KEY)
                 .map_err(faults::from_store)?;
             for entry in group.get(&entry_property()) {
-                let Some(key) = entry.attr_value("key") else { continue };
+                let Some(key) = entry.attr_value("key") else {
+                    continue;
+                };
                 let Ok(doc) = ctx.core.store.load(&ctx.core.name, key) else {
                     continue;
                 };
@@ -241,7 +245,8 @@ mod tests {
 
     fn invoke(svc: &Arc<Service>, op: &str, body: Element) -> Envelope {
         let mut env = Envelope::new(body);
-        MessageInfo::request(svc.core().service_epr(), group_action("NodeInfo", op)).apply(&mut env);
+        MessageInfo::request(svc.core().service_epr(), group_action("NodeInfo", op))
+            .apply(&mut env);
         svc.dispatch(env)
     }
 
@@ -285,7 +290,10 @@ mod tests {
                         .child(Element::new(ns::UVACG, "Utilization").text("0.5")),
                 ),
         );
-        assert_eq!(resp.fault().unwrap().error_code(), Some("wssg:ContentCreationFailed"));
+        assert_eq!(
+            resp.fault().unwrap().error_code(),
+            Some("wssg:ContentCreationFailed")
+        );
     }
 
     #[test]
@@ -311,8 +319,7 @@ mod tests {
         let resp = invoke(
             &svc,
             "Remove",
-            Element::new(ns::WSSG, "Remove")
-                .child(Element::new(ns::WSSG, "EntryKey").text(&key)),
+            Element::new(ns::WSSG, "Remove").child(Element::new(ns::WSSG, "EntryKey").text(&key)),
         );
         assert!(!resp.is_fault());
         let resp = invoke(&svc, "Entries", Element::new(ns::WSSG, "Entries"));
@@ -325,9 +332,8 @@ mod tests {
         let (svc, _clock) = setup();
         let entry = add_member(&svc, "inproc://m1/Proc", 0.25, 2400);
         // Read the entry's content through GetResourceProperty.
-        let mut env = Envelope::new(
-            Element::new(ns::WSRP, "GetResourceProperty").text("Utilization"),
-        );
+        let mut env =
+            Envelope::new(Element::new(ns::WSRP, "GetResourceProperty").text("Utilization"));
         MessageInfo::request(entry, crate::porttypes::wsrp_action("GetResourceProperty"))
             .apply(&mut env);
         let resp = svc.dispatch(env);
@@ -339,7 +345,8 @@ mod tests {
         let (svc, clock) = setup();
         let entry = add_member(&svc, "inproc://m1/Proc", 0.2, 3000);
         let key = entry.resource_key().unwrap().to_string();
-        svc.core().set_termination_time(&key, Some(simclock::SimTime::from_secs(30)));
+        svc.core()
+            .set_termination_time(&key, Some(simclock::SimTime::from_secs(30)));
         clock.advance(std::time::Duration::from_secs(31));
         let resp = invoke(
             &svc,

@@ -152,7 +152,9 @@ impl ResourceStore for MemoryStore {
     }
 
     fn exists(&self, service: &str, key: &str) -> bool {
-        self.rows.read().contains_key(&(service.to_string(), key.to_string()))
+        self.rows
+            .read()
+            .contains_key(&(service.to_string(), key.to_string()))
     }
 
     fn list(&self, service: &str) -> Vec<String> {
@@ -237,7 +239,9 @@ impl ResourceStore for BlobStore {
     }
 
     fn exists(&self, service: &str, key: &str) -> bool {
-        self.rows.read().contains_key(&(service.to_string(), key.to_string()))
+        self.rows
+            .read()
+            .contains_key(&(service.to_string(), key.to_string()))
     }
 
     fn list(&self, service: &str) -> Vec<String> {
@@ -314,7 +318,10 @@ impl Default for StructuredStore {
 impl StructuredStore {
     /// Empty store with no schemas.
     pub fn new() -> Self {
-        StructuredStore { schemas: RwLock::new(HashMap::new()), rows: RwLock::new(HashMap::new()) }
+        StructuredStore {
+            schemas: RwLock::new(HashMap::new()),
+            rows: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Declare the column schema for a service. Must be called before
@@ -351,12 +358,14 @@ impl StructuredStore {
                     let text = v.text_content();
                     row.push(match ty {
                         ColumnType::Text => ColumnValue::Text(text),
-                        ColumnType::Float => ColumnValue::Float(text.trim().parse().map_err(
-                            |_| StoreError::Schema(format!("property {name} is not a float")),
-                        )?),
-                        ColumnType::Int => ColumnValue::Int(text.trim().parse().map_err(
-                            |_| StoreError::Schema(format!("property {name} is not an int")),
-                        )?),
+                        ColumnType::Float => {
+                            ColumnValue::Float(text.trim().parse().map_err(|_| {
+                                StoreError::Schema(format!("property {name} is not a float"))
+                            })?)
+                        }
+                        ColumnType::Int => ColumnValue::Int(text.trim().parse().map_err(|_| {
+                            StoreError::Schema(format!("property {name} is not an int"))
+                        })?),
                     });
                 }
                 n => {
@@ -449,7 +458,9 @@ impl StructuredStore {
     /// storage; used directly by the Node Info Service).
     pub fn column_eq(&self, service: &str, local_name: &str, value: &str) -> Vec<String> {
         let schemas = self.schemas.read();
-        let Some(schema) = schemas.get(service) else { return Vec::new() };
+        let Some(schema) = schemas.get(service) else {
+            return Vec::new();
+        };
         let Some(idx) = schema.iter().position(|(n, _)| n.local == local_name) else {
             return Vec::new();
         };
@@ -461,9 +472,7 @@ impl StructuredStore {
                 s == service
                     && match &row[idx] {
                         ColumnValue::Text(t) => t == value,
-                        ColumnValue::Float(v) => {
-                            value.parse::<f64>().is_ok_and(|x| x == *v)
-                        }
+                        ColumnValue::Float(v) => value.parse::<f64>().is_ok_and(|x| x == *v),
                         ColumnValue::Int(v) => value.parse::<i64>().is_ok_and(|x| x == *v),
                         ColumnValue::Null => false,
                     }
@@ -513,7 +522,9 @@ impl ResourceStore for StructuredStore {
     }
 
     fn exists(&self, service: &str, key: &str) -> bool {
-        self.rows.read().contains_key(&(service.to_string(), key.to_string()))
+        self.rows
+            .read()
+            .contains_key(&(service.to_string(), key.to_string()))
     }
 
     fn list(&self, service: &str) -> Vec<String> {
@@ -575,16 +586,28 @@ mod tests {
         assert_eq!(doc.text(&q("Status")).unwrap(), "Running");
         doc.set_text(q("Status"), "Exited");
         store.save("svc", "a", &doc).unwrap();
-        assert_eq!(store.load("svc", "a").unwrap().text(&q("Status")).unwrap(), "Exited");
+        assert_eq!(
+            store.load("svc", "a").unwrap().text(&q("Status")).unwrap(),
+            "Exited"
+        );
         store.create("svc", "b", &job_doc("Running", 2.0)).unwrap();
         let mut keys = store.list("svc");
         keys.sort();
         assert_eq!(keys, ["a", "b"]);
         assert!(store.list("other").is_empty());
         store.destroy("svc", "a").unwrap();
-        assert_eq!(store.destroy("svc", "a"), Err(StoreError::NotFound("a".into())));
-        assert_eq!(store.load("svc", "a"), Err(StoreError::NotFound("a".into())));
-        assert_eq!(store.save("svc", "a", &doc), Err(StoreError::NotFound("a".into())));
+        assert_eq!(
+            store.destroy("svc", "a"),
+            Err(StoreError::NotFound("a".into()))
+        );
+        assert_eq!(
+            store.load("svc", "a"),
+            Err(StoreError::NotFound("a".into()))
+        );
+        assert_eq!(
+            store.save("svc", "a", &doc),
+            Err(StoreError::NotFound("a".into()))
+        );
     }
 
     #[test]
@@ -600,7 +623,13 @@ mod tests {
     #[test]
     fn structured_crud() {
         let s = StructuredStore::new();
-        s.define_schema("svc", vec![(q("Status"), ColumnType::Text), (q("Cpu"), ColumnType::Float)]);
+        s.define_schema(
+            "svc",
+            vec![
+                (q("Status"), ColumnType::Text),
+                (q("Cpu"), ColumnType::Float),
+            ],
+        );
         crud_suite(&s);
     }
 
@@ -633,7 +662,13 @@ mod tests {
     #[test]
     fn structured_query() {
         let s = StructuredStore::new();
-        s.define_schema("svc", vec![(q("Status"), ColumnType::Text), (q("Cpu"), ColumnType::Float)]);
+        s.define_schema(
+            "svc",
+            vec![
+                (q("Status"), ColumnType::Text),
+                (q("Cpu"), ColumnType::Float),
+            ],
+        );
         query_suite(&s);
     }
 
@@ -652,18 +687,27 @@ mod tests {
             q("Status"),
             Element::with_name(q("Status")).child(Element::local("inner")),
         );
-        assert!(matches!(s.create("svc", "k", &nested), Err(StoreError::Schema(_))));
+        assert!(matches!(
+            s.create("svc", "k", &nested),
+            Err(StoreError::Schema(_))
+        ));
         // Multi-valued property.
         let mut multi = PropertyDoc::new();
         multi.insert(q("Status"), Element::with_name(q("Status")).text("a"));
         multi.insert(q("Status"), Element::with_name(q("Status")).text("b"));
-        assert!(matches!(s.create("svc", "k", &multi), Err(StoreError::Schema(_))));
+        assert!(matches!(
+            s.create("svc", "k", &multi),
+            Err(StoreError::Schema(_))
+        ));
         // Type mismatch.
         let s2 = StructuredStore::new();
         s2.define_schema("svc", vec![(q("Cpu"), ColumnType::Float)]);
         let mut bad = PropertyDoc::new();
         bad.set_text(q("Cpu"), "fast");
-        assert!(matches!(s2.create("svc", "k", &bad), Err(StoreError::Schema(_))));
+        assert!(matches!(
+            s2.create("svc", "k", &bad),
+            Err(StoreError::Schema(_))
+        ));
     }
 
     #[test]
@@ -671,7 +715,10 @@ mod tests {
         let s = StructuredStore::new();
         s.define_schema(
             "svc",
-            vec![(q("Status"), ColumnType::Text), (q("Exit"), ColumnType::Int)],
+            vec![
+                (q("Status"), ColumnType::Text),
+                (q("Exit"), ColumnType::Int),
+            ],
         );
         let mut d = PropertyDoc::new();
         d.set_text(q("Status"), "Running");
@@ -686,7 +733,10 @@ mod tests {
         let s = StructuredStore::new();
         s.define_schema(
             "svc",
-            vec![(q("Status"), ColumnType::Text), (q("Cpu"), ColumnType::Float)],
+            vec![
+                (q("Status"), ColumnType::Text),
+                (q("Cpu"), ColumnType::Float),
+            ],
         );
         s.create("svc", "r1", &job_doc("Running", 1.5)).unwrap();
         s.create("svc", "r2", &job_doc("Exited", 1.5)).unwrap();

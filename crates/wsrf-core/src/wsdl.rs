@@ -40,7 +40,14 @@ pub(crate) fn describe(
         ops.push_child(
             Element::new(DESC_NS, "Operation")
                 .attr("action", action)
-                .attr("scope", if *resource_scoped { "resource" } else { "service" }),
+                .attr(
+                    "scope",
+                    if *resource_scoped {
+                        "resource"
+                    } else {
+                        "service"
+                    },
+                ),
         );
     }
     doc.push_child(ops);

@@ -52,7 +52,10 @@ impl KeyPair {
     pub fn generate(rng: &mut impl Rng) -> Self {
         // Private keys in [2, MODULUS-2].
         let private = rng.gen_range(2..MODULUS - 1);
-        KeyPair { private, public: mod_pow(GENERATOR, private) }
+        KeyPair {
+            private,
+            public: mod_pow(GENERATOR, private),
+        }
     }
 
     /// Derive the 32-byte shared symmetric key with a peer's public
@@ -107,7 +110,10 @@ impl CertificateAuthority {
     pub fn new(name: impl Into<String>, rng: &mut impl Rng) -> Self {
         let mut secret = [0u8; 32];
         rng.fill(&mut secret);
-        CertificateAuthority { name: name.into(), secret }
+        CertificateAuthority {
+            name: name.into(),
+            secret,
+        }
     }
 
     /// Issue a certificate for `subject` over `public_key`.
@@ -117,7 +123,12 @@ impl CertificateAuthority {
             &self.secret,
             &Certificate::signing_input(&subject, public_key, &self.name),
         );
-        Certificate { subject, public_key, issuer: self.name.clone(), signature }
+        Certificate {
+            subject,
+            public_key,
+            issuer: self.name.clone(),
+            signature,
+        }
     }
 
     /// Issue a fresh key pair + certificate in one step.
@@ -163,7 +174,10 @@ mod tests {
         let mut r = rng();
         let a = KeyPair::generate(&mut r);
         let b = KeyPair::generate(&mut r);
-        assert_eq!(a.shared_key(b.public, b"ctx"), b.shared_key(a.public, b"ctx"));
+        assert_eq!(
+            a.shared_key(b.public, b"ctx"),
+            b.shared_key(a.public, b"ctx")
+        );
         assert_ne!(
             a.shared_key(b.public, b"ctx"),
             a.shared_key(b.public, b"other-ctx"),

@@ -57,7 +57,10 @@ pub struct UsernameToken {
 impl UsernameToken {
     /// New token.
     pub fn new(username: impl Into<String>, password: impl Into<String>) -> Self {
-        UsernameToken { username: username.into(), password: password.into() }
+        UsernameToken {
+            username: username.into(),
+            password: password.into(),
+        }
     }
 
     /// Encrypt this token to `recipient`'s certificate, producing a
@@ -98,8 +101,9 @@ impl UsernameToken {
             .attr_value("Nonce")
             .and_then(base64::decode)
             .ok_or_else(|| SecurityError::MalformedHeader("bad Nonce".into()))?;
-        let nonce: [u8; 12] =
-            nonce_bytes.try_into().map_err(|_| SecurityError::MalformedHeader("nonce size".into()))?;
+        let nonce: [u8; 12] = nonce_bytes
+            .try_into()
+            .map_err(|_| SecurityError::MalformedHeader("nonce size".into()))?;
         let ct = base64::decode(&tok.text_content())
             .ok_or_else(|| SecurityError::MalformedHeader("bad ciphertext".into()))?;
         let key = recipient.shared_key(eph, KEY_CONTEXT);
@@ -130,11 +134,16 @@ pub fn sign_body(body_xml: &str, key: &[u8; 32]) -> Element {
 }
 
 /// Verify an integrity header produced by [`sign_body`].
-pub fn verify_body(signature: &Element, body_xml: &str, key: &[u8; 32]) -> Result<(), SecurityError> {
+pub fn verify_body(
+    signature: &Element,
+    body_xml: &str,
+    key: &[u8; 32],
+) -> Result<(), SecurityError> {
     let mac_bytes = base64::decode(&signature.text_content())
         .ok_or_else(|| SecurityError::MalformedHeader("bad signature encoding".into()))?;
-    let mac: [u8; 32] =
-        mac_bytes.try_into().map_err(|_| SecurityError::MalformedHeader("mac size".into()))?;
+    let mac: [u8; 32] = mac_bytes
+        .try_into()
+        .map_err(|_| SecurityError::MalformedHeader("mac size".into()))?;
     let expected = hmac_sha256(key, body_xml.as_bytes());
     if verify(&expected, &mac) {
         Ok(())
@@ -221,6 +230,9 @@ mod tests {
             Err(SecurityError::BadSignature)
         );
         let wrong_key = [8u8; 32];
-        assert_eq!(verify_body(&sig, body, &wrong_key), Err(SecurityError::BadSignature));
+        assert_eq!(
+            verify_body(&sig, body, &wrong_key),
+            Err(SecurityError::BadSignature)
+        );
     }
 }

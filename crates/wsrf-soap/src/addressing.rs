@@ -27,7 +27,10 @@ pub struct EndpointReference {
 impl EndpointReference {
     /// An EPR with no reference properties (a plain service endpoint).
     pub fn service(address: impl Into<String>) -> Self {
-        EndpointReference { address: address.into(), reference_properties: Vec::new() }
+        EndpointReference {
+            address: address.into(),
+            reference_properties: Vec::new(),
+        }
     }
 
     /// An EPR naming one resource of a service, keyed by a single
@@ -94,7 +97,10 @@ impl EndpointReference {
                 reference_properties.push((c.name.to_string(), c.text_content()));
             }
         }
-        Ok(EndpointReference { address, reference_properties })
+        Ok(EndpointReference {
+            address,
+            reference_properties,
+        })
     }
 }
 
@@ -153,7 +159,8 @@ impl MessageInfo {
 
     /// Stamp these headers onto an envelope.
     pub fn apply(&self, env: &mut Envelope) {
-        env.headers.push(Element::new(ns::WSA, "To").text(&self.to.address));
+        env.headers
+            .push(Element::new(ns::WSA, "To").text(&self.to.address));
         // Reference properties of the target EPR are promoted to
         // first-class headers, exactly as WS-Addressing requires and as
         // WSRF.NET expects to find them.
@@ -161,13 +168,16 @@ impl MessageInfo {
             let name = wsrf_xml::QName::from_clark(n);
             env.headers.push(Element::with_name(name).text(v));
         }
-        env.headers.push(Element::new(ns::WSA, "Action").text(&self.action));
-        env.headers.push(Element::new(ns::WSA, "MessageID").text(&self.message_id));
+        env.headers
+            .push(Element::new(ns::WSA, "Action").text(&self.action));
+        env.headers
+            .push(Element::new(ns::WSA, "MessageID").text(&self.message_id));
         if let Some(rt) = &self.reply_to {
             env.headers.push(rt.to_element_named(ns::WSA, "ReplyTo"));
         }
         if let Some(rel) = &self.relates_to {
-            env.headers.push(Element::new(ns::WSA, "RelatesTo").text(rel));
+            env.headers
+                .push(Element::new(ns::WSA, "RelatesTo").text(rel));
         }
     }
 

@@ -22,7 +22,10 @@ pub struct Envelope {
 impl Envelope {
     /// An envelope with the given body and no headers.
     pub fn new(body: Element) -> Self {
-        Envelope { headers: Vec::new(), body }
+        Envelope {
+            headers: Vec::new(),
+            body,
+        }
     }
 
     /// Builder-style header append.

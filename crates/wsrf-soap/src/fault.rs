@@ -137,12 +137,20 @@ pub struct SoapFault {
 impl SoapFault {
     /// A receiver-side (`Server`) fault.
     pub fn server(reason: impl Into<String>) -> Self {
-        SoapFault { code: "Server".into(), reason: reason.into(), detail: None }
+        SoapFault {
+            code: "Server".into(),
+            reason: reason.into(),
+            detail: None,
+        }
     }
 
     /// A sender-side (`Client`) fault.
     pub fn client(reason: impl Into<String>) -> Self {
-        SoapFault { code: "Client".into(), reason: reason.into(), detail: None }
+        SoapFault {
+            code: "Client".into(),
+            reason: reason.into(),
+            detail: None,
+        }
     }
 
     /// Wrap a [`BaseFault`] as the detail of a `Server` fault.
@@ -178,14 +186,23 @@ impl SoapFault {
     /// Decode from a `<soap:Fault>` element (lenient: missing parts
     /// become empty strings).
     pub fn from_element(e: &Element) -> Self {
-        let code = e.find_local("faultcode").map(Element::text_content).unwrap_or_default();
-        let reason =
-            e.find_local("faultstring").map(Element::text_content).unwrap_or_default();
+        let code = e
+            .find_local("faultcode")
+            .map(Element::text_content)
+            .unwrap_or_default();
+        let reason = e
+            .find_local("faultstring")
+            .map(Element::text_content)
+            .unwrap_or_default();
         let detail = e
             .find_local("detail")
             .and_then(|d| d.find(ns::WSBF, "BaseFault"))
             .map(BaseFault::from_element);
-        SoapFault { code, reason, detail }
+        SoapFault {
+            code,
+            reason,
+            detail,
+        }
     }
 }
 
@@ -222,9 +239,10 @@ mod tests {
             .at(12.5)
             .from_originator(EndpointReference::service("inproc://sched/Scheduler"))
             .caused_by(
-                BaseFault::new("uvacg:JobFailed", "job exited nonzero").caused_by(
-                    BaseFault::new("uvacg:BadCredentials", "user unknown on machine"),
-                ),
+                BaseFault::new("uvacg:JobFailed", "job exited nonzero").caused_by(BaseFault::new(
+                    "uvacg:BadCredentials",
+                    "user unknown on machine",
+                )),
             )
     }
 

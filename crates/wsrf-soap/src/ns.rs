@@ -9,28 +9,35 @@ pub const SOAP_ENV: &str = "http://schemas.xmlsoap.org/soap/envelope/";
 pub const WSA: &str = "http://schemas.xmlsoap.org/ws/2004/08/addressing";
 
 /// WS-ResourceProperties.
-pub const WSRP: &str = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceProperties-1.2-draft-01.xsd";
+pub const WSRP: &str =
+    "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceProperties-1.2-draft-01.xsd";
 
 /// WS-ResourceLifetime.
-pub const WSRL: &str = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceLifetime-1.2-draft-01.xsd";
+pub const WSRL: &str =
+    "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ResourceLifetime-1.2-draft-01.xsd";
 
 /// WS-BaseFaults.
-pub const WSBF: &str = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-BaseFaults-1.2-draft-01.xsd";
+pub const WSBF: &str =
+    "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-BaseFaults-1.2-draft-01.xsd";
 
 /// WS-ServiceGroup.
-pub const WSSG: &str = "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ServiceGroup-1.2-draft-01.xsd";
+pub const WSSG: &str =
+    "http://docs.oasis-open.org/wsrf/2004/06/wsrf-WS-ServiceGroup-1.2-draft-01.xsd";
 
 /// WS-BaseNotification.
-pub const WSNT: &str = "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-BaseNotification-1.2-draft-01.xsd";
+pub const WSNT: &str =
+    "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-BaseNotification-1.2-draft-01.xsd";
 
 /// WS-Topics.
 pub const WSTOP: &str = "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-Topics-1.2-draft-01.xsd";
 
 /// WS-BrokeredNotification.
-pub const WSBN: &str = "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-BrokeredNotification-1.2-draft-01.xsd";
+pub const WSBN: &str =
+    "http://docs.oasis-open.org/wsn/2004/06/wsn-WS-BrokeredNotification-1.2-draft-01.xsd";
 
 /// WS-Security (UsernameToken profile).
-pub const WSSE: &str = "http://docs.oasis-open.org/wss/2004/01/oasis-200401-wss-wssecurity-secext-1.0.xsd";
+pub const WSSE: &str =
+    "http://docs.oasis-open.org/wss/2004/01/oasis-200401-wss-wssecurity-secext-1.0.xsd";
 
 /// Namespace for this testbed's own service vocabularies (the UVaCG
 /// services define their messages here, mirroring the paper's campus

@@ -33,7 +33,11 @@ impl Uri {
             Some((a, p)) => (a.to_string(), p.to_string()),
             None => (rest.to_string(), String::new()),
         };
-        Some(Uri { scheme: scheme.to_ascii_lowercase(), authority, path })
+        Some(Uri {
+            scheme: scheme.to_ascii_lowercase(),
+            authority,
+            path,
+        })
     }
 
     /// Reassemble the textual form.

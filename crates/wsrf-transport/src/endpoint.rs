@@ -34,7 +34,10 @@ where
 {
     /// Wrap a closure.
     pub fn new(label: impl Into<String>, f: F) -> Self {
-        FnEndpoint { f, label: label.into() }
+        FnEndpoint {
+            f,
+            label: label.into(),
+        }
     }
 }
 

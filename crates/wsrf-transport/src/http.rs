@@ -9,10 +9,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use wsrf_obs::MetricsRegistry;
 use wsrf_soap::Envelope;
 
 use crate::endpoint::Endpoint;
 use crate::error::TransportError;
+use crate::obs::LinkObs;
 
 /// A listening HTTP SOAP endpoint.
 pub struct HttpSoapServer {
@@ -25,6 +27,16 @@ impl HttpSoapServer {
     /// Bind to `127.0.0.1:0` (ephemeral port) and start serving
     /// `endpoint`.
     pub fn start(endpoint: Arc<dyn Endpoint>) -> std::io::Result<Self> {
+        Self::start_with_metrics(endpoint, &MetricsRegistry::disabled())
+    }
+
+    /// Like [`HttpSoapServer::start`], recording served traffic into a
+    /// metrics registry (`transport.http.*`).
+    pub fn start_with_metrics(
+        endpoint: Arc<dyn Endpoint>,
+        registry: &MetricsRegistry,
+    ) -> std::io::Result<Self> {
+        let obs = Arc::new(LinkObs::new(registry, "http"));
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -39,16 +51,21 @@ impl HttpSoapServer {
                     let Ok(stream) = conn else { continue };
                     stream.set_nodelay(true).ok();
                     let ep = endpoint.clone();
+                    let obs = obs.clone();
                     // Thread per connection; connections are short-lived
                     // (Connection: close), matching 2004-era SOAP stacks.
                     let _ = std::thread::Builder::new()
                         .name("http-soap-conn".into())
                         .spawn(move || {
-                            let _ = serve_connection(stream, ep);
+                            let _ = serve_connection(stream, ep, &obs);
                         });
                 }
             })?;
-        Ok(HttpSoapServer { addr, shutdown, accept_thread: Some(accept_thread) })
+        Ok(HttpSoapServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address, e.g. `127.0.0.1:49152`.
@@ -73,7 +90,12 @@ impl Drop for HttpSoapServer {
     }
 }
 
-fn serve_connection(stream: TcpStream, endpoint: Arc<dyn Endpoint>) -> std::io::Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    endpoint: Arc<dyn Endpoint>,
+    obs: &LinkObs,
+) -> std::io::Result<()> {
+    let started = std::time::Instant::now();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
 
@@ -124,12 +146,17 @@ fn serve_connection(stream: TcpStream, endpoint: Arc<dyn Endpoint>) -> std::io::
         Ok(env) => match endpoint.handle(env) {
             // SOAP 1.1 over HTTP: faults ride status 500.
             Some(resp) if resp.is_fault() => {
-                write_response(&mut writer, 500, "Internal Server Error", resp.to_xml().as_bytes())?;
+                let xml = resp.to_xml();
+                obs.record_call(len as u64, xml.len() as u64, started);
+                write_response(&mut writer, 500, "Internal Server Error", xml.as_bytes())?;
             }
             Some(resp) => {
-                write_response(&mut writer, 200, "OK", resp.to_xml().as_bytes())?;
+                let xml = resp.to_xml();
+                obs.record_call(len as u64, xml.len() as u64, started);
+                write_response(&mut writer, 200, "OK", xml.as_bytes())?;
             }
             None => {
+                obs.record_oneway(len as u64, started);
                 write_response(&mut writer, 202, "Accepted", b"")?;
             }
         },
@@ -238,18 +265,25 @@ mod tests {
             Some(wsrf_soap::SoapFault::server("boom").to_envelope())
         })))
         .unwrap();
-        let resp =
-            http_call(&server.authority(), "svc", &Envelope::new(Element::local("X"))).unwrap();
+        let resp = http_call(
+            &server.authority(),
+            "svc",
+            &Envelope::new(Element::local("X")),
+        )
+        .unwrap();
         assert!(resp.is_fault());
         assert_eq!(resp.fault().unwrap().reason, "boom");
     }
 
     #[test]
     fn oneway_gets_202() {
-        let server =
-            HttpSoapServer::start(Arc::new(FnEndpoint::new("sink", |_| None))).unwrap();
-        let out =
-            http_post(&server.authority(), "svc", &Envelope::new(Element::local("X"))).unwrap();
+        let server = HttpSoapServer::start(Arc::new(FnEndpoint::new("sink", |_| None))).unwrap();
+        let out = http_post(
+            &server.authority(),
+            "svc",
+            &Envelope::new(Element::local("X")),
+        )
+        .unwrap();
         assert!(out.is_none());
     }
 

@@ -14,11 +14,13 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 use simclock::Clock;
+use wsrf_obs::{Histogram, MetricsRegistry};
 use wsrf_soap::{Envelope, Uri};
 
 use crate::endpoint::Endpoint;
 use crate::error::TransportError;
 use crate::netsim::NetConfig;
+use crate::obs::LinkObs;
 use crate::pool::ThreadPool;
 
 /// Traffic counters, readable at any time (experiments E5/E8 plot
@@ -63,6 +65,14 @@ pub struct InProcNetwork {
     config: Mutex<NetConfig>,
     /// Counters for experiments.
     pub metrics: NetMetrics,
+    /// Registry-backed observability (no-op unless constructed via
+    /// [`InProcNetwork::with_metrics`]).
+    obs: LinkObs,
+    /// The deployment's registry; services built on this network
+    /// default their metrics to it.
+    obs_registry: Arc<MetricsRegistry>,
+    /// Modeled (virtual) transfer time per message, nanoseconds.
+    obs_modeled: Histogram,
     pool: ThreadPool,
 }
 
@@ -74,11 +84,24 @@ impl InProcNetwork {
 
     /// A network with an explicit cost model.
     pub fn with_config(clock: Clock, config: NetConfig) -> Arc<Self> {
+        Self::with_metrics(clock, config, &MetricsRegistry::disabled())
+    }
+
+    /// A network that additionally records traffic into a metrics
+    /// registry (`transport.inproc.*`).
+    pub fn with_metrics(
+        clock: Clock,
+        config: NetConfig,
+        registry: &Arc<MetricsRegistry>,
+    ) -> Arc<Self> {
         Arc::new(InProcNetwork {
             clock,
             registry: RwLock::new(HashMap::new()),
             config: Mutex::new(config),
             metrics: NetMetrics::default(),
+            obs: LinkObs::new(registry, "inproc"),
+            obs_modeled: registry.histogram("transport.inproc.modeled_ns"),
+            obs_registry: registry.clone(),
             pool: ThreadPool::new(4, "inproc-oneway"),
         })
     }
@@ -86,6 +109,12 @@ impl InProcNetwork {
     /// The clock this network charges costs against.
     pub fn clock(&self) -> &Clock {
         &self.clock
+    }
+
+    /// The metrics registry this network records into (a disabled
+    /// registry unless constructed via [`InProcNetwork::with_metrics`]).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.obs_registry
     }
 
     /// Replace the cost model (benches sweep this).
@@ -96,7 +125,9 @@ impl InProcNetwork {
     /// Register an endpoint at a full address
     /// (`scheme://authority/path`). Re-registering replaces.
     pub fn register(&self, address: impl Into<String>, endpoint: Arc<dyn Endpoint>) {
-        self.registry.write().insert(normalize(&address.into()), endpoint);
+        self.registry
+            .write()
+            .insert(normalize(&address.into()), endpoint);
     }
 
     /// Remove an endpoint; true if it existed.
@@ -121,7 +152,10 @@ impl InProcNetwork {
 
     fn cost(&self, address: &str, bytes: u64) -> Duration {
         match Uri::parse(address) {
-            Some(u) => self.config.lock().transfer_time(&u.scheme, &u.authority, bytes),
+            Some(u) => self
+                .config
+                .lock()
+                .transfer_time(&u.scheme, &u.authority, bytes),
             None => Duration::ZERO,
         }
     }
@@ -133,10 +167,12 @@ impl InProcNetwork {
     /// manual clock costs are recorded in [`NetMetrics`] but delivery
     /// is inline, keeping tests single-threaded and deterministic.
     pub fn call(&self, to: &str, env: Envelope) -> Result<Envelope, TransportError> {
+        let started = std::time::Instant::now();
         let ep = self.lookup(to)?;
         let req_bytes = env.to_xml().len() as u64;
         let req_cost = self.cost(to, req_bytes);
         self.metrics.record(req_bytes, req_cost);
+        self.obs_modeled.record_duration(req_cost);
         self.charge(req_cost);
         let resp = ep
             .handle(env)
@@ -144,8 +180,10 @@ impl InProcNetwork {
         let resp_bytes = resp.to_xml().len() as u64;
         let resp_cost = self.cost(to, resp_bytes);
         self.metrics.record(resp_bytes, resp_cost);
+        self.obs_modeled.record_duration(resp_cost);
         self.charge(resp_cost);
         self.metrics.calls.fetch_add(1, Ordering::Relaxed);
+        self.obs.record_call(req_bytes, resp_bytes, started);
         Ok(resp)
     }
 
@@ -154,11 +192,14 @@ impl InProcNetwork {
     /// after the modeled transfer time (via the clock in manual mode,
     /// via the worker pool in scaled mode).
     pub fn send_oneway(&self, to: &str, env: Envelope) -> Result<(), TransportError> {
+        let started = std::time::Instant::now();
         let ep = self.lookup(to)?;
         let bytes = env.to_xml().len() as u64;
         let cost = self.cost(to, bytes);
         self.metrics.record(bytes, cost);
+        self.obs_modeled.record_duration(cost);
         self.metrics.oneways.fetch_add(1, Ordering::Relaxed);
+        self.obs.record_oneway(bytes, started);
         if self.clock.is_manual() {
             if cost.is_zero() {
                 ep.handle(env);
@@ -295,7 +336,10 @@ mod tests {
     #[test]
     fn endpoint_returning_none_on_call_is_an_error() {
         let net = InProcNetwork::new(Clock::manual());
-        net.register("inproc://m1/Sink", Arc::new(FnEndpoint::new("sink", |_| None)));
+        net.register(
+            "inproc://m1/Sink",
+            Arc::new(FnEndpoint::new("sink", |_| None)),
+        );
         assert!(matches!(
             net.call("inproc://m1/Sink", ping()),
             Err(TransportError::NoResponse(_))
@@ -337,6 +381,9 @@ mod tests {
         net.register("inproc://m1/Echo", echo());
         let t0 = std::time::Instant::now();
         net.call("inproc://m1/Echo", ping()).unwrap();
-        assert!(t0.elapsed() >= Duration::from_millis(2), "two modeled seconds");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(2),
+            "two modeled seconds"
+        );
     }
 }

@@ -33,6 +33,7 @@ pub mod error;
 pub mod http;
 pub mod inproc;
 pub mod netsim;
+pub mod obs;
 pub mod pool;
 pub mod tcpframe;
 

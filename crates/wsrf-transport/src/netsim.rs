@@ -114,7 +114,11 @@ impl NetConfig {
                 inflation: 1.0,
             },
         );
-        NetConfig { default: LinkProfile::lan(), per_scheme, per_authority: HashMap::new() }
+        NetConfig {
+            default: LinkProfile::lan(),
+            per_scheme,
+            per_authority: HashMap::new(),
+        }
     }
 
     /// Select the profile for a destination.
@@ -140,7 +144,10 @@ mod tests {
 
     #[test]
     fn instant_profile_is_free() {
-        assert_eq!(LinkProfile::instant().transfer_time(1 << 30), Duration::ZERO);
+        assert_eq!(
+            LinkProfile::instant().transfer_time(1 << 30),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Per-transport observability handles.
+//!
+//! Each transport owns a [`LinkObs`] created against a deployment's
+//! [`MetricsRegistry`]; with the default disabled registry every handle
+//! is a no-op, so the hot paths pay only a branch.
+
+use std::time::Instant;
+
+use wsrf_obs::{Counter, Histogram, MetricsRegistry};
+
+/// Message/byte counters plus a per-transfer latency histogram for one
+/// transport link (`transport.<kind>.*` metric names).
+pub struct LinkObs {
+    /// Request/response exchanges.
+    pub calls: Counter,
+    /// One-way messages.
+    pub oneways: Counter,
+    /// Payload bytes received by this side.
+    pub bytes_in: Counter,
+    /// Payload bytes sent by this side.
+    pub bytes_out: Counter,
+    /// Wall-clock time per transfer, nanoseconds.
+    pub latency: Histogram,
+}
+
+impl LinkObs {
+    pub fn new(registry: &MetricsRegistry, kind: &str) -> Self {
+        let p = format!("transport.{kind}");
+        LinkObs {
+            calls: registry.counter(&format!("{p}.calls")),
+            oneways: registry.counter(&format!("{p}.oneways")),
+            bytes_in: registry.counter(&format!("{p}.bytes_in")),
+            bytes_out: registry.counter(&format!("{p}.bytes_out")),
+            latency: registry.histogram(&format!("{p}.latency_ns")),
+        }
+    }
+
+    /// All-no-op handles.
+    pub fn noop() -> Self {
+        Self::new(&MetricsRegistry::disabled(), "noop")
+    }
+
+    /// Record one completed exchange.
+    pub fn record_call(&self, bytes_in: u64, bytes_out: u64, started: Instant) {
+        self.calls.inc();
+        self.bytes_in.add(bytes_in);
+        self.bytes_out.add(bytes_out);
+        self.latency.record_duration(started.elapsed());
+    }
+
+    /// Record one accepted one-way message.
+    pub fn record_oneway(&self, bytes: u64, started: Instant) {
+        self.oneways.inc();
+        self.bytes_in.add(bytes);
+        self.latency.record_duration(started.elapsed());
+    }
+}

@@ -30,7 +30,10 @@ impl ThreadPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        ThreadPool { tx: Some(tx), workers }
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+        }
     }
 
     /// Enqueue a task.

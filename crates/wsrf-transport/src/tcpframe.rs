@@ -17,10 +17,12 @@ use std::thread::JoinHandle;
 
 use bytes::{Buf, BufMut, BytesMut};
 use parking_lot::Mutex;
+use wsrf_obs::MetricsRegistry;
 use wsrf_soap::Envelope;
 
 use crate::endpoint::Endpoint;
 use crate::error::TransportError;
+use crate::obs::LinkObs;
 
 const MAGIC: &[u8; 4] = b"WSE1";
 /// Frame is a request expecting a response frame.
@@ -78,6 +80,16 @@ pub struct FramedServer {
 impl FramedServer {
     /// Bind an ephemeral localhost port and serve `endpoint`.
     pub fn start(endpoint: Arc<dyn Endpoint>) -> std::io::Result<Self> {
+        Self::start_with_metrics(endpoint, &MetricsRegistry::disabled())
+    }
+
+    /// Like [`FramedServer::start`], recording served frames into a
+    /// metrics registry (`transport.tcpframe.*`).
+    pub fn start_with_metrics(
+        endpoint: Arc<dyn Endpoint>,
+        registry: &MetricsRegistry,
+    ) -> std::io::Result<Self> {
+        let obs = Arc::new(LinkObs::new(registry, "tcpframe"));
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -92,14 +104,19 @@ impl FramedServer {
                     let Ok(stream) = conn else { continue };
                     stream.set_nodelay(true).ok();
                     let ep = endpoint.clone();
+                    let obs = obs.clone();
                     let _ = std::thread::Builder::new()
                         .name("soap-tcp-conn".into())
                         .spawn(move || {
-                            let _ = serve_connection(stream, ep);
+                            let _ = serve_connection(stream, ep, &obs);
                         });
                 }
             })?;
-        Ok(FramedServer { addr, shutdown, accept_thread: Some(accept_thread) })
+        Ok(FramedServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound socket address.
@@ -124,7 +141,11 @@ impl Drop for FramedServer {
 }
 
 /// Serve one persistent connection: a loop of frames until EOF.
-fn serve_connection(stream: TcpStream, endpoint: Arc<dyn Endpoint>) -> Result<(), TransportError> {
+fn serve_connection(
+    stream: TcpStream,
+    endpoint: Arc<dyn Endpoint>,
+    obs: &LinkObs,
+) -> Result<(), TransportError> {
     let mut reader = stream.try_clone().map_err(TransportError::from)?;
     let mut writer = stream;
     loop {
@@ -133,16 +154,23 @@ fn serve_connection(stream: TcpStream, endpoint: Arc<dyn Endpoint>) -> Result<()
             Err(TransportError::Io(_)) => return Ok(()), // peer closed
             Err(e) => return Err(e),
         };
+        let started = std::time::Instant::now();
         let env = decode_envelope(&payload)?;
         match flags {
             FLAG_ONEWAY => {
                 endpoint.handle(env);
+                obs.record_oneway(payload.len() as u64, started);
             }
             FLAG_CALL => match endpoint.handle(env) {
                 Some(resp) => {
-                    write_frame(&mut writer, FLAG_RESPONSE, resp.to_xml().as_bytes())?
+                    let xml = resp.to_xml();
+                    obs.record_call(payload.len() as u64, xml.len() as u64, started);
+                    write_frame(&mut writer, FLAG_RESPONSE, xml.as_bytes())?
                 }
-                None => write_frame(&mut writer, FLAG_EMPTY, b"")?,
+                None => {
+                    obs.record_call(payload.len() as u64, 0, started);
+                    write_frame(&mut writer, FLAG_EMPTY, b"")?
+                }
             },
             other => {
                 return Err(TransportError::Protocol(format!(
@@ -168,7 +196,10 @@ impl FramedClient {
         let stream = TcpStream::connect(authority)
             .map_err(|e| TransportError::Io(format!("connect {authority}: {e}")))?;
         stream.set_nodelay(true).ok();
-        Ok(FramedClient { stream: Mutex::new(stream), authority: authority.to_string() })
+        Ok(FramedClient {
+            stream: Mutex::new(stream),
+            authority: authority.to_string(),
+        })
     }
 
     /// Request/response over the persistent connection.
@@ -179,7 +210,9 @@ impl FramedClient {
         match flags {
             FLAG_RESPONSE => decode_envelope(&payload),
             FLAG_EMPTY => Err(TransportError::NoResponse(self.authority.clone())),
-            other => Err(TransportError::Protocol(format!("unexpected response flags {other}"))),
+            other => Err(TransportError::Protocol(format!(
+                "unexpected response flags {other}"
+            ))),
         }
     }
 
@@ -219,7 +252,9 @@ mod tests {
         .unwrap();
         let client = FramedClient::connect(&server.authority()).unwrap();
         for _ in 0..10 {
-            client.send_oneway(&Envelope::new(Element::local("Evt"))).unwrap();
+            client
+                .send_oneway(&Envelope::new(Element::local("Evt")))
+                .unwrap();
         }
         // One-way frames race the assertion; poll briefly.
         for _ in 0..200 {
@@ -235,7 +270,9 @@ mod tests {
     fn empty_response_is_no_response_error() {
         let server = FramedServer::start(Arc::new(FnEndpoint::new("none", |_| None))).unwrap();
         let client = FramedClient::connect(&server.authority()).unwrap();
-        let err = client.call(&Envelope::new(Element::local("X"))).unwrap_err();
+        let err = client
+            .call(&Envelope::new(Element::local("X")))
+            .unwrap_err();
         assert!(matches!(err, TransportError::NoResponse(_)));
     }
 
@@ -258,7 +295,9 @@ mod tests {
                 std::thread::spawn(move || {
                     for j in 0..10 {
                         let req = Envelope::new(
-                            Element::local("P").attr("t", i.to_string()).attr("j", j.to_string()),
+                            Element::local("P")
+                                .attr("t", i.to_string())
+                                .attr("j", j.to_string()),
                         );
                         assert_eq!(c.call(&req).unwrap(), req);
                     }

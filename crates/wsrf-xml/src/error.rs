@@ -16,12 +16,18 @@ pub struct XmlError {
 impl XmlError {
     /// Create an error with no position information.
     pub fn new(message: impl Into<String>) -> Self {
-        XmlError { message: message.into(), offset: None }
+        XmlError {
+            message: message.into(),
+            offset: None,
+        }
     }
 
     /// Create an error anchored at a byte offset in the input.
     pub fn at(message: impl Into<String>, offset: usize) -> Self {
-        XmlError { message: message.into(), offset: Some(offset) }
+        XmlError {
+            message: message.into(),
+            offset: Some(offset),
+        }
     }
 }
 

@@ -19,12 +19,18 @@ pub struct QName {
 impl QName {
     /// A name in the given namespace.
     pub fn new(ns: impl AsRef<str>, local: impl Into<String>) -> Self {
-        QName { ns: Some(Arc::from(ns.as_ref())), local: local.into() }
+        QName {
+            ns: Some(Arc::from(ns.as_ref())),
+            local: local.into(),
+        }
     }
 
     /// A name in no namespace.
     pub fn local(local: impl Into<String>) -> Self {
-        QName { ns: None, local: local.into() }
+        QName {
+            ns: None,
+            local: local.into(),
+        }
     }
 
     /// The namespace URI as a plain `&str`, if any.

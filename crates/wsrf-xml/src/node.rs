@@ -49,17 +49,29 @@ pub struct Element {
 impl Element {
     /// New empty element in a namespace.
     pub fn new(ns: impl AsRef<str>, local: impl Into<String>) -> Self {
-        Element { name: QName::new(ns, local), attrs: Vec::new(), children: Vec::new() }
+        Element {
+            name: QName::new(ns, local),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// New empty element in no namespace.
     pub fn local(local: impl Into<String>) -> Self {
-        Element { name: QName::local(local), attrs: Vec::new(), children: Vec::new() }
+        Element {
+            name: QName::local(local),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// New element with the given qualified name.
     pub fn with_name(name: QName) -> Self {
-        Element { name, attrs: Vec::new(), children: Vec::new() }
+        Element {
+            name,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     // ---- builder API -------------------------------------------------
@@ -84,7 +96,8 @@ impl Element {
 
     /// Append several child elements (builder style).
     pub fn children(mut self, children: impl IntoIterator<Item = Element>) -> Self {
-        self.children.extend(children.into_iter().map(Node::Element));
+        self.children
+            .extend(children.into_iter().map(Node::Element));
         self
     }
 
@@ -123,7 +136,11 @@ impl Element {
     }
 
     /// All child elements with the given namespace and local name.
-    pub fn find_all<'a>(&'a self, ns: &'a str, local: &'a str) -> impl Iterator<Item = &'a Element> {
+    pub fn find_all<'a>(
+        &'a self,
+        ns: &'a str,
+        local: &'a str,
+    ) -> impl Iterator<Item = &'a Element> {
         self.elements().filter(move |e| e.name.is(ns, local))
     }
 
@@ -150,7 +167,30 @@ impl Element {
 
     /// Value of a namespace-qualified attribute.
     pub fn attr_value_ns(&self, ns: &str, name: &str) -> Option<&str> {
-        self.attrs.iter().find(|(q, _)| q.is(ns, name)).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(q, _)| q.is(ns, name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Estimated serialized byte size — open/close tags, attributes,
+    /// text and descendants — computed without serializing (no
+    /// allocation). Namespace declarations are not counted, so this
+    /// slightly undershoots `to_xml().len()`; metrics accounting uses
+    /// it where exact wire size is not worth a serialization pass.
+    pub fn approx_size(&self) -> usize {
+        // "<local>" + "</local>"
+        let mut n = 2 * self.name.local.len() + 5;
+        for (name, value) in &self.attrs {
+            n += name.local.len() + value.len() + 4;
+        }
+        for c in &self.children {
+            n += match c {
+                Node::Element(e) => e.approx_size(),
+                Node::Text(t) => t.len(),
+            };
+        }
+        n
     }
 
     /// Concatenation of all descendant text.
@@ -235,7 +275,14 @@ mod tests {
         let e = sample();
         assert_eq!(e.attr_value("id"), Some("1"));
         assert_eq!(e.find(NS, "a").unwrap().text_content(), "hello");
-        assert_eq!(e.find(NS, "b").unwrap().find(NS, "a").unwrap().text_content(), " world");
+        assert_eq!(
+            e.find(NS, "b")
+                .unwrap()
+                .find(NS, "a")
+                .unwrap()
+                .text_content(),
+            " world"
+        );
         assert!(e.find(NS, "zzz").is_none());
         assert_eq!(e.element_count(), 2);
     }

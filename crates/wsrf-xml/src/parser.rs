@@ -21,12 +21,19 @@ pub const MAX_DEPTH: usize = 100;
 
 /// Parse a complete XML document (or bare element) into an [`Element`].
 pub fn parse(input: &str) -> Result<Element> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0, ns_stack: Vec::new() };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        ns_stack: Vec::new(),
+    };
     p.skip_prolog()?;
     let root = p.parse_element()?;
     p.skip_misc();
     if p.pos != p.bytes.len() {
-        return Err(XmlError::at("trailing content after document element", p.pos));
+        return Err(XmlError::at(
+            "trailing content after document element",
+            p.pos,
+        ));
     }
     Ok(root)
 }
@@ -70,7 +77,10 @@ impl<'a> Parser<'a> {
                 self.pos += i + pat.len();
                 Ok(())
             }
-            None => Err(XmlError::at(format!("unterminated construct, expected '{}'", pat), self.pos)),
+            None => Err(XmlError::at(
+                format!("unterminated construct, expected '{}'", pat),
+                self.pos,
+            )),
         }
     }
 
@@ -107,9 +117,8 @@ impl<'a> Parser<'a> {
     fn parse_name(&mut self) -> Result<String> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }
@@ -138,7 +147,10 @@ impl<'a> Parser<'a> {
         if prefix.is_empty() || (is_attr && prefix.is_empty()) {
             Ok(None)
         } else {
-            Err(XmlError::at(format!("undeclared namespace prefix '{}'", prefix), pos))
+            Err(XmlError::at(
+                format!("undeclared namespace prefix '{}'", prefix),
+                pos,
+            ))
         }
     }
 
@@ -173,7 +185,9 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     self.expect_byte(b'=')?;
                     self.skip_ws();
-                    let quote = self.peek().ok_or_else(|| XmlError::at("eof in attribute", self.pos))?;
+                    let quote = self
+                        .peek()
+                        .ok_or_else(|| XmlError::at("eof in attribute", self.pos))?;
                     if quote != b'"' && quote != b'\'' {
                         return Err(XmlError::at("attribute value must be quoted", self.pos));
                     }
@@ -345,7 +359,10 @@ fn unescape(raw: &str, offset: usize) -> Result<String> {
                 );
             }
             other => {
-                return Err(XmlError::at(format!("unknown entity '&{};'", other), offset));
+                return Err(XmlError::at(
+                    format!("unknown entity '&{};'", other),
+                    offset,
+                ));
             }
         }
         rest = &rest[end + 1..];
@@ -368,10 +385,7 @@ mod tests {
 
     #[test]
     fn resolves_default_and_prefixed_namespaces() {
-        let e = parse(
-            "<a xmlns=\"urn:d\" xmlns:p=\"urn:p\"><p:b/><c/></a>",
-        )
-        .unwrap();
+        let e = parse("<a xmlns=\"urn:d\" xmlns:p=\"urn:p\"><p:b/><c/></a>").unwrap();
         assert!(e.name.is("urn:d", "a"));
         assert!(e.elements().next().unwrap().name.is("urn:p", "b"));
         assert!(e.elements().nth(1).unwrap().name.is("urn:d", "c"));

@@ -50,7 +50,11 @@ struct Scope {
 
 impl Scope {
     fn lookup(&self, uri: &str) -> Option<&str> {
-        self.bindings.iter().rev().find(|(u, _)| u == uri).map(|(_, p)| p.as_str())
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(u, _)| u == uri)
+            .map(|(_, p)| p.as_str())
     }
 }
 
@@ -58,7 +62,10 @@ impl Element {
     /// Serialize this element (and subtree) to a compact XML string.
     pub fn to_xml(&self) -> String {
         let mut out = String::with_capacity(256);
-        let mut scope = Scope { bindings: Vec::new(), next_id: 0 };
+        let mut scope = Scope {
+            bindings: Vec::new(),
+            next_id: 0,
+        };
         write_element(self, &mut out, &mut scope);
         out
     }
@@ -74,7 +81,10 @@ impl Element {
     /// examples and by diagnostics; never on the wire).
     pub fn to_pretty_xml(&self) -> String {
         let mut out = String::with_capacity(256);
-        let mut scope = Scope { bindings: Vec::new(), next_id: 0 };
+        let mut scope = Scope {
+            bindings: Vec::new(),
+            next_id: 0,
+        };
         write_pretty(self, &mut out, &mut scope, 0);
         out
     }
@@ -220,9 +230,14 @@ mod tests {
 
     #[test]
     fn escapes_text_and_attributes() {
-        let e = Element::local("a").attr("v", "x<\">&").text("1 < 2 & 3 > 2");
+        let e = Element::local("a")
+            .attr("v", "x<\">&")
+            .text("1 < 2 & 3 > 2");
         let xml = e.to_xml();
-        assert_eq!(xml, "<a v=\"x&lt;&quot;&gt;&amp;\">1 &lt; 2 &amp; 3 &gt; 2</a>");
+        assert_eq!(
+            xml,
+            "<a v=\"x&lt;&quot;&gt;&amp;\">1 &lt; 2 &amp; 3 &gt; 2</a>"
+        );
     }
 
     #[test]

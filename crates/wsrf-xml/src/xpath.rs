@@ -86,7 +86,11 @@ pub enum Pred {
 impl Path {
     /// Parse an expression. Errors carry the offending offset.
     pub fn parse(expr: &str) -> Result<Path> {
-        PathParser { bytes: expr.as_bytes(), pos: 0 }.parse()
+        PathParser {
+            bytes: expr.as_bytes(),
+            pos: 0,
+        }
+        .parse()
     }
 
     /// Evaluate against `root`, returning matching elements in document
@@ -113,8 +117,10 @@ impl Path {
                         e.elements().flat_map(|k| k.descendants()).collect()
                     }
                 };
-                let mut matched: Vec<&'a Element> =
-                    candidates.into_iter().filter(|e| step.test.matches(e)).collect();
+                let mut matched: Vec<&'a Element> = candidates
+                    .into_iter()
+                    .filter(|e| step.test.matches(e))
+                    .collect();
                 for p in &step.preds {
                     matched = apply_pred(matched, p);
                 }
@@ -147,11 +153,7 @@ fn apply_pred<'a>(matched: Vec<&'a Element>, p: &Pred) -> Vec<&'a Element> {
         }
         Pred::AttrEq(name, value) => matched
             .into_iter()
-            .filter(|e| {
-                e.attrs
-                    .iter()
-                    .any(|(q, v)| q.local == *name && v == value)
-            })
+            .filter(|e| e.attrs.iter().any(|(q, v)| q.local == *name && v == value))
             .collect(),
         Pred::ChildTextEq(name, value) => matched
             .into_iter()
@@ -253,7 +255,8 @@ impl<'a> PathParser<'a> {
     fn parse_ident(&mut self) -> Result<String> {
         let start = self.pos;
         while let Some(&b) = self.bytes.get(self.pos) {
-            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }
@@ -262,7 +265,9 @@ impl<'a> PathParser<'a> {
         if self.pos == start {
             return Err(XmlError::at("expected a name", self.pos));
         }
-        Ok(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_string())
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .to_string())
     }
 
     fn parse_pred(&mut self) -> Result<Pred> {
@@ -298,7 +303,11 @@ impl<'a> PathParser<'a> {
             .map_err(|_| XmlError::at("invalid utf-8", start))?
             .to_string();
         self.pos += 1;
-        Ok(if is_attr { Pred::AttrEq(name, value) } else { Pred::ChildTextEq(name, value) })
+        Ok(if is_attr {
+            Pred::AttrEq(name, value)
+        } else {
+            Pred::ChildTextEq(name, value)
+        })
     }
 }
 

@@ -57,8 +57,12 @@ fn leaf() -> impl Strategy<Value = Element> {
 
 fn tree() -> impl Strategy<Value = Element> {
     leaf().prop_recursive(3, 24, 4, |inner| {
-        (qname(), prop::collection::vec(inner, 0..4), prop::option::of(text())).prop_map(
-            |(name, kids, txt)| {
+        (
+            qname(),
+            prop::collection::vec(inner, 0..4),
+            prop::option::of(text()),
+        )
+            .prop_map(|(name, kids, txt)| {
                 let mut e = Element::with_name(name);
                 // Interleave text between children so adjacent text
                 // nodes never occur (the parser merges them).
@@ -73,8 +77,7 @@ fn tree() -> impl Strategy<Value = Element> {
                     e.push_child(k);
                 }
                 e
-            },
-        )
+            })
     })
 }
 
@@ -122,7 +125,9 @@ proptest! {
 
 #[test]
 fn unicode_text_roundtrips() {
-    let e = Element::local("a").text("héllo ✓ 漢字").attr("k", "ünïcode");
+    let e = Element::local("a")
+        .text("héllo ✓ 漢字")
+        .attr("k", "ünïcode");
     let back = parse(&e.to_xml()).unwrap();
     assert_eq!(back, e);
 }

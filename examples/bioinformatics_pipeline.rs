@@ -14,7 +14,9 @@ use wsrf_grid::prelude::*;
 
 fn main() {
     let grid = CampusGrid::build(
-        GridConfig::with_machines(6).with_net(NetConfig::campus()).secure(),
+        GridConfig::with_machines(6)
+            .with_net(NetConfig::campus())
+            .secure(),
         Clock::scaled(1000.0),
     );
     let client = grid.client("bio-lab");
@@ -48,47 +50,66 @@ fn main() {
     let clean = FileRef::parse("filter://clean.fa").unwrap();
     let spec = JobSetSpec::new("variant-calling")
         .job(
-            JobSpec::new("filter", FileRef::parse("local://C:\\bio\\filter.exe").unwrap())
-                .input(FileRef::parse("local://C:\\bio\\reads.fastq").unwrap(), "reads.fastq")
-                .output("clean.fa"),
+            JobSpec::new(
+                "filter",
+                FileRef::parse("local://C:\\bio\\filter.exe").unwrap(),
+            )
+            .input(
+                FileRef::parse("local://C:\\bio\\reads.fastq").unwrap(),
+                "reads.fastq",
+            )
+            .output("clean.fa"),
         )
         .job(
-            JobSpec::new("align-left", FileRef::parse("local://C:\\bio\\align.exe").unwrap())
-                .input(clean.clone(), "clean.fa")
-                .output("hits.sam"),
+            JobSpec::new(
+                "align-left",
+                FileRef::parse("local://C:\\bio\\align.exe").unwrap(),
+            )
+            .input(clean.clone(), "clean.fa")
+            .output("hits.sam"),
         )
         .job(
-            JobSpec::new("align-right", FileRef::parse("local://C:\\bio\\align.exe").unwrap())
-                .input(clean, "clean.fa")
-                .output("hits.sam"),
+            JobSpec::new(
+                "align-right",
+                FileRef::parse("local://C:\\bio\\align.exe").unwrap(),
+            )
+            .input(clean, "clean.fa")
+            .output("hits.sam"),
         )
         .job(
-            JobSpec::new("merge", FileRef::parse("local://C:\\bio\\merge.exe").unwrap())
-                .input(FileRef::parse("align-left://hits.sam").unwrap(), "a.sam")
-                .input(FileRef::parse("align-right://hits.sam").unwrap(), "b.sam")
-                .output("variants.vcf"),
+            JobSpec::new(
+                "merge",
+                FileRef::parse("local://C:\\bio\\merge.exe").unwrap(),
+            )
+            .input(FileRef::parse("align-left://hits.sam").unwrap(), "a.sam")
+            .input(FileRef::parse("align-right://hits.sam").unwrap(), "b.sam")
+            .output("variants.vcf"),
         );
 
     // Live progress: print every event as the GUI tool would.
-    client.listener().on_topic(TopicExpression::full("//"), |m| {
-        let topic = m.topic.to_string();
-        let detail = match topic.rsplit('/').next() {
-            Some("dir") => "working directory created".to_string(),
-            Some("started") => "process started".to_string(),
-            Some("exit") => format!(
-                "exited code={} cpu={}s",
-                m.payload.attr_value("code").unwrap_or("?"),
-                m.payload.attr_value("cpu").unwrap_or("?")
-            ),
-            Some("completed") => "JOB SET COMPLETE".to_string(),
-            Some("failed") => format!("FAILED: {}", m.payload.text_content()),
-            _ => String::new(),
-        };
-        println!("  ▸ {topic}: {detail}");
-    });
+    client
+        .listener()
+        .on_topic(TopicExpression::full("//"), |m| {
+            let topic = m.topic.to_string();
+            let detail = match topic.rsplit('/').next() {
+                Some("dir") => "working directory created".to_string(),
+                Some("started") => "process started".to_string(),
+                Some("exit") => format!(
+                    "exited code={} cpu={}s",
+                    m.payload.attr_value("code").unwrap_or("?"),
+                    m.payload.attr_value("cpu").unwrap_or("?")
+                ),
+                Some("completed") => "JOB SET COMPLETE".to_string(),
+                Some("failed") => format!("FAILED: {}", m.payload.text_content()),
+                _ => String::new(),
+            };
+            println!("  ▸ {topic}: {detail}");
+        });
 
     println!("submitting variant-calling pipeline (secure grid)...");
-    let handle = client.submit(&spec, "griduser", "gridpass").expect("submit");
+    let handle = client
+        .submit(&spec, "griduser", "gridpass")
+        .expect("submit");
 
     // While the pipeline runs, poll the alignment jobs' CPU time via
     // the standard GetResourceProperty port type.
@@ -98,10 +119,14 @@ fn main() {
         println!("mid-run poll: align-left status = {status}");
     }
 
-    let outcome = handle.wait(Duration::from_secs(120)).expect("pipeline finished");
+    let outcome = handle
+        .wait(Duration::from_secs(120))
+        .expect("pipeline finished");
     println!("\noutcome: {outcome:?}");
 
-    let vcf = handle.fetch_output("merge", "variants.vcf").expect("result");
+    let vcf = handle
+        .fetch_output("merge", "variants.vcf")
+        .expect("result");
     println!("variants.vcf: {} bytes", vcf.len());
 
     // Placement report.

@@ -22,7 +22,9 @@ fn submit_batch(
 ) -> JobSetHandle {
     client.put_file(
         "C:\\task.exe",
-        JobProgram::compute(cpu).writing("out.bin", 10_000).to_manifest(),
+        JobProgram::compute(cpu)
+            .writing("out.bin", 10_000)
+            .to_manifest(),
     );
     let mut spec = JobSetSpec::new(name);
     for i in 0..jobs {
@@ -34,7 +36,9 @@ fn submit_batch(
             .output("out.bin"),
         );
     }
-    let h = client.submit(&spec, "griduser", "gridpass").expect("submit");
+    let h = client
+        .submit(&spec, "griduser", "gridpass")
+        .expect("submit");
     let _ = grid;
     h
 }
@@ -88,6 +92,9 @@ fn main() {
 
     println!("\npolicy comparison (lower is better):");
     for (name, makespan) in &results {
-        println!("  {name:<28} {makespan:>8.1} s  ({:.2}x)", makespan / fastest);
+        println!(
+            "  {name:<28} {makespan:>8.1} s  ({:.2}x)",
+            makespan / fastest
+        );
     }
 }

@@ -19,12 +19,17 @@ fn main() {
     let client = grid.client("ops");
 
     // 1. A job that exits nonzero: the fault chain names the culprit.
-    client.put_file("C:\\flaky.exe", JobProgram::compute(2.0).exiting(13).to_manifest());
+    client.put_file(
+        "C:\\flaky.exe",
+        JobProgram::compute(2.0).exiting(13).to_manifest(),
+    );
     let spec = JobSetSpec::new("flaky-run").job(JobSpec::new(
         "flaky",
         FileRef::parse("local://C:\\flaky.exe").unwrap(),
     ));
-    let handle = client.submit(&spec, "griduser", "gridpass").expect("submit");
+    let handle = client
+        .submit(&spec, "griduser", "gridpass")
+        .expect("submit");
     match handle.wait(Duration::from_secs(30)) {
         Some(JobSetOutcome::Failed(fault)) => {
             println!("1) nonzero exit surfaced as a WS-BaseFaults chain:");
@@ -52,7 +57,9 @@ fn main() {
         "victim",
         FileRef::parse("local://C:\\long.exe").unwrap(),
     ));
-    let handle = client.submit(&spec, "griduser", "gridpass").expect("submit");
+    let handle = client
+        .submit(&spec, "griduser", "gridpass")
+        .expect("submit");
     assert!(handle.wait_job_started("victim", Duration::from_secs(30)));
     let machine_addr = handle.job_epr("victim").unwrap().address;
     let machine_name = machine_addr
@@ -64,8 +71,10 @@ fn main() {
     println!("\n3) job running on {machine_name}; pulling its power cord...");
     let machine = grid.machine(&machine_name).unwrap();
     machine.crash();
-    grid.net.unregister(&format!("inproc://{machine_name}/Execution"));
-    grid.net.unregister(&format!("inproc://{machine_name}/FileSystem"));
+    grid.net
+        .unregister(&format!("inproc://{machine_name}/Execution"));
+    grid.net
+        .unregister(&format!("inproc://{machine_name}/FileSystem"));
     match handle.wait(Duration::from_secs(30)) {
         Some(JobSetOutcome::Failed(fault)) => {
             println!("   watchdog fired: {}", fault.root_cause());

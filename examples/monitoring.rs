@@ -18,7 +18,11 @@ use wsrf_grid::xml::Element as El;
 fn get_property(grid: &CampusGrid, epr: &EndpointReference, name: &str) -> String {
     let mut env = Envelope::new(El::new(ns::WSRP, "GetResourceProperty").text(name));
     MessageInfo::request(epr.clone(), wsrp_action("GetResourceProperty")).apply(&mut env);
-    grid.net.call(&epr.address, env).expect("call").body.text_content()
+    grid.net
+        .call(&epr.address, env)
+        .expect("call")
+        .body
+        .text_content()
 }
 
 fn query(grid: &CampusGrid, epr: &EndpointReference, xpath: &str) -> String {
@@ -30,18 +34,26 @@ fn query(grid: &CampusGrid, epr: &EndpointReference, xpath: &str) -> String {
         ),
     );
     MessageInfo::request(epr.clone(), wsrp_action("QueryResourceProperties")).apply(&mut env);
-    grid.net.call(&epr.address, env).expect("call").body.text_content()
+    grid.net
+        .call(&epr.address, env)
+        .expect("call")
+        .body
+        .text_content()
 }
 
 fn main() {
     let grid = CampusGrid::build(GridConfig::with_machines(3), Clock::scaled(1000.0));
     let client = grid.client("ops");
 
-    client.put_file("C:\\p.exe", JobProgram::compute(30.0).writing("o", 100).to_manifest());
-    let spec = JobSetSpec::new("observed").job(
-        JobSpec::new("watch-me", FileRef::parse("local://C:\\p.exe").unwrap()).output("o"),
+    client.put_file(
+        "C:\\p.exe",
+        JobProgram::compute(30.0).writing("o", 100).to_manifest(),
     );
-    let handle = client.submit(&spec, "griduser", "gridpass").expect("submit");
+    let spec = JobSetSpec::new("observed")
+        .job(JobSpec::new("watch-me", FileRef::parse("local://C:\\p.exe").unwrap()).output("o"));
+    let handle = client
+        .submit(&spec, "griduser", "gridpass")
+        .expect("submit");
     assert!(handle.wait_job_started("watch-me", Duration::from_secs(30)));
 
     let job = handle.job_epr("watch-me").expect("job EPR");
@@ -50,17 +62,27 @@ fn main() {
     println!("== the job resource ==");
     println!("  Status       = {}", get_property(&grid, &job, "Status"));
     println!("  JobName      = {}", get_property(&grid, &job, "JobName"));
-    println!("  CpuTimeUsed  = {}", get_property(&grid, &job, "CpuTimeUsed"));
+    println!(
+        "  CpuTimeUsed  = {}",
+        get_property(&grid, &job, "CpuTimeUsed")
+    );
     println!(
         "  XPath [Status='Running']/JobName = {}",
-        query(&grid, &job, "/ResourcePropertyDocument[Status='Running']/JobName")
+        query(
+            &grid,
+            &job,
+            "/ResourcePropertyDocument[Status='Running']/JobName"
+        )
     );
 
     println!("\n== the directory resource ==");
     println!("  Path = {}", get_property(&grid, &dir, "Path"));
 
     println!("\n== the job-set resource ==");
-    println!("  Status = {}", get_property(&grid, &handle.jobset, "Status"));
+    println!(
+        "  Status = {}",
+        get_property(&grid, &handle.jobset, "Status")
+    );
     println!(
         "  JobStatus entries = {}",
         query(&grid, &handle.jobset, "//JobStatus")
@@ -91,17 +113,35 @@ fn main() {
         Some(10_000.0), // lease: virtual seconds
     )
     .expect("subscribe");
-    println!("  TopicExpression = {}", get_property(&grid, &sub, "TopicExpression"));
-    println!("  Paused          = {}", get_property(&grid, &sub, "Paused"));
+    println!(
+        "  TopicExpression = {}",
+        get_property(&grid, &sub, "TopicExpression")
+    );
+    println!(
+        "  Paused          = {}",
+        get_property(&grid, &sub, "Paused")
+    );
     broker::set_subscription_paused(&grid.net, &sub, true).unwrap();
-    println!("  Paused (after PauseSubscription) = {}", get_property(&grid, &sub, "Paused"));
+    println!(
+        "  Paused (after PauseSubscription) = {}",
+        get_property(&grid, &sub, "Paused")
+    );
 
     let outcome = handle.wait(Duration::from_secs(60)).expect("finished");
     println!("\njob set outcome: {outcome:?}");
     println!("final job Status = {}", get_property(&grid, &job, "Status"));
-    println!("final CpuTimeUsed = {}", get_property(&grid, &job, "CpuTimeUsed"));
+    println!(
+        "final CpuTimeUsed = {}",
+        get_property(&grid, &job, "CpuTimeUsed")
+    );
     println!(
         "probe heard {} events while paused (expected 0 extra)",
         probe.count()
     );
+
+    // The grid observes itself too: every dispatch stage, transport
+    // transfer, broker fan-out and scheduler step landed in the
+    // deployment's metrics registry (wsrf-obs).
+    println!("\n== live metrics (wsrf-obs registry) ==");
+    print!("{}", grid.metrics_snapshot().render());
 }

@@ -37,11 +37,19 @@ fn main() {
 
     // Describe and submit the job set (the paper's URI syntax).
     let spec = JobSetSpec::new("quickstart").job(
-        JobSpec::new("analyze", FileRef::parse("local://C:\\work\\analyze.exe").unwrap())
-            .input(FileRef::parse("local://C:\\work\\samples.dat").unwrap(), "samples.dat")
-            .output("report.out"),
+        JobSpec::new(
+            "analyze",
+            FileRef::parse("local://C:\\work\\analyze.exe").unwrap(),
+        )
+        .input(
+            FileRef::parse("local://C:\\work\\samples.dat").unwrap(),
+            "samples.dat",
+        )
+        .output("report.out"),
     );
-    let handle = client.submit(&spec, "griduser", "gridpass").expect("submit");
+    let handle = client
+        .submit(&spec, "griduser", "gridpass")
+        .expect("submit");
     println!("\nsubmitted; notification topic = {}", handle.topic);
 
     // Wait for completion, then replay the event stream.
@@ -52,7 +60,12 @@ fn main() {
     }
 
     // Fetch the output through the working directory's EPR.
-    let report = handle.fetch_output("analyze", "report.out").expect("output");
-    println!("\nreport.out: {} bytes retrieved via the directory EPR", report.len());
+    let report = handle
+        .fetch_output("analyze", "report.out")
+        .expect("output");
+    println!(
+        "\nreport.out: {} bytes retrieved via the directory EPR",
+        report.len()
+    );
     println!("virtual time elapsed: {}", grid.clock.now());
 }

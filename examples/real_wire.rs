@@ -28,10 +28,13 @@ fn main() {
         "inproc://observatory/Telescope",
         Arc::new(MemoryStore::new()),
     )
-    .computed_property(QName::new(wsrf_grid::testbed::UVACG, "ObservationTime"), |_, now| {
-        vec![El::new(wsrf_grid::testbed::UVACG, "ObservationTime")
-            .text(format!("{:.3}", now.as_secs_f64()))]
-    })
+    .computed_property(
+        QName::new(wsrf_grid::testbed::UVACG, "ObservationTime"),
+        |_, now| {
+            vec![El::new(wsrf_grid::testbed::UVACG, "ObservationTime")
+                .text(format!("{:.3}", now.as_secs_f64()))]
+        },
+    )
     .build(clock, net);
     let mut doc = PropertyDoc::new();
     doc.set_text(QName::new(wsrf_grid::testbed::UVACG, "Target"), "M31");
@@ -76,7 +79,10 @@ fn main() {
     );
     MessageInfo::request(epr_template, wsrp_action("QueryResourceProperties")).apply(&mut env);
     let resp = client.call(&env).expect("query");
-    println!("\nXPath [Target='M31']/Magnitude = {}", resp.body.text_content());
+    println!(
+        "\nXPath [Target='M31']/Magnitude = {}",
+        resp.body.text_content()
+    );
 
     // And self-description, the WSDL analogue.
     let mut env = Envelope::new(El::local("GetServiceDescription"));

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate: everything a PR must keep green.
+#
+#   sh scripts/tier1.sh
+#
+# Fully offline: the workspace vendors shims for all external crates
+# (see Cargo.toml [workspace.dependencies]), so no network is needed.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline"
+cargo test -q --offline
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "tier-1: OK"

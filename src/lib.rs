@@ -11,6 +11,7 @@
 //! |---|---|
 //! | [`xml`] | namespace-aware XML infoset, parser, writer, XPath-lite |
 //! | [`clock`] | the virtual clock every simulated subsystem shares |
+//! | [`obs`] | lock-cheap metrics: counters, log-bucket histograms, virtual/real timers |
 //! | [`soap`] | SOAP envelopes, WS-Addressing EPRs, WS-BaseFaults |
 //! | [`security`] | SHA-256 / HMAC / ChaCha20 / toy PKI / WS-Security tokens |
 //! | [`transport`] | simulated campus network + real HTTP and `soap.tcp` |
@@ -45,6 +46,7 @@
 pub use simclock as clock;
 pub use ws_notification as notification;
 pub use wsrf_core as wsrf;
+pub use wsrf_obs as obs;
 pub use wsrf_security as security;
 pub use wsrf_soap as soap;
 pub use wsrf_transport as transport;
@@ -61,6 +63,7 @@ pub mod prelude {
         CampusGrid, Client, FastestAvailable, FileRef, GridConfig, JobSetHandle, JobSetOutcome,
         JobSetSpec, JobSpec, LeastLoaded, NodeSnapshot, Random, RoundRobin, SchedulingPolicy,
     };
+    pub use wsrf_obs::{MetricsRegistry, MetricsSnapshot, ObsConfig};
     pub use wsrf_soap::{BaseFault, EndpointReference, Envelope, SoapFault};
     pub use wsrf_transport::{InProcNetwork, LinkProfile, NetConfig};
     pub use wsrf_xml::Element;

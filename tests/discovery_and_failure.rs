@@ -16,15 +16,27 @@ fn every_grid_service_self_describes() {
     assert!(es.supports_resource_properties());
     assert!(es.supports_lifetime());
     assert!(es.key_property.ends_with("JobKey"));
-    assert!(es.computed_properties.iter().any(|p| p.contains("CpuTimeUsed")));
+    assert!(es
+        .computed_properties
+        .iter()
+        .any(|p| p.contains("CpuTimeUsed")));
 
     let fss = fetch_description(&grid.net, "inproc://machine01/FileSystem").unwrap();
-    assert!(fss.supports(&wsrf_grid::wsrf::container::action_uri("FileSystem", "Read")));
+    assert!(fss.supports(&wsrf_grid::wsrf::container::action_uri(
+        "FileSystem",
+        "Read"
+    )));
     assert!(fss.key_property.ends_with("DirectoryKey"));
 
     let sched = fetch_description(&grid.net, "inproc://hub/Scheduler").unwrap();
-    assert!(sched.supports(&wsrf_grid::wsrf::container::action_uri("Scheduler", "SubmitJobSet")));
-    assert!(sched.supports(&wsrf_grid::wsrf::container::action_uri("Scheduler", "FindJobSets")));
+    assert!(sched.supports(&wsrf_grid::wsrf::container::action_uri(
+        "Scheduler",
+        "SubmitJobSet"
+    )));
+    assert!(sched.supports(&wsrf_grid::wsrf::container::action_uri(
+        "Scheduler",
+        "FindJobSets"
+    )));
 
     let broker = fetch_description(&grid.net, "inproc://hub/Broker").unwrap();
     assert!(broker
@@ -89,7 +101,10 @@ fn broker_get_current_message_catches_up_a_late_observer() {
     // read the last event per topic.
     let grid = CampusGrid::build(GridConfig::with_machines(1), Clock::manual());
     let client = grid.client("c");
-    client.put_file("C:\\p.exe", JobProgram::compute(1.0).exiting(5).to_manifest());
+    client.put_file(
+        "C:\\p.exe",
+        JobProgram::compute(1.0).exiting(5).to_manifest(),
+    );
     let spec = JobSetSpec::new("observed").job(JobSpec::new(
         "j",
         FileRef::parse("local://C:\\p.exe").unwrap(),
@@ -100,13 +115,10 @@ fn broker_get_current_message_catches_up_a_late_observer() {
 
     // Late observer, no subscription at all:
     let topic = format!("{}/job/j/exit", handle.topic);
-    let last = wsrf_grid::notification::broker::get_current_message(
-        &grid.net,
-        &grid.broker,
-        &topic,
-    )
-    .unwrap()
-    .expect("exit event cached");
+    let last =
+        wsrf_grid::notification::broker::get_current_message(&grid.net, &grid.broker, &topic)
+            .unwrap()
+            .expect("exit event cached");
     assert_eq!(last.payload.attr_value("code"), Some("5"));
     assert_eq!(
         wsrf_grid::notification::broker::get_current_message(

@@ -34,7 +34,10 @@ fn invalid_job_sets_fault_at_submission() {
                 .output("y"),
         );
     // Local validation catches it too.
-    assert!(matches!(spec.validate(), Err(ValidationError::DependencyCycle(_))));
+    assert!(matches!(
+        spec.validate(),
+        Err(ValidationError::DependencyCycle(_))
+    ));
     let err = client.submit(&spec, "griduser", "gridpass").unwrap_err();
     assert_eq!(err.error_code(), Some("uvacg:InvalidJobSet"));
 
@@ -51,8 +54,7 @@ fn missing_local_file_fails_the_job_not_the_submission() {
     let client = grid.client("c");
     let exe = stage(&client, "p.exe", &JobProgram::compute(1.0).reading("in"));
     let spec = JobSetSpec::new("missing-input").job(
-        JobSpec::new("j", exe)
-            .input(FileRef::parse("local://C:\\does-not-exist").unwrap(), "in"),
+        JobSpec::new("j", exe).input(FileRef::parse("local://C:\\does-not-exist").unwrap(), "in"),
     );
     // Submission succeeds: staging is asynchronous (one-way upload).
     let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
@@ -77,14 +79,21 @@ fn disk_quota_exhaustion_surfaces_as_job_failure() {
     );
     let client = grid.client("c");
     // Program writes 1 MB onto a 512-byte disk.
-    let exe = stage(&client, "big.exe", &JobProgram::compute(1.0).writing("huge.dat", 1 << 20));
+    let exe = stage(
+        &client,
+        "big.exe",
+        &JobProgram::compute(1.0).writing("huge.dat", 1 << 20),
+    );
     let spec = JobSetSpec::new("quota").job(JobSpec::new("j", exe).output("huge.dat"));
     let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
     grid.clock.advance(Duration::from_secs(10));
     match handle.outcome().unwrap() {
         JobSetOutcome::Failed(fault) => {
             // exit 73 = output write failure.
-            assert!(fault.root_cause().description.contains("code 73"), "{fault}");
+            assert!(
+                fault.root_cause().description.contains("code 73"),
+                "{fault}"
+            );
         }
         other => panic!("unexpected {other:?}"),
     }
@@ -131,7 +140,10 @@ fn grid_with_no_machines_fails_cleanly() {
 fn garbage_executable_fails_at_spawn() {
     let grid = grid();
     let client = grid.client("c");
-    client.put_file("C:\\notaprog.exe", b"MZ\x90\x00this is not a manifest".to_vec());
+    client.put_file(
+        "C:\\notaprog.exe",
+        b"MZ\x90\x00this is not a manifest".to_vec(),
+    );
     let spec = JobSetSpec::new("garbage").job(JobSpec::new(
         "j",
         FileRef::parse("local://C:\\notaprog.exe").unwrap(),
@@ -140,7 +152,10 @@ fn garbage_executable_fails_at_spawn() {
     grid.clock.advance(Duration::from_secs(5));
     match handle.outcome().unwrap() {
         JobSetOutcome::Failed(fault) => {
-            assert!(fault.to_string().contains("not a runnable program"), "{fault}");
+            assert!(
+                fault.to_string().contains("not a runnable program"),
+                "{fault}"
+            );
         }
         other => panic!("unexpected {other:?}"),
     }
@@ -277,12 +292,18 @@ fn lost_upload_notification_leaves_job_staging() {
         "execution-99",
     );
     let mut env = Envelope::new(El::new(UVACG, "UploadComplete").attr("uploaded", "1"));
-    MessageInfo::request(ghost, wsrf_grid::wsrf::container::action_uri("Execution", "UploadComplete"))
-        .apply(&mut env);
+    MessageInfo::request(
+        ghost,
+        wsrf_grid::wsrf::container::action_uri("Execution", "UploadComplete"),
+    )
+    .apply(&mut env);
     let resp = grid.net.call(es_addr, env).unwrap();
     // The resource does not exist at all, so the container's standard
     // NoSuchResource fault fires before the ES's own check.
-    assert_eq!(resp.fault().unwrap().error_code(), Some("wsrf:NoSuchResource"));
+    assert_eq!(
+        resp.fault().unwrap().error_code(),
+        Some("wsrf:NoSuchResource")
+    );
 }
 
 #[test]

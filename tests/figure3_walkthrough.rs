@@ -31,30 +31,45 @@ fn all_ten_steps_observable() {
     // server thread — step 5's source).
     client.put_file(
         "C:\\proj\\stage1.exe",
-        JobProgram::compute(2.0).reading("in1").writing("output2", 512).to_manifest(),
+        JobProgram::compute(2.0)
+            .reading("in1")
+            .writing("output2", 512)
+            .to_manifest(),
     );
     client.put_file("C:\\proj\\file1", vec![7u8; 128]);
     client.put_file(
         "C:\\proj\\stage2.exe",
-        JobProgram::compute(1.0).reading("input.dat").writing("final.out", 64).to_manifest(),
+        JobProgram::compute(1.0)
+            .reading("input.dat")
+            .writing("final.out", 64)
+            .to_manifest(),
     );
 
     // The paper's own example descriptions: "local://C:\file1" and
     // "job1://output2".
     let spec = JobSetSpec::new("walkthrough")
         .job(
-            JobSpec::new("job1", FileRef::parse("local://C:\\proj\\stage1.exe").unwrap())
-                .input(FileRef::parse("local://C:\\proj\\file1").unwrap(), "in1")
-                .output("output2"),
+            JobSpec::new(
+                "job1",
+                FileRef::parse("local://C:\\proj\\stage1.exe").unwrap(),
+            )
+            .input(FileRef::parse("local://C:\\proj\\file1").unwrap(), "in1")
+            .output("output2"),
         )
         .job(
-            JobSpec::new("job2", FileRef::parse("local://C:\\proj\\stage2.exe").unwrap())
-                .input(FileRef::parse("job1://output2").unwrap(), "input.dat"),
+            JobSpec::new(
+                "job2",
+                FileRef::parse("local://C:\\proj\\stage2.exe").unwrap(),
+            )
+            .input(FileRef::parse("job1://output2").unwrap(), "input.dat"),
         );
 
     // Step 1: submission.
     let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
-    assert!(handle.topic.starts_with("jobset-"), "unique topic generated");
+    assert!(
+        handle.topic.starts_with("jobset-"),
+        "unique topic generated"
+    );
 
     // Steps 2-9 for job1 happen synchronously on the zero-latency
     // manual-clock network: the scheduler polled the NIS, picked the
@@ -63,20 +78,30 @@ fn all_ten_steps_observable() {
     // server, and ProcSpawn started the process.
     let dir1 = handle.job_dir("job1").expect("step 9: dir EPR broadcast");
     let job1 = handle.job_epr("job1").expect("step 9: job EPR broadcast");
-    assert_eq!(job1.address, "inproc://machine02/Execution", "fastest machine chosen");
+    assert_eq!(
+        job1.address, "inproc://machine02/Execution",
+        "fastest machine chosen"
+    );
     assert_eq!(dir1.address, "inproc://machine02/FileSystem");
 
     // Step 8/9: the client polls the job's Status resource property.
     assert_eq!(handle.poll_job_status("job1").unwrap(), "Running");
 
     // Step 5 evidence: both client files are in the working directory.
-    let names: Vec<String> =
-        handle.list_job_dir("job1").unwrap().into_iter().map(|(n, _)| n).collect();
+    let names: Vec<String> = handle
+        .list_job_dir("job1")
+        .unwrap()
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
     assert!(names.contains(&"stage1.exe".to_string()), "{names:?}");
     assert!(names.contains(&"in1".to_string()));
 
     // job2 must NOT have started yet — dependency.
-    assert!(handle.job_epr("job2").is_none(), "step 7 gate: job2 waits for job1");
+    assert!(
+        handle.job_epr("job2").is_none(),
+        "step 7 gate: job2 waits for job1"
+    );
 
     // Run job1 to completion (2 cpu-sec at 1.5 speed / free core).
     grid.clock.advance(Duration::from_secs(3));
@@ -102,8 +127,11 @@ fn all_ten_steps_observable() {
     assert_eq!(handle.fetch_output("job1", "output2").unwrap().len(), 512);
 
     // The full event stream, in order, as the client GUI would show it.
-    let topics: Vec<String> =
-        handle.events().iter().map(|m| m.topic.to_string()).collect();
+    let topics: Vec<String> = handle
+        .events()
+        .iter()
+        .map(|m| m.topic.to_string())
+        .collect();
     let t = &handle.topic;
     assert_eq!(
         topics,
@@ -134,7 +162,9 @@ fn scheduler_fills_in_cross_machine_transfers() {
     let client = grid.client("scientist");
     client.put_file(
         "C:\\a.exe",
-        JobProgram::compute(1.0).writing("mid.dat", 256).to_manifest(),
+        JobProgram::compute(1.0)
+            .writing("mid.dat", 256)
+            .to_manifest(),
     );
     client.put_file(
         "C:\\b.exe",
@@ -169,7 +199,10 @@ fn client_can_kill_a_job_mid_set() {
     assert!(handle.kill_job("spin").unwrap());
     match handle.outcome().unwrap() {
         JobSetOutcome::Failed(fault) => {
-            assert!(fault.root_cause().description.contains("code -9"), "{fault}");
+            assert!(
+                fault.root_cause().description.contains("code -9"),
+                "{fault}"
+            );
         }
         other => panic!("unexpected {other:?}"),
     }
@@ -205,7 +238,6 @@ fn nis_snapshot_reflects_running_jobs() {
     ));
     let _handle = client.submit(&spec, "griduser", "gridpass").unwrap();
     let after = nis::snapshot(&grid.net, &grid.nis_address).unwrap();
-    let loaded: Vec<&NodeSnapshot> =
-        after.iter().filter(|n| n.utilization > 0.0).collect();
+    let loaded: Vec<&NodeSnapshot> = after.iter().filter(|n| n.utilization > 0.0).collect();
     assert_eq!(loaded.len(), 1, "one machine took the job: {after:?}");
 }

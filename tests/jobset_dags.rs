@@ -51,7 +51,11 @@ fn linear_chain_of_five() {
 
     // Events prove strict ordering: jN's start never precedes
     // j(N-1)'s exit.
-    let topics: Vec<String> = handle.events().iter().map(|m| m.topic.to_string()).collect();
+    let topics: Vec<String> = handle
+        .events()
+        .iter()
+        .map(|m| m.topic.to_string())
+        .collect();
     for i in 1..5 {
         let started = topics
             .iter()
@@ -79,8 +83,7 @@ fn fan_out_runs_in_parallel() {
         "leaf.exe",
         &JobProgram::compute(10.0).reading("seed.dat"),
     );
-    let mut spec = JobSetSpec::new("fanout")
-        .job(JobSpec::new("seed", producer).output("seed.dat"));
+    let mut spec = JobSetSpec::new("fanout").job(JobSpec::new("seed", producer).output("seed.dat"));
     for i in 0..4 {
         spec = spec.job(
             JobSpec::new(format!("leaf{i}"), consumer.clone())
@@ -111,7 +114,11 @@ fn diamond_consumes_one_output_twice() {
         .job(
             JobSpec::new(
                 "top",
-                exe(&client, "top.exe", &JobProgram::compute(1.0).writing("o", 100)),
+                exe(
+                    &client,
+                    "top.exe",
+                    &JobProgram::compute(1.0).writing("o", 100),
+                ),
             )
             .output("o"),
         )
@@ -145,7 +152,10 @@ fn diamond_consumes_one_output_twice() {
                 exe(
                     &client,
                     "bottom.exe",
-                    &JobProgram::compute(1.0).reading("a").reading("b").writing("fin", 5),
+                    &JobProgram::compute(1.0)
+                        .reading("a")
+                        .reading("b")
+                        .writing("fin", 5),
                 ),
             )
             .input(FileRef::parse("left://lo").unwrap(), "a")
@@ -167,14 +177,11 @@ fn wide_layered_dag_completes() {
     for layer in 0..3 {
         for i in 0..4 {
             let name = format!("l{layer}n{i}");
-            let mut prog = JobProgram::compute(1.0 + i as f64 * 0.5)
-                .writing(format!("{name}.out"), 32);
+            let mut prog =
+                JobProgram::compute(1.0 + i as f64 * 0.5).writing(format!("{name}.out"), 32);
             let mut job;
             if layer == 0 {
-                job = JobSpec::new(
-                    &name,
-                    exe(&client, &format!("{name}.exe"), &prog),
-                );
+                job = JobSpec::new(&name, exe(&client, &format!("{name}.exe"), &prog));
             } else {
                 prog = prog.reading("up.dat");
                 let dep = format!("l{}n{}", layer - 1, (i + 1) % 4);
@@ -194,7 +201,10 @@ fn wide_layered_dag_completes() {
     for i in 0..4 {
         let name = format!("l2n{i}");
         assert_eq!(
-            handle.fetch_output(&name, &format!("{name}.out")).unwrap().len(),
+            handle
+                .fetch_output(&name, &format!("{name}.out"))
+                .unwrap()
+                .len(),
             32
         );
     }
@@ -210,14 +220,22 @@ fn output_content_is_byte_identical_across_staging() {
         .job(
             JobSpec::new(
                 "p",
-                exe(&client, "p.exe", &JobProgram::compute(0.5).writing("data.bin", 1000)),
+                exe(
+                    &client,
+                    "p.exe",
+                    &JobProgram::compute(0.5).writing("data.bin", 1000),
+                ),
             )
             .output("data.bin"),
         )
         .job(
             JobSpec::new(
                 "q",
-                exe(&client, "q.exe", &JobProgram::compute(0.5).reading("data.bin")),
+                exe(
+                    &client,
+                    "q.exe",
+                    &JobProgram::compute(0.5).reading("data.bin"),
+                ),
             )
             .input(FileRef::parse("p://data.bin").unwrap(), "data.bin"),
         );

@@ -87,9 +87,11 @@ fn callbacks_fire_during_live_runs() {
     let client = grid.client("c");
     let exits = Arc::new(AtomicUsize::new(0));
     let e = exits.clone();
-    client.listener().on_topic(TopicExpression::full("//exit"), move |_| {
-        e.fetch_add(1, Ordering::SeqCst);
-    });
+    client
+        .listener()
+        .on_topic(TopicExpression::full("//exit"), move |_| {
+            e.fetch_add(1, Ordering::SeqCst);
+        });
     let handle = submit_n_jobs(&grid, &client, 4, 1.0);
     grid.clock.advance(Duration::from_secs(20));
     assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
@@ -123,8 +125,16 @@ fn two_clients_receive_only_their_topics() {
     grid.clock.advance(Duration::from_secs(20));
     assert_eq!(h1.outcome(), Some(JobSetOutcome::Completed));
     assert_eq!(h2.outcome(), Some(JobSetOutcome::Completed));
-    assert!(c1.listener().received().iter().all(|m| m.topic.to_string().starts_with(&h1.topic)));
-    assert!(c2.listener().received().iter().all(|m| m.topic.to_string().starts_with(&h2.topic)));
+    assert!(c1
+        .listener()
+        .received()
+        .iter()
+        .all(|m| m.topic.to_string().starts_with(&h1.topic)));
+    assert!(c2
+        .listener()
+        .received()
+        .iter()
+        .all(|m| m.topic.to_string().starts_with(&h2.topic)));
     assert_ne!(h1.topic, h2.topic, "unique topic per job set");
 }
 
@@ -136,8 +146,14 @@ fn broker_delivery_counts_scale_with_subscribers() {
     // (client + scheduler + 5).
     for i in 0..5 {
         let l = NotificationListener::register(&grid.net, &format!("inproc://extra{i}/l"));
-        broker::subscribe(&grid.net, &grid.broker, &l.epr(), &TopicExpression::full("//"), None)
-            .unwrap();
+        broker::subscribe(
+            &grid.net,
+            &grid.broker,
+            &l.epr(),
+            &TopicExpression::full("//"),
+            None,
+        )
+        .unwrap();
     }
     let (_, before_oneways, _, _) = grid.net.metrics.snapshot();
     let handle = submit_n_jobs(&grid, &client, 1, 1.0);
@@ -164,9 +180,17 @@ fn direct_producer_matches_brokered_delivery_semantics() {
     );
     let l1 = NotificationListener::register(&grid.net, "inproc://d1/l");
     let l2 = NotificationListener::register(&grid.net, "inproc://d2/l");
-    direct.subscriptions.subscribe(l1.epr(), TopicExpression::full("a//"));
-    broker::subscribe(&grid.net, &grid.broker, &l2.epr(), &TopicExpression::full("a//"), None)
-        .unwrap();
+    direct
+        .subscriptions
+        .subscribe(l1.epr(), TopicExpression::full("a//"));
+    broker::subscribe(
+        &grid.net,
+        &grid.broker,
+        &l2.epr(),
+        &TopicExpression::full("a//"),
+        None,
+    )
+    .unwrap();
 
     for topic in ["a/x", "a/y/z", "b/x"] {
         let payload = wsrf_grid::xml::Element::local("E").text(topic);
@@ -178,10 +202,8 @@ fn direct_producer_matches_brokered_delivery_semantics() {
         )
         .unwrap();
     }
-    let direct_topics: Vec<String> =
-        l1.received().iter().map(|m| m.topic.to_string()).collect();
-    let brokered_topics: Vec<String> =
-        l2.received().iter().map(|m| m.topic.to_string()).collect();
+    let direct_topics: Vec<String> = l1.received().iter().map(|m| m.topic.to_string()).collect();
+    let brokered_topics: Vec<String> = l2.received().iter().map(|m| m.topic.to_string()).collect();
     assert_eq!(direct_topics, brokered_topics);
     assert_eq!(direct_topics, ["a/x", "a/y/z"]);
 }

@@ -7,6 +7,7 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use wsrf_grid::prelude::*;
+use wsrf_grid::wsrf::proxy::ResourceProxy;
 
 /// A generated DAG description: `deps[i]` lists indices < i.
 #[derive(Debug, Clone)]
@@ -38,15 +39,24 @@ fn dag_strategy(max_jobs: usize) -> impl Strategy<Value = DagShape> {
         })
 }
 
-fn build_spec(client: &Client, shape: &DagShape) -> JobSetSpec {
+/// Builds the spec and predicts the staging traffic: returns
+/// `(spec, staged_bytes, staged_files)` where the counts cover every
+/// file the FSS must pull per job — the executable manifest plus one
+/// 16-byte intermediate per dependency.
+fn build_spec(client: &Client, shape: &DagShape) -> (JobSetSpec, u64, u64) {
     let mut spec = JobSetSpec::new("prop");
+    let mut staged_bytes = 0u64;
+    let mut staged_files = 0u64;
     for (i, deps) in shape.deps.iter().enumerate() {
         let mut prog = JobProgram::compute(shape.cpu[i]).writing(format!("out{i}"), 16);
         for d in deps {
             prog = prog.reading(format!("dep{d}"));
         }
         let path = format!("C:\\prog{i}.exe");
-        client.put_file(&path, prog.to_manifest());
+        let manifest = prog.to_manifest();
+        staged_bytes += manifest.len() as u64 + 16 * deps.len() as u64;
+        staged_files += 1 + deps.len() as u64;
+        client.put_file(&path, manifest);
         let mut job = JobSpec::new(
             format!("job{i}"),
             FileRef::parse(&format!("local://{path}")).unwrap(),
@@ -60,7 +70,7 @@ fn build_spec(client: &Client, shape: &DagShape) -> JobSetSpec {
         }
         spec = spec.job(job);
     }
-    spec
+    (spec, staged_bytes, staged_files)
 }
 
 proptest! {
@@ -70,7 +80,7 @@ proptest! {
     fn random_dags_always_complete(shape in dag_strategy(7), machines in 1usize..4) {
         let grid = CampusGrid::build(GridConfig::with_machines(machines), Clock::manual());
         let client = grid.client("p");
-        let spec = build_spec(&client, &shape);
+        let (spec, _, _) = build_spec(&client, &shape);
         prop_assert!(spec.validate().is_ok());
         let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
         // Generous budget: total work is < 14 cpu-sec on >= 1 machine.
@@ -116,6 +126,59 @@ proptest! {
         prop_assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
         let staged = handle.fetch_output("check", "data.bin").unwrap();
         prop_assert_eq!(staged.to_vec(), content);
+    }
+
+    #[test]
+    fn metrics_conservation_laws_hold(shape in dag_strategy(6), machines in 1usize..4) {
+        // Two conservation laws over the observability layer, for any
+        // DAG: (a) CPU time charged to jobs cannot exceed the machine
+        // capacity available during the makespan, and (b) the FSS
+        // staging counters account for every staged byte exactly.
+        let config = GridConfig::with_machines(machines);
+        let capacity: f64 = config
+            .machines
+            .iter()
+            .map(|m| (m.cpu_mhz as f64 / 1000.0) * m.cores as f64)
+            .sum();
+        let grid = CampusGrid::build(config, Clock::manual());
+        let client = grid.client("p");
+        let (spec, expected_bytes, expected_files) = build_spec(&client, &shape);
+        let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+        for _ in 0..120 {
+            if handle.outcome().is_some() {
+                break;
+            }
+            grid.clock.advance(Duration::from_secs(1));
+        }
+        prop_assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed), "{:?}", shape);
+
+        // Makespan and per-job CPU are resource properties on the
+        // job-set WS-Resource, read through the standard port types.
+        let proxy = ResourceProxy::new(&grid.net, handle.jobset.clone());
+        let makespan = proxy.get_f64("Makespan").unwrap();
+        prop_assert!(makespan > 0.0, "makespan {makespan}");
+        let mut cpu_sum = 0.0;
+        let mut reported = 0usize;
+        for el in proxy.query("//JobStatus").unwrap() {
+            if let Some(cpu) = el.attr_value("cpu") {
+                cpu_sum += cpu.parse::<f64>().unwrap();
+                reported += 1;
+            }
+        }
+        prop_assert_eq!(reported, shape.deps.len(), "every exited job reports cpu");
+        prop_assert!(
+            cpu_sum <= makespan * capacity + 1e-6,
+            "cpu {cpu_sum} > makespan {makespan} x capacity {capacity}"
+        );
+
+        // The staging counters match the predicted traffic exactly.
+        let snap = grid.metrics_snapshot();
+        prop_assert_eq!(snap.counter("fss.staged_bytes"), Some(expected_bytes));
+        prop_assert_eq!(snap.counter("fss.staged_files"), Some(expected_files));
+        prop_assert_eq!(
+            snap.histogram("fss.stage.real_ns").map(|h| h.count),
+            Some(expected_files)
+        );
     }
 
     #[test]

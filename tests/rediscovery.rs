@@ -10,11 +10,12 @@ use wsrf_grid::prelude::*;
 fn submit_and_finish(grid: &CampusGrid, client: &Client, name: &str) -> JobSetHandle {
     client.put_file(
         "C:\\p.exe",
-        JobProgram::compute(1.0).writing("result.dat", 64).to_manifest(),
+        JobProgram::compute(1.0)
+            .writing("result.dat", 64)
+            .to_manifest(),
     );
     let spec = JobSetSpec::new(name).job(
-        JobSpec::new("worker", FileRef::parse("local://C:\\p.exe").unwrap())
-            .output("result.dat"),
+        JobSpec::new("worker", FileRef::parse("local://C:\\p.exe").unwrap()).output("result.dat"),
     );
     let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
     grid.clock.advance(Duration::from_secs(10));
@@ -67,7 +68,10 @@ fn rediscover_filters_by_name_and_lists_all() {
 fn restored_handle_sees_failures_with_fault_chain() {
     let grid = CampusGrid::build(GridConfig::with_machines(1), Clock::manual());
     let client = grid.client("c");
-    client.put_file("C:\\bad.exe", JobProgram::compute(0.5).exiting(3).to_manifest());
+    client.put_file(
+        "C:\\bad.exe",
+        JobProgram::compute(0.5).exiting(3).to_manifest(),
+    );
     let spec = JobSetSpec::new("doomed").job(JobSpec::new(
         "bad",
         FileRef::parse("local://C:\\bad.exe").unwrap(),
@@ -76,7 +80,11 @@ fn restored_handle_sees_failures_with_fault_chain() {
     grid.clock.advance(Duration::from_secs(5));
     assert!(matches!(handle.outcome(), Some(JobSetOutcome::Failed(_))));
 
-    let restored = grid.client("c2").rediscover(Some("doomed")).unwrap().remove(0);
+    let restored = grid
+        .client("c2")
+        .rediscover(Some("doomed"))
+        .unwrap()
+        .remove(0);
     match restored.resource_outcome().unwrap() {
         Some(JobSetOutcome::Failed(fault)) => {
             assert_eq!(fault.error_code, "uvacg:JobSetFailed");

@@ -20,13 +20,18 @@ fn forty_jobs_on_eight_machines() {
     let client = grid.client("c");
     client.put_file(
         "C:\\p.exe",
-        JobProgram::compute(10.0).writing("o.dat", 2048).to_manifest(),
+        JobProgram::compute(10.0)
+            .writing("o.dat", 2048)
+            .to_manifest(),
     );
     let mut spec = JobSetSpec::new("forty");
     for i in 0..40 {
         spec = spec.job(
-            JobSpec::new(format!("job{i:02}"), FileRef::parse("local://C:\\p.exe").unwrap())
-                .output("o.dat"),
+            JobSpec::new(
+                format!("job{i:02}"),
+                FileRef::parse("local://C:\\p.exe").unwrap(),
+            )
+            .output("o.dat"),
         );
     }
     let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
@@ -34,11 +39,21 @@ fn forty_jobs_on_eight_machines() {
     assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
 
     // Conservation: 40 exits, 40 dirs, 40 starts, 1 completed.
-    let topics: Vec<String> = handle.events().iter().map(|m| m.topic.to_string()).collect();
+    let topics: Vec<String> = handle
+        .events()
+        .iter()
+        .map(|m| m.topic.to_string())
+        .collect();
     assert_eq!(topics.iter().filter(|t| t.ends_with("/exit")).count(), 40);
     assert_eq!(topics.iter().filter(|t| t.ends_with("/dir")).count(), 40);
-    assert_eq!(topics.iter().filter(|t| t.ends_with("/started")).count(), 40);
-    assert_eq!(topics.iter().filter(|t| t.ends_with("/completed")).count(), 1);
+    assert_eq!(
+        topics.iter().filter(|t| t.ends_with("/started")).count(),
+        40
+    );
+    assert_eq!(
+        topics.iter().filter(|t| t.ends_with("/completed")).count(),
+        1
+    );
 
     // All machines idle afterwards; every output retrievable.
     assert!(grid.machines.iter().all(|m| m.utilization() == 0.0));
@@ -101,8 +116,14 @@ fn twenty_job_sets_interleaved() {
         client.put_file("C:\\p.exe", JobProgram::compute(3.0).to_manifest());
         for s in 0..4 {
             let spec = JobSetSpec::new(format!("c{ci}s{s}"))
-                .job(JobSpec::new("a", FileRef::parse("local://C:\\p.exe").unwrap()))
-                .job(JobSpec::new("b", FileRef::parse("local://C:\\p.exe").unwrap()));
+                .job(JobSpec::new(
+                    "a",
+                    FileRef::parse("local://C:\\p.exe").unwrap(),
+                ))
+                .job(JobSpec::new(
+                    "b",
+                    FileRef::parse("local://C:\\p.exe").unwrap(),
+                ));
             handles.push(client.submit(&spec, "griduser", "gridpass").unwrap());
         }
     }
@@ -130,7 +151,10 @@ fn zero_cpu_jobs_complete_without_state_clobbering() {
     // overwrite the Exited status with Running afterwards.
     let grid = CampusGrid::build(GridConfig::with_machines(2), Clock::manual());
     let client = grid.client("c");
-    client.put_file("C:\\instant.exe", JobProgram::compute(0.0).writing("o", 8).to_manifest());
+    client.put_file(
+        "C:\\instant.exe",
+        JobProgram::compute(0.0).writing("o", 8).to_manifest(),
+    );
     let mut spec = JobSetSpec::new("instant");
     for i in 0..5 {
         let mut job = JobSpec::new(

@@ -22,11 +22,16 @@ fn pipeline_completes_in_real_time() {
     let client = grid.client("c");
     client.put_file(
         "C:\\a.exe",
-        JobProgram::compute(5.0).writing("mid.dat", 50_000).to_manifest(),
+        JobProgram::compute(5.0)
+            .writing("mid.dat", 50_000)
+            .to_manifest(),
     );
     client.put_file(
         "C:\\b.exe",
-        JobProgram::compute(3.0).reading("mid.dat").writing("fin.dat", 1000).to_manifest(),
+        JobProgram::compute(3.0)
+            .reading("mid.dat")
+            .writing("fin.dat", 1000)
+            .to_manifest(),
     );
     let spec = JobSetSpec::new("rt-pipeline")
         .job(JobSpec::new("a", FileRef::parse("local://C:\\a.exe").unwrap()).output("mid.dat"))
@@ -35,7 +40,9 @@ fn pipeline_completes_in_real_time() {
                 .input(FileRef::parse("a://mid.dat").unwrap(), "mid.dat"),
         );
     let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
-    let outcome = handle.wait(Duration::from_secs(30)).expect("finished in time");
+    let outcome = handle
+        .wait(Duration::from_secs(30))
+        .expect("finished in time");
     assert_eq!(outcome, JobSetOutcome::Completed);
     assert_eq!(handle.fetch_output("b", "fin.dat").unwrap().len(), 1000);
     // Virtual elapsed time is plausible: at least the serial CPU time,
@@ -57,7 +64,10 @@ fn modeled_latency_orders_upload_before_start() {
     ));
     let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
     // Wait until the started event arrives.
-    assert!(handle.wait_job_started("j", Duration::from_secs(20)), "job started");
+    assert!(
+        handle.wait_job_started("j", Duration::from_secs(20)),
+        "job started"
+    );
     let outcome = handle.wait(Duration::from_secs(60)).expect("finished");
     assert_eq!(outcome, JobSetOutcome::Completed);
 }

@@ -19,15 +19,19 @@ use wsrf_grid::xml::{base64, Element as El, QName};
 fn counter_service() -> Arc<wsrf_grid::wsrf::Service> {
     let clock = Clock::manual();
     let net = InProcNetwork::new(clock.clone());
-    let svc = ServiceBuilder::new("Counter", "inproc://local/Counter", Arc::new(MemoryStore::new()))
-        .operation("Bump", |ctx| {
-            let doc = ctx.resource_mut()?;
-            let q = QName::new(wsrf_grid::testbed::UVACG, "Count");
-            let n = doc.i64(&q).unwrap_or(0) + 1;
-            doc.set_i64(q, n);
-            Ok(El::new(wsrf_grid::testbed::UVACG, "BumpResponse").text(n.to_string()))
-        })
-        .build(clock, net);
+    let svc = ServiceBuilder::new(
+        "Counter",
+        "inproc://local/Counter",
+        Arc::new(MemoryStore::new()),
+    )
+    .operation("Bump", |ctx| {
+        let doc = ctx.resource_mut()?;
+        let q = QName::new(wsrf_grid::testbed::UVACG, "Count");
+        let n = doc.i64(&q).unwrap_or(0) + 1;
+        doc.set_i64(q, n);
+        Ok(El::new(wsrf_grid::testbed::UVACG, "BumpResponse").text(n.to_string()))
+    })
+    .build(clock, net);
     let mut doc = PropertyDoc::new();
     doc.set_i64(QName::new(wsrf_grid::testbed::UVACG, "Count"), 0);
     svc.core().create_resource_with_key("c1", doc).unwrap();
@@ -37,8 +41,11 @@ fn counter_service() -> Arc<wsrf_grid::wsrf::Service> {
 fn bump_request(svc: &wsrf_grid::wsrf::Service) -> Envelope {
     let epr = svc.core().epr_for("c1");
     let mut env = Envelope::new(El::new(wsrf_grid::testbed::UVACG, "Bump"));
-    MessageInfo::request(epr, wsrf_grid::wsrf::container::action_uri("Counter", "Bump"))
-        .apply(&mut env);
+    MessageInfo::request(
+        epr,
+        wsrf_grid::wsrf::container::action_uri("Counter", "Bump"),
+    )
+    .apply(&mut env);
     env
 }
 
@@ -66,8 +73,11 @@ fn wsrf_fault_crosses_http_as_500_with_detail() {
     // Bad key -> NoSuchResource fault.
     let ghost = svc.core().epr_for("ghost");
     let mut env = Envelope::new(El::new(wsrf_grid::testbed::UVACG, "Bump"));
-    MessageInfo::request(ghost, wsrf_grid::wsrf::container::action_uri("Counter", "Bump"))
-        .apply(&mut env);
+    MessageInfo::request(
+        ghost,
+        wsrf_grid::wsrf::container::action_uri("Counter", "Bump"),
+    )
+    .apply(&mut env);
     let resp = http_call(&server.authority(), "Counter", &env).unwrap();
     let fault = resp.fault().unwrap();
     assert_eq!(fault.error_code(), Some("wsrf:NoSuchResource"));
@@ -88,7 +98,9 @@ fn wsrf_dispatch_over_soap_tcp_persistent_connection() {
 #[test]
 fn bulk_binary_payload_over_both_transports() {
     // 256 KiB of binary content as base64 inside the envelope.
-    let blob: Vec<u8> = (0..262_144u32).map(|i| (i.wrapping_mul(2654435761)) as u8).collect();
+    let blob: Vec<u8> = (0..262_144u32)
+        .map(|i| (i.wrapping_mul(2654435761)) as u8)
+        .collect();
     let echo = Arc::new(wsrf_grid::transport::FnEndpoint::new("echo", Some));
     let body = El::local("Blob").text(base64::encode(&blob));
     let env = Envelope::new(body);
@@ -115,7 +127,9 @@ fn one_way_messages_over_both_transports() {
     let env = Envelope::new(El::local("Event"));
 
     let http_server = HttpSoapServer::start(sink.clone()).unwrap();
-    assert!(http_post(&http_server.authority(), "sink", &env).unwrap().is_none());
+    assert!(http_post(&http_server.authority(), "sink", &env)
+        .unwrap()
+        .is_none());
     assert_eq!(hits.load(Ordering::SeqCst), 1);
 
     let tcp_server = FramedServer::start(sink).unwrap();

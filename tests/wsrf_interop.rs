@@ -18,10 +18,12 @@ fn grid() -> CampusGrid {
 
 fn start_one_job(grid: &CampusGrid, cpu: f64) -> (Client, JobSetHandle) {
     let client = grid.client("c");
-    client.put_file("C:\\p.exe", JobProgram::compute(cpu).writing("o.dat", 64).to_manifest());
-    let spec = JobSetSpec::new("s").job(
-        JobSpec::new("j", FileRef::parse("local://C:\\p.exe").unwrap()).output("o.dat"),
+    client.put_file(
+        "C:\\p.exe",
+        JobProgram::compute(cpu).writing("o.dat", 64).to_manifest(),
     );
+    let spec = JobSetSpec::new("s")
+        .job(JobSpec::new("j", FileRef::parse("local://C:\\p.exe").unwrap()).output("o.dat"));
     let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
     (client, handle)
 }
@@ -106,7 +108,10 @@ fn job_resources_obey_resource_lifetime() {
         wsrp_action("GetResourceProperty"),
         El::new(ns::WSRP, "GetResourceProperty").text("Status"),
     );
-    assert_eq!(resp.fault().unwrap().error_code(), Some("wsrf:NoSuchResource"));
+    assert_eq!(
+        resp.fault().unwrap().error_code(),
+        Some("wsrf:NoSuchResource")
+    );
 }
 
 #[test]
@@ -115,10 +120,14 @@ fn immediate_destroy_of_a_directory_resource() {
     let (dir, _path) =
         wsrf_grid::testbed::fss::create_directory(&grid.net, "inproc://machine01/FileSystem")
             .unwrap();
-    let resp = call(&grid, &dir, wsrl_action("Destroy"), El::new(ns::WSRL, "Destroy"));
+    let resp = call(
+        &grid,
+        &dir,
+        wsrl_action("Destroy"),
+        El::new(ns::WSRL, "Destroy"),
+    );
     assert!(!resp.is_fault());
-    let err =
-        wsrf_grid::testbed::fss::list(&grid.net, &dir).unwrap_err();
+    let err = wsrf_grid::testbed::fss::list(&grid.net, &dir).unwrap_err();
     assert_eq!(err.error_code(), Some("wsrf:NoSuchResource"));
 }
 
