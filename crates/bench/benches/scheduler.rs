@@ -5,7 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use uvacg::{FastestAvailable, LeastLoaded, NodeSnapshot, Random, RoundRobin, SchedulingPolicy};
+use uvacg::{
+    FastestAvailable, LeastLoaded, MetricsFeedback, NodeSnapshot, Random, RoundRobin,
+    SchedulingPolicy,
+};
 
 fn snapshot(n: usize) -> Vec<NodeSnapshot> {
     (0..n)
@@ -15,6 +18,7 @@ fn snapshot(n: usize) -> Vec<NodeSnapshot> {
             cores: 1 + (i as u32) % 4,
             ram_mb: 1024,
             utilization: (i as f64 * 0.37) % 1.0,
+            updated_at: 0.0,
             execution: format!("inproc://machine{i:03}/Execution"),
             filesystem: format!("inproc://machine{i:03}/FileSystem"),
         })
@@ -30,6 +34,7 @@ fn bench_policies(c: &mut Criterion) {
             ("round-robin", Box::new(RoundRobin::default())),
             ("random", Box::new(Random::new(1))),
             ("least-loaded", Box::new(LeastLoaded)),
+            ("metrics-feedback", Box::new(MetricsFeedback::new())),
         ];
         for (name, policy) in policies {
             group.bench_with_input(BenchmarkId::new(name, n), &nodes, |b, nodes| {

@@ -101,6 +101,23 @@ impl GridConfig {
         self
     }
 
+    /// Builder: degrade the link to one machine — every message to
+    /// `authority` pays `latency` regardless of size. The fault E6b
+    /// injects: the NIS still advertises the machine's full speed, so
+    /// only observed behaviour can reveal the slow uplink.
+    pub fn with_slow_authority(mut self, authority: &str, latency: std::time::Duration) -> Self {
+        self.net.per_authority.insert(
+            authority.to_ascii_lowercase(),
+            wsrf_transport::LinkProfile {
+                latency,
+                bandwidth_bps: u64::MAX,
+                overhead_bytes: 0,
+                inflation: 1.0,
+            },
+        );
+        self
+    }
+
     /// Builder: set the observability switch (E1 measures the disabled
     /// configuration against the default enabled one).
     pub fn with_obs(mut self, obs: ObsConfig) -> Self {

@@ -52,7 +52,8 @@ pub use client::{Client, JobSetHandle, JobSetOutcome};
 pub use grid::{CampusGrid, GridConfig};
 pub use jobset::{FileRef, JobSetSpec, JobSpec};
 pub use policy::{
-    FastestAvailable, LeastLoaded, NodeSnapshot, Random, RoundRobin, SchedulingPolicy,
+    FastestAvailable, LeastLoaded, MachineOutcome, MetricsFeedback, NodeSnapshot, OutcomeKind,
+    PenaltyRow, Random, RoundRobin, SchedulingPolicy,
 };
 pub use proxies::{DirectoryProxy, JobProxy};
 

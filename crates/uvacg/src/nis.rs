@@ -75,6 +75,10 @@ pub fn node_info_service(
                     };
                     if doc.text(&q("Machine")).as_deref() == Some(machine.as_str()) {
                         doc.set_f64(q("Utilization"), utilization);
+                        // Staleness marker: virtual time of this
+                        // report, so snapshot consumers can tell a
+                        // fresh 0.3 from one frozen since deployment.
+                        doc.set_f64(q("LastUpdated"), core.clock.now().as_secs_f64());
                         core.store
                             .save(&core.name, &key, &doc)
                             .map_err(faults::from_store)?;
@@ -107,6 +111,7 @@ pub fn node_info_service(
                         .attr("cores", text("Cores"))
                         .attr("ramMb", text("RamMb"))
                         .attr("utilization", text("Utilization"))
+                        .attr("updatedAt", text("LastUpdated"))
                         .attr("execution", text("Execution"))
                         .attr("filesystem", text("FileSystem")),
                 );
@@ -207,6 +212,10 @@ pub fn snapshot(net: &InProcNetwork, nis_address: &str) -> Result<Vec<NodeSnapsh
                 cores: n.attr_value("cores")?.parse().ok()?,
                 ram_mb: n.attr_value("ramMb")?.parse().ok()?,
                 utilization: n.attr_value("utilization")?.parse().ok()?,
+                updated_at: n
+                    .attr_value("updatedAt")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.0),
                 execution: n.attr_value("execution")?.to_string(),
                 filesystem: n.attr_value("filesystem")?.to_string(),
             })
@@ -263,10 +272,15 @@ mod tests {
         let (net, _svc) = setup();
         add(&net, "m1", 1000);
         add(&net, "m2", 1000);
+        net.clock().advance(std::time::Duration::from_secs(10));
         report_utilization(&net, ADDR, "m2", 0.75).unwrap();
         let nodes = snapshot(&net, ADDR).unwrap();
         assert_eq!(nodes[0].utilization, 0.0);
         assert_eq!(nodes[1].utilization, 0.75);
+        // The update stamps the report's virtual time; machines that
+        // never reported stay at 0.
+        assert_eq!(nodes[0].updated_at, 0.0);
+        assert_eq!(nodes[1].updated_at, 10.0);
         report_utilization(&net, ADDR, "m2", 0.25).unwrap();
         assert_eq!(snapshot(&net, ADDR).unwrap()[1].utilization, 0.25);
     }

@@ -34,13 +34,20 @@ use wsrf_xml::{Element, QName};
 
 use crate::es::{self, RunRequest};
 use crate::jobset::{FileRef, JobSetSpec};
-use crate::policy::SchedulingPolicy;
+use crate::policy::{MachineOutcome, OutcomeKind, SchedulingPolicy};
 use crate::security::GridSecurity;
 
 /// The job-set key reference property (Clark form).
 pub fn jobset_key_property() -> String {
     format!("{{{UVACG}}}JobSetKey")
 }
+
+/// Well-known resource key of the scheduler's feedback table. The
+/// resource carries one `{UVACG}MachinePenalty` property per machine
+/// the policy has observed (attributes `machine`, `penalty`, `ewmaNs`,
+/// `observations`, `failures`), refreshed after every reported
+/// outcome. Empty for feedback-less policies.
+pub const FEEDBACK_KEY: &str = "feedback";
 
 fn q(local: &str) -> QName {
     QName::new(UVACG, local)
@@ -94,6 +101,7 @@ struct JobRun {
     job_epr: Option<EndpointReference>,
     exit_code: Option<i32>,
     cpu_used: Option<f64>,
+    dispatched_at: Option<SimTime>,
 }
 
 struct RunState {
@@ -137,6 +145,12 @@ impl Scheduler {
         self.service.core().service_epr()
     }
 
+    /// EPR of the feedback-table resource (its `MachinePenalty`
+    /// properties mirror the policy's [`crate::policy::PenaltyRow`]s).
+    pub fn feedback_epr(&self) -> EndpointReference {
+        self.service.core().epr_for(FEEDBACK_KEY)
+    }
+
     /// Diagnostic: per-job states of a run (None for unknown sets).
     pub fn job_states(&self, jobset_key: &str) -> Option<Vec<(String, String, Option<i32>)>> {
         let runs = self.inner.runs.lock();
@@ -158,6 +172,9 @@ pub fn scheduler_service(
     clock: Clock,
     net: Arc<InProcNetwork>,
 ) -> Scheduler {
+    // Feedback policies read observed transport latencies from the
+    // deployment's registry.
+    cfg.policy.bind_metrics(net.metrics_registry());
     let inner = Arc::new(SchedInner {
         runs: Mutex::new(HashMap::new()),
         nis_address: cfg.nis_address,
@@ -184,6 +201,9 @@ pub fn scheduler_service(
             keys.sort_by_key(|k| (k.len(), k.clone()));
             let mut resp = Element::new(UVACG, "FindJobSetsResponse");
             for key in keys {
+                if key == FEEDBACK_KEY {
+                    continue; // not a job set
+                }
                 let Ok(doc) = core.store.load(&core.name, &key) else {
                     continue;
                 };
@@ -205,10 +225,48 @@ pub fn scheduler_service(
         })
         .build(clock, net);
 
+    // The queryable feedback table: clients introspect placement the
+    // same way they introspect job sets — as resource properties.
+    let mut doc = PropertyDoc::new();
+    doc.set_text(q("Policy"), inner.policy.name());
+    let _ = service.core().create_resource_with_key(FEEDBACK_KEY, doc);
+
     Scheduler {
         service,
         listener,
         inner,
+    }
+}
+
+/// Report one placement outcome into the policy's feedback channel and
+/// refresh the queryable penalty table. Must not be called while
+/// `inner.runs` is locked (the policy takes its own locks, and some
+/// policies consult the metrics registry).
+fn report_outcome(
+    core: &Arc<ServiceCore>,
+    inner: &Arc<SchedInner>,
+    machine: &str,
+    kind: OutcomeKind,
+) {
+    inner.policy.observe(&MachineOutcome {
+        machine: machine.to_string(),
+        kind,
+    });
+    let rows = inner.policy.penalties();
+    if let Ok(mut doc) = core.store.load(&core.name, FEEDBACK_KEY) {
+        let els = rows
+            .iter()
+            .map(|r| {
+                Element::with_name(q("MachinePenalty"))
+                    .attr("machine", &r.machine)
+                    .attr("penalty", format!("{:.4}", r.penalty))
+                    .attr("ewmaNs", r.ewma_ns.to_string())
+                    .attr("observations", r.observations.to_string())
+                    .attr("failures", format!("{:.4}", r.failures))
+            })
+            .collect();
+        doc.update(q("MachinePenalty"), els);
+        let _ = core.store.save(&core.name, FEEDBACK_KEY, &doc);
     }
 }
 
@@ -321,6 +379,7 @@ fn submit_op(
                                 job_epr: None,
                                 exit_code: None,
                                 cpu_used: None,
+                                dispatched_at: None,
                             },
                         )
                     })
@@ -495,7 +554,7 @@ fn on_event(
                 &[(10, "exit_broadcast")],
                 core.clock.now(),
             );
-            let all_done = {
+            let (all_done, outcome) = {
                 let mut runs = inner.runs.lock();
                 let Some(run) = runs.get_mut(key) else { return };
                 let Some(jr) = run.jobs.get_mut(&job_name) else {
@@ -509,12 +568,31 @@ fn on_event(
                     JobState::Failed
                 };
                 update_job_status_property(core, key, &job_name, jr);
-                if code != 0 {
+                // Feedback: a clean exit reports the observed per-job
+                // makespan on that machine; a nonzero exit is a
+                // failure mark against it.
+                let outcome = jr.machine.clone().map(|machine| {
+                    let kind = if code == 0 {
+                        OutcomeKind::Makespan {
+                            virt_ns: jr
+                                .dispatched_at
+                                .map_or(0, |t| core.clock.now().since(t).as_nanos() as u64),
+                        }
+                    } else {
+                        OutcomeKind::Failure
+                    };
+                    (machine, kind)
+                });
+                let all_done = if code != 0 {
                     None // handled below as failure
                 } else {
                     Some(run.jobs.values().all(|j| j.state == JobState::Completed))
-                }
+                };
+                (all_done, outcome)
             };
+            if let Some((machine, kind)) = outcome {
+                report_outcome(core, inner, &machine, kind);
+            }
             match all_done {
                 None => {
                     fail_job_set(
@@ -533,14 +611,20 @@ fn on_event(
             }
         }
         "failed" => {
-            {
+            let machine = {
                 let mut runs = inner.runs.lock();
+                let mut machine = None;
                 if let Some(run) = runs.get_mut(key) {
                     if let Some(jr) = run.jobs.get_mut(&job_name) {
                         jr.state = JobState::Failed;
+                        machine = jr.machine.clone();
                         update_job_status_property(core, key, &job_name, jr);
                     }
                 }
+                machine
+            };
+            if let Some(machine) = machine {
+                report_outcome(core, inner, &machine, OutcomeKind::Failure);
             }
             fail_job_set(
                 core,
@@ -562,7 +646,7 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
     loop {
         // Pick one ready job under the lock; dispatch outside it (the
         // Run call triggers notifications that re-enter this module).
-        let next: Option<(String, RunRequest, String, SimTime)> = {
+        let next: Option<(String, RunRequest, String, String, SimTime)> = {
             let mut runs = inner.runs.lock();
             let Some(run) = runs.get_mut(key) else { return };
             if run.finished {
@@ -670,8 +754,9 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
                     let jr = run.jobs.get_mut(&job_name).unwrap();
                     jr.state = JobState::Dispatched;
                     jr.machine = Some(node.machine.clone());
+                    jr.dispatched_at = Some(core.clock.now());
                     update_job_status_property(core, key, &job_name, jr);
-                    Some((job_name, req, node.execution, t_nis))
+                    Some((job_name, req, node.execution, node.machine, t_nis))
                 }
                 Err(fault) => {
                     drop(runs);
@@ -681,7 +766,7 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
             }
         };
 
-        let Some((job_name, req, es_address, t_nis)) = next else {
+        let Some((job_name, req, es_address, machine, t_nis)) = next else {
             return;
         };
 
@@ -693,9 +778,21 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
         // already complete the job (zero-work programs) or even the
         // whole set; state transitions happened in on_event.
         let es_run_span = core.metrics.timer("scheduler.es_run").start(&core.clock);
+        let t_run = core.clock.now();
         match es::run(&core.net, &es_address, &req) {
             Ok(reply) => {
                 es_run_span.finish();
+                // Feedback: the observed virtual dispatch latency for
+                // this machine (zero on a manual clock, which the
+                // policy discards as signal-free).
+                report_outcome(
+                    core,
+                    inner,
+                    &machine,
+                    OutcomeKind::Dispatch {
+                        virt_ns: core.clock.now().since(t_run).as_nanos() as u64,
+                    },
+                );
                 record_steps(
                     core,
                     inner,
@@ -723,6 +820,7 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
                     let inner2 = inner.clone();
                     let key2 = key.to_string();
                     let name2 = job_name.clone();
+                    let machine2 = machine.clone();
                     core.clock.schedule(timeout, move |_| {
                         let timed_out = {
                             let runs = inner2.runs.lock();
@@ -731,6 +829,7 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
                                 .is_some_and(|jr| jr.state == JobState::Dispatched)
                         };
                         if timed_out {
+                            report_outcome(&core2, &inner2, &machine2, OutcomeKind::Timeout);
                             fail_job_set(
                                 &core2,
                                 &inner2,

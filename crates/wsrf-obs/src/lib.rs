@@ -204,6 +204,23 @@ impl Histogram {
             .unwrap_or(0)
     }
 
+    /// Point-in-time estimate of the `q`-quantile (`quantile(0.5)` is
+    /// the median), at log-bucket resolution like the `p50/p90/p99`
+    /// fields of [`Histogram::stats`]. `0` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let Some(core) = &self.inner else { return 0 };
+        let buckets: Vec<u64> = core
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            return 0;
+        }
+        percentile_from_buckets(&buckets, count, q.clamp(0.0, 1.0))
+    }
+
     /// Consistent-enough point-in-time stats (values recorded while
     /// snapshotting may appear partially — counts never go backwards
     /// and `sum/count` stays a valid mean of *some* prefix).

@@ -172,7 +172,7 @@ impl InProcNetwork {
         let req_bytes = env.to_xml().len() as u64;
         let req_cost = self.cost(to, req_bytes);
         self.metrics.record(req_bytes, req_cost);
-        self.obs_modeled.record_duration(req_cost);
+        self.record_modeled(to, req_cost);
         self.charge(req_cost);
         let resp = ep
             .handle(env)
@@ -180,7 +180,7 @@ impl InProcNetwork {
         let resp_bytes = resp.to_xml().len() as u64;
         let resp_cost = self.cost(to, resp_bytes);
         self.metrics.record(resp_bytes, resp_cost);
-        self.obs_modeled.record_duration(resp_cost);
+        self.record_modeled(to, resp_cost);
         self.charge(resp_cost);
         self.metrics.calls.fetch_add(1, Ordering::Relaxed);
         self.obs.record_call(req_bytes, resp_bytes, started);
@@ -197,7 +197,7 @@ impl InProcNetwork {
         let bytes = env.to_xml().len() as u64;
         let cost = self.cost(to, bytes);
         self.metrics.record(bytes, cost);
-        self.obs_modeled.record_duration(cost);
+        self.record_modeled(to, cost);
         self.metrics.oneways.fetch_add(1, Ordering::Relaxed);
         self.obs.record_oneway(bytes, started);
         if self.clock.is_manual() {
@@ -218,6 +218,20 @@ impl InProcNetwork {
         Ok(())
     }
 
+    /// Record one modeled transfer: the aggregate histogram plus the
+    /// per-authority breakdown ([`modeled_metric_name`]) that lets a
+    /// feedback policy see which machine's link is slow.
+    fn record_modeled(&self, to: &str, cost: Duration) {
+        self.obs_modeled.record_duration(cost);
+        if self.obs_registry.is_enabled() {
+            if let Some(u) = Uri::parse(to) {
+                self.obs_registry
+                    .histogram(&modeled_metric_name(&u.authority))
+                    .record_duration(cost);
+            }
+        }
+    }
+
     /// Charge a modeled duration to the caller.
     fn charge(&self, cost: Duration) {
         if !cost.is_zero() && !self.clock.is_manual() {
@@ -228,6 +242,16 @@ impl InProcNetwork {
 
 fn normalize(address: &str) -> String {
     address.trim_end_matches('/').to_ascii_lowercase()
+}
+
+/// Metric name of the per-authority modeled-transfer histogram, e.g.
+/// `transport.inproc.modeled.machine01_ns`. Feedback-aware schedulers
+/// read these to learn which links are slow.
+pub fn modeled_metric_name(authority: &str) -> String {
+    format!(
+        "transport.inproc.modeled.{}_ns",
+        authority.to_ascii_lowercase()
+    )
 }
 
 #[cfg(test)]

@@ -39,5 +39,5 @@ pub mod tcpframe;
 
 pub use endpoint::{Endpoint, FnEndpoint};
 pub use error::TransportError;
-pub use inproc::{InProcNetwork, NetMetrics};
+pub use inproc::{modeled_metric_name, InProcNetwork, NetMetrics};
 pub use netsim::{LinkProfile, NetConfig};

@@ -7,12 +7,14 @@
 //! cargo run --example monitoring
 //! ```
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use wsrf_grid::notification::{broker, NotificationListener, TopicExpression};
 use wsrf_grid::prelude::*;
 use wsrf_grid::soap::{ns, MessageInfo};
 use wsrf_grid::wsrf::porttypes::{wsrp_action, XPATH_DIALECT};
+use wsrf_grid::wsrf::ResourceProxy;
 use wsrf_grid::xml::Element as El;
 
 fn get_property(grid: &CampusGrid, epr: &EndpointReference, name: &str) -> String {
@@ -42,7 +44,10 @@ fn query(grid: &CampusGrid, epr: &EndpointReference, xpath: &str) -> String {
 }
 
 fn main() {
-    let grid = CampusGrid::build(GridConfig::with_machines(3), Clock::scaled(1000.0));
+    let grid = CampusGrid::build(
+        GridConfig::with_machines(3).with_policy(Arc::new(MetricsFeedback::new())),
+        Clock::scaled(1000.0),
+    );
     let client = grid.client("ops");
 
     client.put_file(
@@ -138,6 +143,30 @@ fn main() {
         "probe heard {} events while paused (expected 0 extra)",
         probe.count()
     );
+
+    // The scheduler's feedback loop is itself a WS-Resource: the
+    // metrics-feedback policy publishes its per-machine penalty table
+    // as {UVACG}MachinePenalty rows, readable with the same generic
+    // WSRF tools as everything above.
+    println!("\n== the scheduler's feedback table ==");
+    let feedback = ResourceProxy::new(&grid.net, grid.scheduler.feedback_epr());
+    println!(
+        "  Policy = {}",
+        feedback.get_text("Policy").expect("feedback policy")
+    );
+    for row in feedback
+        .document()
+        .expect("feedback doc")
+        .get_local("MachinePenalty")
+    {
+        println!(
+            "  {:<10} penalty {:<8} ewma {:>14} ns  observations {}",
+            row.attr_value("machine").unwrap_or("?"),
+            row.attr_value("penalty").unwrap_or("?"),
+            row.attr_value("ewmaNs").unwrap_or("?"),
+            row.attr_value("observations").unwrap_or("?"),
+        );
+    }
 
     // The grid observes itself too: every dispatch stage, transport
     // transfer, broker fan-out and scheduler step landed in the

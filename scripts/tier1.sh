@@ -17,4 +17,8 @@ cargo test -q --offline
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== metrics regression gate"
+cargo run -q --release --offline -p bench --bin harness -- --metrics-only >/dev/null
+cargo run -q --release --offline -p bench --bin gate
+
 echo "tier-1: OK"

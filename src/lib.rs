@@ -61,7 +61,8 @@ pub mod prelude {
     pub use simclock::{Clock, SimTime};
     pub use uvacg::{
         CampusGrid, Client, FastestAvailable, FileRef, GridConfig, JobSetHandle, JobSetOutcome,
-        JobSetSpec, JobSpec, LeastLoaded, NodeSnapshot, Random, RoundRobin, SchedulingPolicy,
+        JobSetSpec, JobSpec, LeastLoaded, MachineOutcome, MetricsFeedback, NodeSnapshot,
+        OutcomeKind, PenaltyRow, Random, RoundRobin, SchedulingPolicy,
     };
     pub use wsrf_obs::{MetricsRegistry, MetricsSnapshot, ObsConfig};
     pub use wsrf_soap::{BaseFault, EndpointReference, Envelope, SoapFault};

@@ -216,6 +216,62 @@ fn machine_crash_mid_run_trips_the_watchdog() {
 }
 
 #[test]
+fn job_completing_just_before_watchdog_keeps_the_set_completed() {
+    // Race order 1: the exit event (t=119) lands before the watchdog
+    // callback (t=120). The watchdog must see the terminal state and
+    // stand down — a completed set must never flip to Failed.
+    let grid = CampusGrid::build(
+        GridConfig::with_machines(1).with_job_timeout(Duration::from_secs(120)),
+        Clock::manual(),
+    );
+    let client = grid.client("c");
+    client.put_file("C:\\p.exe", JobProgram::compute(119.0).to_manifest());
+    let spec = JobSetSpec::new("photo-finish").job(JobSpec::new(
+        "j",
+        FileRef::parse("local://C:\\p.exe").unwrap(),
+    ));
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    grid.clock.advance(Duration::from_secs(119));
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    // Cross the watchdog deadline; the stale callback fires now.
+    grid.clock.advance(Duration::from_secs(10));
+    assert_eq!(handle.outcome(), Some(JobSetOutcome::Completed));
+    assert_eq!(handle.status().unwrap(), "Completed");
+}
+
+#[test]
+fn exit_arriving_just_after_watchdog_keeps_the_set_failed() {
+    // Race order 2: the watchdog (t=120) beats the exit event (t=121).
+    // The set fails with JobTimeout, and the late exit must not
+    // resurrect it to Completed.
+    let grid = CampusGrid::build(
+        GridConfig::with_machines(1).with_job_timeout(Duration::from_secs(120)),
+        Clock::manual(),
+    );
+    let client = grid.client("c");
+    client.put_file("C:\\p.exe", JobProgram::compute(121.0).to_manifest());
+    let spec = JobSetSpec::new("too-slow").job(JobSpec::new(
+        "j",
+        FileRef::parse("local://C:\\p.exe").unwrap(),
+    ));
+    let handle = client.submit(&spec, "griduser", "gridpass").unwrap();
+    grid.clock.advance(Duration::from_secs(120));
+    match handle.outcome().unwrap() {
+        JobSetOutcome::Failed(fault) => {
+            assert_eq!(fault.root_cause().error_code, "uvacg:JobTimeout", "{fault}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The job's real exit at t=121 arrives into a finished set.
+    grid.clock.advance(Duration::from_secs(5));
+    assert!(
+        matches!(handle.outcome(), Some(JobSetOutcome::Failed(_))),
+        "late exit must not resurrect a timed-out set"
+    );
+    assert_eq!(handle.status().unwrap(), "Failed");
+}
+
+#[test]
 fn watchdog_does_not_fire_on_healthy_jobs() {
     let grid = CampusGrid::build(
         GridConfig::with_machines(1).with_job_timeout(Duration::from_secs(120)),
