@@ -30,7 +30,7 @@ use wsrf_core::faults;
 use wsrf_core::properties::PropertyDoc;
 use wsrf_core::store::ResourceStore;
 use wsrf_soap::ns::{UVACG, WSSE};
-use wsrf_soap::{BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault};
+use wsrf_soap::{BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault, TraceContext};
 use wsrf_transport::InProcNetwork;
 use wsrf_xml::{Element, QName};
 
@@ -85,6 +85,9 @@ struct PendingJob {
     workdir_path: String,
     topic: String,
     job_name: String,
+    /// Trace context of the originating `Run`, so the deferred spawn
+    /// and its broadcasts stay in the submission's span tree.
+    trace: Option<TraceContext>,
 }
 
 struct EsRuntime {
@@ -239,8 +242,10 @@ fn run_op(
     }
 
     // Step 4: create the working directory on our FSS.
-    let (dir_epr, dir_path) = fss::create_directory(&ctx.core.net, fss_address)
-        .map_err(|e| faults::storage(&format!("cannot create working directory: {e}")))?;
+    let trace = ctx.trace;
+    let (dir_epr, dir_path) =
+        fss::create_directory_traced(&ctx.core.net, fss_address, trace.as_ref())
+            .map_err(|e| faults::storage(&format!("cannot create working directory: {e}")))?;
 
     // Create the job resource.
     let mut doc = PropertyDoc::new();
@@ -266,6 +271,7 @@ fn run_op(
             workdir_path: dir_path,
             topic: topic.clone(),
             job_name: job_name.clone(),
+            trace,
         },
     );
 
@@ -283,6 +289,7 @@ fn run_op(
             .to_element_named(UVACG, "WorkingDirectory")
             .attr("job", &job_name),
         &job_epr,
+        trace.as_ref(),
     );
 
     // Step 4/5/6: one-way upload request; completion will arrive as a
@@ -295,6 +302,7 @@ fn run_op(
         Some(&notify_to),
         &action_uri("Execution", "UploadComplete"),
         &job_key,
+        trace.as_ref(),
     )
     .map_err(|e| faults::storage(&format!("cannot request upload: {e}")))?;
 
@@ -305,6 +313,7 @@ fn run_op(
 
 fn upload_complete_op(ctx: &mut Ctx<'_>, rt: &Arc<EsRuntime>) -> Result<Element, BaseFault> {
     let key = ctx.key()?.to_string();
+    let trace = ctx.trace;
     let core = ctx.core.clone();
     let mut doc = core
         .store
@@ -347,6 +356,7 @@ fn upload_complete_op(ctx: &mut Ctx<'_>, rt: &Arc<EsRuntime>) -> Result<Element,
                 .attr("job", &pending.job_name)
                 .text(failures.join("; ")),
             &job_epr,
+            trace.as_ref(),
         );
         return Ok(Element::new(UVACG, "UploadCompleteAck"));
     }
@@ -369,6 +379,7 @@ fn upload_complete_op(ctx: &mut Ctx<'_>, rt: &Arc<EsRuntime>) -> Result<Element,
             .to_element_named(UVACG, "JobEpr")
             .attr("job", &pending.job_name),
         &job_epr,
+        trace.as_ref(),
     );
 
     let exe_path = format!("{}/{}", pending.workdir_path, pending.exe_name);
@@ -378,6 +389,10 @@ fn upload_complete_op(ctx: &mut Ctx<'_>, rt: &Arc<EsRuntime>) -> Result<Element,
     let job_epr_exit = job_epr.clone();
     let topic_exit = topic_base.clone();
     let job_name_exit = pending.job_name.clone();
+    // The exit broadcast is causally part of the submission even when
+    // the process outlives the UploadComplete dispatch: parent it under
+    // the Run's trace, not the (already-finished) dispatch span.
+    let trace_exit = pending.trace.or(trace);
     let spawned = rt.spawner.spawn(
         &exe_path,
         &pending.workdir_path,
@@ -393,6 +408,7 @@ fn upload_complete_op(ctx: &mut Ctx<'_>, rt: &Arc<EsRuntime>) -> Result<Element,
                 &job_name_exit,
                 code,
                 cpu_used,
+                trace_exit.as_ref(),
             );
         },
     );
@@ -428,6 +444,7 @@ fn upload_complete_op(ctx: &mut Ctx<'_>, rt: &Arc<EsRuntime>) -> Result<Element,
                     .attr("job", &pending.job_name)
                     .text(e.to_string()),
                 &job_epr,
+                trace.as_ref(),
             );
             Ok(Element::new(UVACG, "UploadCompleteAck"))
         }
@@ -445,6 +462,7 @@ fn on_process_exit(
     job_name: &str,
     code: i32,
     cpu_used: f64,
+    trace: Option<&TraceContext>,
 ) {
     if let Ok(mut doc) = core.store.load(&core.name, key) {
         doc.set_text(q("Status"), status::EXITED);
@@ -462,6 +480,7 @@ fn on_process_exit(
             .attr("cpu", format!("{cpu_used:.6}"))
             .child(job_epr.to_element_named(UVACG, "JobEpr")),
         job_epr,
+        trace,
     );
 }
 
@@ -488,10 +507,15 @@ fn publish(
     topic: &TopicPath,
     payload: Element,
     producer: &EndpointReference,
+    trace: Option<&TraceContext>,
 ) {
     let Some(b) = broker else { return };
     let msg = NotificationMessage::new(topic.clone(), payload).from_producer(producer.clone());
-    let _ = core.net.send_oneway(&b.address, msg.to_envelope(b));
+    let mut env = msg.to_envelope(b);
+    if let Some(tc) = trace {
+        tc.stamp(&mut env);
+    }
+    let _ = core.net.send_oneway(&b.address, env);
 }
 
 // ---------------------------------------------------------------------
@@ -512,6 +536,9 @@ pub struct RunRequest {
     pub security_header: Option<Element>,
     /// Plaintext credentials (insecure deployments).
     pub plain_credentials: Option<(String, String)>,
+    /// Trace context to stamp on the `Run` message (step 3), parenting
+    /// the ES dispatch under the caller's span tree.
+    pub trace: Option<TraceContext>,
 }
 
 /// The useful parts of a `RunResponse`.
@@ -553,6 +580,9 @@ pub fn run(net: &InProcNetwork, es_address: &str, req: &RunRequest) -> Result<Ru
     .apply(&mut env);
     if let Some(h) = &req.security_header {
         env.headers.push(h.clone());
+    }
+    if let Some(tc) = &req.trace {
+        tc.stamp(&mut env);
     }
     let resp = net
         .call(es_address, env)
@@ -717,6 +747,7 @@ mod tests {
             topic: "js".into(),
             security_header: None,
             plain_credentials: Some(("alice".into(), "pw".into())),
+            trace: None,
         }
     }
 
@@ -771,6 +802,7 @@ mod tests {
             topic: "js".into(),
             security_header: None,
             plain_credentials: Some(("alice".into(), "pw".into())),
+            trace: None,
         };
         let reply = run(&f.net, &f.es_addr, &req).unwrap();
         f.clock.advance(Duration::from_secs(2));
@@ -794,6 +826,7 @@ mod tests {
             topic: "js".into(),
             security_header: None,
             plain_credentials: Some(("alice".into(), "pw".into())),
+            trace: None,
         };
         let reply = run(&f.net, &f.es_addr, &req).unwrap();
         assert_eq!(job_status(&f.net, &reply.job).unwrap(), status::FAILED);
@@ -869,6 +902,7 @@ mod tests {
             topic: "t".into(),
             security_header: Some(header),
             plain_credentials: None,
+            trace: None,
         };
         let reply = run(&net, "inproc://m1/Execution", &req).unwrap();
         clock.advance(Duration::from_secs(2));
@@ -893,6 +927,7 @@ mod tests {
             topic: "t".into(),
             security_header: Some(bad),
             plain_credentials: None,
+            trace: None,
         };
         let err = run(&net, "inproc://m1/Execution", &req2).unwrap_err();
         assert_eq!(err.error_code(), Some("uvacg:BadCredentials"));

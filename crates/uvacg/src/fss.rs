@@ -23,7 +23,7 @@ use wsrf_core::faults;
 use wsrf_core::properties::PropertyDoc;
 use wsrf_core::store::ResourceStore;
 use wsrf_soap::ns::{UVACG, WSA};
-use wsrf_soap::{BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault};
+use wsrf_soap::{BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault, TraceContext};
 use wsrf_transport::InProcNetwork;
 use wsrf_xml::{base64, Element, QName};
 
@@ -158,6 +158,7 @@ pub fn file_system_service(
             let dir = dir_path(ctx.resource_mut()?)?;
             let core = ctx.core.clone();
             let own = own_machine.clone();
+            let trace = ctx.trace;
 
             // Stage each file (step 4/5/6 of Figure 3).
             let staged_bytes = core.metrics.counter("fss.staged_bytes");
@@ -196,7 +197,7 @@ pub fn file_system_service(
                         // scheme) or the client's WSE-TCP file server
                         // (soap.tcp scheme) — the network cost model
                         // prices the schemes differently.
-                        remote_read(&core.net, &item.source, &item.filename)
+                        remote_read(&core.net, &item.source, &item.filename, trace.as_ref())
                             .map_err(|e| e.to_string())?
                     };
                     staged_bytes.add(content.len() as u64);
@@ -227,6 +228,9 @@ pub fn file_system_service(
                 }
                 let mut env = Envelope::new(body);
                 MessageInfo::request(to.clone(), notify_action.clone()).apply(&mut env);
+                if let Some(tc) = &trace {
+                    tc.stamp(&mut env);
+                }
                 let _ = core.net.send_oneway(&to.address, env);
             }
             Ok(Element::new(UVACG, "UploadFilesAck"))
@@ -282,12 +286,25 @@ pub fn create_directory(
     net: &InProcNetwork,
     fss_address: &str,
 ) -> Result<(EndpointReference, String), SoapFault> {
+    create_directory_traced(net, fss_address, None)
+}
+
+/// [`create_directory`] carrying a trace context so the FSS's dispatch
+/// span joins the caller's span tree (Figure 3 step 4).
+pub fn create_directory_traced(
+    net: &InProcNetwork,
+    fss_address: &str,
+    trace: Option<&TraceContext>,
+) -> Result<(EndpointReference, String), SoapFault> {
     let mut env = Envelope::new(Element::new(UVACG, "CreateDirectory"));
     MessageInfo::request(
         EndpointReference::service(fss_address),
         action_uri("FileSystem", "CreateDirectory"),
     )
     .apply(&mut env);
+    if let Some(tc) = trace {
+        tc.stamp(&mut env);
+    }
     let resp = net
         .call(fss_address, env)
         .map_err(|e| SoapFault::server(e.to_string()))?;
@@ -316,18 +333,24 @@ pub fn read(
     source: &EndpointReference,
     filename: &str,
 ) -> Result<Bytes, SoapFault> {
-    remote_read(net, source, filename)
+    remote_read(net, source, filename, None)
 }
 
-/// Internal fetch shared with the upload engine.
+/// Internal fetch shared with the upload engine, which stamps the
+/// staging job's trace context so remote reads (client staging, step 5)
+/// appear as transport hops in the span tree.
 fn remote_read(
     net: &InProcNetwork,
     source: &EndpointReference,
     filename: &str,
+    trace: Option<&TraceContext>,
 ) -> Result<Bytes, SoapFault> {
     let body = Element::new(UVACG, "Read").child(Element::new(UVACG, "FileName").text(filename));
     let mut env = Envelope::new(body);
     MessageInfo::request(source.clone(), action_uri("FileSystem", "Read")).apply(&mut env);
+    if let Some(tc) = trace {
+        tc.stamp(&mut env);
+    }
     let resp = net
         .call(&source.address, env)
         .map_err(|e| SoapFault::server(e.to_string()))?;
@@ -405,6 +428,7 @@ pub fn upload_files(
     notify_to: Option<&EndpointReference>,
     notify_action: &str,
     context: &str,
+    trace: Option<&TraceContext>,
 ) -> Result<(), wsrf_transport::TransportError> {
     let mut body = Element::new(UVACG, "UploadFiles");
     if let Some(to) = notify_to {
@@ -422,6 +446,9 @@ pub fn upload_files(
     }
     let mut env = Envelope::new(body);
     MessageInfo::request(dir.clone(), action_uri("FileSystem", "UploadFiles")).apply(&mut env);
+    if let Some(tc) = trace {
+        tc.stamp(&mut env);
+    }
     net.send_oneway(&dir.address, env)
 }
 
@@ -519,6 +546,7 @@ mod tests {
             None,
             "",
             "",
+            None,
         )
         .unwrap();
         assert_eq!(
@@ -562,6 +590,7 @@ mod tests {
             None,
             "",
             "",
+            None,
         )
         .unwrap();
         assert_eq!(
@@ -597,6 +626,7 @@ mod tests {
             Some(&notify_to),
             "urn:test/UploadComplete",
             "job-7",
+            None,
         )
         .unwrap();
         let got = seen.lock().clone();
@@ -638,6 +668,7 @@ mod tests {
             None,
             "",
             "",
+            None,
         )
         .unwrap();
         assert_eq!(

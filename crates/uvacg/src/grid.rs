@@ -8,7 +8,7 @@ use simclock::Clock;
 use ws_notification::broker::notification_broker;
 use wsrf_core::container::Service;
 use wsrf_core::store::MemoryStore;
-use wsrf_obs::{MetricsRegistry, MetricsSnapshot, ObsConfig};
+use wsrf_obs::{MetricsRegistry, MetricsSnapshot, ObsConfig, TraceConfig};
 use wsrf_soap::EndpointReference;
 use wsrf_transport::{InProcNetwork, NetConfig};
 
@@ -41,6 +41,10 @@ pub struct GridConfig {
     /// Observability switch; enabled grids record dispatch, transport,
     /// broker and scheduler metrics into [`CampusGrid::metrics`].
     pub obs: ObsConfig,
+    /// Distributed-tracing switch (default off, like sampling-off
+    /// profilers); enabled grids stamp trace contexts onto SOAP headers
+    /// and collect per-submission span trees.
+    pub trace: TraceConfig,
 }
 
 impl Default for GridConfig {
@@ -54,6 +58,7 @@ impl Default for GridConfig {
             seed: 0xCA11_AB1E,
             job_timeout: None,
             obs: ObsConfig::enabled(),
+            trace: TraceConfig::disabled(),
         }
     }
 }
@@ -124,6 +129,15 @@ impl GridConfig {
         self.obs = obs;
         self
     }
+
+    /// Builder: enable distributed tracing. Every SOAP message then
+    /// carries a `{UVACG}TraceContext` header and each submission's
+    /// span tree is queryable through the job set's `Trace` resource
+    /// property.
+    pub fn with_tracing(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 /// A fully deployed campus grid.
@@ -162,7 +176,7 @@ pub const SCHEDULER_SUBJECT: &str = "scheduler";
 impl CampusGrid {
     /// Deploy the whole testbed on `clock`.
     pub fn build(config: GridConfig, clock: Clock) -> CampusGrid {
-        let metrics = MetricsRegistry::new(config.obs);
+        let metrics = MetricsRegistry::with_tracing(config.obs, config.trace);
         // Services built on this network inherit the registry.
         let net = InProcNetwork::with_metrics(clock.clone(), config.net.clone(), &metrics);
         let mut services = Vec::new();

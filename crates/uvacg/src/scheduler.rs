@@ -26,9 +26,10 @@ use wsrf_core::container::{action_uri, Service, ServiceBuilder, ServiceCore};
 use wsrf_core::faults;
 use wsrf_core::properties::PropertyDoc;
 use wsrf_core::store::ResourceStore;
+use wsrf_obs::{SpanContext, TraceSnapshot};
 use wsrf_security::wsse::UsernameToken;
 use wsrf_soap::ns::{UVACG, WSSE};
-use wsrf_soap::{BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault};
+use wsrf_soap::{BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault, TraceContext};
 use wsrf_transport::InProcNetwork;
 use wsrf_xml::{Element, QName};
 
@@ -112,6 +113,9 @@ struct RunState {
     jobs: HashMap<String, JobRun>,
     finished: bool,
     submitted_at: SimTime,
+    /// Trace context of the submission dispatch: every downstream
+    /// message and Figure 3 step mark for this set parents under it.
+    trace: Option<TraceContext>,
 }
 
 struct SchedInner {
@@ -187,10 +191,28 @@ pub fn scheduler_service(
 
     let submit_inner = inner.clone();
     let submit_listener = listener.clone();
+    let trace_registry = net.metrics_registry().clone();
     let service = ServiceBuilder::new("Scheduler", address, cfg.store)
         .key_property(jobset_key_property())
         .static_operation("SubmitJobSet", move |ctx| {
             submit_op(ctx, &submit_inner, &submit_listener)
+        })
+        // The submission's span tree, queryable like any other resource
+        // property: the `TraceId` text property (stamped at submit)
+        // selects this set's spans out of the tracer's ring at query
+        // time, so the tree keeps growing until the ring rotates.
+        .computed_property(q("Trace"), move |doc, _now| {
+            let Some(id) = doc
+                .text(&q("TraceId"))
+                .and_then(|t| u64::from_str_radix(&t, 16).ok())
+            else {
+                return vec![];
+            };
+            let snap = trace_registry.tracer().trace(id);
+            if snap.is_empty() {
+                return vec![];
+            }
+            vec![trace_to_element(&snap)]
         })
         // The §5 rediscovery path: "how a client might possibly
         // rediscover their resources should their EPRs be lost".
@@ -275,6 +297,7 @@ fn submit_op(
     inner: &Arc<SchedInner>,
     listener: &NotificationListener,
 ) -> Result<Element, BaseFault> {
+    let trace = ctx.trace;
     // Step 1: decode and validate the description.
     let set_el = ctx
         .body
@@ -333,6 +356,9 @@ fn submit_op(
             .load(&core.name, &key)
             .map_err(faults::from_store)?;
         doc.set_text(q("Topic"), &topic);
+        if let Some(tc) = &trace {
+            doc.set_text(q("TraceId"), format!("{:016x}", tc.trace_id));
+        }
         for j in &spec.jobs {
             doc.insert(
                 q("JobStatus"),
@@ -390,6 +416,7 @@ fn submit_op(
                 client_fileserver,
                 finished: false,
                 submitted_at: ctx.core.clock.now(),
+                trace,
             },
         );
     }
@@ -435,10 +462,10 @@ fn record_steps(
     steps: &[(u8, &str)],
     at: SimTime,
 ) {
-    let submitted = {
+    let (submitted, trace) = {
         let runs = inner.runs.lock();
         match runs.get(key) {
-            Some(r) => r.submitted_at,
+            Some(r) => (r.submitted_at, r.trace),
             None => return,
         }
     };
@@ -461,6 +488,27 @@ fn record_steps(
             core.metrics
                 .histogram(&format!("scheduler.step.{step:02}_{name}_ns"))
                 .record(elapsed);
+        }
+    }
+    // Each step also lands in the span tree as an instant span under
+    // the submission's dispatch span.
+    if let Some(tc) = trace {
+        let tracer = core.metrics.tracer();
+        if tracer.is_enabled() {
+            let parent = SpanContext {
+                trace_id: tc.trace_id,
+                span_id: tc.span_id,
+                sampled: tc.sampled,
+            };
+            for (step, name) in steps {
+                tracer.point(
+                    parent,
+                    format!("step.{step:02}_{name}"),
+                    "Scheduler",
+                    at.as_nanos(),
+                    &[("job", job)],
+                );
+            }
         }
     }
 }
@@ -747,6 +795,7 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
                     topic: run.topic.clone(),
                     security_header,
                     plain_credentials,
+                    trace: run.trace,
                 })
             })();
             match built {
@@ -888,14 +937,14 @@ fn update_job_status_property(core: &Arc<ServiceCore>, key: &str, job: &str, jr:
 }
 
 fn complete_job_set(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
-    let (topic, submitted_at) = {
+    let (topic, submitted_at, trace) = {
         let mut runs = inner.runs.lock();
         let Some(run) = runs.get_mut(key) else { return };
         if run.finished {
             return;
         }
         run.finished = true;
-        (run.topic.clone(), run.submitted_at)
+        (run.topic.clone(), run.submitted_at, run.trace)
     };
     let makespan = core.clock.now().since(submitted_at);
     if let Ok(mut doc) = core.store.load(&core.name, key) {
@@ -911,6 +960,7 @@ fn complete_job_set(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str)
         &inner.broker,
         &TopicPath::parse(&topic).child("completed"),
         Element::new(UVACG, "JobSetCompleted"),
+        trace.as_ref(),
     );
 }
 
@@ -921,14 +971,14 @@ fn fail_job_set(
     job: &str,
     cause: BaseFault,
 ) {
-    let (topic, submitted_at) = {
+    let (topic, submitted_at, trace) = {
         let mut runs = inner.runs.lock();
         let Some(run) = runs.get_mut(key) else { return };
         if run.finished {
             return;
         }
         run.finished = true;
-        (run.topic.clone(), run.submitted_at)
+        (run.topic.clone(), run.submitted_at, run.trace)
     };
     let makespan = core.clock.now().since(submitted_at);
     let fault = BaseFault::new(
@@ -957,6 +1007,7 @@ fn fail_job_set(
         Element::new(UVACG, "JobSetFailed")
             .attr("job", job)
             .child(fault.to_element()),
+        trace.as_ref(),
     );
 }
 
@@ -965,11 +1016,33 @@ fn publish(
     broker_epr: &EndpointReference,
     topic: &TopicPath,
     payload: Element,
+    trace: Option<&TraceContext>,
 ) {
     let msg = NotificationMessage::new(topic.clone(), payload).from_producer(core.service_epr());
-    let _ = core
-        .net
-        .send_oneway(&broker_epr.address, msg.to_envelope(broker_epr));
+    let mut env = msg.to_envelope(broker_epr);
+    if let Some(tc) = trace {
+        tc.stamp(&mut env);
+    }
+    let _ = core.net.send_oneway(&broker_epr.address, env);
+}
+
+/// Serialize a span tree as a `{UVACG}Trace` resource-property element:
+/// one `<Span>` child per retained span, parent links by id.
+fn trace_to_element(snap: &TraceSnapshot) -> Element {
+    let mut el = Element::with_name(q("Trace")).attr("spans", snap.len().to_string());
+    for s in &snap.spans {
+        el.push_child(
+            Element::with_name(q("Span"))
+                .attr("traceId", format!("{:016x}", s.trace_id))
+                .attr("spanId", format!("{:016x}", s.span_id))
+                .attr("parentId", format!("{:016x}", s.parent_id))
+                .attr("name", &*s.name)
+                .attr("service", &*s.service)
+                .attr("start", s.virt_start_ns.to_string())
+                .attr("end", s.virt_end_ns.to_string()),
+        );
+    }
+    el
 }
 
 // ---------------------------------------------------------------------
@@ -1014,6 +1087,20 @@ pub fn submit(
         .apply(&mut env);
     if let Some(h) = security_header {
         env.headers.push(h);
+    }
+    // Root span of the whole submission: every dispatch, transport hop,
+    // staging call and broadcast triggered by this call (including the
+    // inline ones on the test network) becomes a descendant.
+    let tracer = net.metrics_registry().tracer().clone();
+    let mut root = tracer
+        .is_enabled()
+        .then(|| tracer.start_root("client.submit", "Client", net.clock()));
+    if let Some(span) = root.as_mut() {
+        span.annotate("jobset", spec.name.as_str());
+        let c = span.context();
+        if c.is_active() {
+            TraceContext::new(c.trace_id, c.span_id, c.sampled).stamp(&mut env);
+        }
     }
     let resp = net
         .call(&scheduler.address, env)

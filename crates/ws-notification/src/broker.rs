@@ -182,7 +182,9 @@ fn notify_op(
         }
     }
 
-    // Fan out to matching subscriptions.
+    // Fan out to matching subscriptions, propagating the publisher's
+    // trace context so deliveries stay in the submission's span tree.
+    let trace = ctx.trace;
     let core = ctx.core.clone();
     let registry = &core.metrics;
     let fanout_span = registry.timer("broker.fanout").start(&core.clock);
@@ -226,9 +228,11 @@ fn notify_op(
         for m in &messages {
             if expr.matches(&m.topic) {
                 // Forward preserving the original producer reference.
-                let _ = core
-                    .net
-                    .send_oneway(&consumer.address, m.to_envelope(&consumer));
+                let mut env = m.to_envelope(&consumer);
+                if let Some(tc) = &trace {
+                    tc.stamp(&mut env);
+                }
+                let _ = core.net.send_oneway(&consumer.address, env);
                 delivered += 1;
                 if registry.is_enabled() {
                     registry

@@ -16,8 +16,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use simclock::{Clock, SimTime, TimerId};
-use wsrf_obs::{Counter, MetricsRegistry, Timer};
-use wsrf_soap::{ns, BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault};
+use wsrf_obs::{Counter, MetricsRegistry, SpanContext, Timer, Tracer};
+use wsrf_soap::{ns, BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault, TraceContext};
 use wsrf_transport::{Endpoint, InProcNetwork};
 use wsrf_xml::{Element, QName};
 
@@ -61,6 +61,9 @@ pub enum OpKind {
 /// One dispatchable operation (visible to the port-type installers).
 pub(crate) struct Op {
     kind: OpKind,
+    /// Interned `dispatch.{op}` span name, so traced dispatches never
+    /// format or allocate a name per call.
+    span_name: Arc<str>,
     handler: OpHandler,
 }
 
@@ -222,6 +225,11 @@ pub struct Ctx<'a> {
     pub headers: &'a [Element],
     /// The request body element.
     pub body: &'a Element,
+    /// The trace context of this dispatch — the container's own span
+    /// when it is recording, otherwise the context carried in the
+    /// request headers. Handlers stamp this onto every outgoing
+    /// message so the causal chain survives each hop.
+    pub trace: Option<TraceContext>,
 }
 
 impl Ctx<'_> {
@@ -353,6 +361,9 @@ pub struct Service {
     save_policy: SavePolicy,
     description: Element,
     obs: DispatchObs,
+    tracer: Tracer,
+    /// Interned service name for span records.
+    label: Arc<str>,
 }
 
 impl Service {
@@ -408,6 +419,36 @@ impl Service {
             c.inc();
         }
 
+        // A span covering the whole pipeline, opened only when the
+        // request carries a trace header: traces begin at explicit
+        // entry points (the client's submit), containers and transports
+        // only extend them. Headerless traffic therefore costs one
+        // header scan and a branch even with tracing enabled, and
+        // untraced background chatter can never evict job-set trees
+        // from the bounded span ring. The guard finishes (after the
+        // save stage) on every exit path.
+        let incoming = TraceContext::from_envelope(env);
+        let mut span = match incoming {
+            Some(tc) if self.tracer.is_enabled() => Some(self.tracer.start_child(
+                SpanContext {
+                    trace_id: tc.trace_id,
+                    span_id: tc.span_id,
+                    sampled: tc.sampled,
+                },
+                op.span_name.clone(),
+                self.label.clone(),
+                &self.core.clock,
+            )),
+            _ => None,
+        };
+        let trace = match &span {
+            Some(s) if s.context().is_active() => {
+                let c = s.context();
+                Some(TraceContext::new(c.trace_id, c.span_id, c.sampled))
+            }
+            _ => incoming,
+        };
+
         // (2) Resolve the WS-Resource named by the reference properties.
         let key = info
             .to
@@ -446,6 +487,9 @@ impl Service {
         }
 
         // (3) Invoke the method with the state in scope.
+        if let (Some(s), Some(k)) = (span.as_mut(), key.as_deref()) {
+            s.annotate("key", k);
+        }
         let mut ctx = Ctx {
             core: &self.core,
             info: &info,
@@ -453,6 +497,7 @@ impl Service {
             resource: loaded.as_mut(),
             headers: &env.headers,
             body: &env.body,
+            trace,
         };
         let result = (op.handler)(&mut ctx)?;
         if let Some(l) = lap.as_mut() {
@@ -564,13 +609,7 @@ impl ServiceBuilder {
         handler: impl Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync + 'static,
     ) -> Self {
         let action = action_uri(&self.name, op_name);
-        self.ops.insert(
-            action,
-            Op {
-                kind: OpKind::Resource,
-                handler: Box::new(handler),
-            },
-        );
+        insert_op(&mut self.ops, action, OpKind::Resource, Box::new(handler));
         self
     }
 
@@ -581,13 +620,7 @@ impl ServiceBuilder {
         handler: impl Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync + 'static,
     ) -> Self {
         let action = action_uri(&self.name, op_name);
-        self.ops.insert(
-            action,
-            Op {
-                kind: OpKind::Static,
-                handler: Box::new(handler),
-            },
-        );
+        insert_op(&mut self.ops, action, OpKind::Static, Box::new(handler));
         self
     }
 
@@ -600,13 +633,7 @@ impl ServiceBuilder {
         kind: OpKind,
         handler: impl Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync + 'static,
     ) -> Self {
-        self.ops.insert(
-            action.into(),
-            Op {
-                kind,
-                handler: Box::new(handler),
-            },
-        );
+        insert_op(&mut self.ops, action.into(), kind, Box::new(handler));
         self
     }
 
@@ -681,12 +708,16 @@ impl ServiceBuilder {
             Box::new(move |_| Ok(desc_for_op.clone())),
         );
         let obs = DispatchObs::new(&core.metrics, &core.name, &ops);
+        let tracer = core.metrics.tracer().clone();
+        let label: Arc<str> = core.name.as_str().into();
         Arc::new(Service {
             core,
             ops,
             save_policy: self.save_policy,
             description,
             obs,
+            tracer,
+            label,
         })
     }
 }
@@ -704,7 +735,16 @@ pub(crate) fn insert_op(
     kind: OpKind,
     handler: OpHandler,
 ) {
-    ops.insert(action, Op { kind, handler });
+    let op_name = action.rsplit('/').next().unwrap_or(&action);
+    let span_name: Arc<str> = format!("dispatch.{op_name}").into();
+    ops.insert(
+        action,
+        Op {
+            kind,
+            span_name,
+            handler,
+        },
+    );
 }
 
 #[cfg(test)]

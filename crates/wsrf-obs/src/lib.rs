@@ -35,6 +35,10 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 use simclock::{Clock, SimTime};
 
+pub mod tracing;
+
+pub use tracing::{ActiveSpan, FinishedSpan, SpanContext, TraceConfig, TraceSnapshot, Tracer};
+
 /// Number of log-scale buckets: one per bit of a `u64` nanosecond
 /// value (bucket 63 absorbs everything ≥ 2^63).
 pub const BUCKETS: usize = 64;
@@ -383,14 +387,25 @@ enum Metric {
 pub struct MetricsRegistry {
     enabled: bool,
     metrics: RwLock<BTreeMap<String, Metric>>,
+    tracer: Tracer,
 }
 
 impl MetricsRegistry {
     pub fn new(config: ObsConfig) -> Arc<Self> {
-        Arc::new(MetricsRegistry {
+        Self::with_tracing(config, TraceConfig::disabled())
+    }
+
+    /// A registry that also hands out a [`Tracer`]. The tracer's
+    /// `trace.*` counters live in this registry (and are no-ops when
+    /// `config` disables metrics — spans still record).
+    pub fn with_tracing(config: ObsConfig, trace: TraceConfig) -> Arc<Self> {
+        let mut reg = MetricsRegistry {
             enabled: config.is_enabled(),
             metrics: RwLock::new(BTreeMap::new()),
-        })
+            tracer: Tracer::noop(),
+        };
+        reg.tracer = Tracer::new(trace, &reg);
+        Arc::new(reg)
     }
 
     /// An enabled registry (the common case).
@@ -405,6 +420,12 @@ impl MetricsRegistry {
 
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// This deployment's tracer (disabled unless the registry was
+    /// built with [`MetricsRegistry::with_tracing`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Gets or creates the named counter.
@@ -825,6 +846,53 @@ mod tests {
         let snap = reg.snapshot();
         assert!(snap.histogram("mixed.virt_ns").is_some());
         assert!(snap.histogram("mixed.real_ns").is_some());
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Detached (no-op) histogram: every quantile is 0.
+        assert_eq!(Histogram::noop().quantile(0.5), 0);
+
+        let reg = MetricsRegistry::enabled();
+        let h = reg.histogram("q");
+        // Empty histogram: 0 regardless of q.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 0, "empty at q={q}");
+        }
+
+        // Single sample: every quantile resolves to its bucket's
+        // midpoint estimate (500 lives in [256, 512) → 384).
+        h.record(500);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 384, "single sample at q={q}");
+        }
+
+        // q = 0.0 clamps to rank 1 (the lowest bucket), q = 1.0 to the
+        // highest occupied bucket.
+        h.record(4); // bucket 2 → midpoint 6
+        h.record(100_000); // bucket 16 → midpoint 98304
+        assert_eq!(h.quantile(0.0), 6);
+        assert_eq!(h.quantile(1.0), 98304);
+
+        // Out-of-range q clamps rather than panicking or extrapolating.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(42.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn registry_with_tracing_hands_out_live_tracer() {
+        let reg = MetricsRegistry::with_tracing(ObsConfig::enabled(), TraceConfig::enabled());
+        assert!(reg.tracer().is_enabled());
+        let clock = Clock::manual();
+        reg.tracer().start_root("r", "svc", &clock).finish();
+        assert_eq!(reg.snapshot().counter("trace.spans_finished"), Some(1));
+        // Plain construction keeps tracing off.
+        assert!(!MetricsRegistry::enabled().tracer().is_enabled());
+        // Metrics-off + tracing-on: spans record, counters are no-ops.
+        let quiet = MetricsRegistry::with_tracing(ObsConfig::disabled(), TraceConfig::enabled());
+        quiet.tracer().start_root("r", "svc", &clock).finish();
+        assert_eq!(quiet.tracer().snapshot().len(), 1);
+        assert!(quiet.snapshot().is_empty());
     }
 
     #[test]

@@ -200,6 +200,9 @@ impl MessageInfo {
             } else if h.name.ns_str() == Some(ns::WSSE) || h.name.ns_str() == Some(ns::WSA) {
                 // Security headers are handled by the security layer;
                 // unknown wsa headers are ignored.
+            } else if h.name.is(ns::UVACG, TraceContext::HEADER_LOCAL) {
+                // The trace context identifies the *request*, not the
+                // resource — it must never become a reference property.
             } else {
                 info.to
                     .reference_properties
@@ -223,6 +226,97 @@ pub fn fresh_message_id() -> String {
     // multi-process transport tests.
     let pid = std::process::id();
     format!("uuid:{:08x}-{:016x}", pid, n)
+}
+
+/// The distributed-tracing context carried as a first-class SOAP
+/// header next to the WS-Addressing message-information headers.
+///
+/// Wire form follows the W3C Trace Context `traceparent` field,
+/// carried in a `{uvacg}TraceContext` header element:
+///
+/// ```text
+/// <u:TraceContext xmlns:u="http://grid.cs.virginia.edu/uvacg">
+///   00-0000000000000000000000000000002a-0000000000000007-01
+/// </u:TraceContext>
+/// ```
+///
+/// `version(00) - trace-id(32 hex) - parent-span-id(16 hex) -
+/// flags(01 = sampled)`. Trace ids are 64-bit in this testbed, so the
+/// upper half of the 128-bit field is always zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    pub trace_id: u64,
+    /// The sender's span: the receiver parents its own span to this.
+    pub span_id: u64,
+    /// Whether the root sampled this trace (unsampled contexts
+    /// propagate but record nothing).
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// Local name of the header element (namespace [`ns::UVACG`]).
+    pub const HEADER_LOCAL: &'static str = "TraceContext";
+
+    pub fn new(trace_id: u64, span_id: u64, sampled: bool) -> Self {
+        TraceContext {
+            trace_id,
+            span_id,
+            sampled,
+        }
+    }
+
+    /// The W3C-style `traceparent` value.
+    pub fn to_traceparent(&self) -> String {
+        format!(
+            "00-{:032x}-{:016x}-{:02x}",
+            self.trace_id,
+            self.span_id,
+            u8::from(self.sampled)
+        )
+    }
+
+    /// Parse a `traceparent` value; `None` on malformed input or the
+    /// all-zero (invalid) trace id.
+    pub fn parse(s: &str) -> Option<TraceContext> {
+        let mut parts = s.trim().split('-');
+        let (version, trace, span, flags) =
+            (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
+        if parts.next().is_some() || version != "00" {
+            return None;
+        }
+        if trace.len() != 32 || span.len() != 16 || flags.len() != 2 {
+            return None;
+        }
+        let trace_id = u128::from_str_radix(trace, 16).ok()? as u64;
+        let span_id = u64::from_str_radix(span, 16).ok()?;
+        let flags = u8::from_str_radix(flags, 16).ok()?;
+        if trace_id == 0 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id,
+            span_id,
+            sampled: flags & 0x01 != 0,
+        })
+    }
+
+    /// The header element.
+    pub fn to_header(&self) -> Element {
+        Element::new(ns::UVACG, Self::HEADER_LOCAL).text(self.to_traceparent())
+    }
+
+    /// Stamp onto an envelope, replacing any context already there
+    /// (each hop re-stamps with its own span id).
+    pub fn stamp(&self, env: &mut Envelope) {
+        env.take_header(ns::UVACG, Self::HEADER_LOCAL);
+        env.headers.push(self.to_header());
+    }
+
+    /// Recover the context from a received envelope, if present and
+    /// well-formed.
+    pub fn from_envelope(env: &Envelope) -> Option<TraceContext> {
+        TraceContext::parse(&env.header(ns::UVACG, Self::HEADER_LOCAL)?.text_content())
+    }
 }
 
 #[cfg(test)]
@@ -292,5 +386,68 @@ mod tests {
     fn display_shows_key() {
         let epr = EndpointReference::resource("inproc://m1/Fs", "DirKey", "d9");
         assert_eq!(epr.to_string(), "inproc://m1/Fs[DirKey=d9]");
+    }
+
+    #[test]
+    fn trace_context_wire_roundtrip() {
+        let tc = TraceContext::new(0xdead_beef_0042, 0x7, true);
+        let tp = tc.to_traceparent();
+        assert_eq!(
+            tp,
+            "00-00000000000000000000deadbeef0042-0000000000000007-01"
+        );
+        assert_eq!(TraceContext::parse(&tp), Some(tc));
+
+        let mut env = Envelope::new(Element::local("Run"));
+        tc.stamp(&mut env);
+        let parsed = Envelope::parse(&env.to_xml()).unwrap();
+        assert_eq!(TraceContext::from_envelope(&parsed), Some(tc));
+
+        // Re-stamping replaces rather than accumulates.
+        let mut env2 = parsed;
+        let tc2 = TraceContext::new(tc.trace_id, 0x9, true);
+        tc2.stamp(&mut env2);
+        let headers: Vec<_> = env2
+            .headers
+            .iter()
+            .filter(|h| h.name.is(ns::UVACG, TraceContext::HEADER_LOCAL))
+            .collect();
+        assert_eq!(headers.len(), 1);
+        assert_eq!(TraceContext::from_envelope(&env2), Some(tc2));
+    }
+
+    #[test]
+    fn trace_context_rejects_malformed() {
+        for bad in [
+            "",
+            "00-xyz-0000000000000007-01",
+            "01-00000000000000000000000000000001-0000000000000001-01", // wrong version
+            "00-00000000000000000000000000000000-0000000000000001-01", // zero trace id
+            "00-0001-0000000000000001-01",                             // short trace id
+            "00-00000000000000000000000000000001-0001-01",             // short span id
+            "00-00000000000000000000000000000001-0000000000000001-01-extra",
+        ] {
+            assert_eq!(TraceContext::parse(bad), None, "{bad:?}");
+        }
+        let tc =
+            TraceContext::parse("00-00000000000000000000000000000001-0000000000000002-00").unwrap();
+        assert!(!tc.sampled);
+    }
+
+    #[test]
+    fn trace_header_is_not_a_reference_property() {
+        let to = EndpointReference::resource(
+            "inproc://m1/Exec",
+            "{http://grid.cs.virginia.edu/uvacg}JobKey",
+            "7",
+        );
+        let mut env = Envelope::new(Element::local("Run"));
+        MessageInfo::request(to, "urn:Run").apply(&mut env);
+        TraceContext::new(1, 2, true).stamp(&mut env);
+        let back = MessageInfo::extract(&Envelope::parse(&env.to_xml()).unwrap()).unwrap();
+        // The real reference property survives; the trace header does
+        // not leak into the key set.
+        assert_eq!(back.to.resource_key(), Some("7"));
+        assert_eq!(back.to.reference_properties.len(), 1);
     }
 }

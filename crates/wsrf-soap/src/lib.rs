@@ -17,6 +17,8 @@
 //! * [`EndpointReference`] — WS-Addressing EPRs with reference
 //!   properties, the universal name for WS-Resources,
 //! * [`MessageInfo`] — the addressing headers stamped on each message,
+//! * [`TraceContext`] — the W3C-trace-context-style header that
+//!   carries a distributed-tracing span identity hop to hop,
 //! * [`SoapFault`] / [`BaseFault`] — SOAP faults carrying
 //!   WS-BaseFaults payloads with cause chains,
 //! * [`Uri`] — tiny scheme/authority/path splitter for the testbed's
@@ -34,7 +36,7 @@ pub mod fault;
 pub mod ns;
 pub mod uri;
 
-pub use addressing::{EndpointReference, MessageInfo};
+pub use addressing::{EndpointReference, MessageInfo, TraceContext};
 pub use envelope::Envelope;
 pub use fault::{BaseFault, SoapFault};
 pub use uri::Uri;

@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use simclock::Clock;
 use wsrf_obs::MetricsRegistry;
 use wsrf_soap::Envelope;
 
@@ -36,6 +37,25 @@ impl HttpSoapServer {
         endpoint: Arc<dyn Endpoint>,
         registry: &MetricsRegistry,
     ) -> std::io::Result<Self> {
+        Self::start_inner(endpoint, registry, None)
+    }
+
+    /// Like [`HttpSoapServer::start_with_metrics`], additionally opening
+    /// a transport hop span per served request that carries a trace
+    /// header (timestamps read from `clock`).
+    pub fn start_traced(
+        endpoint: Arc<dyn Endpoint>,
+        registry: &MetricsRegistry,
+        clock: Clock,
+    ) -> std::io::Result<Self> {
+        Self::start_inner(endpoint, registry, Some(clock))
+    }
+
+    fn start_inner(
+        endpoint: Arc<dyn Endpoint>,
+        registry: &MetricsRegistry,
+        clock: Option<Clock>,
+    ) -> std::io::Result<Self> {
         let obs = Arc::new(LinkObs::new(registry, "http"));
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
@@ -52,12 +72,13 @@ impl HttpSoapServer {
                     stream.set_nodelay(true).ok();
                     let ep = endpoint.clone();
                     let obs = obs.clone();
+                    let clock = clock.clone();
                     // Thread per connection; connections are short-lived
                     // (Connection: close), matching 2004-era SOAP stacks.
                     let _ = std::thread::Builder::new()
                         .name("http-soap-conn".into())
                         .spawn(move || {
-                            let _ = serve_connection(stream, ep, &obs);
+                            let _ = serve_connection(stream, ep, &obs, clock.as_ref());
                         });
                 }
             })?;
@@ -94,6 +115,7 @@ fn serve_connection(
     stream: TcpStream,
     endpoint: Arc<dyn Endpoint>,
     obs: &LinkObs,
+    clock: Option<&Clock>,
 ) -> std::io::Result<()> {
     let started = std::time::Instant::now();
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -143,23 +165,28 @@ fn serve_connection(
             let xml = fault.to_envelope().to_xml();
             write_response(&mut writer, 500, "Internal Server Error", xml.as_bytes())?;
         }
-        Ok(env) => match endpoint.handle(env) {
-            // SOAP 1.1 over HTTP: faults ride status 500.
-            Some(resp) if resp.is_fault() => {
-                let xml = resp.to_xml();
-                obs.record_call(len as u64, xml.len() as u64, started);
-                write_response(&mut writer, 500, "Internal Server Error", xml.as_bytes())?;
+        Ok(mut env) => {
+            // Hop span under the request's trace header, if any; the
+            // guard covers the dispatch and the response write.
+            let _hop = clock.and_then(|c| obs.hop_span(&mut env, "transport.serve", c));
+            match endpoint.handle(env) {
+                // SOAP 1.1 over HTTP: faults ride status 500.
+                Some(resp) if resp.is_fault() => {
+                    let xml = resp.to_xml();
+                    obs.record_call(len as u64, xml.len() as u64, started);
+                    write_response(&mut writer, 500, "Internal Server Error", xml.as_bytes())?;
+                }
+                Some(resp) => {
+                    let xml = resp.to_xml();
+                    obs.record_call(len as u64, xml.len() as u64, started);
+                    write_response(&mut writer, 200, "OK", xml.as_bytes())?;
+                }
+                None => {
+                    obs.record_oneway(len as u64, started);
+                    write_response(&mut writer, 202, "Accepted", b"")?;
+                }
             }
-            Some(resp) => {
-                let xml = resp.to_xml();
-                obs.record_call(len as u64, xml.len() as u64, started);
-                write_response(&mut writer, 200, "OK", xml.as_bytes())?;
-            }
-            None => {
-                obs.record_oneway(len as u64, started);
-                write_response(&mut writer, 202, "Accepted", b"")?;
-            }
-        },
+        }
     }
     Ok(())
 }

@@ -166,9 +166,16 @@ impl InProcNetwork {
     /// times: on a scaled clock it genuinely sleeps (scaled); on a
     /// manual clock costs are recorded in [`NetMetrics`] but delivery
     /// is inline, keeping tests single-threaded and deterministic.
-    pub fn call(&self, to: &str, env: Envelope) -> Result<Envelope, TransportError> {
+    pub fn call(&self, to: &str, mut env: Envelope) -> Result<Envelope, TransportError> {
         let started = std::time::Instant::now();
         let ep = self.lookup(to)?;
+        // Hop span (noop unless tracing): re-stamps the trace header
+        // before byte accounting so the wire size reflects what is
+        // delivered. Finishes when the exchange completes.
+        let mut hop = self.obs.hop_span(&mut env, "transport.call", &self.clock);
+        if let Some(s) = hop.as_mut() {
+            s.annotate("to", to);
+        }
         let req_bytes = env.to_xml().len() as u64;
         let req_cost = self.cost(to, req_bytes);
         self.metrics.record(req_bytes, req_cost);
@@ -191,9 +198,13 @@ impl InProcNetwork {
     /// wire". Routing failures surface immediately; delivery happens
     /// after the modeled transfer time (via the clock in manual mode,
     /// via the worker pool in scaled mode).
-    pub fn send_oneway(&self, to: &str, env: Envelope) -> Result<(), TransportError> {
+    pub fn send_oneway(&self, to: &str, mut env: Envelope) -> Result<(), TransportError> {
         let started = std::time::Instant::now();
         let ep = self.lookup(to)?;
+        let mut hop = self.obs.hop_span(&mut env, "transport.oneway", &self.clock);
+        if let Some(s) = hop.as_mut() {
+            s.annotate("to", to);
+        }
         let bytes = env.to_xml().len() as u64;
         let cost = self.cost(to, bytes);
         self.metrics.record(bytes, cost);

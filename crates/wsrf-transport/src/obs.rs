@@ -2,11 +2,17 @@
 //!
 //! Each transport owns a [`LinkObs`] created against a deployment's
 //! [`MetricsRegistry`]; with the default disabled registry every handle
-//! is a no-op, so the hot paths pay only a branch.
+//! is a no-op, so the hot paths pay only a branch. When the registry
+//! carries a live [`Tracer`], [`LinkObs::hop_span`] additionally opens
+//! a child span per traced message, so every transport hop shows up in
+//! the causal span tree between the sender's and the receiver's spans.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use wsrf_obs::{Counter, Histogram, MetricsRegistry};
+use simclock::Clock;
+use wsrf_obs::{ActiveSpan, Counter, Histogram, MetricsRegistry, SpanContext, Tracer};
+use wsrf_soap::{Envelope, TraceContext};
 
 /// Message/byte counters plus a per-transfer latency histogram for one
 /// transport link (`transport.<kind>.*` metric names).
@@ -21,6 +27,12 @@ pub struct LinkObs {
     pub bytes_out: Counter,
     /// Wall-clock time per transfer, nanoseconds.
     pub latency: Histogram,
+    /// The deployment's tracer (noop unless the registry was built with
+    /// tracing enabled).
+    pub tracer: Tracer,
+    /// Transport kind, used as the span "service" for hop spans
+    /// (interned so hop spans record without allocating it).
+    kind: Arc<str>,
 }
 
 impl LinkObs {
@@ -32,12 +44,42 @@ impl LinkObs {
             bytes_in: registry.counter(&format!("{p}.bytes_in")),
             bytes_out: registry.counter(&format!("{p}.bytes_out")),
             latency: registry.histogram(&format!("{p}.latency_ns")),
+            tracer: registry.tracer().clone(),
+            kind: kind.into(),
         }
     }
 
     /// All-no-op handles.
     pub fn noop() -> Self {
         Self::new(&MetricsRegistry::disabled(), "noop")
+    }
+
+    /// Open a transport-hop span as a child of the trace context in
+    /// `env`'s headers, re-stamping the envelope with the hop's own
+    /// context so the receiver parents under the hop. Returns `None`
+    /// (and leaves `env` untouched) when the tracer is disabled or the
+    /// message carries no trace header — transports never start traces,
+    /// they only extend them.
+    pub fn hop_span(&self, env: &mut Envelope, name: &str, clock: &Clock) -> Option<ActiveSpan> {
+        if !self.tracer.is_enabled() {
+            return None;
+        }
+        let tc = TraceContext::from_envelope(env)?;
+        let span = self.tracer.start_child(
+            SpanContext {
+                trace_id: tc.trace_id,
+                span_id: tc.span_id,
+                sampled: tc.sampled,
+            },
+            name,
+            self.kind.clone(),
+            clock,
+        );
+        if span.is_recording() {
+            let c = span.context();
+            TraceContext::new(c.trace_id, c.span_id, c.sampled).stamp(env);
+        }
+        Some(span)
     }
 
     /// Record one completed exchange.

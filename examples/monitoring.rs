@@ -45,7 +45,9 @@ fn query(grid: &CampusGrid, epr: &EndpointReference, xpath: &str) -> String {
 
 fn main() {
     let grid = CampusGrid::build(
-        GridConfig::with_machines(3).with_policy(Arc::new(MetricsFeedback::new())),
+        GridConfig::with_machines(3)
+            .with_policy(Arc::new(MetricsFeedback::new()))
+            .with_tracing(TraceConfig::enabled()),
         Clock::scaled(1000.0),
     );
     let client = grid.client("ops");
@@ -173,4 +175,12 @@ fn main() {
     // deployment's metrics registry (wsrf-obs).
     println!("\n== live metrics (wsrf-obs registry) ==");
     print!("{}", grid.metrics_snapshot().render());
+
+    // Tracing was enabled above, so the submission left a causal span
+    // tree behind: the job set stores its TraceId as a resource
+    // property, and the full tree is queryable as the {UVACG}Trace RP.
+    println!("\n== the submission's span tree ==");
+    let trace_hex = get_property(&grid, &handle.jobset, "TraceId");
+    let trace_id = u64::from_str_radix(&trace_hex, 16).expect("TraceId RP");
+    print!("{}", grid.metrics.tracer().trace(trace_id).render_tree());
 }

@@ -17,7 +17,11 @@ cargo test -q --offline
 echo "== cargo fmt --check"
 cargo fmt --check
 
-echo "== metrics regression gate"
+echo "== metrics + tracing regression gate"
+# The metrics-only harness run boots the dump grid with tracing enabled
+# (the tracing ablation configuration), so BENCH_metrics.json carries
+# the trace.* counters and the gate pins them against the baseline
+# alongside every other metric.
 cargo run -q --release --offline -p bench --bin harness -- --metrics-only >/dev/null
 cargo run -q --release --offline -p bench --bin gate
 

@@ -64,8 +64,10 @@ pub mod prelude {
         JobSetSpec, JobSpec, LeastLoaded, MachineOutcome, MetricsFeedback, NodeSnapshot,
         OutcomeKind, PenaltyRow, Random, RoundRobin, SchedulingPolicy,
     };
-    pub use wsrf_obs::{MetricsRegistry, MetricsSnapshot, ObsConfig};
-    pub use wsrf_soap::{BaseFault, EndpointReference, Envelope, SoapFault};
+    pub use wsrf_obs::{
+        MetricsRegistry, MetricsSnapshot, ObsConfig, TraceConfig, TraceSnapshot, Tracer,
+    };
+    pub use wsrf_soap::{BaseFault, EndpointReference, Envelope, SoapFault, TraceContext};
     pub use wsrf_transport::{InProcNetwork, LinkProfile, NetConfig};
     pub use wsrf_xml::Element;
 }

@@ -145,6 +145,36 @@ fn one_way_messages_over_both_transports() {
 }
 
 #[test]
+fn trace_context_survives_both_transports_byte_for_byte() {
+    // The distributed-tracing header rides next to the WS-Addressing
+    // headers; a hop must be able to parse it off the wire, re-stamp
+    // it, and have the next hop read back the identical context.
+    let tc = TraceContext::new(0xdead_beef_cafe_f00d, 0x0123_4567_89ab_cdef, true);
+    let wire = tc.to_traceparent();
+    let relay = Arc::new(wsrf_grid::transport::FnEndpoint::new("relay", |env| {
+        let parsed = TraceContext::from_envelope(&env).expect("trace header arrived");
+        let mut reply = El::local("Ok").text(parsed.to_traceparent());
+        reply = reply.attr("sampled", parsed.sampled.to_string());
+        let mut out = Envelope::new(reply);
+        parsed.stamp(&mut out); // re-stamp: the parse → stamp → parse cycle
+        Some(out)
+    }));
+    let mut env = Envelope::new(El::local("Ping"));
+    tc.stamp(&mut env);
+
+    let http_server = HttpSoapServer::start(relay.clone()).unwrap();
+    let resp = http_call(&http_server.authority(), "relay", &env).unwrap();
+    assert_eq!(resp.body.text_content(), wire, "traceparent over HTTP");
+    assert_eq!(TraceContext::from_envelope(&resp), Some(tc));
+
+    let tcp_server = FramedServer::start(relay).unwrap();
+    let tcp = FramedClient::connect(&tcp_server.authority()).unwrap();
+    let resp = tcp.call(&env).unwrap();
+    assert_eq!(resp.body.text_content(), wire, "traceparent over soap.tcp");
+    assert_eq!(TraceContext::from_envelope(&resp), Some(tc));
+}
+
+#[test]
 fn unicode_and_escaping_survive_the_wire() {
     let echo = Arc::new(wsrf_grid::transport::FnEndpoint::new("echo", Some));
     let server = HttpSoapServer::start(echo).unwrap();
