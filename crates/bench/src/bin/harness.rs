@@ -1,4 +1,4 @@
-//! Regenerates every EXPERIMENTS.md table (E1–E9).
+//! Regenerates every EXPERIMENTS.md table (E1–E10).
 //!
 //! ```text
 //! cargo run -p bench --bin harness --release
@@ -731,6 +731,93 @@ fn e9_security() {
     print_table("E9 — WS-Security costs", &["operation", "time/op"], &rows);
 }
 
+fn e10_contention() {
+    // Contended same-resource dispatch, old pipeline vs new. "old" is
+    // the pre-classification container: no per-resource leases, and
+    // every op — reads included — takes the write path through
+    // clone-for-diff and the save stage. "new" is the shipping
+    // pipeline: reads are classified, share a lease stripe and skip
+    // the save stage entirely; writes serialize on an exclusive
+    // per-resource lease (the price of never losing an update).
+    use wsrf_core::container::{SavePolicy, Service, ServiceBuilder};
+
+    fn peek(ctx: &mut wsrf_core::container::Ctx<'_>) -> Result<Element, wsrf_soap::BaseFault> {
+        let doc = ctx.resource_mut()?;
+        Ok(Element::new(UVACG, "PeekResponse").text(doc.text(&q("Status")).unwrap_or_default()))
+    }
+
+    fn counter(old: bool) -> (Arc<Service>, EndpointReference) {
+        let clock = Clock::manual();
+        let net = InProcNetwork::new(clock.clone());
+        let b = ServiceBuilder::new("Ctr", "inproc://bench/Ctr", Arc::new(MemoryStore::new()))
+            .save_policy(SavePolicy::Always)
+            .operation("Bump", |ctx| {
+                let doc = ctx.resource_mut()?;
+                let n = doc.i64(&q("Pid")).unwrap_or(0) + 1;
+                doc.set_i64(q("Pid"), n);
+                Ok(Element::new(UVACG, "BumpResponse"))
+            });
+        let b = if old {
+            b.without_leases().operation("Peek", peek)
+        } else {
+            b.read_operation("Peek", peek)
+        };
+        let svc = b.build(clock, net);
+        let epr = svc
+            .core()
+            .create_resource_with_key("r1", job_doc(0))
+            .unwrap();
+        (svc, epr)
+    }
+
+    fn throughput(svc: &Arc<Service>, env: &Envelope, threads: usize) -> f64 {
+        const OPS_PER_THREAD: usize = 3_000;
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..OPS_PER_THREAD {
+                        svc.dispatch(env.clone());
+                    }
+                });
+            }
+        });
+        (threads * OPS_PER_THREAD) as f64 / t0.elapsed().as_secs_f64() / 1e3
+    }
+
+    let mut rows = Vec::new();
+    for threads in [1usize, 4, 16] {
+        let cell = |old: bool, op: &str| {
+            let (svc, epr) = counter(old);
+            let env = request(&epr, "Ctr", op, Element::new(UVACG, op));
+            throughput(&svc, &env, threads)
+        };
+        let (ro, rn) = (cell(true, "Peek"), cell(false, "Peek"));
+        let (wo, wn) = (cell(true, "Bump"), cell(false, "Bump"));
+        rows.push(vec![
+            threads.to_string(),
+            format!("{ro:.0}"),
+            format!("{rn:.0}"),
+            format!("{:.2}x", rn / ro),
+            format!("{wo:.0}"),
+            format!("{wn:.0}"),
+        ]);
+    }
+    print_table(
+        "E10 — contended same-resource dispatch throughput (kops/s), \
+         old pipeline vs read/write classification + leases",
+        &[
+            "threads",
+            "read old",
+            "read new",
+            "read speedup",
+            "write old (racy)",
+            "write new (leased)",
+        ],
+        &rows,
+    );
+}
+
 fn metrics_dump() {
     // Full-pipeline observability: run one job set on a metrics-enabled
     // grid (GridConfig observes by default) and dump the whole registry
@@ -772,7 +859,7 @@ fn metrics_dump() {
 
 fn main() {
     // `--metrics-only` regenerates BENCH_metrics.json without the full
-    // E1–E9 sweep; tier-1 uses it to feed the regression gate cheaply.
+    // E1–E10 sweep; tier-1 uses it to feed the regression gate cheaply.
     if std::env::args().any(|a| a == "--metrics-only") {
         metrics_dump();
         return;
@@ -789,6 +876,7 @@ fn main() {
     e7_store();
     e8_polling();
     e9_security();
+    e10_contention();
     metrics_dump();
     println!("\ndone.");
 }

@@ -1,6 +1,6 @@
 //! Shared workload builders for the benchmark suite.
 //!
-//! Each experiment (E1–E9, see DESIGN.md / EXPERIMENTS.md) has a
+//! Each experiment (E1–E10, see DESIGN.md / EXPERIMENTS.md) has a
 //! Criterion bench exercising the *real* software costs and, where the
 //! quantity of interest is modeled (virtual) time or message traffic,
 //! a row generator used by the `harness` binary to print the

@@ -12,7 +12,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Measurement window per benchmark; intentionally short so the whole
-/// E1–E9 suite stays fast in CI.
+/// E1–E10 suite stays fast in CI.
 const TARGET_WINDOW: Duration = Duration::from_millis(60);
 
 pub struct Criterion {

@@ -129,7 +129,7 @@ pub fn execution_service(cfg: EsConfig, clock: Clock, net: Arc<InProcNetwork>) -
             OpKind::Static,
             move |ctx| kill_op(ctx, &rt_kill),
         )
-        .operation("GetExitCode", |ctx| {
+        .read_operation("GetExitCode", |ctx| {
             let doc = ctx.resource_mut()?;
             match doc.text(&q("ExitCode")) {
                 Some(code) => Ok(Element::new(UVACG, "GetExitCodeResponse").text(code)),
@@ -141,6 +141,24 @@ pub fn execution_service(cfg: EsConfig, clock: Clock, net: Arc<InProcNetwork>) -
                     ),
                 )),
             }
+        })
+        .read_operation("QueryJob", |ctx| {
+            // One-call job snapshot (name, status, exit code, CPU time)
+            // for pollers that would otherwise issue several
+            // GetResourceProperty round trips; runs under a shared
+            // lease so concurrent pollers never serialize each other.
+            let core = ctx.core.clone();
+            let doc = ctx.resource_mut()?;
+            let mut resp = Element::new(UVACG, "QueryJobResponse")
+                .attr("name", doc.text(&q("JobName")).unwrap_or_default())
+                .attr("status", doc.text(&q("Status")).unwrap_or_default());
+            if let Some(code) = doc.text(&q("ExitCode")) {
+                resp = resp.attr("exitCode", code);
+            }
+            for v in core.property_values(doc, &q("CpuTimeUsed")) {
+                resp = resp.attr("cpu", v.text_content());
+            }
+            Ok(resp)
         })
         .computed_property(q("CpuTimeUsed"), move |doc, _now| {
             // "the job's CPU time used so far": live from the process
@@ -630,6 +648,49 @@ pub fn job_cpu_time(net: &InProcNetwork, job: &EndpointReference) -> Result<f64,
         .map_err(|_| SoapFault::server("CpuTimeUsed is not a number"))
 }
 
+/// One-call job snapshot returned by the read-only `QueryJob` op.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// Job name within its set.
+    pub name: String,
+    /// Current `Status` property value.
+    pub status: String,
+    /// Exit code, once the process has exited.
+    pub exit_code: Option<i64>,
+    /// CPU seconds used so far (live while running).
+    pub cpu_time: f64,
+}
+
+/// Poll a job with a single `QueryJob` call instead of one
+/// `GetResourceProperty` round trip per property.
+pub fn query_job(net: &InProcNetwork, job: &EndpointReference) -> Result<JobSnapshot, SoapFault> {
+    let mut env = Envelope::new(Element::new(UVACG, "QueryJob"));
+    MessageInfo::request(job.clone(), action_uri("Execution", "QueryJob")).apply(&mut env);
+    let resp = net
+        .call(&job.address, env)
+        .map_err(|e| SoapFault::server(e.to_string()))?;
+    if let Some(f) = resp.fault() {
+        return Err(f);
+    }
+    Ok(JobSnapshot {
+        name: resp.body.attr_value("name").unwrap_or_default().to_string(),
+        status: resp
+            .body
+            .attr_value("status")
+            .unwrap_or_default()
+            .to_string(),
+        exit_code: resp
+            .body
+            .attr_value("exitCode")
+            .and_then(|c| c.parse().ok()),
+        cpu_time: resp
+            .body
+            .attr_value("cpu")
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0.0),
+    })
+}
+
 fn get_property_text(
     net: &InProcNetwork,
     resource: &EndpointReference,
@@ -950,6 +1011,31 @@ mod tests {
         assert_eq!(exits[0].payload.attr_value("code"), Some("-9"));
         let cpu: f64 = exits[0].payload.attr_value("cpu").unwrap().parse().unwrap();
         assert!((cpu - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn query_job_snapshots_in_one_call() {
+        let f = fixture();
+        let reply = run(
+            &f.net,
+            &f.es_addr,
+            &basic_request(&f, &JobProgram::compute(2.0)),
+        )
+        .unwrap();
+        f.clock.advance(Duration::from_secs(1));
+        let snap = query_job(&f.net, &reply.job).unwrap();
+        assert_eq!(snap.name, "job1");
+        assert_eq!(snap.status, status::RUNNING);
+        assert!(snap.exit_code.is_none());
+        assert!(
+            (snap.cpu_time - 1.0).abs() < 1e-3,
+            "live cpu {}",
+            snap.cpu_time
+        );
+        f.clock.advance(Duration::from_secs(2));
+        let snap = query_job(&f.net, &reply.job).unwrap();
+        assert_eq!(snap.status, status::EXITED);
+        assert_eq!(snap.exit_code, Some(0));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use grid_node::SimFs;
 use simclock::Clock;
-use wsrf_core::container::{action_uri, Service, ServiceBuilder};
+use wsrf_core::container::{action_uri, OpKind, Service, ServiceBuilder};
 use wsrf_core::faults;
 use wsrf_core::properties::PropertyDoc;
 use wsrf_core::store::ResourceStore;
@@ -73,7 +73,7 @@ pub fn file_system_service(
                 .child(epr.to_element())
                 .child(Element::new(UVACG, "Path").text(path)))
         })
-        .operation("Read", move |ctx| {
+        .read_operation("Read", move |ctx| {
             let filename = required_filename(ctx.body)?;
             let dir = dir_path(ctx.resource_mut()?)?;
             let content = fs_read
@@ -90,7 +90,7 @@ pub fn file_system_service(
                 .map_err(|e| faults::storage(&e.to_string()))?;
             Ok(Element::new(UVACG, "WriteResponse"))
         })
-        .operation("List", move |ctx| {
+        .read_operation("List", move |ctx| {
             let dir = dir_path(ctx.resource_mut()?)?;
             let entries = fs_list
                 .list(&dir)
@@ -110,131 +110,146 @@ pub fn file_system_service(
             }
             Ok(resp)
         })
-        .operation("UploadFiles", move |ctx| {
-            // Decode the request fully before touching the resource.
-            let notify_to = ctx
-                .body
-                .find(UVACG, "NotifyTo")
-                .map(EndpointReference::from_element)
-                .transpose()
-                .map_err(|e| faults::bad_request(&format!("bad NotifyTo: {e}")))?;
-            let notify_action = ctx
-                .body
-                .find(UVACG, "NotifyAction")
-                .map(|e| e.text_content())
-                .unwrap_or_else(|| action_uri("Execution", "UploadComplete"));
-            let context_token = ctx
-                .body
-                .find(UVACG, "Context")
-                .map(|e| e.text_content())
-                .unwrap_or_default();
-            struct Item {
-                source: EndpointReference,
-                filename: String,
-                as_name: String,
-            }
-            let mut items = Vec::new();
-            for fe in ctx.body.find_all(UVACG, "File") {
-                let filename = fe
-                    .attr_value("name")
-                    .ok_or_else(|| faults::bad_request("File requires name attribute"))?
-                    .to_string();
-                let as_name = fe
-                    .attr_value("as")
-                    .map(str::to_string)
-                    .unwrap_or_else(|| filename.clone());
-                let source_el = fe
-                    .find(UVACG, "SourceEpr")
-                    .ok_or_else(|| faults::bad_request("File requires SourceEpr"))?;
-                let source = EndpointReference::from_element(source_el)
-                    .map_err(|e| faults::bad_request(&format!("bad SourceEpr: {e}")))?;
-                items.push(Item {
-                    source,
-                    filename,
-                    as_name,
-                });
-            }
+        // Static rather than resource-scoped: staging re-enters the
+        // dispatch pipeline (remote Read fetches, and the inline
+        // UploadComplete notification can chain into the next job's
+        // UploadFiles on this same service), so it must not hold a
+        // per-resource lease across those nested dispatches. The
+        // directory document is immutable after creation (only `Path`),
+        // so a plain load is race-free.
+        .raw_operation(
+            action_uri("FileSystem", "UploadFiles"),
+            OpKind::Static,
+            move |ctx| {
+                // Decode the request fully before touching the resource.
+                let notify_to = ctx
+                    .body
+                    .find(UVACG, "NotifyTo")
+                    .map(EndpointReference::from_element)
+                    .transpose()
+                    .map_err(|e| faults::bad_request(&format!("bad NotifyTo: {e}")))?;
+                let notify_action = ctx
+                    .body
+                    .find(UVACG, "NotifyAction")
+                    .map(|e| e.text_content())
+                    .unwrap_or_else(|| action_uri("Execution", "UploadComplete"));
+                let context_token = ctx
+                    .body
+                    .find(UVACG, "Context")
+                    .map(|e| e.text_content())
+                    .unwrap_or_default();
+                struct Item {
+                    source: EndpointReference,
+                    filename: String,
+                    as_name: String,
+                }
+                let mut items = Vec::new();
+                for fe in ctx.body.find_all(UVACG, "File") {
+                    let filename = fe
+                        .attr_value("name")
+                        .ok_or_else(|| faults::bad_request("File requires name attribute"))?
+                        .to_string();
+                    let as_name = fe
+                        .attr_value("as")
+                        .map(str::to_string)
+                        .unwrap_or_else(|| filename.clone());
+                    let source_el = fe
+                        .find(UVACG, "SourceEpr")
+                        .ok_or_else(|| faults::bad_request("File requires SourceEpr"))?;
+                    let source = EndpointReference::from_element(source_el)
+                        .map_err(|e| faults::bad_request(&format!("bad SourceEpr: {e}")))?;
+                    items.push(Item {
+                        source,
+                        filename,
+                        as_name,
+                    });
+                }
 
-            let dir = dir_path(ctx.resource_mut()?)?;
-            let core = ctx.core.clone();
-            let own = own_machine.clone();
-            let trace = ctx.trace;
+                let core = ctx.core.clone();
+                let dir_doc = core
+                    .store
+                    .load(&core.name, ctx.key()?)
+                    .map_err(faults::from_store)?;
+                let dir = dir_path(&dir_doc)?;
+                let own = own_machine.clone();
+                let trace = ctx.trace;
 
-            // Stage each file (step 4/5/6 of Figure 3).
-            let staged_bytes = core.metrics.counter("fss.staged_bytes");
-            let staged_files = core.metrics.counter("fss.staged_files");
-            let stage_timer = core.metrics.timer("fss.stage");
-            let mut failures: Vec<(String, String)> = Vec::new();
-            for item in &items {
-                let stage_span = stage_timer.start(&core.clock);
-                let result: Result<(), String> = (|| {
-                    let same_machine = wsrf_soap::Uri::parse(&item.source.address)
-                        .map(|u| u.authority.eq_ignore_ascii_case(&own))
-                        .unwrap_or(false);
-                    let content: Bytes = if same_machine {
-                        // "the FSS simply moves the file within the
-                        // portion of the file system it controls
-                        // (rather than making an HTTP request on
-                        // itself)". We copy rather than move so that
-                        // diamond-shaped job sets can consume one
-                        // output twice (see DESIGN.md).
-                        let src_key = item
-                            .source
-                            .resource_key()
-                            .ok_or("local SourceEpr has no directory key")?;
-                        let src_doc = core
-                            .store
-                            .load(&core.name, src_key)
-                            .map_err(|e| e.to_string())?;
-                        let src_dir = src_doc
-                            .text(&q("Path"))
-                            .ok_or("source directory has no Path")?;
+                // Stage each file (step 4/5/6 of Figure 3).
+                let staged_bytes = core.metrics.counter("fss.staged_bytes");
+                let staged_files = core.metrics.counter("fss.staged_files");
+                let stage_timer = core.metrics.timer("fss.stage");
+                let mut failures: Vec<(String, String)> = Vec::new();
+                for item in &items {
+                    let stage_span = stage_timer.start(&core.clock);
+                    let result: Result<(), String> = (|| {
+                        let same_machine = wsrf_soap::Uri::parse(&item.source.address)
+                            .map(|u| u.authority.eq_ignore_ascii_case(&own))
+                            .unwrap_or(false);
+                        let content: Bytes = if same_machine {
+                            // "the FSS simply moves the file within the
+                            // portion of the file system it controls
+                            // (rather than making an HTTP request on
+                            // itself)". We copy rather than move so that
+                            // diamond-shaped job sets can consume one
+                            // output twice (see DESIGN.md).
+                            let src_key = item
+                                .source
+                                .resource_key()
+                                .ok_or("local SourceEpr has no directory key")?;
+                            let src_doc = core
+                                .store
+                                .load(&core.name, src_key)
+                                .map_err(|e| e.to_string())?;
+                            let src_dir = src_doc
+                                .text(&q("Path"))
+                                .ok_or("source directory has no Path")?;
+                            fs_upload
+                                .read(&join(&src_dir, &item.filename))
+                                .map_err(|e| e.to_string())?
+                        } else {
+                            // Remote fetch: Read() on the remote FSS (HTTP
+                            // scheme) or the client's WSE-TCP file server
+                            // (soap.tcp scheme) — the network cost model
+                            // prices the schemes differently.
+                            remote_read(&core.net, &item.source, &item.filename, trace.as_ref())
+                                .map_err(|e| e.to_string())?
+                        };
+                        staged_bytes.add(content.len() as u64);
+                        staged_files.inc();
                         fs_upload
-                            .read(&join(&src_dir, &item.filename))
-                            .map_err(|e| e.to_string())?
-                    } else {
-                        // Remote fetch: Read() on the remote FSS (HTTP
-                        // scheme) or the client's WSE-TCP file server
-                        // (soap.tcp scheme) — the network cost model
-                        // prices the schemes differently.
-                        remote_read(&core.net, &item.source, &item.filename, trace.as_ref())
-                            .map_err(|e| e.to_string())?
-                    };
-                    staged_bytes.add(content.len() as u64);
-                    staged_files.inc();
-                    fs_upload
-                        .write(&join(&dir, &item.as_name), content)
-                        .map_err(|e| e.to_string())
-                })();
-                stage_span.finish();
-                if let Err(msg) = result {
-                    failures.push((item.filename.clone(), msg));
+                            .write(&join(&dir, &item.as_name), content)
+                            .map_err(|e| e.to_string())
+                    })();
+                    stage_span.finish();
+                    if let Err(msg) = result {
+                        failures.push((item.filename.clone(), msg));
+                    }
                 }
-            }
 
-            // "When the upload is complete, the FSS will send another
-            // one-way message (which we call a notification) back ...
-            // indicating that the job may start."
-            if let Some(to) = notify_to {
-                let mut body = Element::new(UVACG, "UploadComplete")
-                    .attr("uploaded", (items.len() - failures.len()).to_string())
-                    .child(Element::new(UVACG, "Context").text(&context_token));
-                for (file, reason) in &failures {
-                    body.push_child(
-                        Element::new(UVACG, "Failure")
-                            .attr("file", file)
-                            .text(reason),
-                    );
+                // "When the upload is complete, the FSS will send another
+                // one-way message (which we call a notification) back ...
+                // indicating that the job may start."
+                if let Some(to) = notify_to {
+                    let mut body = Element::new(UVACG, "UploadComplete")
+                        .attr("uploaded", (items.len() - failures.len()).to_string())
+                        .child(Element::new(UVACG, "Context").text(&context_token));
+                    for (file, reason) in &failures {
+                        body.push_child(
+                            Element::new(UVACG, "Failure")
+                                .attr("file", file)
+                                .text(reason),
+                        );
+                    }
+                    let mut env = Envelope::new(body);
+                    MessageInfo::request(to.clone(), notify_action.clone()).apply(&mut env);
+                    if let Some(tc) = &trace {
+                        tc.stamp(&mut env);
+                    }
+                    let _ = core.net.send_oneway(&to.address, env);
                 }
-                let mut env = Envelope::new(body);
-                MessageInfo::request(to.clone(), notify_action.clone()).apply(&mut env);
-                if let Some(tc) = &trace {
-                    tc.stamp(&mut env);
-                }
-                let _ = core.net.send_oneway(&to.address, env);
-            }
-            Ok(Element::new(UVACG, "UploadFilesAck"))
-        })
+                Ok(Element::new(UVACG, "UploadFilesAck"))
+            },
+        )
         .build(clock, net)
 }
 

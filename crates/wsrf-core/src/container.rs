@@ -10,13 +10,15 @@
 //! the analogue of the `[Resource]` / `[ResourceProperty]` /
 //! `[WSRFPortType]` attribute programming model of Figure 2.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use simclock::{Clock, SimTime, TimerId};
-use wsrf_obs::{Counter, MetricsRegistry, SpanContext, Timer, Tracer};
+use wsrf_obs::{Counter, Histogram, MetricsRegistry, SpanContext, Timer, Tracer};
 use wsrf_soap::{ns, BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault, TraceContext};
 use wsrf_transport::{Endpoint, InProcNetwork};
 use wsrf_xml::{Element, QName};
@@ -58,13 +60,64 @@ pub enum OpKind {
     Static,
 }
 
+/// How an operation touches resource state. `Read` ops take a shared
+/// lease, never diff, and skip the save stage entirely; `Write` ops
+/// take an exclusive lease and run the full load→invoke→save pipeline.
+/// Author operations default to `Write` (safe for arbitrary handlers);
+/// [`ServiceBuilder::read_operation`] opts a handler into `Read`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpAccess {
+    /// Observes resource state only; mutations to the loaded document
+    /// are discarded, so many readers may run concurrently.
+    Read,
+    /// May mutate resource state; serialized per resource.
+    Write,
+}
+
 /// One dispatchable operation (visible to the port-type installers).
 pub(crate) struct Op {
     kind: OpKind,
+    access: OpAccess,
     /// Interned `dispatch.{op}` span name, so traced dispatches never
     /// format or allocate a name per call.
     span_name: Arc<str>,
     handler: OpHandler,
+}
+
+/// Number of lease stripes per service (power of two). Distinct keys
+/// may share a stripe — that costs spurious contention, never safety.
+const LEASE_STRIPES: usize = 64;
+
+/// Striped per-resource leases: the container holds a stripe's lock —
+/// shared for [`OpAccess::Read`], exclusive for [`OpAccess::Write`] —
+/// across the load→invoke→save window, so two concurrent writers can
+/// never both load, mutate private copies, and last-save-win (the
+/// lost-update race WSRF.NET delegates to database transactions, §5).
+/// Handlers run *inside* the lease, so they must not dispatch back
+/// into the same service; direct `ServiceCore` calls (create/destroy)
+/// stay lease-free and remain safe to make from handlers.
+struct LeaseTable {
+    stripes: Box<[RwLock<()>]>,
+}
+
+impl LeaseTable {
+    fn new() -> Self {
+        LeaseTable {
+            stripes: (0..LEASE_STRIPES).map(|_| RwLock::new(())).collect(),
+        }
+    }
+
+    fn stripe(&self, key: &str) -> &RwLock<()> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.stripes[(h.finish() as usize) & (LEASE_STRIPES - 1)]
+    }
+}
+
+/// A held lease (either mode); released on drop after the save stage.
+enum LeaseGuard<'a> {
+    Shared(#[allow(dead_code)] RwLockReadGuard<'a, ()>),
+    Exclusive(#[allow(dead_code)] RwLockWriteGuard<'a, ()>),
 }
 
 /// Shared, long-lived half of a service: everything handlers need to
@@ -283,6 +336,12 @@ struct DispatchObs {
     /// Bytes of resource state loaded / saved (serialized size).
     load_bytes: Counter,
     save_bytes: Counter,
+    /// Resource-scoped dispatches by access mode (exact counts).
+    reads: Counter,
+    writes: Counter,
+    /// Real nanoseconds spent waiting to acquire the per-resource
+    /// lease, recorded on sampled dispatches — the contention signal.
+    lock_wait: Histogram,
     /// Per-operation invocation counts, keyed by action URI.
     per_op: HashMap<String, Counter>,
 }
@@ -311,6 +370,9 @@ impl DispatchObs {
             save: registry.timer(&format!("{prefix}.stage.save")),
             load_bytes: registry.counter(&format!("{prefix}.store.load_bytes")),
             save_bytes: registry.counter(&format!("{prefix}.store.save_bytes")),
+            reads: registry.counter(&format!("{prefix}.reads")),
+            writes: registry.counter(&format!("{prefix}.writes")),
+            lock_wait: registry.histogram(&format!("{prefix}.lock_wait_ns")),
             per_op,
         }
     }
@@ -359,6 +421,9 @@ pub struct Service {
     core: Arc<ServiceCore>,
     ops: HashMap<String, Op>,
     save_policy: SavePolicy,
+    /// Per-resource read/write leases; `None` only when disabled via
+    /// [`ServiceBuilder::without_leases`] (the lost-update ablation).
+    leases: Option<LeaseTable>,
     description: Element,
     obs: DispatchObs,
     tracer: Tracer,
@@ -463,12 +528,32 @@ impl Service {
         if let Some(l) = lap.as_mut() {
             l.lap(&self.core.clock, &self.obs.resolve);
         }
+
+        // (2a) Take the per-resource lease — shared for Read ops,
+        // exclusive for Write — held across load→invoke→save so
+        // concurrent writers to one resource serialize instead of
+        // last-save-wins. Acquisition wait is the contention metric.
         let mut loaded: Option<PropertyDoc> = None;
         let mut before: Option<PropertyDoc> = None;
+        let mut _lease: Option<LeaseGuard<'_>> = None;
         if op.kind == OpKind::Resource {
             let k = key
                 .as_deref()
                 .ok_or_else(|| faults::missing_resource_key(&self.core.name))?;
+            match op.access {
+                OpAccess::Read => self.obs.reads.inc(),
+                OpAccess::Write => self.obs.writes.inc(),
+            }
+            if let Some(leases) = &self.leases {
+                let waited = lap.is_some().then(std::time::Instant::now);
+                _lease = Some(match op.access {
+                    OpAccess::Read => LeaseGuard::Shared(leases.stripe(k).read()),
+                    OpAccess::Write => LeaseGuard::Exclusive(leases.stripe(k).write()),
+                });
+                if let Some(t0) = waited {
+                    self.obs.lock_wait.record(t0.elapsed().as_nanos() as u64);
+                }
+            }
             let doc = self
                 .core
                 .store
@@ -477,7 +562,9 @@ impl Service {
             if self.obs.enabled {
                 self.obs.load_bytes.add(doc_bytes(&doc));
             }
-            if self.save_policy == SavePolicy::WhenChanged {
+            // Read ops never write back, so they never need the
+            // clone-for-diff copy either.
+            if self.save_policy == SavePolicy::WhenChanged && op.access == OpAccess::Write {
                 before = Some(doc.clone());
             }
             loaded = Some(doc);
@@ -504,21 +591,25 @@ impl Service {
             l.lap(&self.core.clock, &self.obs.invoke);
         }
 
-        // (4) Save changed state back. By default we save
-        // unconditionally, like WSRF.NET; SavePolicy::WhenChanged
-        // diffs first (ablation E1b).
-        if let Some(doc) = loaded {
+        // (4) Save changed state back — Write ops only; Read ops skip
+        // the stage outright. By default writes save unconditionally,
+        // like WSRF.NET; SavePolicy::WhenChanged diffs first (ablation
+        // E1b).
+        if let Some(doc) = loaded.filter(|_| op.access == OpAccess::Write) {
             let k = key.as_deref().expect("resource op had a key");
             let unchanged = matches!(&before, Some(b) if *b == doc);
-            // The handler may have destroyed its own resource; only
-            // save when it still exists.
-            if !unchanged && self.core.store.exists(&self.core.name, k) {
-                self.core
-                    .store
-                    .save(&self.core.name, k, &doc)
-                    .map_err(faults::from_store)?;
-                if self.obs.enabled {
-                    self.obs.save_bytes.add(doc_bytes(&doc));
+            if !unchanged {
+                match self.core.store.save(&self.core.name, k, &doc) {
+                    Ok(()) => {
+                        if self.obs.enabled {
+                            self.obs.save_bytes.add(doc_bytes(&doc));
+                        }
+                    }
+                    // The handler (or a lifetime timer) destroyed the
+                    // resource mid-dispatch; dropping the write is
+                    // correct — saving would resurrect the row.
+                    Err(crate::store::StoreError::NotFound(_)) => {}
+                    Err(e) => return Err(faults::from_store(e)),
                 }
             }
         }
@@ -553,6 +644,7 @@ pub struct ServiceBuilder {
     computed: Vec<(QName, ComputedProperty)>,
     standard_port_types: bool,
     lifetime_port_type: bool,
+    leases: bool,
     save_policy: SavePolicy,
     metrics: Option<Arc<MetricsRegistry>>,
 }
@@ -574,6 +666,7 @@ impl ServiceBuilder {
             computed: Vec::new(),
             standard_port_types: true,
             lifetime_port_type: true,
+            leases: true,
             save_policy: SavePolicy::Always,
             metrics: None,
         }
@@ -609,7 +702,33 @@ impl ServiceBuilder {
         handler: impl Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync + 'static,
     ) -> Self {
         let action = action_uri(&self.name, op_name);
-        insert_op(&mut self.ops, action, OpKind::Resource, Box::new(handler));
+        insert_op(
+            &mut self.ops,
+            action,
+            OpKind::Resource,
+            OpAccess::Write,
+            Box::new(handler),
+        );
+        self
+    }
+
+    /// Add a resource-scoped operation that only *observes* state: it
+    /// runs under a shared lease, skips the clone-for-diff and the
+    /// whole save stage, and any mutation of the loaded document is
+    /// discarded. Opt in only for genuinely read-only handlers.
+    pub fn read_operation(
+        mut self,
+        op_name: &str,
+        handler: impl Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync + 'static,
+    ) -> Self {
+        let action = action_uri(&self.name, op_name);
+        insert_op(
+            &mut self.ops,
+            action,
+            OpKind::Resource,
+            OpAccess::Read,
+            Box::new(handler),
+        );
         self
     }
 
@@ -620,20 +739,32 @@ impl ServiceBuilder {
         handler: impl Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync + 'static,
     ) -> Self {
         let action = action_uri(&self.name, op_name);
-        insert_op(&mut self.ops, action, OpKind::Static, Box::new(handler));
+        insert_op(
+            &mut self.ops,
+            action,
+            OpKind::Static,
+            OpAccess::Write,
+            Box::new(handler),
+        );
         self
     }
 
     /// Add an operation under an explicit action URI (used by the
     /// WS-Notification layer, whose actions live in the WSN
-    /// namespaces).
+    /// namespaces). Defaults to `Write` access.
     pub fn raw_operation(
         mut self,
         action: impl Into<String>,
         kind: OpKind,
         handler: impl Fn(&mut Ctx<'_>) -> Result<Element, BaseFault> + Send + Sync + 'static,
     ) -> Self {
-        insert_op(&mut self.ops, action.into(), kind, Box::new(handler));
+        insert_op(
+            &mut self.ops,
+            action.into(),
+            kind,
+            OpAccess::Write,
+            Box::new(handler),
+        );
         self
     }
 
@@ -659,6 +790,16 @@ impl ServiceBuilder {
     /// Opt out of WS-ResourceLifetime operations.
     pub fn without_lifetime(mut self) -> Self {
         self.lifetime_port_type = false;
+        self
+    }
+
+    /// Disable the per-resource lease layer, restoring the bare
+    /// WSRF.NET-style load→invoke→save pipeline in which concurrent
+    /// writers to one resource can silently lose updates. Exists so
+    /// tests and the contention benchmark can demonstrate the race the
+    /// leases close; never use it in a deployment.
+    pub fn without_leases(mut self) -> Self {
+        self.leases = false;
         self
     }
 
@@ -705,6 +846,7 @@ impl ServiceBuilder {
             &mut ops,
             crate::wsdl::DESCRIBE_ACTION.to_string(),
             OpKind::Static,
+            OpAccess::Read,
             Box::new(move |_| Ok(desc_for_op.clone())),
         );
         let obs = DispatchObs::new(&core.metrics, &core.name, &ops);
@@ -714,6 +856,7 @@ impl ServiceBuilder {
             core,
             ops,
             save_policy: self.save_policy,
+            leases: self.leases.then(LeaseTable::new),
             description,
             obs,
             tracer,
@@ -733,6 +876,7 @@ pub(crate) fn insert_op(
     ops: &mut HashMap<String, Op>,
     action: String,
     kind: OpKind,
+    access: OpAccess,
     handler: OpHandler,
 ) {
     let op_name = action.rsplit('/').next().unwrap_or(&action);
@@ -741,6 +885,7 @@ pub(crate) fn insert_op(
         action,
         Op {
             kind,
+            access,
             span_name,
             handler,
         },

@@ -13,7 +13,7 @@ use wsrf_soap::{ns, BaseFault};
 use wsrf_xml::xpath::Path;
 use wsrf_xml::{Element, QName};
 
-use crate::container::{insert_op, Ctx, OpKind};
+use crate::container::{insert_op, Ctx, OpAccess, OpKind};
 use crate::faults;
 
 /// The XPath 1.0 dialect URI required by WS-ResourceProperties.
@@ -55,6 +55,7 @@ pub(crate) fn install_resource_properties(ops: &mut Ops) {
         ops,
         wsrp_action("GetResourceProperty"),
         OpKind::Resource,
+        OpAccess::Read,
         Box::new(|ctx| {
             let name = parse_property_name(&ctx.body.text_content());
             let vals = get_one(ctx, &name)?;
@@ -67,6 +68,7 @@ pub(crate) fn install_resource_properties(ops: &mut Ops) {
         ops,
         wsrp_action("GetMultipleResourceProperties"),
         OpKind::Resource,
+        OpAccess::Read,
         Box::new(|ctx| {
             let names: Vec<QName> = ctx
                 .body
@@ -93,6 +95,7 @@ pub(crate) fn install_resource_properties(ops: &mut Ops) {
         ops,
         wsrp_action("GetResourcePropertyDocument"),
         OpKind::Resource,
+        OpAccess::Read,
         Box::new(|ctx| {
             let core = ctx.core.clone();
             let doc = ctx.resource_mut()?;
@@ -108,6 +111,7 @@ pub(crate) fn install_resource_properties(ops: &mut Ops) {
         ops,
         wsrp_action("QueryResourceProperties"),
         OpKind::Resource,
+        OpAccess::Read,
         Box::new(|ctx| {
             let expr_el = ctx
                 .body
@@ -134,6 +138,7 @@ pub(crate) fn install_resource_properties(ops: &mut Ops) {
         ops,
         wsrp_action("SetResourceProperties"),
         OpKind::Resource,
+        OpAccess::Write,
         Box::new(|ctx| {
             // Collect the component edits first (ctx.body borrow), then
             // apply them to the resource.
@@ -201,6 +206,7 @@ pub(crate) fn install_lifetime(ops: &mut Ops) {
         ops,
         wsrl_action("Destroy"),
         OpKind::Resource,
+        OpAccess::Write,
         Box::new(|ctx| {
             let key = ctx.key()?.to_string();
             ctx.core.destroy_resource(&key)?;
@@ -215,6 +221,7 @@ pub(crate) fn install_lifetime(ops: &mut Ops) {
         ops,
         wsrl_action("SetTerminationTime"),
         OpKind::Resource,
+        OpAccess::Write,
         Box::new(|ctx| {
             let key = ctx.key()?.to_string();
             let req = ctx

@@ -15,8 +15,16 @@
 //!   anything; every load *and every query row* pays a full parse (the
 //!   paper's other pain point, which pushed the authors toward XML
 //!   databases like Yukon).
+//!
+//! All three are backed by [`ShardedRows`]: rows live in `SHARDS`
+//! independently locked partitions chosen by hashing `(service, key)`,
+//! so resources on different shards never contend on a store lock and
+//! point lookups borrow the caller's `&str`s instead of allocating a
+//! `(String, String)` probe key.
 
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use parking_lot::RwLock;
 use wsrf_xml::xpath::Path;
@@ -87,6 +95,125 @@ fn matches(doc: &PropertyDoc, path: &Path) -> bool {
 }
 
 // ---------------------------------------------------------------------
+// ShardedRows
+// ---------------------------------------------------------------------
+
+/// Number of lock partitions per store. Power of two so the shard
+/// index is a mask, sized so a campus-grid's worth of services never
+/// funnels through one lock.
+const SHARDS: usize = 16;
+
+fn shard_of(service: &str, key: &str) -> usize {
+    let mut h = DefaultHasher::new();
+    service.hash(&mut h);
+    key.hash(&mut h);
+    (h.finish() as usize) & (SHARDS - 1)
+}
+
+/// The sharded `(service, key) → T` map under every backend. Each
+/// shard holds a `service → key → row` nested map so point operations
+/// probe with borrowed `&str`s — no per-lookup `String` allocation —
+/// and scans (`list`/`query`) walk the shards one read lock at a time.
+struct ShardedRows<T> {
+    shards: [RwLock<HashMap<String, HashMap<String, T>>>; SHARDS],
+}
+
+impl<T> Default for ShardedRows<T> {
+    fn default() -> Self {
+        ShardedRows {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        }
+    }
+}
+
+impl<T> ShardedRows<T> {
+    /// Insert a fresh row; `AlreadyExists` if `(service, key)` is taken.
+    /// Single probe of the key map via the entry API.
+    fn create(&self, service: &str, key: &str, row: T) -> Result<(), StoreError> {
+        let mut shard = self.shards[shard_of(service, key)].write();
+        match shard
+            .entry(service.to_string())
+            .or_default()
+            .entry(key.to_string())
+        {
+            Entry::Occupied(_) => Err(StoreError::AlreadyExists(key.to_string())),
+            Entry::Vacant(slot) => {
+                slot.insert(row);
+                Ok(())
+            }
+        }
+    }
+
+    /// Overwrite an existing row; `NotFound` if absent. Single probe,
+    /// no allocation on the hot path.
+    fn update(&self, service: &str, key: &str, row: T) -> Result<(), StoreError> {
+        let mut shard = self.shards[shard_of(service, key)].write();
+        match shard.get_mut(service).and_then(|keys| keys.get_mut(key)) {
+            Some(slot) => {
+                *slot = row;
+                Ok(())
+            }
+            None => Err(StoreError::NotFound(key.to_string())),
+        }
+    }
+
+    /// Read a row through a closure while the shard lock is held.
+    fn get<R>(&self, service: &str, key: &str, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let shard = self.shards[shard_of(service, key)].read();
+        shard.get(service).and_then(|keys| keys.get(key)).map(f)
+    }
+
+    fn remove(&self, service: &str, key: &str) -> Result<(), StoreError> {
+        let mut shard = self.shards[shard_of(service, key)].write();
+        let Some(keys) = shard.get_mut(service) else {
+            return Err(StoreError::NotFound(key.to_string()));
+        };
+        if keys.remove(key).is_none() {
+            return Err(StoreError::NotFound(key.to_string()));
+        }
+        if keys.is_empty() {
+            shard.remove(service);
+        }
+        Ok(())
+    }
+
+    fn contains(&self, service: &str, key: &str) -> bool {
+        let shard = self.shards[shard_of(service, key)].read();
+        shard
+            .get(service)
+            .is_some_and(|keys| keys.contains_key(key))
+    }
+
+    fn list(&self, service: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            if let Some(keys) = shard.read().get(service) {
+                out.extend(keys.keys().cloned());
+            }
+        }
+        out
+    }
+
+    /// Visit every `(key, row)` of a service, shard by shard.
+    fn for_each(&self, service: &str, mut f: impl FnMut(&str, &T)) {
+        for shard in &self.shards {
+            if let Some(keys) = shard.read().get(service) {
+                for (key, row) in keys.iter() {
+                    f(key, row);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(HashMap::len).sum::<usize>())
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------
 // MemoryStore
 // ---------------------------------------------------------------------
 
@@ -94,7 +221,7 @@ fn matches(doc: &PropertyDoc, path: &Path) -> bool {
 /// schema; the baseline backend and the default for tests.
 #[derive(Default)]
 pub struct MemoryStore {
-    rows: RwLock<HashMap<(String, String), PropertyDoc>>,
+    rows: ShardedRows<PropertyDoc>,
 }
 
 impl MemoryStore {
@@ -105,74 +232,50 @@ impl MemoryStore {
 
     /// Number of rows across all services.
     pub fn len(&self) -> usize {
-        self.rows.read().len()
+        self.rows.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.rows.read().is_empty()
+        self.len() == 0
     }
 }
 
 impl ResourceStore for MemoryStore {
     fn create(&self, service: &str, key: &str, doc: &PropertyDoc) -> Result<(), StoreError> {
-        let mut rows = self.rows.write();
-        let k = (service.to_string(), key.to_string());
-        if rows.contains_key(&k) {
-            return Err(StoreError::AlreadyExists(key.to_string()));
-        }
-        rows.insert(k, doc.clone());
-        Ok(())
+        self.rows.create(service, key, doc.clone())
     }
 
     fn load(&self, service: &str, key: &str) -> Result<PropertyDoc, StoreError> {
         self.rows
-            .read()
-            .get(&(service.to_string(), key.to_string()))
-            .cloned()
+            .get(service, key, PropertyDoc::clone)
             .ok_or_else(|| StoreError::NotFound(key.to_string()))
     }
 
     fn save(&self, service: &str, key: &str, doc: &PropertyDoc) -> Result<(), StoreError> {
-        let mut rows = self.rows.write();
-        let k = (service.to_string(), key.to_string());
-        if !rows.contains_key(&k) {
-            return Err(StoreError::NotFound(key.to_string()));
-        }
-        rows.insert(k, doc.clone());
-        Ok(())
+        self.rows.update(service, key, doc.clone())
     }
 
     fn destroy(&self, service: &str, key: &str) -> Result<(), StoreError> {
-        self.rows
-            .write()
-            .remove(&(service.to_string(), key.to_string()))
-            .map(|_| ())
-            .ok_or_else(|| StoreError::NotFound(key.to_string()))
+        self.rows.remove(service, key)
     }
 
     fn exists(&self, service: &str, key: &str) -> bool {
-        self.rows
-            .read()
-            .contains_key(&(service.to_string(), key.to_string()))
+        self.rows.contains(service, key)
     }
 
     fn list(&self, service: &str) -> Vec<String> {
-        self.rows
-            .read()
-            .keys()
-            .filter(|(s, _)| s == service)
-            .map(|(_, k)| k.clone())
-            .collect()
+        self.rows.list(service)
     }
 
     fn query(&self, service: &str, path: &Path) -> Vec<String> {
-        self.rows
-            .read()
-            .iter()
-            .filter(|((s, _), doc)| s == service && matches(doc, path))
-            .map(|((_, k), _)| k.clone())
-            .collect()
+        let mut out = Vec::new();
+        self.rows.for_each(service, |key, doc| {
+            if matches(doc, path) {
+                out.push(key.to_string());
+            }
+        });
+        out
     }
 
     fn backend_name(&self) -> &'static str {
@@ -189,7 +292,7 @@ impl ResourceStore for MemoryStore {
 /// every row.
 #[derive(Default)]
 pub struct BlobStore {
-    rows: RwLock<HashMap<(String, String), String>>,
+    rows: ShardedRows<String>,
 }
 
 impl BlobStore {
@@ -201,71 +304,49 @@ impl BlobStore {
 
 impl ResourceStore for BlobStore {
     fn create(&self, service: &str, key: &str, doc: &PropertyDoc) -> Result<(), StoreError> {
-        let mut rows = self.rows.write();
-        let k = (service.to_string(), key.to_string());
-        if rows.contains_key(&k) {
-            return Err(StoreError::AlreadyExists(key.to_string()));
-        }
-        rows.insert(k, doc.to_document(doc_root()).to_xml());
-        Ok(())
+        self.rows
+            .create(service, key, doc.to_document(doc_root()).to_xml())
     }
 
     fn load(&self, service: &str, key: &str) -> Result<PropertyDoc, StoreError> {
-        let rows = self.rows.read();
-        let blob = rows
-            .get(&(service.to_string(), key.to_string()))
+        let blob = self
+            .rows
+            .get(service, key, String::clone)
             .ok_or_else(|| StoreError::NotFound(key.to_string()))?;
-        let parsed = wsrf_xml::parse(blob)
+        let parsed = wsrf_xml::parse(&blob)
             .unwrap_or_else(|e| panic!("blob store corrupted for {service}/{key}: {e}"));
         Ok(PropertyDoc::from_document(&parsed))
     }
 
     fn save(&self, service: &str, key: &str, doc: &PropertyDoc) -> Result<(), StoreError> {
-        let mut rows = self.rows.write();
-        let k = (service.to_string(), key.to_string());
-        if !rows.contains_key(&k) {
-            return Err(StoreError::NotFound(key.to_string()));
-        }
-        rows.insert(k, doc.to_document(doc_root()).to_xml());
-        Ok(())
+        self.rows
+            .update(service, key, doc.to_document(doc_root()).to_xml())
     }
 
     fn destroy(&self, service: &str, key: &str) -> Result<(), StoreError> {
-        self.rows
-            .write()
-            .remove(&(service.to_string(), key.to_string()))
-            .map(|_| ())
-            .ok_or_else(|| StoreError::NotFound(key.to_string()))
+        self.rows.remove(service, key)
     }
 
     fn exists(&self, service: &str, key: &str) -> bool {
-        self.rows
-            .read()
-            .contains_key(&(service.to_string(), key.to_string()))
+        self.rows.contains(service, key)
     }
 
     fn list(&self, service: &str) -> Vec<String> {
-        self.rows
-            .read()
-            .keys()
-            .filter(|(s, _)| s == service)
-            .map(|(_, k)| k.clone())
-            .collect()
+        self.rows.list(service)
     }
 
     fn query(&self, service: &str, path: &Path) -> Vec<String> {
         // The expensive path the paper complains about: parse every row.
-        self.rows
-            .read()
-            .iter()
-            .filter(|((s, _), _)| s == service)
-            .filter(|(_, blob)| {
-                wsrf_xml::parse(blob)
-                    .map(|doc| !path.select(&doc).is_empty())
-                    .unwrap_or(false)
-            })
-            .map(|((_, k), _)| k.clone())
-            .collect()
+        let mut out = Vec::new();
+        self.rows.for_each(service, |key, blob| {
+            if wsrf_xml::parse(blob)
+                .map(|doc| !path.select(&doc).is_empty())
+                .unwrap_or(false)
+            {
+                out.push(key.to_string());
+            }
+        });
+        out
     }
 
     fn backend_name(&self) -> &'static str {
@@ -306,7 +387,7 @@ enum ColumnValue {
 /// traditional relational columns.
 pub struct StructuredStore {
     schemas: RwLock<HashMap<String, Vec<(QName, ColumnType)>>>,
-    rows: RwLock<HashMap<(String, String), Vec<ColumnValue>>>,
+    rows: ShardedRows<Vec<ColumnValue>>,
 }
 
 impl Default for StructuredStore {
@@ -320,7 +401,7 @@ impl StructuredStore {
     pub fn new() -> Self {
         StructuredStore {
             schemas: RwLock::new(HashMap::new()),
-            rows: RwLock::new(HashMap::new()),
+            rows: ShardedRows::default(),
         }
     }
 
@@ -443,14 +524,13 @@ impl StructuredStore {
         let schema = schemas.get(service)?;
         let idx = schema.iter().position(|(n, _)| n.local == col_name)?;
         drop(schemas);
-        Some(
-            self.rows
-                .read()
-                .iter()
-                .filter(|((s, _), row)| s == service && !matches!(row[idx], ColumnValue::Null))
-                .map(|((_, k), _)| k.clone())
-                .collect(),
-        )
+        let mut out = Vec::new();
+        self.rows.for_each(service, |key, row| {
+            if !matches!(row[idx], ColumnValue::Null) {
+                out.push(key.to_string());
+            }
+        });
+        Some(out)
     }
 
     /// Typed equality query: keys where column `name` equals `value`
@@ -465,75 +545,51 @@ impl StructuredStore {
             return Vec::new();
         };
         drop(schemas);
-        self.rows
-            .read()
-            .iter()
-            .filter(|((s, _), row)| {
-                s == service
-                    && match &row[idx] {
-                        ColumnValue::Text(t) => t == value,
-                        ColumnValue::Float(v) => value.parse::<f64>().is_ok_and(|x| x == *v),
-                        ColumnValue::Int(v) => value.parse::<i64>().is_ok_and(|x| x == *v),
-                        ColumnValue::Null => false,
-                    }
-            })
-            .map(|((_, k), _)| k.clone())
-            .collect()
+        let mut out = Vec::new();
+        self.rows.for_each(service, |key, row| {
+            let hit = match &row[idx] {
+                ColumnValue::Text(t) => t == value,
+                ColumnValue::Float(v) => value.parse::<f64>().is_ok_and(|x| x == *v),
+                ColumnValue::Int(v) => value.parse::<i64>().is_ok_and(|x| x == *v),
+                ColumnValue::Null => false,
+            };
+            if hit {
+                out.push(key.to_string());
+            }
+        });
+        out
     }
 }
 
 impl ResourceStore for StructuredStore {
     fn create(&self, service: &str, key: &str, doc: &PropertyDoc) -> Result<(), StoreError> {
         let row = self.encode(service, doc)?;
-        let mut rows = self.rows.write();
-        let k = (service.to_string(), key.to_string());
-        if rows.contains_key(&k) {
-            return Err(StoreError::AlreadyExists(key.to_string()));
-        }
-        rows.insert(k, row);
-        Ok(())
+        self.rows.create(service, key, row)
     }
 
     fn load(&self, service: &str, key: &str) -> Result<PropertyDoc, StoreError> {
-        let rows = self.rows.read();
-        let row = rows
-            .get(&(service.to_string(), key.to_string()))
+        let row = self
+            .rows
+            .get(service, key, Vec::clone)
             .ok_or_else(|| StoreError::NotFound(key.to_string()))?;
-        Ok(self.decode(service, row))
+        Ok(self.decode(service, &row))
     }
 
     fn save(&self, service: &str, key: &str, doc: &PropertyDoc) -> Result<(), StoreError> {
         let row = self.encode(service, doc)?;
-        let mut rows = self.rows.write();
-        let k = (service.to_string(), key.to_string());
-        if !rows.contains_key(&k) {
-            return Err(StoreError::NotFound(key.to_string()));
-        }
-        rows.insert(k, row);
-        Ok(())
+        self.rows.update(service, key, row)
     }
 
     fn destroy(&self, service: &str, key: &str) -> Result<(), StoreError> {
-        self.rows
-            .write()
-            .remove(&(service.to_string(), key.to_string()))
-            .map(|_| ())
-            .ok_or_else(|| StoreError::NotFound(key.to_string()))
+        self.rows.remove(service, key)
     }
 
     fn exists(&self, service: &str, key: &str) -> bool {
-        self.rows
-            .read()
-            .contains_key(&(service.to_string(), key.to_string()))
+        self.rows.contains(service, key)
     }
 
     fn list(&self, service: &str) -> Vec<String> {
-        self.rows
-            .read()
-            .keys()
-            .filter(|(s, _)| s == service)
-            .map(|(_, k)| k.clone())
-            .collect()
+        self.rows.list(service)
     }
 
     fn query(&self, service: &str, path: &Path) -> Vec<String> {
@@ -542,13 +598,13 @@ impl ResourceStore for StructuredStore {
         }
         // Fallback: materialize documents (still no XML parse — decode
         // is column-to-element).
-        self.rows
-            .read()
-            .iter()
-            .filter(|((s, _), _)| s == service)
-            .filter(|((_, _), row)| matches(&self.decode(service, row), path))
-            .map(|((_, k), _)| k.clone())
-            .collect()
+        let mut out = Vec::new();
+        self.rows.for_each(service, |key, row| {
+            if matches(&self.decode(service, row), path) {
+                out.push(key.to_string());
+            }
+        });
+        out
     }
 
     fn backend_name(&self) -> &'static str {
@@ -754,5 +810,26 @@ mod tests {
         d.set_text(q("Path"), "C:\\données\\日本語 & <xml>");
         store.create("svc", "k", &d).unwrap();
         assert_eq!(store.load("svc", "k").unwrap(), d);
+    }
+
+    #[test]
+    fn sharded_rows_span_multiple_shards() {
+        // Sanity: keys really spread across partitions, and per-service
+        // bookkeeping (list/len) still sees all of them.
+        let store = MemoryStore::new();
+        for i in 0..64 {
+            store
+                .create("svc", &format!("k{i}"), &job_doc("Running", i as f64))
+                .unwrap();
+        }
+        let hit: std::collections::HashSet<usize> =
+            (0..64).map(|i| shard_of("svc", &format!("k{i}"))).collect();
+        assert!(hit.len() > 1, "64 keys all hashed to one shard");
+        assert_eq!(store.len(), 64);
+        assert_eq!(store.list("svc").len(), 64);
+        for i in 0..64 {
+            store.destroy("svc", &format!("k{i}")).unwrap();
+        }
+        assert!(store.is_empty());
     }
 }

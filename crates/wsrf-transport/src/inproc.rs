@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use simclock::Clock;
 use wsrf_obs::{Histogram, MetricsRegistry};
 use wsrf_soap::{Envelope, Uri};
@@ -62,7 +62,10 @@ impl NetMetrics {
 pub struct InProcNetwork {
     clock: Clock,
     registry: RwLock<HashMap<String, Arc<dyn Endpoint>>>,
-    config: Mutex<NetConfig>,
+    /// Cost model: read on every call/oneway, written only when a
+    /// test or bench reconfigures the net — hence a RwLock, so
+    /// concurrent senders never serialize on it.
+    config: RwLock<NetConfig>,
     /// Counters for experiments.
     pub metrics: NetMetrics,
     /// Registry-backed observability (no-op unless constructed via
@@ -97,7 +100,7 @@ impl InProcNetwork {
         Arc::new(InProcNetwork {
             clock,
             registry: RwLock::new(HashMap::new()),
-            config: Mutex::new(config),
+            config: RwLock::new(config),
             metrics: NetMetrics::default(),
             obs: LinkObs::new(registry, "inproc"),
             obs_modeled: registry.histogram("transport.inproc.modeled_ns"),
@@ -119,7 +122,7 @@ impl InProcNetwork {
 
     /// Replace the cost model (benches sweep this).
     pub fn set_config(&self, config: NetConfig) {
-        *self.config.lock() = config;
+        *self.config.write() = config;
     }
 
     /// Register an endpoint at a full address
@@ -154,7 +157,7 @@ impl InProcNetwork {
         match Uri::parse(address) {
             Some(u) => self
                 .config
-                .lock()
+                .read()
                 .transfer_time(&u.scheme, &u.authority, bytes),
             None => Duration::ZERO,
         }

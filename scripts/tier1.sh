@@ -17,6 +17,12 @@ cargo test -q --offline
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== cargo test -q --release --offline scale_stress"
+# The contention-sensitive suites (scale stress, per-resource lease
+# races) only exercise real interleavings at release-mode speed.
+cargo test -q --release --offline --test scale_stress
+cargo test -q --release --offline --test concurrency
+
 echo "== metrics + tracing regression gate"
 # The metrics-only harness run boots the dump grid with tracing enabled
 # (the tracing ablation configuration), so BENCH_metrics.json carries
