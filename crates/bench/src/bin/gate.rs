@@ -9,8 +9,8 @@
 //!   exact model outputs of a deterministic simulation — both the
 //!   sample count and the mean must stay within
 //!   `GATE_VIRT_TOLERANCE` (default ±10 %) of the baseline,
-//! * **real-time** metrics (`*.real_ns`, `*.lock_wait_ns`) are noisy
-//!   wall-clock samples —
+//! * **real-time** metrics (`*.real_ns`, `*.lock_wait_ns`,
+//!   `*.serialize_ns`) are noisy wall-clock samples —
 //!   the gate only catches order-of-magnitude regressions, failing
 //!   when the fresh mean exceeds `GATE_REAL_TOLERANCE` × baseline
 //!   (default 10×); histograms with fewer than `MIN_REAL_SAMPLES`
@@ -197,7 +197,10 @@ fn main() -> ExitCode {
                     count: fc,
                     mean: fm,
                 },
-            ) if name.ends_with(".real_ns") || name.ends_with(".lock_wait_ns") => {
+            ) if name.ends_with(".real_ns")
+                || name.ends_with(".lock_wait_ns")
+                || name.ends_with(".serialize_ns") =>
+            {
                 if *bc < MIN_REAL_SAMPLES || *fc < MIN_REAL_SAMPLES {
                     continue;
                 }

@@ -1,4 +1,4 @@
-//! Regenerates every EXPERIMENTS.md table (E1–E10).
+//! Regenerates every EXPERIMENTS.md table (E1–E11).
 //!
 //! ```text
 //! cargo run -p bench --bin harness --release
@@ -818,6 +818,132 @@ fn e10_contention() {
     );
 }
 
+fn e11_wirepath() {
+    use wsrf_transport::tcpframe::{FramedClient, FramedServer};
+    use wsrf_transport::FnEndpoint;
+
+    // A representative scheduler-bound message: WS-Addressing headers,
+    // a trace header and a 12-property body.
+    let epr = EndpointReference::service("inproc://machine01/ExecutionService");
+    let mut body = Element::new(UVACG, "CreateJob");
+    for i in 0..12 {
+        body.push_child(Element::new(UVACG, format!("Prop{i}")).text(format!("value-{i}")));
+    }
+    let mut env = Envelope::new(body);
+    MessageInfo::request(epr, format!("{UVACG}/CreateJob")).apply(&mut env);
+    TraceContext::new(0x7ace, 0x1, true).stamp(&mut env);
+    let wire = env.to_xml();
+    assert_eq!(env.wire_len(), wire.len(), "size pass must match render");
+
+    // Serialization micro-costs.
+    let mut rows = Vec::new();
+    let t_clone = time_per_iter(50_000, || {
+        std::hint::black_box(env.to_element().to_document());
+    });
+    rows.push(vec![
+        "clone tree + render (pre-change to_xml)".into(),
+        fmt_us(t_clone),
+    ]);
+    let mut buf: Vec<u8> = Vec::with_capacity(wire.len());
+    let t_render = time_per_iter(50_000, || {
+        buf.clear();
+        env.write_into(&mut buf);
+        std::hint::black_box(buf.len());
+    });
+    rows.push(vec![
+        format!(
+            "single render into reusable buffer ({:.2}x)",
+            t_clone.as_secs_f64() / t_render.as_secs_f64()
+        ),
+        fmt_us(t_render),
+    ]);
+    let t_len = time_per_iter(50_000, || {
+        std::hint::black_box(env.wire_len());
+    });
+    rows.push(vec![
+        "exact size pass (wire_len, zero alloc)".into(),
+        fmt_us(t_len),
+    ]);
+    print_table(
+        &format!(
+            "E11 — wire-path serialization, {}-byte envelope",
+            wire.len()
+        ),
+        &["path", "time/op"],
+        &rows,
+    );
+
+    // End-to-end exchanges. "old" re-adds per direction exactly what
+    // the pre-change path paid on top of today's: inproc accounted
+    // bytes with a clone + full render per direction (now a zero-alloc
+    // size pass), the framed client/server cloned the tree before
+    // rendering (now they render the borrowed tree straight into a
+    // reusable frame buffer).
+    let mut rows = Vec::new();
+    {
+        let net = InProcNetwork::new(Clock::manual());
+        net.register(
+            "inproc://machine01/ExecutionService",
+            Arc::new(FnEndpoint::new("echo", Some)),
+        );
+        let addr = "inproc://machine01/executionservice";
+        net.call(addr, env.clone()).unwrap(); // warm
+        let r0 = wsrf_soap::render_count();
+        let (_, _, b0, _) = net.metrics.snapshot();
+        net.call(addr, env.clone()).unwrap();
+        let renders = wsrf_soap::render_count() - r0;
+        let (_, _, b1, _) = net.metrics.snapshot();
+        assert_eq!(
+            b1 - b0,
+            2 * wire.len() as u64,
+            "byte accounting must match the old double-render totals"
+        );
+        let t_new = time_per_iter(10_000, || {
+            net.call(addr, env.clone()).unwrap();
+        });
+        let t_old = time_per_iter(10_000, || {
+            std::hint::black_box(env.to_element().to_document());
+            let resp = net.call(addr, env.clone()).unwrap();
+            std::hint::black_box(resp.to_element().to_document());
+        });
+        rows.push(vec![
+            "inproc call".into(),
+            fmt_us(t_old),
+            fmt_us(t_new),
+            format!("{:.2}x", t_old.as_secs_f64() / t_new.as_secs_f64()),
+            format!("{renders}"),
+        ]);
+    }
+    {
+        let server = FramedServer::start(Arc::new(FnEndpoint::new("echo", Some))).unwrap();
+        let tc = FramedClient::connect(&server.authority()).unwrap();
+        tc.call(&env).unwrap(); // warm
+        let r0 = wsrf_soap::render_count();
+        tc.call(&env).unwrap();
+        let renders = wsrf_soap::render_count() - r0;
+        let t_new = time_per_iter(2_000, || {
+            tc.call(&env).unwrap();
+        });
+        let t_old = time_per_iter(2_000, || {
+            std::hint::black_box(env.to_element()); // client-side clone
+            tc.call(&env).unwrap();
+            std::hint::black_box(env.to_element()); // server-side clone
+        });
+        rows.push(vec![
+            "framed TCP call".into(),
+            fmt_us(t_old),
+            fmt_us(t_new),
+            format!("{:.2}x", t_old.as_secs_f64() / t_new.as_secs_f64()),
+            format!("{renders}"),
+        ]);
+    }
+    print_table(
+        "E11b — request/response exchange, pre-change (emulated) vs single-render wire path",
+        &["hop", "old", "new", "speedup", "renders/exchange (new)"],
+        &rows,
+    );
+}
+
 fn metrics_dump() {
     // Full-pipeline observability: run one job set on a metrics-enabled
     // grid (GridConfig observes by default) and dump the whole registry
@@ -877,6 +1003,7 @@ fn main() {
     e8_polling();
     e9_security();
     e10_contention();
+    e11_wirepath();
     metrics_dump();
     println!("\ndone.");
 }

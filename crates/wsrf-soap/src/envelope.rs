@@ -1,9 +1,25 @@
 //! SOAP envelopes.
 
-use wsrf_xml::{parse, Element, XmlError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wsrf_xml::{parse, Element, LenSink, TreeWriter, XmlError, XmlSink};
 
 use crate::fault::SoapFault;
 use crate::ns;
+
+/// Full envelope serializations performed so far (process-wide).
+/// [`Envelope::wire_len`] does *not* count: it renders into a
+/// byte-counting sink, which is the point — the tests use this counter
+/// to prove the transports hit their render budgets (zero per inproc
+/// exchange, one per direction on the socket transports).
+static RENDERS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of full envelope renders ([`Envelope::write_into`]
+/// / [`Envelope::to_xml`] calls). Test hook for the render-once wire
+/// path invariant; see `tests/wirepath_renders.rs`.
+pub fn render_count() -> u64 {
+    RENDERS.load(Ordering::Relaxed)
+}
 
 /// A SOAP message: ordered header blocks plus exactly one body element.
 ///
@@ -60,6 +76,11 @@ impl Envelope {
     }
 
     /// Build the `<soap:Envelope>` element tree.
+    ///
+    /// This deep-clones every header and the body. The wire path never
+    /// needs the clone — [`Self::write_into`] streams the same document
+    /// straight from `self.headers`/`self.body` — but the tree form is
+    /// still useful for tests and message inspection.
     pub fn to_element(&self) -> Element {
         let mut env = Element::new(ns::SOAP_ENV, "Envelope");
         if !self.headers.is_empty() {
@@ -73,9 +94,50 @@ impl Envelope {
         env
     }
 
-    /// Serialize to the on-the-wire document string.
+    /// Stream the wire document into `out` without cloning the tree:
+    /// the `<soap:Envelope>`/`<soap:Header>`/`<soap:Body>` scaffolding
+    /// is written directly and the header/body subtrees are serialized
+    /// in place. Byte-for-byte identical to the historical
+    /// `to_element().to_document()` output.
+    fn render<S: XmlSink>(&self, out: &mut S) {
+        let mut w = TreeWriter::new(out);
+        w.prolog();
+        w.start(Some(ns::SOAP_ENV), "Envelope");
+        if !self.headers.is_empty() {
+            w.start(Some(ns::SOAP_ENV), "Header");
+            for h in &self.headers {
+                w.element(h);
+            }
+            w.end();
+        }
+        w.start(Some(ns::SOAP_ENV), "Body");
+        w.element(&self.body);
+        w.end();
+        w.end();
+    }
+
+    /// Serialize the wire document into a reusable buffer (appends; the
+    /// caller clears). One full render, zero clones.
+    pub fn write_into<S: XmlSink>(&self, out: &mut S) {
+        RENDERS.fetch_add(1, Ordering::Relaxed);
+        self.render(out);
+    }
+
+    /// Exact wire size in bytes — `to_xml().len()` computed by running
+    /// the serializer against a counting sink. No allocation, no clone,
+    /// and it does not count as a render (see [`render_count`]).
+    pub fn wire_len(&self) -> usize {
+        let mut count = LenSink::new();
+        self.render(&mut count);
+        count.len()
+    }
+
+    /// Serialize to the on-the-wire document string. Thin compatibility
+    /// wrapper over [`Self::write_into`].
     pub fn to_xml(&self) -> String {
-        self.to_element().to_document()
+        let mut out = String::with_capacity(512);
+        self.write_into(&mut out);
+        out
     }
 
     /// Decode an envelope from an element tree.

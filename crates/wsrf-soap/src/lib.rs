@@ -37,7 +37,7 @@ pub mod ns;
 pub mod uri;
 
 pub use addressing::{EndpointReference, MessageInfo, TraceContext};
-pub use envelope::Envelope;
+pub use envelope::{render_count, Envelope};
 pub use fault::{BaseFault, SoapFault};
 pub use uri::Uri;
 

@@ -111,26 +111,23 @@ impl Drop for HttpSoapServer {
     }
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    endpoint: Arc<dyn Endpoint>,
-    obs: &LinkObs,
-    clock: Option<&Clock>,
-) -> std::io::Result<()> {
-    let started = std::time::Instant::now();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
+/// Outcome of scanning an HTTP header block for `Content-Length`.
+enum ContentLength {
+    /// No Content-Length header present.
+    Missing,
+    /// A Content-Length header whose value is not a number.
+    Invalid(String),
+    /// A well-formed length.
+    Len(usize),
+}
 
-    // Request line.
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    if !line.starts_with("POST ") {
-        write_response(&mut writer, 405, "Method Not Allowed", b"")?;
-        return Ok(());
-    }
-
-    // Headers.
-    let mut content_length: Option<usize> = None;
+/// Consume header lines up to the blank separator, extracting the
+/// `Content-Length`. Server and client both parse through here, so the
+/// two sides can never again drift on how a missing or garbage length
+/// is treated (historically one side ignored it and the other silently
+/// read a zero-byte body).
+fn read_content_length(reader: &mut impl BufRead) -> std::io::Result<ContentLength> {
+    let mut found = ContentLength::Missing;
     loop {
         let mut h = String::new();
         reader.read_line(&mut h)?;
@@ -140,13 +137,77 @@ fn serve_connection(
         }
         if let Some((name, value)) = h.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok();
+                let value = value.trim();
+                found = match value.parse() {
+                    Ok(n) => ContentLength::Len(n),
+                    Err(_) => ContentLength::Invalid(value.to_string()),
+                };
             }
         }
     }
-    let Some(len) = content_length else {
-        write_response(&mut writer, 411, "Length Required", b"")?;
+    Ok(found)
+}
+
+/// Render a SOAP client fault into `wire` and send it with the given
+/// HTTP status.
+fn write_fault_response(
+    writer: &mut TcpStream,
+    wire: &mut Vec<u8>,
+    code: u16,
+    reason: &str,
+    detail: String,
+) -> std::io::Result<()> {
+    wire.clear();
+    wsrf_soap::SoapFault::client(detail)
+        .to_envelope()
+        .write_into(wire);
+    write_response(writer, code, reason, wire)
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    endpoint: Arc<dyn Endpoint>,
+    obs: &LinkObs,
+    clock: Option<&Clock>,
+) -> std::io::Result<()> {
+    let started = std::time::Instant::now();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    // Per-connection wire buffer: every response body (fault or not) is
+    // rendered exactly once, into this.
+    let mut wire: Vec<u8> = Vec::with_capacity(512);
+
+    // Request line.
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if !line.starts_with("POST ") {
+        write_response(&mut writer, 405, "Method Not Allowed", b"")?;
         return Ok(());
+    }
+
+    // Headers. A request we cannot size is answered with a SOAP client
+    // fault rather than a body-less status, so SOAP callers always get
+    // a parseable envelope.
+    let len = match read_content_length(&mut reader)? {
+        ContentLength::Len(n) => n,
+        ContentLength::Missing => {
+            return write_fault_response(
+                &mut writer,
+                &mut wire,
+                411,
+                "Length Required",
+                "request has no Content-Length header".into(),
+            );
+        }
+        ContentLength::Invalid(v) => {
+            return write_fault_response(
+                &mut writer,
+                &mut wire,
+                400,
+                "Bad Request",
+                format!("unparseable Content-Length {v:?}"),
+            );
+        }
     };
     if len > 64 << 20 {
         write_response(&mut writer, 413, "Payload Too Large", b"")?;
@@ -161,25 +222,32 @@ fn serve_connection(
     };
     match Envelope::parse(text) {
         Err(e) => {
-            let fault = wsrf_soap::SoapFault::client(format!("unparseable envelope: {e}"));
-            let xml = fault.to_envelope().to_xml();
-            write_response(&mut writer, 500, "Internal Server Error", xml.as_bytes())?;
+            write_fault_response(
+                &mut writer,
+                &mut wire,
+                500,
+                "Internal Server Error",
+                format!("unparseable envelope: {e}"),
+            )?;
         }
         Ok(mut env) => {
             // Hop span under the request's trace header, if any; the
             // guard covers the dispatch and the response write.
             let _hop = clock.and_then(|c| obs.hop_span(&mut env, "transport.serve", c));
             match endpoint.handle(env) {
-                // SOAP 1.1 over HTTP: faults ride status 500.
-                Some(resp) if resp.is_fault() => {
-                    let xml = resp.to_xml();
-                    obs.record_call(len as u64, xml.len() as u64, started);
-                    write_response(&mut writer, 500, "Internal Server Error", xml.as_bytes())?;
-                }
                 Some(resp) => {
-                    let xml = resp.to_xml();
-                    obs.record_call(len as u64, xml.len() as u64, started);
-                    write_response(&mut writer, 200, "OK", xml.as_bytes())?;
+                    let t0 = std::time::Instant::now();
+                    wire.clear();
+                    resp.write_into(&mut wire);
+                    obs.record_serialize(wire.len() as u64, t0);
+                    obs.record_call(len as u64, wire.len() as u64, started);
+                    // SOAP 1.1 over HTTP: faults ride status 500.
+                    let (code, reason) = if resp.is_fault() {
+                        (500, "Internal Server Error")
+                    } else {
+                        (200, "OK")
+                    };
+                    write_response(&mut writer, code, reason, &wire)?;
                 }
                 None => {
                     obs.record_oneway(len as u64, started);
@@ -212,7 +280,9 @@ pub fn http_post(
     let stream = TcpStream::connect(authority)
         .map_err(|e| TransportError::Io(format!("connect {authority}: {e}")))?;
     stream.set_nodelay(true).ok();
-    let body = env.to_xml();
+    // One render per request, straight into the wire buffer.
+    let mut body: Vec<u8> = Vec::with_capacity(512);
+    env.write_into(&mut body);
     let mut writer = stream.try_clone()?;
     write!(
         writer,
@@ -220,7 +290,7 @@ pub fn http_post(
         path.trim_start_matches('/'),
         body.len()
     )?;
-    writer.write_all(body.as_bytes())?;
+    writer.write_all(&body)?;
     writer.flush()?;
 
     let mut reader = BufReader::new(stream);
@@ -231,24 +301,26 @@ pub fn http_post(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| TransportError::Protocol(format!("bad status line {status_line:?}")))?;
-    let mut content_length = 0usize;
-    loop {
-        let mut h = String::new();
-        reader.read_line(&mut h)?;
-        let h = h.trim_end();
-        if h.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = h.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
-            }
-        }
-    }
+    let content_length = read_content_length(&mut reader)?;
     if code == 202 {
         return Ok(None);
     }
-    let mut body = vec![0u8; content_length];
+    // A sized response is required past this point; treating a missing
+    // or garbage length as zero would silently truncate the body.
+    let len = match content_length {
+        ContentLength::Len(n) => n,
+        ContentLength::Missing => {
+            return Err(TransportError::Protocol(
+                "response missing Content-Length".into(),
+            ));
+        }
+        ContentLength::Invalid(v) => {
+            return Err(TransportError::Protocol(format!(
+                "unparseable response Content-Length {v:?}"
+            )));
+        }
+    };
+    let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
     if !(code == 200 || code == 500) {
         return Err(TransportError::Protocol(format!("http status {code}")));

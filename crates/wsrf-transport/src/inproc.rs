@@ -146,11 +146,33 @@ impl InProcNetwork {
     }
 
     fn lookup(&self, address: &str) -> Result<Arc<dyn Endpoint>, TransportError> {
-        self.registry
-            .read()
-            .get(&normalize(address))
+        // Keys were normalized at register time, and callers almost
+        // always pass already-normalized addresses — probe with the
+        // borrowed key and only allocate a normalized copy when the
+        // address actually needs fixing up.
+        let reg = self.registry.read();
+        let found = if is_normalized(address) {
+            reg.get(address)
+        } else {
+            reg.get(normalize(address).as_str())
+        };
+        found
             .cloned()
             .ok_or_else(|| TransportError::NoRoute(address.to_string()))
+    }
+
+    /// Exact wire size of `env`, computed by a single counting pass
+    /// over the serializer — no render, no clone. Feeds the serialize
+    /// metrics when the registry is live.
+    fn wire_size(&self, env: &Envelope) -> u64 {
+        if self.obs_registry.is_enabled() {
+            let t0 = std::time::Instant::now();
+            let bytes = env.wire_len() as u64;
+            self.obs.record_serialize(bytes, t0);
+            bytes
+        } else {
+            env.wire_len() as u64
+        }
     }
 
     fn cost(&self, address: &str, bytes: u64) -> Duration {
@@ -179,7 +201,7 @@ impl InProcNetwork {
         if let Some(s) = hop.as_mut() {
             s.annotate("to", to);
         }
-        let req_bytes = env.to_xml().len() as u64;
+        let req_bytes = self.wire_size(&env);
         let req_cost = self.cost(to, req_bytes);
         self.metrics.record(req_bytes, req_cost);
         self.record_modeled(to, req_cost);
@@ -187,7 +209,7 @@ impl InProcNetwork {
         let resp = ep
             .handle(env)
             .ok_or_else(|| TransportError::NoResponse(to.to_string()))?;
-        let resp_bytes = resp.to_xml().len() as u64;
+        let resp_bytes = self.wire_size(&resp);
         let resp_cost = self.cost(to, resp_bytes);
         self.metrics.record(resp_bytes, resp_cost);
         self.record_modeled(to, resp_cost);
@@ -208,7 +230,7 @@ impl InProcNetwork {
         if let Some(s) = hop.as_mut() {
             s.annotate("to", to);
         }
-        let bytes = env.to_xml().len() as u64;
+        let bytes = self.wire_size(&env);
         let cost = self.cost(to, bytes);
         self.metrics.record(bytes, cost);
         self.record_modeled(to, cost);
@@ -256,6 +278,12 @@ impl InProcNetwork {
 
 fn normalize(address: &str) -> String {
     address.trim_end_matches('/').to_ascii_lowercase()
+}
+
+/// True when [`normalize`] would return `address` unchanged, so the
+/// lookup can probe the map without allocating.
+fn is_normalized(address: &str) -> bool {
+    !address.ends_with('/') && !address.bytes().any(|b| b.is_ascii_uppercase())
 }
 
 /// Metric name of the per-authority modeled-transfer histogram, e.g.

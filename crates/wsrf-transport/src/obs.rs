@@ -27,6 +27,12 @@ pub struct LinkObs {
     pub bytes_out: Counter,
     /// Wall-clock time per transfer, nanoseconds.
     pub latency: Histogram,
+    /// Wall-clock time spent serializing (or size-passing) envelopes
+    /// for the wire, nanoseconds per message.
+    pub serialize: Histogram,
+    /// Exact serialized envelope bytes produced for the wire (both
+    /// directions), as computed by the single render/size pass.
+    pub wire_bytes: Counter,
     /// The deployment's tracer (noop unless the registry was built with
     /// tracing enabled).
     pub tracer: Tracer,
@@ -44,6 +50,8 @@ impl LinkObs {
             bytes_in: registry.counter(&format!("{p}.bytes_in")),
             bytes_out: registry.counter(&format!("{p}.bytes_out")),
             latency: registry.histogram(&format!("{p}.latency_ns")),
+            serialize: registry.histogram(&format!("{p}.serialize_ns")),
+            wire_bytes: registry.counter(&format!("{p}.wire_bytes")),
             tracer: registry.tracer().clone(),
             kind: kind.into(),
         }
@@ -80,6 +88,13 @@ impl LinkObs {
             TraceContext::new(c.trace_id, c.span_id, c.sampled).stamp(env);
         }
         Some(span)
+    }
+
+    /// Record one wire serialization (or exact-size pass): the bytes it
+    /// produced and the wall-clock time it took.
+    pub fn record_serialize(&self, bytes: u64, started: Instant) {
+        self.wire_bytes.add(bytes);
+        self.serialize.record_duration(started.elapsed());
     }
 
     /// Record one completed exchange.

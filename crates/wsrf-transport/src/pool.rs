@@ -1,9 +1,59 @@
 //! A small fixed-size worker pool for asynchronous one-way message
 //! delivery (thread-per-message would melt under the notification
-//! benches).
+//! benches), plus a byte-buffer pool the socket transports use to
+//! render each envelope once without a fresh allocation per message.
 
 use crossbeam::channel::{unbounded, Sender};
+use std::sync::Mutex;
 use std::thread::JoinHandle;
+
+/// Buffers larger than this are dropped instead of pooled, so one huge
+/// file-staging message can't pin megabytes of idle capacity forever.
+const MAX_POOLED_CAPACITY: usize = 4 << 20;
+
+/// At most this many idle buffers are retained.
+const MAX_POOLED_BUFFERS: usize = 8;
+
+/// A tiny pool of reusable `Vec<u8>` wire buffers.
+///
+/// `take` hands out a cleared buffer (recycled when available, fresh
+/// otherwise); `put` returns it. Amortizes render-buffer allocations on
+/// the HTTP and framed-TCP clients, where calls from many threads share
+/// one connection.
+#[derive(Default)]
+pub struct BufPool {
+    slots: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufPool {
+    pub fn new() -> Self {
+        BufPool::default()
+    }
+
+    /// A cleared buffer, recycled when one is idle.
+    pub fn take(&self) -> Vec<u8> {
+        let mut buf = self
+            .slots
+            .lock()
+            .expect("buffer pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Return a buffer for reuse. Oversized or surplus buffers are
+    /// simply dropped.
+    pub fn put(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        let mut slots = self.slots.lock().expect("buffer pool poisoned");
+        if slots.len() < MAX_POOLED_BUFFERS {
+            slots.push(buf);
+        }
+    }
+}
 
 type Task = Box<dyn FnOnce() + Send>;
 
@@ -73,6 +123,25 @@ mod tests {
         }
         drop(pool); // drains
         assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn buf_pool_recycles_and_clears() {
+        let pool = BufPool::new();
+        let mut b = pool.take();
+        b.extend_from_slice(b"payload");
+        let cap = b.capacity();
+        pool.put(b);
+        let again = pool.take();
+        assert!(again.is_empty());
+        assert_eq!(again.capacity(), cap, "recycled the same allocation");
+    }
+
+    #[test]
+    fn buf_pool_drops_oversized_buffers() {
+        let pool = BufPool::new();
+        pool.put(Vec::with_capacity(super::MAX_POOLED_CAPACITY + 1));
+        assert_eq!(pool.take().capacity(), 0);
     }
 
     #[test]

@@ -15,7 +15,6 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use bytes::{Buf, BufMut, BytesMut};
 use parking_lot::Mutex;
 use wsrf_obs::MetricsRegistry;
 use wsrf_soap::Envelope;
@@ -23,6 +22,7 @@ use wsrf_soap::Envelope;
 use crate::endpoint::Endpoint;
 use crate::error::TransportError;
 use crate::obs::LinkObs;
+use crate::pool::BufPool;
 
 const MAGIC: &[u8; 4] = b"WSE1";
 /// Frame is a request expecting a response frame.
@@ -37,16 +37,33 @@ const FLAG_EMPTY: u8 = 3;
 const MAX_FRAME: usize = 256 << 20;
 
 fn write_frame(w: &mut impl Write, flags: u8, payload: &[u8]) -> std::io::Result<()> {
-    let mut head = BytesMut::with_capacity(9);
-    head.put_slice(MAGIC);
-    head.put_u8(flags);
-    head.put_u32(payload.len() as u32);
+    let mut head = [0u8; 9];
+    head[..4].copy_from_slice(MAGIC);
+    head[4] = flags;
+    head[5..9].copy_from_slice(&(payload.len() as u32).to_be_bytes());
     w.write_all(&head)?;
     w.write_all(payload)?;
     w.flush()
 }
 
-fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), TransportError> {
+/// Render `env` as one complete frame — header plus payload — into the
+/// reusable `buf`. The envelope serializes exactly once, straight into
+/// the buffer; the length field is back-patched afterwards. Returns the
+/// payload length.
+fn frame_into(buf: &mut Vec<u8>, flags: u8, env: &Envelope) -> usize {
+    buf.clear();
+    buf.extend_from_slice(MAGIC);
+    buf.push(flags);
+    buf.extend_from_slice(&[0u8; 4]); // length, patched below
+    env.write_into(buf);
+    let payload_len = buf.len() - 9;
+    buf[5..9].copy_from_slice(&(payload_len as u32).to_be_bytes());
+    payload_len
+}
+
+/// Read one frame into the reusable `payload` buffer; returns the frame
+/// flags.
+fn read_frame_into(r: &mut impl Read, payload: &mut Vec<u8>) -> Result<u8, TransportError> {
     let mut head = [0u8; 9];
     r.read_exact(&mut head)
         .map_err(|e| TransportError::Io(format!("read frame header: {e}")))?;
@@ -54,14 +71,14 @@ fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), TransportError> {
         return Err(TransportError::Protocol("bad frame magic".into()));
     }
     let flags = head[4];
-    let len = (&head[5..]).get_u32() as usize;
+    let len = u32::from_be_bytes(head[5..9].try_into().expect("4-byte slice")) as usize;
     if len > MAX_FRAME {
         return Err(TransportError::Protocol(format!("frame too large: {len}")));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)
+    payload.resize(len, 0);
+    r.read_exact(payload)
         .map_err(|e| TransportError::Io(format!("read frame body: {e}")))?;
-    Ok((flags, payload))
+    Ok(flags)
 }
 
 fn decode_envelope(payload: &[u8]) -> Result<Envelope, TransportError> {
@@ -148,27 +165,34 @@ fn serve_connection(
 ) -> Result<(), TransportError> {
     let mut reader = stream.try_clone().map_err(TransportError::from)?;
     let mut writer = stream;
+    // Per-connection buffers, reused across the frame loop: one for
+    // inbound payloads, one the response renders into (exactly once).
+    let mut inbuf: Vec<u8> = Vec::new();
+    let mut outbuf: Vec<u8> = Vec::new();
     loop {
-        let (flags, payload) = match read_frame(&mut reader) {
+        let flags = match read_frame_into(&mut reader, &mut inbuf) {
             Ok(f) => f,
             Err(TransportError::Io(_)) => return Ok(()), // peer closed
             Err(e) => return Err(e),
         };
         let started = std::time::Instant::now();
-        let env = decode_envelope(&payload)?;
+        let env = decode_envelope(&inbuf)?;
         match flags {
             FLAG_ONEWAY => {
                 endpoint.handle(env);
-                obs.record_oneway(payload.len() as u64, started);
+                obs.record_oneway(inbuf.len() as u64, started);
             }
             FLAG_CALL => match endpoint.handle(env) {
                 Some(resp) => {
-                    let xml = resp.to_xml();
-                    obs.record_call(payload.len() as u64, xml.len() as u64, started);
-                    write_frame(&mut writer, FLAG_RESPONSE, xml.as_bytes())?
+                    let t0 = std::time::Instant::now();
+                    let resp_len = frame_into(&mut outbuf, FLAG_RESPONSE, &resp);
+                    obs.record_serialize(resp_len as u64, t0);
+                    obs.record_call(inbuf.len() as u64, resp_len as u64, started);
+                    writer.write_all(&outbuf)?;
+                    writer.flush()?;
                 }
                 None => {
-                    obs.record_call(payload.len() as u64, 0, started);
+                    obs.record_call(inbuf.len() as u64, 0, started);
                     write_frame(&mut writer, FLAG_EMPTY, b"")?
                 }
             },
@@ -188,6 +212,10 @@ fn serve_connection(
 pub struct FramedClient {
     stream: Mutex<TcpStream>,
     authority: String,
+    /// Reusable wire buffers. Frames render here *before* the
+    /// connection lock is taken, so serialization cost never extends
+    /// the critical section other callers queue behind.
+    pool: BufPool,
 }
 
 impl FramedClient {
@@ -199,28 +227,46 @@ impl FramedClient {
         Ok(FramedClient {
             stream: Mutex::new(stream),
             authority: authority.to_string(),
+            pool: BufPool::new(),
         })
     }
 
     /// Request/response over the persistent connection.
     pub fn call(&self, env: &Envelope) -> Result<Envelope, TransportError> {
-        let mut stream = self.stream.lock();
-        write_frame(&mut *stream, FLAG_CALL, env.to_xml().as_bytes())?;
-        let (flags, payload) = read_frame(&mut *stream)?;
-        match flags {
-            FLAG_RESPONSE => decode_envelope(&payload),
-            FLAG_EMPTY => Err(TransportError::NoResponse(self.authority.clone())),
-            other => Err(TransportError::Protocol(format!(
+        let mut buf = self.pool.take();
+        frame_into(&mut buf, FLAG_CALL, env);
+        let io = {
+            let mut stream = self.stream.lock();
+            stream
+                .write_all(&buf)
+                .and_then(|()| stream.flush())
+                .map_err(TransportError::from)
+                // The request frame has been written; reuse the same
+                // buffer for the response payload.
+                .and_then(|()| read_frame_into(&mut *stream, &mut buf))
+        };
+        let out = match io {
+            Ok(FLAG_RESPONSE) => decode_envelope(&buf),
+            Ok(FLAG_EMPTY) => Err(TransportError::NoResponse(self.authority.clone())),
+            Ok(other) => Err(TransportError::Protocol(format!(
                 "unexpected response flags {other}"
             ))),
-        }
+            Err(e) => Err(e),
+        };
+        self.pool.put(buf);
+        out
     }
 
     /// Fire-and-forget frame; returns once the bytes are written.
     pub fn send_oneway(&self, env: &Envelope) -> Result<(), TransportError> {
-        let mut stream = self.stream.lock();
-        write_frame(&mut *stream, FLAG_ONEWAY, env.to_xml().as_bytes())?;
-        Ok(())
+        let mut buf = self.pool.take();
+        frame_into(&mut buf, FLAG_ONEWAY, env);
+        let io = {
+            let mut stream = self.stream.lock();
+            stream.write_all(&buf).and_then(|()| stream.flush())
+        };
+        self.pool.put(buf);
+        io.map_err(TransportError::from)
     }
 }
 

@@ -35,6 +35,7 @@ pub use error::XmlError;
 pub use name::QName;
 pub use node::{Element, Node};
 pub use parser::parse;
+pub use writer::{LenSink, TreeWriter, XmlSink};
 
 /// Convenience alias used across the workspace.
 pub type Result<T> = std::result::Result<T, XmlError>;

@@ -23,6 +23,13 @@ echo "== cargo test -q --release --offline scale_stress"
 cargo test -q --release --offline --test scale_stress
 cargo test -q --release --offline --test concurrency
 
+echo "== cargo test -q --release --offline wirepath"
+# The wire-path suites pin byte-for-byte serializer equivalence and the
+# per-transport render budgets; release mode keeps the proptest cases
+# and the real-socket exchanges fast.
+cargo test -q --release --offline --test wirepath
+cargo test -q --release --offline --test wirepath_renders
+
 echo "== metrics + tracing regression gate"
 # The metrics-only harness run boots the dump grid with tracing enabled
 # (the tracing ablation configuration), so BENCH_metrics.json carries

@@ -1,0 +1,358 @@
+//! Wire-path equivalence and transport framing hygiene.
+//!
+//! The zero-copy serializer (`Envelope::write_into` / `wire_len`) must
+//! be byte-for-byte indistinguishable from the legacy
+//! `to_element().to_document()` clone-and-render path — these tests pin
+//! that across fixed vectors (faults, addressing headers, traceparent)
+//! and randomly generated envelopes, and cover the Content-Length
+//! handling both HTTP peers now share.
+
+#![allow(clippy::result_large_err)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use wsrf_grid::prelude::*;
+use wsrf_grid::soap::{ns, MessageInfo};
+use wsrf_grid::transport::http::{http_post, HttpSoapServer};
+use wsrf_grid::transport::{FnEndpoint, TransportError};
+use wsrf_grid::xml::{Element as El, QName};
+
+/// Assert every serialization surface agrees with the legacy
+/// clone-and-render output: both sinks, the exact-size pass, the
+/// compat wrapper, and (for hand-built vectors) the parser.
+fn assert_wire_identical(env: &Envelope) {
+    let legacy = env.to_element().to_document();
+    let mut s = String::new();
+    env.write_into(&mut s);
+    assert_eq!(s, legacy, "String sink diverged from legacy render");
+    let mut v: Vec<u8> = Vec::new();
+    env.write_into(&mut v);
+    assert_eq!(
+        v.as_slice(),
+        legacy.as_bytes(),
+        "Vec<u8> sink diverged from legacy render"
+    );
+    assert_eq!(env.wire_len(), legacy.len(), "wire_len is not exact");
+    assert_eq!(env.to_xml(), legacy, "to_xml wrapper diverged");
+    assert_eq!(
+        &Envelope::parse(&legacy).expect("legacy output reparses"),
+        env,
+        "parse roundtrip"
+    );
+}
+
+#[test]
+fn headerless_envelope_exact_bytes() {
+    let env = Envelope::new(El::local("Ping"));
+    assert_eq!(
+        env.to_xml(),
+        format!(
+            "<?xml version=\"1.0\" encoding=\"utf-8\"?>\
+             <ns0:Envelope xmlns:ns0=\"{soap}\"><ns0:Body><Ping/></ns0:Body></ns0:Envelope>",
+            soap = ns::SOAP_ENV
+        )
+    );
+    assert_wire_identical(&env);
+}
+
+#[test]
+fn fault_envelope_is_wire_identical() {
+    let env = SoapFault::server("boom").to_envelope();
+    assert_wire_identical(&env);
+    assert!(Envelope::parse(&env.to_xml()).unwrap().is_fault());
+}
+
+#[test]
+fn addressed_namespaced_envelope_is_wire_identical() {
+    let epr = EndpointReference::service("soap.tcp://machine01/ExecutionService");
+    let mut env = Envelope::new(
+        El::new(ns::UVACG, "CreateJob")
+            .child(El::new(ns::UVACG, "JobName").text("run-42"))
+            .child(El::new("urn:other", "Mixed").attr("k", "v<&>\"\n"))
+            .child(
+                El::new(ns::UVACG, "Attr")
+                    .attr_ns(QName::new("urn:third", "scope"), "all")
+                    .text("tail & <text>"),
+            ),
+    );
+    MessageInfo::request(epr, format!("{}/CreateJob", ns::UVACG)).apply(&mut env);
+    env = env.with_header(El::new("urn:custom", "Tag").text("x"));
+    assert_wire_identical(&env);
+}
+
+#[test]
+fn traceparent_stamped_header_is_wire_identical() {
+    let tc = TraceContext::new(0xdead_beef_cafe_f00d, 0x0123_4567_89ab_cdef, true);
+    let mut env = Envelope::new(El::local("Ping"));
+    tc.stamp(&mut env);
+    assert_wire_identical(&env);
+    // Re-stamping (what hop_span does before byte accounting) must
+    // replace the header in place and stay wire-identical too.
+    let parsed = TraceContext::from_envelope(&env).expect("stamped header parses");
+    parsed.stamp(&mut env);
+    assert_wire_identical(&env);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized byte-equality: write_into / wire_len vs legacy render.
+// (No parse-roundtrip here — the parser merges adjacent text nodes, so
+// generated trees with sibling text are not reparse-stable by design.)
+// ---------------------------------------------------------------------------
+
+fn ns_strategy() -> BoxedStrategy<Option<&'static str>> {
+    prop_oneof![
+        Just(None),
+        Just(Some("urn:x")),
+        Just(Some("urn:y")),
+        Just(Some(ns::WSA)),
+    ]
+    .boxed()
+}
+
+fn make_el(ns: Option<&'static str>, local: String) -> El {
+    match ns {
+        Some(uri) => El::new(uri, local),
+        None => El::local(local),
+    }
+}
+
+fn element_strategy() -> BoxedStrategy<El> {
+    let leaf = (
+        ns_strategy(),
+        "[A-Za-z][A-Za-z0-9]{0,7}",
+        proptest::option::of("[ -~]{0,12}"),
+    )
+        .prop_map(|(ns, local, text)| {
+            let mut e = make_el(ns, local);
+            if let Some(t) = text {
+                e.push_text(t);
+            }
+            e
+        })
+        .boxed();
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            ns_strategy(),
+            "[A-Za-z][A-Za-z0-9]{0,7}",
+            proptest::collection::vec(
+                (ns_strategy(), "[A-Za-z][A-Za-z0-9]{0,5}", "[ -~]{0,8}"),
+                0..3,
+            ),
+            proptest::collection::vec(inner, 0..4),
+            proptest::option::of("[ -~]{0,12}"),
+        )
+            .prop_map(|(ns, local, attrs, kids, tail)| {
+                let mut e = make_el(ns, local);
+                for (ans, alocal, aval) in attrs {
+                    let q = match ans {
+                        Some(uri) => QName::new(uri, alocal),
+                        None => QName::local(alocal),
+                    };
+                    e.attrs.push((q, aval));
+                }
+                for k in kids {
+                    e.push_child(k);
+                }
+                if let Some(t) = tail {
+                    e.push_text(t);
+                }
+                e
+            })
+            .boxed()
+    })
+}
+
+fn envelope_strategy() -> BoxedStrategy<Envelope> {
+    (
+        proptest::collection::vec(element_strategy(), 0..3),
+        element_strategy(),
+    )
+        .prop_map(|(headers, body)| {
+            let mut env = Envelope::new(body);
+            env.headers = headers;
+            env
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn write_into_matches_legacy_render(env in envelope_strategy()) {
+        let legacy = env.to_element().to_document();
+        let mut s = String::new();
+        env.write_into(&mut s);
+        prop_assert_eq!(&s, &legacy);
+        let mut v: Vec<u8> = Vec::new();
+        env.write_into(&mut v);
+        prop_assert_eq!(v.as_slice(), legacy.as_bytes());
+        prop_assert_eq!(env.wire_len(), legacy.len());
+    }
+
+    #[test]
+    fn element_encoded_len_is_exact(e in element_strategy()) {
+        prop_assert_eq!(e.encoded_len(), e.to_xml().len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte accounting: the inproc zero-render path must charge exactly the
+// bytes a real render would have produced.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn inproc_byte_accounting_matches_rendered_sizes() {
+    let net = InProcNetwork::new(Clock::manual());
+    net.register("inproc://m1/Echo", Arc::new(FnEndpoint::new("echo", Some)));
+    let mut env = Envelope::new(El::new(ns::UVACG, "CreateJob").text("payload"));
+    TraceContext::new(1, 2, true).stamp(&mut env);
+    let wire = env.to_xml().len() as u64;
+
+    net.call("inproc://m1/Echo", env.clone()).unwrap();
+    let (_, _, bytes, _) = net.metrics.snapshot();
+    assert_eq!(bytes, 2 * wire, "call charges request + response bytes");
+
+    net.send_oneway("inproc://m1/Echo", env).unwrap();
+    let (_, _, bytes, _) = net.metrics.snapshot();
+    assert_eq!(bytes, 3 * wire, "one-way charges request bytes only");
+}
+
+// ---------------------------------------------------------------------------
+// Content-Length handling — the one parser both HTTP peers share.
+// ---------------------------------------------------------------------------
+
+/// Read a full HTTP response off `stream` (server closes per
+/// `Connection: close`); returns (status code, body text).
+fn read_http_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let code = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (code, body)
+}
+
+#[test]
+fn missing_content_length_yields_411_client_fault() {
+    let server = HttpSoapServer::start(Arc::new(FnEndpoint::new("echo", Some))).unwrap();
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    write!(s, "POST /svc HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let (code, body) = read_http_response(&mut s);
+    assert_eq!(code, 411);
+    let fault = Envelope::parse(&body)
+        .expect("fault body is a SOAP envelope")
+        .fault()
+        .expect("411 body carries a fault");
+    assert_eq!(fault.code, "Client");
+    assert!(
+        fault.reason.contains("Content-Length"),
+        "reason names the header: {}",
+        fault.reason
+    );
+}
+
+#[test]
+fn garbage_content_length_yields_400_client_fault() {
+    let server = HttpSoapServer::start(Arc::new(FnEndpoint::new("echo", Some))).unwrap();
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    write!(
+        s,
+        "POST /svc HTTP/1.1\r\nHost: test\r\nContent-Length: twelve\r\n\r\n"
+    )
+    .unwrap();
+    let (code, body) = read_http_response(&mut s);
+    assert_eq!(code, 400);
+    let fault = Envelope::parse(&body)
+        .expect("fault body is a SOAP envelope")
+        .fault()
+        .expect("400 body carries a fault");
+    assert_eq!(fault.code, "Client");
+    assert!(
+        fault.reason.contains("twelve"),
+        "reason echoes the bad value: {}",
+        fault.reason
+    );
+}
+
+/// Spawn a one-shot fake HTTP server that drains the full request
+/// (headers plus declared body — closing earlier races the client into
+/// a broken pipe) and answers with `response` verbatim.
+fn fake_http_server(response: &'static str) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        let mut data = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            let n = s.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            data.extend_from_slice(&buf[..n]);
+            let Some(head_end) = data.windows(4).position(|w| w == b"\r\n\r\n") else {
+                continue;
+            };
+            let head = String::from_utf8_lossy(&data[..head_end]);
+            let body_len: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    name.eq_ignore_ascii_case("content-length")
+                        .then(|| value.trim().parse().unwrap())
+                })
+                .unwrap_or(0);
+            if data.len() >= head_end + 4 + body_len {
+                break;
+            }
+        }
+        s.write_all(response.as_bytes()).unwrap();
+        s.flush().unwrap();
+    });
+    addr
+}
+
+#[test]
+fn response_without_content_length_is_protocol_error() {
+    let addr = fake_http_server("HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n<x/>");
+    let err = http_post(&addr.to_string(), "svc", &Envelope::new(El::local("Ping"))).unwrap_err();
+    match err {
+        TransportError::Protocol(msg) => {
+            assert!(msg.contains("Content-Length"), "{msg}");
+        }
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+}
+
+#[test]
+fn response_with_garbage_content_length_is_protocol_error() {
+    let addr =
+        fake_http_server("HTTP/1.1 200 OK\r\nContent-Length: NaN\r\nConnection: close\r\n\r\n");
+    let err = http_post(&addr.to_string(), "svc", &Envelope::new(El::local("Ping"))).unwrap_err();
+    match err {
+        TransportError::Protocol(msg) => {
+            assert!(msg.contains("NaN"), "{msg}");
+        }
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+}
+
+#[test]
+fn acknowledgement_without_content_length_is_still_accepted() {
+    // A 202 one-way ack has no body; the client must not demand a
+    // Content-Length before recognising it.
+    let addr = fake_http_server("HTTP/1.1 202 Accepted\r\nConnection: close\r\n\r\n");
+    let out = http_post(&addr.to_string(), "svc", &Envelope::new(El::local("Ping"))).unwrap();
+    assert!(out.is_none(), "202 resolves to Ok(None)");
+}

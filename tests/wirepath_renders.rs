@@ -1,0 +1,65 @@
+//! Render-budget invariants for every transport hot path.
+//!
+//! `wsrf_soap::render_count()` is a process-global counter bumped once
+//! per `Envelope::write_into` (size passes via `wire_len` do not
+//! count). Integration test files run as separate processes, so this
+//! file holds exactly one test — a second test in the same binary
+//! would race the counter.
+
+#![allow(clippy::result_large_err)]
+
+use std::sync::Arc;
+
+use wsrf_grid::prelude::*;
+use wsrf_grid::soap::render_count;
+use wsrf_grid::transport::http::{http_call, HttpSoapServer};
+use wsrf_grid::transport::tcpframe::{FramedClient, FramedServer};
+use wsrf_grid::transport::FnEndpoint;
+use wsrf_grid::xml::Element as El;
+
+#[test]
+fn transports_hit_their_render_budgets() {
+    let env = Envelope::new(El::local("Ping").text("x"));
+
+    // Inproc: byte accounting runs off wire_len — zero renders per
+    // exchange, down from two render+clone cycles before the rework.
+    let net = InProcNetwork::new(Clock::manual());
+    net.register("inproc://m1/Echo", Arc::new(FnEndpoint::new("echo", Some)));
+    net.call("inproc://m1/Echo", env.clone()).unwrap(); // warm
+    let r0 = render_count();
+    for _ in 0..5 {
+        net.call("inproc://m1/Echo", env.clone()).unwrap();
+    }
+    net.send_oneway("inproc://m1/Echo", env.clone()).unwrap();
+    assert_eq!(render_count() - r0, 0, "inproc must not render envelopes");
+
+    // HTTP: exactly one render per direction (client request, server
+    // response), per exchange.
+    let hs = HttpSoapServer::start(Arc::new(FnEndpoint::new("echo", Some))).unwrap();
+    http_call(&hs.authority(), "svc", &env).unwrap(); // warm
+    let r0 = render_count();
+    for _ in 0..3 {
+        http_call(&hs.authority(), "svc", &env).unwrap();
+    }
+    assert_eq!(render_count() - r0, 6, "http renders once per direction");
+
+    // Framed TCP: same budget over one persistent connection.
+    let ts = FramedServer::start(Arc::new(FnEndpoint::new("echo", Some))).unwrap();
+    let tc = FramedClient::connect(&ts.authority()).unwrap();
+    tc.call(&env).unwrap(); // warm
+    let r0 = render_count();
+    for _ in 0..3 {
+        tc.call(&env).unwrap();
+    }
+    assert_eq!(
+        render_count() - r0,
+        6,
+        "soap.tcp renders once per direction"
+    );
+
+    // One-way over framed TCP: the client frames once; the server
+    // replies with an empty frame and renders nothing.
+    let r0 = render_count();
+    tc.send_oneway(&env).unwrap();
+    assert_eq!(render_count() - r0, 1, "one-way renders only the request");
+}
