@@ -232,6 +232,28 @@ fn run_op(
         ));
     }
 
+    // Idempotent Run: a scheduler retrying after failover must not
+    // stage or spawn a job this machine already accepted. The
+    // (Topic, JobName) pair identifies the attempt across retries.
+    if !topic.is_empty() {
+        let core = ctx.core.clone();
+        for key in core.store.list(&core.name) {
+            let Ok(doc) = core.store.load(&core.name, &key) else {
+                continue;
+            };
+            if doc.text(&q("Topic")).as_deref() == Some(topic.as_str())
+                && doc.text(&q("JobName")).as_deref() == Some(job_name.as_str())
+            {
+                let mut resp = Element::new(UVACG, "RunResponse")
+                    .child(core.epr_for(&key).to_element_named(UVACG, "JobEpr"));
+                if let Some(wd) = doc.get(&q("WorkingDirectory")).first() {
+                    resp.push_child(wd.clone());
+                }
+                return Ok(resp);
+            }
+        }
+    }
+
     // Decode executable + inputs.
     let decode_file = |fe: &Element| -> Result<(EndpointReference, String, String), BaseFault> {
         let name = fe

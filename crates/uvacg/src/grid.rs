@@ -17,8 +17,9 @@ use crate::es::{execution_service, EsConfig};
 use crate::fss::file_system_service;
 use crate::nis::{self, node_info_service};
 use crate::policy::{FastestAvailable, SchedulingPolicy};
-use crate::scheduler::{scheduler_service, Scheduler, SchedulerConfig};
+use crate::scheduler::{scheduler_service, standby_scheduler, Scheduler, SchedulerConfig, Standby};
 use crate::security::GridSecurity;
+use wsrf_core::store::ResourceStore;
 
 /// Campus deployment configuration.
 pub struct GridConfig {
@@ -45,6 +46,13 @@ pub struct GridConfig {
     /// profilers); enabled grids stamp trace contexts onto SOAP headers
     /// and collect per-submission span trees.
     pub trace: TraceConfig,
+    /// Scheduler state backend (None = a fresh in-memory store). Pass
+    /// a [`wsrf_core::DurableStore`] to make job-set state survive a
+    /// scheduler crash.
+    pub scheduler_store: Option<Arc<dyn ResourceStore>>,
+    /// Replicate scheduler job-set state over the notification fabric
+    /// so a [`CampusGrid::spawn_standby`] can take over after a crash.
+    pub replicate: bool,
 }
 
 impl Default for GridConfig {
@@ -59,6 +67,8 @@ impl Default for GridConfig {
             job_timeout: None,
             obs: ObsConfig::enabled(),
             trace: TraceConfig::disabled(),
+            scheduler_store: None,
+            replicate: false,
         }
     }
 }
@@ -138,6 +148,20 @@ impl GridConfig {
         self.trace = trace;
         self
     }
+
+    /// Builder: back the scheduler's job-set resources with `store`
+    /// (e.g. a [`wsrf_core::DurableStore`] over a WAL directory).
+    pub fn with_scheduler_store(mut self, store: Arc<dyn ResourceStore>) -> Self {
+        self.scheduler_store = Some(store);
+        self
+    }
+
+    /// Builder: turn on primary→standby replication of scheduler
+    /// state (see [`CampusGrid::spawn_standby`]).
+    pub fn with_replication(mut self) -> Self {
+        self.replicate = true;
+        self
+    }
 }
 
 /// A fully deployed campus grid.
@@ -162,6 +186,11 @@ pub struct CampusGrid {
     pub metrics: Arc<MetricsRegistry>,
     /// Keeps every deployed service alive.
     services: Vec<Arc<Service>>,
+    /// What [`CampusGrid::spawn_standby`] needs to mirror the primary.
+    scheduler_store: Arc<dyn ResourceStore>,
+    policy: Arc<dyn SchedulingPolicy>,
+    job_timeout: Option<std::time::Duration>,
+    replicate: bool,
 }
 
 /// Well-known hub addresses.
@@ -172,6 +201,10 @@ pub const NIS_ADDRESS: &str = "inproc://hub/NodeInfo";
 pub const SCHEDULER_ADDRESS: &str = "inproc://hub/Scheduler";
 /// Scheduler subject name in the PKI.
 pub const SCHEDULER_SUBJECT: &str = "scheduler";
+/// The primary scheduler's listener address.
+pub const SCHEDULER_LISTENER_ADDRESS: &str = "inproc://hub/SchedulerListener";
+/// The standby scheduler's listener address.
+pub const STANDBY_LISTENER_ADDRESS: &str = "inproc://hub/StandbyListener";
 
 impl CampusGrid {
     /// Deploy the whole testbed on `clock`.
@@ -271,6 +304,10 @@ impl CampusGrid {
         }
 
         // Scheduler.
+        let scheduler_store = config
+            .scheduler_store
+            .clone()
+            .unwrap_or_else(|| Arc::new(MemoryStore::new()) as Arc<dyn ResourceStore>);
         let scheduler = scheduler_service(
             SCHEDULER_ADDRESS,
             SchedulerConfig {
@@ -280,9 +317,10 @@ impl CampusGrid {
                 security: security
                     .as_ref()
                     .map(|s| (s.clone(), SCHEDULER_SUBJECT.to_string())),
-                store: Arc::new(MemoryStore::new()),
-                listener_address: "inproc://hub/SchedulerListener".to_string(),
+                store: scheduler_store.clone(),
+                listener_address: SCHEDULER_LISTENER_ADDRESS.to_string(),
                 job_timeout: config.job_timeout,
+                replicate: config.replicate,
             },
             clock.clone(),
             net.clone(),
@@ -299,7 +337,39 @@ impl CampusGrid {
             security,
             metrics,
             services,
+            scheduler_store,
+            policy: config.policy,
+            job_timeout: config.job_timeout,
+            replicate: config.replicate,
         }
+    }
+
+    /// Deploy a warm standby scheduler that shadows the primary's
+    /// replication stream (requires [`GridConfig::with_replication`]).
+    /// Promote it after a crash with
+    /// `standby.promote(SCHEDULER_ADDRESS)`. `store` overrides the
+    /// standby's state backend (e.g. a [`wsrf_core::DurableStore`]
+    /// recovered from the primary's WAL directory); None shares the
+    /// primary's store.
+    pub fn spawn_standby(&self, store: Option<Arc<dyn ResourceStore>>) -> Standby {
+        debug_assert!(self.replicate, "spawn_standby without with_replication");
+        standby_scheduler(
+            SchedulerConfig {
+                nis_address: self.nis_address.clone(),
+                broker: self.broker.clone(),
+                policy: self.policy.clone(),
+                security: self
+                    .security
+                    .as_ref()
+                    .map(|s| (s.clone(), SCHEDULER_SUBJECT.to_string())),
+                store: store.unwrap_or_else(|| self.scheduler_store.clone()),
+                listener_address: STANDBY_LISTENER_ADDRESS.to_string(),
+                job_timeout: self.job_timeout,
+                replicate: self.replicate,
+            },
+            self.clock.clone(),
+            self.net.clone(),
+        )
     }
 
     /// A point-in-time snapshot of every metric in the deployment.

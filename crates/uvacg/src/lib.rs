@@ -56,6 +56,7 @@ pub use policy::{
     PenaltyRow, Random, RoundRobin, SchedulingPolicy,
 };
 pub use proxies::{DirectoryProxy, JobProxy};
+pub use scheduler::{Scheduler, Standby};
 
 /// The testbed's XML namespace (re-exported for tests and benches).
 pub use wsrf_soap::ns::UVACG;

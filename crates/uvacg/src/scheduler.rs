@@ -14,9 +14,10 @@
 //! ones; job-exit notifications trigger the next wave of dispatches.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use simclock::{Clock, SimTime};
 use ws_notification::broker;
 use ws_notification::consumer::NotificationListener;
@@ -34,7 +35,7 @@ use wsrf_transport::InProcNetwork;
 use wsrf_xml::{Element, QName};
 
 use crate::es::{self, RunRequest};
-use crate::jobset::{FileRef, JobSetSpec};
+use crate::jobset::{FileRef, JobSetSpec, JobSpec};
 use crate::policy::{MachineOutcome, OutcomeKind, SchedulingPolicy};
 use crate::security::GridSecurity;
 
@@ -85,6 +86,11 @@ pub struct SchedulerConfig {
     /// paper, which has no fault-tolerance story). An extension for
     /// crashed machines, which never send their exit notification.
     pub job_timeout: Option<std::time::Duration>,
+    /// Replicate job-set state to a standby over the notification
+    /// fabric (`schedrepl/<key>/...` topics, see [`standby_scheduler`]).
+    /// Off by default: the extra one-ways change message counts that
+    /// deployments may assert on.
+    pub replicate: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,10 +131,24 @@ struct SchedInner {
     policy: Arc<dyn SchedulingPolicy>,
     security: Option<(Arc<GridSecurity>, String)>,
     job_timeout: Option<std::time::Duration>,
+    replicate: bool,
+    /// Set by [`Scheduler::crash`]: a crashed scheduler ignores every
+    /// event, timer and dispatch opportunity from then on.
+    crashed: AtomicBool,
+    /// Invoked after every recorded Figure 3 step; the chaos harness
+    /// uses it to crash the primary at an exact protocol point.
+    step_hook: RwLock<Option<Arc<dyn Fn(u8, &str) + Send + Sync>>>,
+}
+
+impl SchedInner {
+    fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
 }
 
 /// The deployed Scheduler: its WSRF service plus its notification
-/// listener.
+/// listener. Cheap to clone (shared handles).
+#[derive(Clone)]
 pub struct Scheduler {
     /// The WSRF service (resources = job sets).
     pub service: Arc<Service>,
@@ -153,6 +173,28 @@ impl Scheduler {
     /// properties mirror the policy's [`crate::policy::PenaltyRow`]s).
     pub fn feedback_epr(&self) -> EndpointReference {
         self.service.core().epr_for(FEEDBACK_KEY)
+    }
+
+    /// Install a hook invoked after every recorded Figure 3 step with
+    /// `(step, job)`. The chaos harness uses it to crash the primary at
+    /// an exact point in the submission protocol.
+    pub fn set_step_hook(&self, f: impl Fn(u8, &str) + Send + Sync + 'static) {
+        *self.inner.step_hook.write() = Some(Arc::new(f));
+    }
+
+    /// Simulate a process crash: the scheduler stops reacting to
+    /// events, timers and dispatch opportunities, and its endpoints
+    /// drop off the network (in-flight messages addressed to them
+    /// become undeliverable, like a real dead host).
+    pub fn crash(&self, net: &InProcNetwork) {
+        self.inner.crashed.store(true, Ordering::SeqCst);
+        net.unregister(&self.service.core().service_epr().address);
+        net.unregister(&self.listener.epr().address);
+    }
+
+    /// Has [`Scheduler::crash`] been called?
+    pub fn crashed(&self) -> bool {
+        self.inner.is_crashed()
     }
 
     /// Diagnostic: per-job states of a run (None for unknown sets).
@@ -186,6 +228,9 @@ pub fn scheduler_service(
         policy: cfg.policy,
         security: cfg.security,
         job_timeout: cfg.job_timeout,
+        replicate: cfg.replicate,
+        crashed: AtomicBool::new(false),
+        step_hook: RwLock::new(None),
     });
     let listener = NotificationListener::register(&net, &cfg.listener_address);
 
@@ -387,6 +432,21 @@ fn submit_op(
         .map_err(|e| faults::storage(&format!("broker subscribe failed: {e}")))?;
 
     // Record the run.
+    let submitted_at = ctx.core.clock.now();
+    // Built before the spec moves into the run state; published after,
+    // so the standby's view is never ahead of the primary's.
+    let repl = inner.replicate.then(|| {
+        let mut el = Element::new(UVACG, "ReplSubmit")
+            .attr("user", &credentials.0)
+            .attr("password", &credentials.1)
+            .attr("topic", &topic)
+            .attr("t", submitted_at.as_nanos().to_string())
+            .child(spec.to_element());
+        if let Some(fs) = &client_fileserver {
+            el = el.attr("fileserver", fs);
+        }
+        el
+    });
     {
         let mut runs = inner.runs.lock();
         runs.insert(
@@ -415,9 +475,18 @@ fn submit_op(
                 credentials,
                 client_fileserver,
                 finished: false,
-                submitted_at: ctx.core.clock.now(),
+                submitted_at,
                 trace,
             },
+        );
+    }
+    if let Some(el) = repl {
+        publish(
+            ctx.core,
+            &inner.broker,
+            &repl_topic(&key, "submit"),
+            el,
+            None,
         );
     }
 
@@ -511,6 +580,20 @@ fn record_steps(
             }
         }
     }
+    // Chaos hook last: a hook that crashes the scheduler still leaves
+    // this step durably recorded, which is exactly the kill-point
+    // semantics the failover tests need ("crashed right after step N").
+    let hook = inner.step_hook.read().clone();
+    if let Some(hook) = hook {
+        for (step, _) in steps {
+            hook(*step, job);
+        }
+    }
+}
+
+/// Replication topic for job set `key`: `schedrepl/<key>/<kind>`.
+fn repl_topic(key: &str, kind: &str) -> TopicPath {
+    TopicPath::parse("schedrepl").child(key).child(kind)
 }
 
 /// Handle a notification for job set `key`.
@@ -520,6 +603,9 @@ fn on_event(
     key: &str,
     msg: &NotificationMessage,
 ) {
+    if inner.is_crashed() {
+        return;
+    }
     // Topics look like `jobset-K/job/<name>/<event>`.
     let segs = &msg.topic.0;
     if segs.len() != 4 || segs[1] != "job" {
@@ -602,61 +688,10 @@ fn on_event(
                 &[(10, "exit_broadcast")],
                 core.clock.now(),
             );
-            let (all_done, outcome) = {
-                let mut runs = inner.runs.lock();
-                let Some(run) = runs.get_mut(key) else { return };
-                let Some(jr) = run.jobs.get_mut(&job_name) else {
-                    return;
-                };
-                jr.exit_code = Some(code);
-                jr.cpu_used = cpu_used;
-                jr.state = if code == 0 {
-                    JobState::Completed
-                } else {
-                    JobState::Failed
-                };
-                update_job_status_property(core, key, &job_name, jr);
-                // Feedback: a clean exit reports the observed per-job
-                // makespan on that machine; a nonzero exit is a
-                // failure mark against it.
-                let outcome = jr.machine.clone().map(|machine| {
-                    let kind = if code == 0 {
-                        OutcomeKind::Makespan {
-                            virt_ns: jr
-                                .dispatched_at
-                                .map_or(0, |t| core.clock.now().since(t).as_nanos() as u64),
-                        }
-                    } else {
-                        OutcomeKind::Failure
-                    };
-                    (machine, kind)
-                });
-                let all_done = if code != 0 {
-                    None // handled below as failure
-                } else {
-                    Some(run.jobs.values().all(|j| j.state == JobState::Completed))
-                };
-                (all_done, outcome)
-            };
-            if let Some((machine, kind)) = outcome {
-                report_outcome(core, inner, &machine, kind);
+            if inner.is_crashed() {
+                return; // killed right after step 10: the exit is lost here
             }
-            match all_done {
-                None => {
-                    fail_job_set(
-                        core,
-                        inner,
-                        key,
-                        &job_name,
-                        BaseFault::new(
-                            "uvacg:JobFailed",
-                            format!("job '{job_name}' exited with code {code}"),
-                        ),
-                    );
-                }
-                Some(true) => complete_job_set(core, inner, key),
-                Some(false) => dispatch_ready(core, inner, key),
-            }
+            apply_exit(core, inner, key, &job_name, code, cpu_used);
         }
         "failed" => {
             let machine = {
@@ -689,9 +724,86 @@ fn on_event(
     }
 }
 
+/// Apply a job's exit, observed either through the broker broadcast or
+/// by polling the job resource during failover reconciliation.
+/// Idempotent: a job already in a terminal state is left untouched, so
+/// a re-observed exit can never double-count or re-trigger dispatches.
+///
+/// Must not be called while `inner.runs` is locked.
+fn apply_exit(
+    core: &Arc<ServiceCore>,
+    inner: &Arc<SchedInner>,
+    key: &str,
+    job_name: &str,
+    code: i32,
+    cpu_used: Option<f64>,
+) {
+    let (all_done, outcome) = {
+        let mut runs = inner.runs.lock();
+        let Some(run) = runs.get_mut(key) else { return };
+        let Some(jr) = run.jobs.get_mut(job_name) else {
+            return;
+        };
+        if matches!(jr.state, JobState::Completed | JobState::Failed) {
+            return; // already accounted for
+        }
+        jr.exit_code = Some(code);
+        jr.cpu_used = cpu_used;
+        jr.state = if code == 0 {
+            JobState::Completed
+        } else {
+            JobState::Failed
+        };
+        update_job_status_property(core, key, job_name, jr);
+        // Feedback: a clean exit reports the observed per-job
+        // makespan on that machine; a nonzero exit is a
+        // failure mark against it.
+        let outcome = jr.machine.clone().map(|machine| {
+            let kind = if code == 0 {
+                OutcomeKind::Makespan {
+                    virt_ns: jr
+                        .dispatched_at
+                        .map_or(0, |t| core.clock.now().since(t).as_nanos() as u64),
+                }
+            } else {
+                OutcomeKind::Failure
+            };
+            (machine, kind)
+        });
+        let all_done = if code != 0 {
+            None // handled below as failure
+        } else {
+            Some(run.jobs.values().all(|j| j.state == JobState::Completed))
+        };
+        (all_done, outcome)
+    };
+    if let Some((machine, kind)) = outcome {
+        report_outcome(core, inner, &machine, kind);
+    }
+    match all_done {
+        None => {
+            fail_job_set(
+                core,
+                inner,
+                key,
+                job_name,
+                BaseFault::new(
+                    "uvacg:JobFailed",
+                    format!("job '{job_name}' exited with code {code}"),
+                ),
+            );
+        }
+        Some(true) => complete_job_set(core, inner, key),
+        Some(false) => dispatch_ready(core, inner, key),
+    }
+}
+
 /// Dispatch every job whose dependencies are all complete.
 fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
     loop {
+        if inner.is_crashed() {
+            return;
+        }
         // Pick one ready job under the lock; dispatch outside it (the
         // Run call triggers notifications that re-enter this module).
         let next: Option<(String, RunRequest, String, String, SimTime)> = {
@@ -740,64 +852,7 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
             };
             let node = nodes.into_iter().nth(pick).expect("policy picked in range");
 
-            // Build the Run request, resolving file references — the
-            // "filling in" of EPRs the paper describes.
-            let built: Result<RunRequest, BaseFault> = (|| {
-                let resolve = |r: &FileRef| -> Result<(EndpointReference, String), BaseFault> {
-                    match r {
-                        FileRef::Local(path) => {
-                            let fs = run.client_fileserver.as_ref().ok_or_else(|| {
-                                BaseFault::new(
-                                    "uvacg:NoFileServer",
-                                    "job set uses local:// but no client file server was given",
-                                )
-                            })?;
-                            Ok((EndpointReference::service(fs), path.clone()))
-                        }
-                        FileRef::JobOutput { job, file } => {
-                            let dep = &run.jobs[job];
-                            let dir = dep.dir_epr.clone().ok_or_else(|| {
-                                BaseFault::new(
-                                    "uvacg:MissingWorkdir",
-                                    format!("no working directory recorded for job '{job}'"),
-                                )
-                            })?;
-                            Ok((dir, file.clone()))
-                        }
-                    }
-                };
-                let (exe_src, exe_name) = resolve(&job.executable)?;
-                let exe_as = basename(&exe_name);
-                let mut inputs = Vec::new();
-                for (src, as_name) in &job.inputs {
-                    let (epr, name) = resolve(src)?;
-                    inputs.push((epr, name, as_name.clone()));
-                }
-                // Credentials for the chosen machine.
-                let (security_header, plain_credentials) = match &inner.security {
-                    Some((sec, _)) => {
-                        let subject = format!("es@{}", node.machine);
-                        let tok = UsernameToken::new(&run.credentials.0, &run.credentials.1);
-                        let header = sec.encrypt_token(&tok, &subject).ok_or_else(|| {
-                            BaseFault::new(
-                                "uvacg:NoCertificate",
-                                format!("no certificate enrolled for '{subject}'"),
-                            )
-                        })?;
-                        (Some(header), None)
-                    }
-                    None => (None, Some(run.credentials.clone())),
-                };
-                Ok(RunRequest {
-                    job_name: job.name.clone(),
-                    executable: (exe_src, exe_name, exe_as),
-                    inputs,
-                    topic: run.topic.clone(),
-                    security_header,
-                    plain_credentials,
-                    trace: run.trace,
-                })
-            })();
+            let built = build_run_request(run, job, &node.machine, &inner.security);
             match built {
                 Ok(req) => {
                     let jr = run.jobs.get_mut(&job_name).unwrap();
@@ -819,8 +874,26 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
             return;
         };
 
+        // A standby learns the placement intent before the Run leaves:
+        // if we die between here and the dispatch, it re-issues the Run
+        // to the same machine, where the ES deduplicates it.
+        if inner.replicate {
+            publish(
+                core,
+                &inner.broker,
+                &repl_topic(key, "intent"),
+                Element::new(UVACG, "ReplIntent")
+                    .attr("job", &job_name)
+                    .attr("machine", &machine),
+                None,
+            );
+        }
+
         // Figure 3 step 2: the NIS was polled for this job's placement.
         record_steps(core, inner, key, &job_name, &[(2, "nis_poll")], t_nis);
+        if inner.is_crashed() {
+            return; // killed after step 2: the Run is never issued
+        }
 
         // Step 3: "the ES on that machine is sent a request to run a
         // job". Notifications triggered inline during this call may
@@ -831,6 +904,18 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
         match es::run(&core.net, &es_address, &req) {
             Ok(reply) => {
                 es_run_span.finish();
+                if inner.replicate {
+                    publish(
+                        core,
+                        &inner.broker,
+                        &repl_topic(key, "dispatched"),
+                        Element::new(UVACG, "ReplDispatched")
+                            .attr("job", &job_name)
+                            .child(reply.job.to_element_named(UVACG, "JobEpr"))
+                            .child(reply.workdir.to_element_named(UVACG, "DirEpr")),
+                        None,
+                    );
+                }
                 // Feedback: the observed virtual dispatch latency for
                 // this machine (zero on a manual clock, which the
                 // policy discards as signal-free).
@@ -850,6 +935,9 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
                     &[(3, "es_run")],
                     core.clock.now(),
                 );
+                if inner.is_crashed() {
+                    return; // killed after step 3: the reply is lost here
+                }
                 {
                     let mut runs = inner.runs.lock();
                     if let Some(run) = runs.get_mut(key) {
@@ -861,40 +949,7 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
                         }
                     }
                 }
-                // Watchdog: a machine that dies mid-run never sends its
-                // exit notification; without a timeout the set would
-                // wait forever.
-                if let Some(timeout) = inner.job_timeout {
-                    let core2 = core.clone();
-                    let inner2 = inner.clone();
-                    let key2 = key.to_string();
-                    let name2 = job_name.clone();
-                    let machine2 = machine.clone();
-                    core.clock.schedule(timeout, move |_| {
-                        let timed_out = {
-                            let runs = inner2.runs.lock();
-                            runs.get(&key2)
-                                .and_then(|r| r.jobs.get(&name2))
-                                .is_some_and(|jr| jr.state == JobState::Dispatched)
-                        };
-                        if timed_out {
-                            report_outcome(&core2, &inner2, &machine2, OutcomeKind::Timeout);
-                            fail_job_set(
-                                &core2,
-                                &inner2,
-                                &key2,
-                                &name2,
-                                BaseFault::new(
-                                    "uvacg:JobTimeout",
-                                    format!(
-                                        "job '{name2}' did not finish within {} virtual seconds",
-                                        timeout.as_secs_f64()
-                                    ),
-                                ),
-                            );
-                        }
-                    });
-                }
+                arm_watchdog(core, inner, key, &job_name, &machine);
             }
             Err(fault) => {
                 let wrapped = BaseFault::new(
@@ -909,6 +964,118 @@ fn dispatch_ready(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
             }
         }
     }
+}
+
+/// Build the Run request for `job` on `machine`, resolving file
+/// references — the "filling in" of EPRs the paper describes. Shared
+/// by the normal dispatch path and failover reconciliation (which
+/// re-issues uncertain dispatches to their recorded machine).
+fn build_run_request(
+    run: &RunState,
+    job: &JobSpec,
+    machine: &str,
+    security: &Option<(Arc<GridSecurity>, String)>,
+) -> Result<RunRequest, BaseFault> {
+    let resolve = |r: &FileRef| -> Result<(EndpointReference, String), BaseFault> {
+        match r {
+            FileRef::Local(path) => {
+                let fs = run.client_fileserver.as_ref().ok_or_else(|| {
+                    BaseFault::new(
+                        "uvacg:NoFileServer",
+                        "job set uses local:// but no client file server was given",
+                    )
+                })?;
+                Ok((EndpointReference::service(fs), path.clone()))
+            }
+            FileRef::JobOutput { job, file } => {
+                let dep = &run.jobs[job];
+                let dir = dep.dir_epr.clone().ok_or_else(|| {
+                    BaseFault::new(
+                        "uvacg:MissingWorkdir",
+                        format!("no working directory recorded for job '{job}'"),
+                    )
+                })?;
+                Ok((dir, file.clone()))
+            }
+        }
+    };
+    let (exe_src, exe_name) = resolve(&job.executable)?;
+    let exe_as = basename(&exe_name);
+    let mut inputs = Vec::new();
+    for (src, as_name) in &job.inputs {
+        let (epr, name) = resolve(src)?;
+        inputs.push((epr, name, as_name.clone()));
+    }
+    // Credentials for the chosen machine.
+    let (security_header, plain_credentials) = match security {
+        Some((sec, _)) => {
+            let subject = format!("es@{machine}");
+            let tok = UsernameToken::new(&run.credentials.0, &run.credentials.1);
+            let header = sec.encrypt_token(&tok, &subject).ok_or_else(|| {
+                BaseFault::new(
+                    "uvacg:NoCertificate",
+                    format!("no certificate enrolled for '{subject}'"),
+                )
+            })?;
+            (Some(header), None)
+        }
+        None => (None, Some(run.credentials.clone())),
+    };
+    Ok(RunRequest {
+        job_name: job.name.clone(),
+        executable: (exe_src, exe_name, exe_as),
+        inputs,
+        topic: run.topic.clone(),
+        security_header,
+        plain_credentials,
+        trace: run.trace,
+    })
+}
+
+/// Watchdog: a machine that dies mid-run never sends its exit
+/// notification; without a timeout the set would wait forever.
+fn arm_watchdog(
+    core: &Arc<ServiceCore>,
+    inner: &Arc<SchedInner>,
+    key: &str,
+    job_name: &str,
+    machine: &str,
+) {
+    let Some(timeout) = inner.job_timeout else {
+        return;
+    };
+    let core2 = core.clone();
+    let inner2 = inner.clone();
+    let key2 = key.to_string();
+    let name2 = job_name.to_string();
+    let machine2 = machine.to_string();
+    core.clock.schedule(timeout, move |_| {
+        if inner2.is_crashed() {
+            return; // a dead scheduler's timers die with it
+        }
+        let timed_out = {
+            let runs = inner2.runs.lock();
+            runs.get(&key2)
+                .and_then(|r| r.jobs.get(&name2))
+                .is_some_and(|jr| jr.state == JobState::Dispatched)
+        };
+        if timed_out {
+            report_outcome(&core2, &inner2, &machine2, OutcomeKind::Timeout);
+            fail_job_set(
+                &core2,
+                &inner2,
+                &key2,
+                &name2,
+                BaseFault::new(
+                    "uvacg:JobTimeout",
+                    format!(
+                        "job '{name2}' did not finish within {} virtual seconds",
+                        timeout.as_secs_f64()
+                    ),
+                ),
+            );
+        }
+    });
 }
 
 fn basename(path: &str) -> String {
@@ -937,6 +1104,9 @@ fn update_job_status_property(core: &Arc<ServiceCore>, key: &str, job: &str, jr:
 }
 
 fn complete_job_set(core: &Arc<ServiceCore>, inner: &Arc<SchedInner>, key: &str) {
+    if inner.is_crashed() {
+        return;
+    }
     let (topic, submitted_at, trace) = {
         let mut runs = inner.runs.lock();
         let Some(run) = runs.get_mut(key) else { return };
@@ -971,6 +1141,9 @@ fn fail_job_set(
     job: &str,
     cause: BaseFault,
 ) {
+    if inner.is_crashed() {
+        return;
+    }
     let (topic, submitted_at, trace) = {
         let mut runs = inner.runs.lock();
         let Some(run) = runs.get_mut(key) else { return };
@@ -1043,6 +1216,478 @@ fn trace_to_element(snap: &TraceSnapshot) -> Element {
         );
     }
     el
+}
+
+// ---------------------------------------------------------------------
+// Standby + failover
+// ---------------------------------------------------------------------
+
+/// A standby's view of one job, reconstructed purely from the
+/// primary's replication stream plus the job set's own event topics.
+struct ShadowJob {
+    state: JobState,
+    /// An `intent` was replicated but no `dispatched` followed: the
+    /// primary may or may not have issued the Run before dying. Safe
+    /// either way — re-issuing is deduplicated at the ES.
+    uncertain: bool,
+    machine: Option<String>,
+    dir_epr: Option<EndpointReference>,
+    job_epr: Option<EndpointReference>,
+    exit_code: Option<i32>,
+    cpu_used: Option<f64>,
+}
+
+struct ShadowRun {
+    spec: JobSetSpec,
+    topic: String,
+    credentials: (String, String),
+    client_fileserver: Option<String>,
+    jobs: HashMap<String, ShadowJob>,
+    finished: bool,
+    submitted_at: SimTime,
+}
+
+/// A warm standby scheduler. It follows a replicating primary's
+/// `schedrepl/<key>/...` stream (and each shadowed set's own event
+/// topic, so exits it witnesses first-hand never depend on the primary
+/// surviving long enough to relay them) and can be promoted into a
+/// full [`Scheduler`] once the primary crashes.
+pub struct Standby {
+    /// The standby's notification listener. Promotion re-registers a
+    /// scheduler listener at this same address, so every broker
+    /// subscription the standby accumulated transfers to the promoted
+    /// scheduler without a single re-subscribe — and therefore without
+    /// duplicate deliveries.
+    pub listener: NotificationListener,
+    shadows: Arc<Mutex<HashMap<String, ShadowRun>>>,
+    cfg: SchedulerConfig,
+    clock: Clock,
+    net: Arc<InProcNetwork>,
+}
+
+/// Deploy a standby that shadows a replicating primary.
+///
+/// `cfg.listener_address` is the standby's own listener address; the
+/// remaining fields describe the deployment it will take over and
+/// should match the primary's — except `store`, which may be the
+/// primary's shared store or a [`wsrf_core::DurableStore`] recovered
+/// from its write-ahead log.
+pub fn standby_scheduler(cfg: SchedulerConfig, clock: Clock, net: Arc<InProcNetwork>) -> Standby {
+    let listener = NotificationListener::register(&net, &cfg.listener_address);
+    broker::subscribe(
+        &net,
+        &cfg.broker,
+        &listener.epr(),
+        &TopicExpression::full("schedrepl//"),
+        None,
+    )
+    .expect("standby subscription cannot fail on a live broker");
+    let shadows: Arc<Mutex<HashMap<String, ShadowRun>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let sh = shadows.clone();
+    let net2 = net.clone();
+    let broker_epr = cfg.broker.clone();
+    let listener2 = listener.clone();
+    listener.on_topic(TopicExpression::full("schedrepl//"), move |msg| {
+        shadow_event(&sh, &net2, &broker_epr, &listener2, msg);
+    });
+
+    Standby {
+        listener,
+        shadows,
+        cfg,
+        clock,
+        net,
+    }
+}
+
+/// Apply one replication event to the shadow table.
+fn shadow_event(
+    shadows: &Arc<Mutex<HashMap<String, ShadowRun>>>,
+    net: &Arc<InProcNetwork>,
+    broker_epr: &EndpointReference,
+    listener: &NotificationListener,
+    msg: &NotificationMessage,
+) {
+    let segs = &msg.topic.0;
+    if segs.len() != 3 || segs[0] != "schedrepl" {
+        return;
+    }
+    let key = segs[1].clone();
+    match segs[2].as_str() {
+        "submit" => {
+            let Some(spec_el) = msg.payload.find(UVACG, "JobSet") else {
+                return;
+            };
+            let Some(spec) = JobSetSpec::from_element(spec_el) else {
+                return;
+            };
+            let topic = msg
+                .payload
+                .attr_value("topic")
+                .unwrap_or_default()
+                .to_string();
+            let submitted_at = SimTime(
+                msg.payload
+                    .attr_value("t")
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or(0),
+            );
+            let jobs = spec
+                .jobs
+                .iter()
+                .map(|j| {
+                    (
+                        j.name.clone(),
+                        ShadowJob {
+                            state: JobState::Waiting,
+                            uncertain: false,
+                            machine: None,
+                            dir_epr: None,
+                            job_epr: None,
+                            exit_code: None,
+                            cpu_used: None,
+                        },
+                    )
+                })
+                .collect();
+            let run = ShadowRun {
+                topic: topic.clone(),
+                credentials: (
+                    msg.payload
+                        .attr_value("user")
+                        .unwrap_or_default()
+                        .to_string(),
+                    msg.payload
+                        .attr_value("password")
+                        .unwrap_or_default()
+                        .to_string(),
+                ),
+                client_fileserver: msg.payload.attr_value("fileserver").map(str::to_string),
+                jobs,
+                finished: false,
+                submitted_at,
+                spec,
+            };
+            shadows.lock().insert(key.clone(), run);
+            // Follow the set's own event stream too: a dir or exit the
+            // standby saw with its own eyes survives any primary crash.
+            let expr = TopicExpression::full(&format!("{topic}//"));
+            let _ = broker::subscribe(net, broker_epr, &listener.epr(), &expr, None);
+            let sh = shadows.clone();
+            listener.on_topic(expr, move |m| shadow_jobset_event(&sh, &key, m));
+        }
+        "intent" => {
+            let mut shadows = shadows.lock();
+            let Some(run) = shadows.get_mut(&key) else {
+                return;
+            };
+            let Some(job) = msg.payload.attr_value("job") else {
+                return;
+            };
+            if let Some(jr) = run.jobs.get_mut(job) {
+                if jr.state == JobState::Waiting {
+                    jr.uncertain = true;
+                    jr.machine = msg.payload.attr_value("machine").map(str::to_string);
+                }
+            }
+        }
+        "dispatched" => {
+            let mut shadows = shadows.lock();
+            let Some(run) = shadows.get_mut(&key) else {
+                return;
+            };
+            let Some(job) = msg.payload.attr_value("job") else {
+                return;
+            };
+            if let Some(jr) = run.jobs.get_mut(job) {
+                jr.uncertain = false;
+                if jr.state == JobState::Waiting {
+                    jr.state = JobState::Dispatched;
+                }
+                if let Some(e) = msg.payload.find(UVACG, "JobEpr") {
+                    if let Ok(epr) = EndpointReference::from_element(e) {
+                        jr.job_epr = Some(epr);
+                    }
+                }
+                if jr.dir_epr.is_none() {
+                    if let Some(e) = msg.payload.find(UVACG, "DirEpr") {
+                        if let Ok(epr) = EndpointReference::from_element(e) {
+                            jr.dir_epr = Some(epr);
+                        }
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Maintain a shadow from the job set's own notification topic.
+fn shadow_jobset_event(
+    shadows: &Arc<Mutex<HashMap<String, ShadowRun>>>,
+    key: &str,
+    msg: &NotificationMessage,
+) {
+    let segs = &msg.topic.0;
+    let mut shadows = shadows.lock();
+    let Some(run) = shadows.get_mut(key) else {
+        return;
+    };
+    if segs.len() == 2 && (segs[1] == "completed" || segs[1] == "failed") {
+        // The primary finished the set before dying: nothing to adopt.
+        run.finished = true;
+        return;
+    }
+    if segs.len() != 4 || segs[1] != "job" {
+        return;
+    }
+    let Some(jr) = run.jobs.get_mut(segs[2].as_str()) else {
+        return;
+    };
+    match segs[3].as_str() {
+        "dir" => {
+            if let Ok(epr) = EndpointReference::from_element(&msg.payload) {
+                jr.dir_epr = Some(epr);
+            }
+        }
+        "started" => {
+            // Staging finished and the process spawned: the Run
+            // definitely reached the machine.
+            jr.uncertain = false;
+            if jr.state == JobState::Waiting {
+                jr.state = JobState::Dispatched;
+            }
+        }
+        "exit" => {
+            if matches!(jr.state, JobState::Completed | JobState::Failed) {
+                return;
+            }
+            let code: i32 = msg
+                .payload
+                .attr_value("code")
+                .and_then(|c| c.parse().ok())
+                .unwrap_or(-1);
+            jr.exit_code = Some(code);
+            jr.cpu_used = msg.payload.attr_value("cpu").and_then(|c| c.parse().ok());
+            jr.uncertain = false;
+            jr.state = if code == 0 {
+                JobState::Completed
+            } else {
+                JobState::Failed
+            };
+            if let Some(e) = msg.payload.find(UVACG, "JobEpr") {
+                if let Ok(epr) = EndpointReference::from_element(e) {
+                    jr.job_epr = Some(epr);
+                }
+            }
+        }
+        "failed" => {
+            jr.state = JobState::Failed;
+        }
+        _ => {}
+    }
+}
+
+impl Standby {
+    /// Number of job sets currently shadowed (diagnostics).
+    pub fn shadow_count(&self) -> usize {
+        self.shadows.lock().len()
+    }
+
+    /// Promote this standby into the active Scheduler at `address`
+    /// (normally the crashed primary's address, so lost-EPR clients
+    /// rediscover their sets through the same `FindJobSets` endpoint).
+    ///
+    /// Adoption then reconciliation: uncertain dispatches are re-issued
+    /// to their recorded machine (idempotent at the ES), in-flight jobs
+    /// are polled for exits that raced the crash, watchdogs are
+    /// re-armed, and anything ready — or everything, if the set
+    /// already finished — is driven to its conclusion exactly once.
+    pub fn promote(self, address: &str) -> Scheduler {
+        let Standby {
+            listener: _standby_listener,
+            shadows,
+            cfg,
+            clock,
+            net,
+        } = self;
+        let scheduler = scheduler_service(address, cfg, clock, net.clone());
+        scheduler.register(&net);
+        let core = scheduler.service.core().clone();
+        let inner = scheduler.inner.clone();
+
+        // Adopt every unfinished shadow and collect reconcile work.
+        let mut reissues: Vec<(String, String, String, RunRequest)> = Vec::new();
+        let mut polls: Vec<(String, String, EndpointReference)> = Vec::new();
+        let mut adopted: Vec<(String, String)> = Vec::new();
+        {
+            let mut runs = inner.runs.lock();
+            for (key, sh) in shadows.lock().drain() {
+                if sh.finished {
+                    continue;
+                }
+                let uncertain: Vec<String> = sh
+                    .jobs
+                    .iter()
+                    .filter(|(_, j)| j.uncertain && j.state == JobState::Waiting)
+                    .map(|(n, _)| n.clone())
+                    .collect();
+                let now = core.clock.now();
+                let run = RunState {
+                    jobs: sh
+                        .jobs
+                        .into_iter()
+                        .map(|(n, j)| {
+                            let state = if j.uncertain && j.state == JobState::Waiting {
+                                JobState::Dispatched
+                            } else {
+                                j.state
+                            };
+                            (
+                                n,
+                                JobRun {
+                                    state,
+                                    machine: j.machine,
+                                    dir_epr: j.dir_epr,
+                                    job_epr: j.job_epr,
+                                    exit_code: j.exit_code,
+                                    cpu_used: j.cpu_used,
+                                    dispatched_at: (state == JobState::Dispatched).then_some(now),
+                                },
+                            )
+                        })
+                        .collect(),
+                    spec: sh.spec,
+                    topic: sh.topic.clone(),
+                    credentials: sh.credentials,
+                    client_fileserver: sh.client_fileserver,
+                    finished: false,
+                    submitted_at: sh.submitted_at,
+                    trace: None,
+                };
+                for name in &uncertain {
+                    let Some(job) = run.spec.jobs.iter().find(|j| j.name == *name) else {
+                        continue;
+                    };
+                    let machine = run.jobs[name].machine.clone().unwrap_or_default();
+                    if let Ok(req) = build_run_request(&run, job, &machine, &inner.security) {
+                        reissues.push((key.clone(), name.clone(), machine, req));
+                    }
+                }
+                for (n, j) in &run.jobs {
+                    if j.state == JobState::Dispatched && !uncertain.contains(n) {
+                        if let Some(epr) = &j.job_epr {
+                            polls.push((key.clone(), n.clone(), epr.clone()));
+                        }
+                    }
+                }
+                adopted.push((key.clone(), sh.topic));
+                runs.insert(key, run);
+            }
+        }
+
+        // Wire the adopted sets' events to the promoted scheduler
+        // before reconciling, so nothing in flight is missed.
+        for (key, topic) in &adopted {
+            let core2 = core.clone();
+            let inner2 = inner.clone();
+            let key2 = key.clone();
+            scheduler
+                .listener
+                .on_topic(TopicExpression::full(&format!("{topic}//")), move |msg| {
+                    on_event(&core2, &inner2, &key2, msg);
+                });
+        }
+
+        // Re-issue uncertain dispatches to their recorded machine: if
+        // the primary's Run made it there, the ES returns the existing
+        // job instead of staging and spawning a duplicate.
+        let nodes = crate::nis::snapshot(&net, &inner.nis_address).unwrap_or_default();
+        for (key, job_name, machine, req) in reissues {
+            let Some(node) = nodes.iter().find(|n| n.machine == machine) else {
+                fail_job_set(
+                    &core,
+                    &inner,
+                    &key,
+                    &job_name,
+                    BaseFault::new(
+                        "uvacg:NoNodes",
+                        format!("machine '{machine}' vanished during failover"),
+                    ),
+                );
+                continue;
+            };
+            match es::run(&net, &node.execution, &req) {
+                Ok(reply) => {
+                    let mut runs = inner.runs.lock();
+                    if let Some(run) = runs.get_mut(&key) {
+                        if let Some(jr) = run.jobs.get_mut(&job_name) {
+                            jr.job_epr = Some(reply.job);
+                            if jr.dir_epr.is_none() {
+                                jr.dir_epr = Some(reply.workdir);
+                            }
+                        }
+                    }
+                }
+                Err(fault) => {
+                    let wrapped = BaseFault::new(
+                        "uvacg:DispatchFailed",
+                        format!("cannot re-issue job '{job_name}' on {}", node.execution),
+                    )
+                    .caused_by(fault.detail.unwrap_or_else(|| {
+                        BaseFault::new("uvacg:TransportFault", fault.reason.clone())
+                    }));
+                    fail_job_set(&core, &inner, &key, &job_name, wrapped);
+                }
+            }
+        }
+
+        // Poll in-flight jobs for exits whose broadcast raced the
+        // crash (apply_exit is idempotent, so an exit the standby
+        // already witnessed is a no-op here).
+        for (key, job_name, epr) in polls {
+            if let Ok(snap) = es::query_job(&net, &epr) {
+                if snap.status == es::status::EXITED {
+                    apply_exit(
+                        &core,
+                        &inner,
+                        &key,
+                        &job_name,
+                        snap.exit_code.unwrap_or(-1) as i32,
+                        Some(snap.cpu_time),
+                    );
+                }
+            }
+        }
+
+        // Re-arm watchdogs and drive every adopted set forward.
+        for (key, _topic) in &adopted {
+            let (dispatched, all_done) = {
+                let runs = inner.runs.lock();
+                let Some(run) = runs.get(key) else { continue };
+                let dispatched: Vec<(String, String)> = run
+                    .jobs
+                    .iter()
+                    .filter(|(_, j)| j.state == JobState::Dispatched)
+                    .map(|(n, j)| (n.clone(), j.machine.clone().unwrap_or_default()))
+                    .collect();
+                let all_done =
+                    !run.finished && run.jobs.values().all(|j| j.state == JobState::Completed);
+                (dispatched, all_done)
+            };
+            for (name, machine) in dispatched {
+                arm_watchdog(&core, &inner, key, &name, &machine);
+            }
+            if all_done {
+                complete_job_set(&core, &inner, key);
+            } else {
+                dispatch_ready(&core, &inner, key);
+            }
+        }
+
+        scheduler
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -808,6 +808,18 @@ impl ServiceBuilder {
         let metrics = self
             .metrics
             .unwrap_or_else(|| net.metrics_registry().clone());
+        // A durable store may already hold resources from a previous
+        // incarnation of this service; start the key sequence past the
+        // highest `{name}-N` key it carries so restart cannot mint a
+        // colliding EPR.
+        let prefix = format!("{}-", self.name.to_ascii_lowercase());
+        let next = self
+            .store
+            .list(&self.name)
+            .iter()
+            .filter_map(|k| k.strip_prefix(&prefix)?.parse::<u64>().ok())
+            .max()
+            .map_or(1, |n| n + 1);
         let core = Arc::new(ServiceCore {
             name: self.name,
             address: self.address,
@@ -816,7 +828,7 @@ impl ServiceBuilder {
             store: self.store,
             key_property: self.key_property,
             metrics,
-            next_key: AtomicU64::new(1),
+            next_key: AtomicU64::new(next),
             lifetime: Mutex::new(HashMap::new()),
             computed: self.computed,
         });
@@ -944,6 +956,27 @@ mod tests {
         assert!(!resp.is_fault(), "{:?}", resp.fault());
         EndpointReference::from_element(resp.body.find(ns::WSA, "EndpointReference").unwrap())
             .unwrap()
+    }
+
+    #[test]
+    fn rebuilt_service_skips_keys_already_in_the_store() {
+        // A durable store replayed after a restart still holds the old
+        // incarnation's resources; a fresh build must not mint their
+        // keys again.
+        let store = Arc::new(MemoryStore::new());
+        store.create("Demo", "demo-7", &PropertyDoc::new()).unwrap();
+        store.create("Demo", "demo-3", &PropertyDoc::new()).unwrap();
+        let clock = Clock::manual();
+        let net = InProcNetwork::new(clock.clone());
+        let svc = ServiceBuilder::new("Demo", "inproc://m1/Demo", store)
+            .static_operation("Create", |ctx| {
+                let epr = ctx.core.create_resource(PropertyDoc::new())?;
+                Ok(Element::new(UVACG, "CreateResponse").child(epr.to_element()))
+            })
+            .build(clock, net.clone());
+        svc.register(&net);
+        let epr = create_resource(&svc);
+        assert_eq!(epr.resource_key().unwrap(), "demo-8");
     }
 
     #[test]

@@ -44,9 +44,11 @@ pub mod properties;
 pub mod proxy;
 pub mod servicegroup;
 pub mod store;
+pub mod wal;
 pub mod wsdl;
 
 pub use container::{Ctx, Service, ServiceBuilder, ServiceCore};
 pub use properties::PropertyDoc;
 pub use proxy::ResourceProxy;
 pub use store::{BlobStore, MemoryStore, ResourceStore, StoreError, StructuredStore};
+pub use wal::DurableStore;

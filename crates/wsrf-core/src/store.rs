@@ -101,9 +101,9 @@ fn matches(doc: &PropertyDoc, path: &Path) -> bool {
 /// Number of lock partitions per store. Power of two so the shard
 /// index is a mask, sized so a campus-grid's worth of services never
 /// funnels through one lock.
-const SHARDS: usize = 16;
+pub(crate) const SHARDS: usize = 16;
 
-fn shard_of(service: &str, key: &str) -> usize {
+pub(crate) fn shard_of(service: &str, key: &str) -> usize {
     let mut h = DefaultHasher::new();
     service.hash(&mut h);
     key.hash(&mut h);

@@ -1,0 +1,649 @@
+//! Durable WS-Resource state: a per-shard write-ahead log behind the
+//! unchanged [`ResourceStore`] trait.
+//!
+//! The paper's §5 storage discussion (E7) stops at process lifetime:
+//! every backend keeps state in memory, so a container restart loses
+//! every WS-Resource. [`DurableStore`] closes that gap without touching
+//! the trait: it wraps any inner backend and logs every mutation to
+//! one append-only file per [`store`] shard (the same 16-way
+//! `(service, key)` hash partitioning the in-memory rows use, so the
+//! log never becomes a cross-shard serialization point).
+//!
+//! On-disk format, shared by logs and snapshots — one frame per op:
+//!
+//! ```text
+//! [u32 le payload_len][u32 le crc32(payload)][payload]
+//! payload = [u8 op][u16 le service_len][u16 le key_len][u32 le doc_len]
+//!           [service bytes][key bytes][doc XML bytes]
+//! ```
+//!
+//! Replay-on-open applies frames in order and stops at the first short
+//! or CRC-mismatched frame — a torn tail from a crash mid-append is
+//! indistinguishable from end-of-log, and no partial record is ever
+//! applied. The surviving prefix is then made authoritative by
+//! truncating the file to it, so later appends cannot hide behind
+//! garbage.
+//!
+//! Every `snapshot_every` mutations a shard compacts itself: current
+//! rows are written to `shard-NN.snap.tmp`, renamed over
+//! `shard-NN.snap` (atomic on POSIX), and the log is truncated to
+//! zero. A crash between the rename and the truncation is benign —
+//! replaying the full log over the snapshot converges to the same
+//! state because every frame application is last-writer-wins.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use wsrf_obs::{Counter, MetricsRegistry};
+use wsrf_xml::xpath::Path as XPath;
+use wsrf_xml::QName;
+
+use crate::properties::PropertyDoc;
+use crate::store::{shard_of, ResourceStore, StoreError, SHARDS};
+
+const OP_CREATE: u8 = 1;
+const OP_SAVE: u8 = 2;
+const OP_DESTROY: u8 = 3;
+
+/// Default mutations per shard between snapshot + log truncation.
+const DEFAULT_SNAPSHOT_EVERY: u64 = 256;
+
+fn doc_root() -> QName {
+    QName::new("urn:wsrf-store", "Properties")
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected) — table built once, no external crate.
+// ---------------------------------------------------------------------
+
+fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(crc32_table);
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------
+// Frame encode / decode
+// ---------------------------------------------------------------------
+
+fn encode_frame(op: u8, service: &str, key: &str, doc_xml: &str) -> Vec<u8> {
+    let (s, k, d) = (service.as_bytes(), key.as_bytes(), doc_xml.as_bytes());
+    let mut payload = Vec::with_capacity(9 + s.len() + k.len() + d.len());
+    payload.push(op);
+    payload.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    payload.extend_from_slice(&(k.len() as u16).to_le_bytes());
+    payload.extend_from_slice(&(d.len() as u32).to_le_bytes());
+    payload.extend_from_slice(s);
+    payload.extend_from_slice(k);
+    payload.extend_from_slice(d);
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+struct Record {
+    op: u8,
+    service: String,
+    key: String,
+    doc_xml: String,
+}
+
+/// Decode the next frame at `buf[at..]`. Returns `Some((record, next))`
+/// for a whole, CRC-clean, structurally valid frame; `None` for a torn
+/// tail, a corrupted frame, or end-of-buffer — replay must stop there.
+fn decode_frame(buf: &[u8], at: usize) -> Option<(Record, usize)> {
+    let rest = buf.get(at..)?;
+    if rest.len() < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+    let want = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    let payload = rest.get(8..8 + len)?;
+    if crc32(payload) != want || payload.len() < 9 {
+        return None;
+    }
+    let op = payload[0];
+    let s_len = u16::from_le_bytes(payload[1..3].try_into().unwrap()) as usize;
+    let k_len = u16::from_le_bytes(payload[3..5].try_into().unwrap()) as usize;
+    let d_len = u32::from_le_bytes(payload[5..9].try_into().unwrap()) as usize;
+    if 9 + s_len + k_len + d_len != payload.len() {
+        return None;
+    }
+    let service = std::str::from_utf8(&payload[9..9 + s_len]).ok()?;
+    let key = std::str::from_utf8(&payload[9 + s_len..9 + s_len + k_len]).ok()?;
+    let doc_xml = std::str::from_utf8(&payload[9 + s_len + k_len..]).ok()?;
+    Some((
+        Record {
+            op,
+            service: service.to_string(),
+            key: key.to_string(),
+            doc_xml: doc_xml.to_string(),
+        },
+        at + 8 + len,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// DurableStore
+// ---------------------------------------------------------------------
+
+struct ShardLog {
+    file: File,
+    /// Bytes of valid log currently on disk (appends go here).
+    len: u64,
+    /// Mutations since the last snapshot of this shard.
+    dirty: u64,
+}
+
+struct WalMetrics {
+    appends: Counter,
+    bytes: Counter,
+    snapshots: Counter,
+}
+
+impl WalMetrics {
+    fn noop() -> Self {
+        WalMetrics {
+            appends: Counter::noop(),
+            bytes: Counter::noop(),
+            snapshots: Counter::noop(),
+        }
+    }
+
+    fn from(registry: &MetricsRegistry) -> Self {
+        WalMetrics {
+            appends: registry.counter("store.wal.appends"),
+            bytes: registry.counter("store.wal.bytes"),
+            snapshots: registry.counter("store.wal.snapshots"),
+        }
+    }
+}
+
+/// Durability wrapper: any [`ResourceStore`] gains crash-surviving
+/// state via per-shard write-ahead logs and periodic snapshots. The
+/// wrapped trait is unchanged — services and the container cannot tell
+/// the difference, except that [`DurableStore::open`] on the same
+/// directory restores every resource that was committed before a
+/// crash.
+///
+/// For a [`crate::store::StructuredStore`] inner, declare the schemas
+/// *before* calling `open` — replay creates rows through the normal
+/// `create`/`save` path.
+pub struct DurableStore {
+    inner: Arc<dyn ResourceStore>,
+    dir: PathBuf,
+    logs: [Mutex<ShardLog>; SHARDS],
+    services: RwLock<HashSet<String>>,
+    snapshot_every: u64,
+    metrics: WalMetrics,
+}
+
+impl DurableStore {
+    /// Open (or create) the log directory, replay any surviving
+    /// snapshot + log frames into `inner`, and truncate each log to
+    /// its longest valid prefix.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        inner: Arc<dyn ResourceStore>,
+    ) -> std::io::Result<DurableStore> {
+        Self::open_with(dir, inner, None)
+    }
+
+    /// [`DurableStore::open`] with metrics: `store.wal.*` counters
+    /// track append traffic; `recovery.records` / `recovery.resources`
+    /// record what this open replayed.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        inner: Arc<dyn ResourceStore>,
+        registry: Option<&MetricsRegistry>,
+    ) -> std::io::Result<DurableStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut services = HashSet::new();
+        let mut replayed_records = 0u64;
+        let mut logs = Vec::with_capacity(SHARDS);
+        for shard in 0..SHARDS {
+            // Snapshot first: it is the compacted prefix of the log.
+            let snap_path = dir.join(format!("shard-{shard:02}.snap"));
+            if let Ok(bytes) = std::fs::read(&snap_path) {
+                let mut at = 0;
+                while let Some((rec, next)) = decode_frame(&bytes, at) {
+                    at = next;
+                    replayed_records += 1;
+                    services.insert(rec.service.clone());
+                    apply(inner.as_ref(), &rec);
+                }
+            }
+            // Then the live log on top.
+            let log_path = dir.join(format!("shard-{shard:02}.log"));
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&log_path)?;
+            let mut bytes = Vec::new();
+            file.read_to_end(&mut bytes)?;
+            let mut at = 0;
+            while let Some((rec, next)) = decode_frame(&bytes, at) {
+                at = next;
+                replayed_records += 1;
+                services.insert(rec.service.clone());
+                apply(inner.as_ref(), &rec);
+            }
+            // Make the valid prefix authoritative: drop any torn tail
+            // so future appends extend a clean log.
+            if at as u64 != bytes.len() as u64 {
+                file.set_len(at as u64)?;
+            }
+            file.seek(SeekFrom::Start(at as u64))?;
+            logs.push(Mutex::new(ShardLog {
+                file,
+                len: at as u64,
+                dirty: 0,
+            }));
+        }
+        if let Some(registry) = registry {
+            registry.counter("recovery.records").add(replayed_records);
+            let restored: u64 = services.iter().map(|s| inner.list(s).len() as u64).sum();
+            registry.counter("recovery.resources").add(restored);
+        }
+        let logs: [Mutex<ShardLog>; SHARDS] = logs
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("SHARDS log files"));
+        Ok(DurableStore {
+            inner,
+            dir,
+            logs,
+            services: RwLock::new(services),
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            metrics: registry
+                .map(WalMetrics::from)
+                .unwrap_or_else(WalMetrics::noop),
+        })
+    }
+
+    /// Set the per-shard mutation count between automatic snapshots.
+    pub fn snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every.max(1);
+        self
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &Arc<dyn ResourceStore> {
+        &self.inner
+    }
+
+    /// Directory holding the shard logs and snapshots.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Total bytes across the live shard logs (the log-overhead
+    /// number E7 reports).
+    pub fn log_bytes(&self) -> u64 {
+        self.logs.iter().map(|l| l.lock().len).sum()
+    }
+
+    /// Force a snapshot + log truncation of every shard.
+    pub fn snapshot_all(&self) -> std::io::Result<()> {
+        for shard in 0..SHARDS {
+            let mut log = self.logs[shard].lock();
+            self.snapshot_shard(shard, &mut log)?;
+        }
+        Ok(())
+    }
+
+    fn serialize(doc: &PropertyDoc) -> String {
+        doc.to_document(doc_root()).to_xml()
+    }
+
+    /// Append one committed mutation to the shard's log; the caller
+    /// holds the shard lock and has already applied the op to `inner`.
+    fn append(
+        &self,
+        log: &mut ShardLog,
+        shard: usize,
+        op: u8,
+        service: &str,
+        key: &str,
+        doc_xml: &str,
+    ) {
+        let frame = encode_frame(op, service, key, doc_xml);
+        // Log I/O failures must not desynchronize the in-memory store;
+        // a testbed shard log that cannot be written degrades to
+        // in-memory semantics for the ops it missed.
+        if log.file.write_all(&frame).is_ok() {
+            log.len += frame.len() as u64;
+            log.dirty += 1;
+            self.metrics.appends.inc();
+            self.metrics.bytes.add(frame.len() as u64);
+            if log.dirty >= self.snapshot_every {
+                let _ = self.snapshot_shard(shard, log);
+            }
+        }
+    }
+
+    /// Write this shard's current rows to `shard-NN.snap` (atomically,
+    /// via tmp + rename) and truncate its log.
+    fn snapshot_shard(&self, shard: usize, log: &mut ShardLog) -> std::io::Result<()> {
+        let mut out = Vec::new();
+        let services: Vec<String> = self.services.read().iter().cloned().collect();
+        for service in &services {
+            for key in self.inner.list(service) {
+                if shard_of(service, &key) != shard {
+                    continue;
+                }
+                if let Ok(doc) = self.inner.load(service, &key) {
+                    out.extend_from_slice(&encode_frame(
+                        OP_CREATE,
+                        service,
+                        &key,
+                        &Self::serialize(&doc),
+                    ));
+                }
+            }
+        }
+        let snap = self.dir.join(format!("shard-{shard:02}.snap"));
+        let tmp = self.dir.join(format!("shard-{shard:02}.snap.tmp"));
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, &snap)?;
+        log.file.set_len(0)?;
+        log.file.seek(SeekFrom::Start(0))?;
+        log.len = 0;
+        log.dirty = 0;
+        self.metrics.snapshots.inc();
+        Ok(())
+    }
+
+    fn note_service(&self, service: &str) {
+        if !self.services.read().contains(service) {
+            self.services.write().insert(service.to_string());
+        }
+    }
+}
+
+/// Apply one replayed record to the inner store. Last-writer-wins and
+/// tolerant of re-application (a crash between snapshot rename and log
+/// truncation replays pre-snapshot frames over the snapshot).
+fn apply(inner: &dyn ResourceStore, rec: &Record) {
+    match rec.op {
+        OP_CREATE | OP_SAVE => {
+            let Ok(parsed) = wsrf_xml::parse(&rec.doc_xml) else {
+                return;
+            };
+            let doc = PropertyDoc::from_document(&parsed);
+            if inner.save(&rec.service, &rec.key, &doc).is_err() {
+                let _ = inner.create(&rec.service, &rec.key, &doc);
+            }
+        }
+        OP_DESTROY => {
+            let _ = inner.destroy(&rec.service, &rec.key);
+        }
+        _ => {}
+    }
+}
+
+impl ResourceStore for DurableStore {
+    fn create(&self, service: &str, key: &str, doc: &PropertyDoc) -> Result<(), StoreError> {
+        let shard = shard_of(service, key);
+        let mut log = self.logs[shard].lock();
+        self.inner.create(service, key, doc)?;
+        self.note_service(service);
+        self.append(
+            &mut log,
+            shard,
+            OP_CREATE,
+            service,
+            key,
+            &Self::serialize(doc),
+        );
+        Ok(())
+    }
+
+    fn load(&self, service: &str, key: &str) -> Result<PropertyDoc, StoreError> {
+        self.inner.load(service, key)
+    }
+
+    fn save(&self, service: &str, key: &str, doc: &PropertyDoc) -> Result<(), StoreError> {
+        let shard = shard_of(service, key);
+        let mut log = self.logs[shard].lock();
+        self.inner.save(service, key, doc)?;
+        self.append(
+            &mut log,
+            shard,
+            OP_SAVE,
+            service,
+            key,
+            &Self::serialize(doc),
+        );
+        Ok(())
+    }
+
+    fn destroy(&self, service: &str, key: &str) -> Result<(), StoreError> {
+        let shard = shard_of(service, key);
+        let mut log = self.logs[shard].lock();
+        self.inner.destroy(service, key)?;
+        self.append(&mut log, shard, OP_DESTROY, service, key, "");
+        Ok(())
+    }
+
+    fn exists(&self, service: &str, key: &str) -> bool {
+        self.inner.exists(service, key)
+    }
+
+    fn list(&self, service: &str) -> Vec<String> {
+        self.inner.list(service)
+    }
+
+    fn query(&self, service: &str, path: &XPath) -> Vec<String> {
+        self.inner.query(service, path)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "durable"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemoryStore;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn q(local: &str) -> QName {
+        QName::new("urn:test", local)
+    }
+
+    fn doc(status: &str) -> PropertyDoc {
+        let mut d = PropertyDoc::new();
+        d.set_text(q("Status"), status);
+        d
+    }
+
+    /// Unique scratch directory; removed on drop.
+    pub(crate) struct TempDir(pub PathBuf);
+
+    impl TempDir {
+        pub(crate) fn new(tag: &str) -> TempDir {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("wsrf-wal-{tag}-{}-{n}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn reopen(dir: &std::path::Path) -> DurableStore {
+        DurableStore::open(dir, Arc::new(MemoryStore::new())).unwrap()
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn state_survives_reopen() {
+        let t = TempDir::new("reopen");
+        {
+            let s = reopen(&t.0);
+            s.create("svc", "a", &doc("Running")).unwrap();
+            s.create("svc", "b", &doc("Running")).unwrap();
+            let mut d = s.load("svc", "a").unwrap();
+            d.set_text(q("Status"), "Exited");
+            s.save("svc", "a", &d).unwrap();
+            s.destroy("svc", "b").unwrap();
+        }
+        let s = reopen(&t.0);
+        assert_eq!(
+            s.load("svc", "a").unwrap().text(&q("Status")).unwrap(),
+            "Exited"
+        );
+        assert!(!s.exists("svc", "b"));
+        assert_eq!(s.list("svc"), ["a"]);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_log_stays_appendable() {
+        let t = TempDir::new("torn");
+        {
+            let s = reopen(&t.0);
+            s.create("svc", "a", &doc("Running")).unwrap();
+        }
+        // Append garbage to every shard log: a torn half-frame.
+        for shard in 0..SHARDS {
+            let p = t.0.join(format!("shard-{shard:02}.log"));
+            let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+            f.write_all(&[0xAB, 0xCD, 0xEF]).unwrap();
+        }
+        {
+            let s = reopen(&t.0);
+            assert!(s.exists("svc", "a"));
+            s.create("svc", "c", &doc("Running")).unwrap();
+        }
+        // The torn bytes were truncated away, so the new record is
+        // visible after another reopen.
+        let s = reopen(&t.0);
+        assert!(s.exists("svc", "a"));
+        assert!(s.exists("svc", "c"));
+    }
+
+    #[test]
+    fn snapshot_truncates_log_and_preserves_state() {
+        let t = TempDir::new("snap");
+        {
+            let s = reopen(&t.0).snapshot_every(4);
+            for i in 0..32 {
+                s.create("svc", &format!("k{i}"), &doc("Running")).unwrap();
+            }
+            let before = s.log_bytes();
+            assert!(before > 0);
+            s.snapshot_all().unwrap();
+            assert_eq!(s.log_bytes(), 0, "snapshot must truncate every log");
+        }
+        let s = reopen(&t.0);
+        assert_eq!(s.list("svc").len(), 32);
+    }
+
+    #[test]
+    fn destroy_before_crash_does_not_resurrect() {
+        let t = TempDir::new("destroy");
+        {
+            let s = reopen(&t.0).snapshot_every(2);
+            s.create("svc", "gone", &doc("Running")).unwrap();
+            s.snapshot_all().unwrap();
+            s.destroy("svc", "gone").unwrap();
+        }
+        let s = reopen(&t.0);
+        assert!(!s.exists("svc", "gone"), "destroyed resource came back");
+    }
+
+    #[test]
+    fn replay_over_unclean_snapshot_converges() {
+        // Simulate a crash between snapshot rename and log truncation:
+        // the log still holds pre-snapshot frames. Replaying them over
+        // the snapshot must converge to the same state.
+        let t = TempDir::new("unclean");
+        let log_copies: Vec<Vec<u8>>;
+        {
+            let s = reopen(&t.0);
+            s.create("svc", "a", &doc("One")).unwrap();
+            s.destroy("svc", "a").unwrap();
+            s.create("svc", "a", &doc("Two")).unwrap();
+            log_copies = (0..SHARDS)
+                .map(|i| std::fs::read(t.0.join(format!("shard-{i:02}.log"))).unwrap())
+                .collect();
+            s.snapshot_all().unwrap();
+        }
+        // Restore the pre-snapshot logs next to the fresh snapshots.
+        for (i, bytes) in log_copies.iter().enumerate() {
+            std::fs::write(t.0.join(format!("shard-{i:02}.log")), bytes).unwrap();
+        }
+        let s = reopen(&t.0);
+        assert_eq!(s.list("svc"), ["a"]);
+        assert_eq!(
+            s.load("svc", "a").unwrap().text(&q("Status")).unwrap(),
+            "Two"
+        );
+    }
+
+    #[test]
+    fn wal_metrics_are_recorded() {
+        let t = TempDir::new("metrics");
+        let reg = MetricsRegistry::enabled();
+        {
+            let s =
+                DurableStore::open_with(&t.0, Arc::new(MemoryStore::new()), Some(&reg)).unwrap();
+            s.create("svc", "a", &doc("Running")).unwrap();
+            s.save("svc", "a", &doc("Exited")).unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("store.wal.appends"), Some(2));
+        assert!(snap.counter("store.wal.bytes").unwrap() > 0);
+
+        let reg2 = MetricsRegistry::enabled();
+        let _s = DurableStore::open_with(&t.0, Arc::new(MemoryStore::new()), Some(&reg2)).unwrap();
+        let snap2 = reg2.snapshot();
+        assert_eq!(snap2.counter("recovery.records"), Some(2));
+        assert_eq!(snap2.counter("recovery.resources"), Some(1));
+    }
+}

@@ -61,13 +61,15 @@ impl NetMetrics {
 /// The simulated network fabric.
 pub struct InProcNetwork {
     clock: Clock,
-    registry: RwLock<HashMap<String, Arc<dyn Endpoint>>>,
+    /// Shared with deferred one-way deliveries, which re-resolve their
+    /// destination at delivery time (see [`InProcNetwork::send_oneway`]).
+    registry: Arc<RwLock<HashMap<String, Arc<dyn Endpoint>>>>,
     /// Cost model: read on every call/oneway, written only when a
     /// test or bench reconfigures the net — hence a RwLock, so
     /// concurrent senders never serialize on it.
     config: RwLock<NetConfig>,
     /// Counters for experiments.
-    pub metrics: NetMetrics,
+    pub metrics: Arc<NetMetrics>,
     /// Registry-backed observability (no-op unless constructed via
     /// [`InProcNetwork::with_metrics`]).
     obs: LinkObs,
@@ -99,9 +101,9 @@ impl InProcNetwork {
     ) -> Arc<Self> {
         Arc::new(InProcNetwork {
             clock,
-            registry: RwLock::new(HashMap::new()),
+            registry: Arc::new(RwLock::new(HashMap::new())),
             config: RwLock::new(config),
-            metrics: NetMetrics::default(),
+            metrics: Arc::new(NetMetrics::default()),
             obs: LinkObs::new(registry, "inproc"),
             obs_modeled: registry.histogram("transport.inproc.modeled_ns"),
             obs_registry: registry.clone(),
@@ -236,19 +238,43 @@ impl InProcNetwork {
         self.record_modeled(to, cost);
         self.metrics.oneways.fetch_add(1, Ordering::Relaxed);
         self.obs.record_oneway(bytes, started);
-        if self.clock.is_manual() {
-            if cost.is_zero() {
-                ep.handle(env);
-            } else {
-                self.clock.schedule(cost, move |_| {
+        if self.clock.is_manual() && cost.is_zero() {
+            ep.handle(env);
+            return Ok(());
+        }
+        // Deferred delivery late-binds the destination: the endpoint
+        // is re-resolved when the message "arrives", not captured at
+        // send time. A container that unregistered (crashed) in the
+        // meantime drops the message (`undeliverable`); one that
+        // re-registered (restarted, or a standby taking over the
+        // address) receives it — exactly the wire semantics a real
+        // network would give a rebound listener.
+        drop(ep);
+        let addr = if is_normalized(to) {
+            to.to_string()
+        } else {
+            normalize(to)
+        };
+        let registry = self.registry.clone();
+        let metrics = self.metrics.clone();
+        let deliver = move || {
+            let found = registry.read().get(&addr).cloned();
+            match found {
+                Some(ep) => {
                     ep.handle(env);
-                });
+                }
+                None => {
+                    metrics.undeliverable.fetch_add(1, Ordering::Relaxed);
+                }
             }
+        };
+        if self.clock.is_manual() {
+            self.clock.schedule(cost, move |_| deliver());
         } else {
             let clock = self.clock.clone();
             self.pool.execute(move || {
                 clock.sleep(cost);
-                ep.handle(env);
+                deliver();
             });
         }
         Ok(())
@@ -397,6 +423,60 @@ mod tests {
         assert_eq!(hits.load(Ordering::SeqCst), 0, "not yet delivered");
         clock.advance(Duration::from_millis(10));
         assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scheduled_oneway_delivers_to_rebound_endpoint_not_stale_one() {
+        // A container that restarts between a message being "on the
+        // wire" and arriving must receive it at its new endpoint; a
+        // vanished one must count as undeliverable, not deliver to the
+        // stale registration.
+        use std::sync::atomic::AtomicUsize;
+        let clock = Clock::manual();
+        let cfg = NetConfig {
+            default: crate::netsim::LinkProfile {
+                latency: Duration::from_millis(10),
+                bandwidth_bps: u64::MAX,
+                overhead_bytes: 0,
+                inflation: 1.0,
+            },
+            ..NetConfig::default()
+        };
+        let net = InProcNetwork::with_config(clock.clone(), cfg);
+        let old_hits = Arc::new(AtomicUsize::new(0));
+        let new_hits = Arc::new(AtomicUsize::new(0));
+        let (o, n) = (old_hits.clone(), new_hits.clone());
+        net.register(
+            "inproc://m1/Sink",
+            Arc::new(FnEndpoint::new("old", move |_| {
+                o.fetch_add(1, Ordering::SeqCst);
+                None
+            })),
+        );
+        // In flight, then the container restarts (unregister + register).
+        net.send_oneway("inproc://m1/Sink", ping()).unwrap();
+        net.unregister("inproc://m1/Sink");
+        net.register(
+            "inproc://m1/Sink",
+            Arc::new(FnEndpoint::new("new", move |_| {
+                n.fetch_add(1, Ordering::SeqCst);
+                None
+            })),
+        );
+        clock.advance(Duration::from_millis(10));
+        assert_eq!(old_hits.load(Ordering::SeqCst), 0, "stale endpoint hit");
+        assert_eq!(
+            new_hits.load(Ordering::SeqCst),
+            1,
+            "rebound endpoint missed"
+        );
+
+        // In flight with no one rebinding: dropped and counted.
+        net.send_oneway("inproc://m1/Sink", ping()).unwrap();
+        net.unregister("inproc://m1/Sink");
+        clock.advance(Duration::from_millis(10));
+        assert_eq!(new_hits.load(Ordering::SeqCst), 1);
+        assert_eq!(net.metrics.undeliverable.load(Ordering::SeqCst), 1);
     }
 
     #[test]

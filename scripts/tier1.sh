@@ -30,6 +30,14 @@ echo "== cargo test -q --release --offline wirepath"
 cargo test -q --release --offline --test wirepath
 cargo test -q --release --offline --test wirepath_renders
 
+echo "== cargo test -q --release --offline durability + failover_chaos"
+# The durability suite replays proptest-corrupted WALs and the chaos
+# suite kills the primary scheduler at every Figure 3 step; release
+# mode keeps the 48-case corruption sweep and the ten kill-point
+# recovery cycles fast.
+cargo test -q --release --offline --test durability
+cargo test -q --release --offline --test failover_chaos
+
 echo "== metrics + tracing regression gate"
 # The metrics-only harness run boots the dump grid with tracing enabled
 # (the tracing ablation configuration), so BENCH_metrics.json carries

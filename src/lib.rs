@@ -62,8 +62,9 @@ pub mod prelude {
     pub use uvacg::{
         CampusGrid, Client, FastestAvailable, FileRef, GridConfig, JobSetHandle, JobSetOutcome,
         JobSetSpec, JobSpec, LeastLoaded, MachineOutcome, MetricsFeedback, NodeSnapshot,
-        OutcomeKind, PenaltyRow, Random, RoundRobin, SchedulingPolicy,
+        OutcomeKind, PenaltyRow, Random, RoundRobin, Scheduler, SchedulingPolicy, Standby,
     };
+    pub use wsrf_core::DurableStore;
     pub use wsrf_obs::{
         MetricsRegistry, MetricsSnapshot, ObsConfig, TraceConfig, TraceSnapshot, Tracer,
     };
