@@ -1,4 +1,4 @@
-//! Regenerates every EXPERIMENTS.md table (E1–E11).
+//! Regenerates every EXPERIMENTS.md table (E1–E11, E13).
 //!
 //! ```text
 //! cargo run -p bench --bin harness --release
@@ -26,7 +26,9 @@ use uvacg::{
     CampusGrid, FastestAvailable, GridConfig, LeastLoaded, MetricsFeedback, Random, RoundRobin,
     SchedulingPolicy,
 };
-use ws_notification::broker::{notification_broker, publish, subscribe};
+use ws_notification::broker::{
+    notification_broker, notification_broker_with, publish, subscribe, BrokerConfig,
+};
 use ws_notification::consumer::NotificationListener;
 use ws_notification::message::NotificationMessage;
 use ws_notification::producer::NotificationProducer;
@@ -990,6 +992,174 @@ fn e11_wirepath() {
     );
 }
 
+/// Splitmix-style PRNG for the Poisson arrival schedule — deterministic
+/// and dependency-free.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn fmt_lat(d: Duration) -> String {
+    if d < Duration::from_millis(1) {
+        format!("{:.1} µs", d.as_secs_f64() * 1e6)
+    } else if d < Duration::from_secs(1) {
+        format!("{:.2} ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.2} s", d.as_secs_f64())
+    }
+}
+
+/// One E13 arm: `n_subs` subscriptions spread over `n_subs/100` topic
+/// roots, driven open-loop with Poisson arrivals at `lambda`/s.
+/// Latency is measured against each publish's *scheduled* arrival, so
+/// a fan-out path slower than the arrival rate shows its queueing
+/// backlog instead of hiding it (closed-loop timing would slow the
+/// generator down to match).
+fn e13_arm(
+    n_subs: usize,
+    sharded: bool,
+    publishes: usize,
+    lambda: f64,
+) -> (f64, Duration, Duration, Duration) {
+    let clock = Clock::manual();
+    let net = InProcNetwork::new(clock.clone());
+    let config = if sharded {
+        BrokerConfig::default()
+    } else {
+        BrokerConfig::rescan()
+    };
+    let broker = notification_broker_with(
+        "Broker",
+        "inproc://hub/Broker",
+        Arc::new(MemoryStore::new()),
+        clock,
+        net.clone(),
+        config,
+    );
+    broker.register(&net);
+    let bepr = broker.core().service_epr();
+    let roots = (n_subs / 100).max(1);
+    // Counting listeners: O(1) memory per consumer no matter how many
+    // deliveries land.
+    let listeners: Vec<NotificationListener> = (0..n_subs)
+        .map(|i| {
+            let l = NotificationListener::register_counting(&net, &format!("inproc://c{i}/l"));
+            subscribe(
+                &net,
+                &bepr,
+                &l.epr(),
+                &TopicExpression::full(&format!("r{}//", i % roots)),
+                None,
+            )
+            .unwrap();
+            l
+        })
+        .collect();
+
+    let mut rng = SplitMix(0xE13 ^ n_subs as u64 ^ ((sharded as u64) << 32));
+    let mut sched = 0.0f64;
+    let mut lats: Vec<Duration> = Vec::with_capacity(publishes);
+    let t0 = Instant::now();
+    for i in 0..publishes {
+        // Exponential interarrival → Poisson process.
+        sched += -(1.0 - rng.next_f64()).ln() / lambda;
+        let target = Duration::from_secs_f64(sched);
+        loop {
+            let now = t0.elapsed();
+            if now >= target {
+                break;
+            }
+            let gap = target - now;
+            if gap > Duration::from_micros(200) {
+                std::thread::sleep(gap - Duration::from_micros(100));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let topic = format!("r{}/evt", i % roots);
+        let msg = NotificationMessage::new(topic.as_str(), Element::local("E"));
+        publish(&net, &bepr, &msg).unwrap();
+        lats.push(t0.elapsed().saturating_sub(target));
+    }
+    let wall = t0.elapsed();
+    let delivered: usize = listeners.iter().map(|l| l.total()).sum();
+    lats.sort();
+    let p = |q: f64| lats[((lats.len() - 1) as f64 * q) as usize];
+    (
+        delivered as f64 / wall.as_secs_f64(),
+        p(0.5),
+        p(0.99),
+        p(0.999),
+    )
+}
+
+/// E13 — open-loop broker load: sharded index vs legacy store rescan.
+/// `smoke` runs the 1k-subscription row only (tier-1 CI).
+fn e13_broker_openloop(smoke: bool) {
+    const LAMBDA: f64 = 500.0; // publishes/s, 2 ms mean interarrival
+    let scales: &[usize] = if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let mut rows = Vec::new();
+    for &n in scales {
+        for sharded in [false, true] {
+            // The rescan arm's per-publish cost grows with n; fewer
+            // publishes keep its (deliberately pathological) backlog
+            // measurable in bounded wall time.
+            let publishes = match (sharded, n) {
+                (true, _) => {
+                    if smoke {
+                        300
+                    } else {
+                        1_000
+                    }
+                }
+                (false, 1_000) => {
+                    if smoke {
+                        300
+                    } else {
+                        1_000
+                    }
+                }
+                (false, 10_000) => 200,
+                (false, _) => 40,
+            };
+            let (thru, p50, p99, p999) = e13_arm(n, sharded, publishes, LAMBDA);
+            rows.push(vec![
+                n.to_string(),
+                if sharded { "sharded" } else { "rescan" }.into(),
+                publishes.to_string(),
+                format!("{thru:.0}/s"),
+                fmt_lat(p50),
+                fmt_lat(p99),
+                fmt_lat(p999),
+            ]);
+        }
+    }
+    print_table(
+        "E13 — open-loop broker fan-out (Poisson arrivals, 500 publishes/s, ~100 subscriptions per topic root)",
+        &[
+            "subscriptions",
+            "path",
+            "publishes",
+            "deliveries",
+            "p50",
+            "p99",
+            "p999",
+        ],
+        &rows,
+    );
+}
+
 fn metrics_dump() {
     // Full-pipeline observability: run one job set on a metrics-enabled
     // grid (GridConfig observes by default) and dump the whole registry
@@ -1057,6 +1227,17 @@ fn main() {
         metrics_dump();
         return;
     }
+    // `--e13-smoke` runs the 1k-subscription open-loop broker row only;
+    // tier-1 uses it as a fast sanity check of both fan-out paths.
+    if std::env::args().any(|a| a == "--e13-smoke") {
+        e13_broker_openloop(true);
+        return;
+    }
+    // `--e13-full` runs the whole 1k/10k/100k sweep standalone.
+    if std::env::args().any(|a| a == "--e13-full") {
+        e13_broker_openloop(false);
+        return;
+    }
     println!("# UVaCG reproduction — experiment harness");
     println!("(scaled-down medians; `cargo bench` runs the full Criterion suite)");
     e1_dispatch();
@@ -1071,6 +1252,7 @@ fn main() {
     e9_security();
     e10_contention();
     e11_wirepath();
+    e13_broker_openloop(false);
     metrics_dump();
     println!("\ndone.");
 }

@@ -10,20 +10,51 @@
 //! expression, paused flag) is visible through the standard
 //! WS-ResourceProperties port types — one of the nicest illustrations
 //! of the paper's "everything is a WS-Resource" theme.
+//!
+//! # The sharded fan-out path
+//!
+//! The store stays the source of truth for subscription state, but
+//! `Notify` no longer rescans it: a [`SubscriptionIndex`] keeps
+//! compiled entries (parsed [`TopicExpression`] + consumer EPR +
+//! paused flag) bucketed by the expression's concrete root prefix
+//! across hash shards, with a catch-all bucket for wildcard-first
+//! expressions (`//exit`). The index is a write-through cache: every
+//! mutation of the broker's resource table — `Subscribe`,
+//! `Pause`/`Resume`, WSRL `Destroy`/`SetTerminationTime`, lease-expiry
+//! timers, even `SetResourceProperties` — funnels through the
+//! [`ResourceStore`] decorator that owns the invalidation, so no code
+//! path can strand a stale entry.
+//!
+//! Delivery is inline (synchronous, subscription-ordered) on manual
+//! clocks — the deterministic test network depends on that — and
+//! batched through per-consumer queues drained by a small worker pool
+//! on scaled/realtime clocks, so one slow consumer occupies one worker
+//! instead of serializing the whole fan-out. Duplicate notifications
+//! to the same consumer (overlapping subscriptions) are coalesced.
+//! Transport failures are counted, reported in `NotifyResponse`, and
+//! auto-pause a subscription after a configurable streak.
 
-use std::sync::Arc;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
 
+use parking_lot::{Mutex, RwLock};
 use simclock::{Clock, SimTime};
 use wsrf_core::container::{action_uri, Ctx, OpKind, Service, ServiceBuilder};
 use wsrf_core::faults;
 use wsrf_core::properties::PropertyDoc;
-use wsrf_core::store::ResourceStore;
-use wsrf_soap::{ns, BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault};
+use wsrf_core::store::{ResourceStore, StoreError};
+use wsrf_obs::{Counter, CounterFamily, Gauge};
+use wsrf_soap::{ns, BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault, TraceContext};
+use wsrf_transport::pool::ThreadPool;
 use wsrf_transport::{InProcNetwork, TransportError};
+use wsrf_xml::xpath::Path;
 use wsrf_xml::{Element, QName};
 
 use crate::message::{notify_action, NotificationMessage};
-use crate::topics::{Dialect, TopicExpression};
+use crate::topics::{Dialect, TopicExpression, TopicPath};
 
 /// Property names of a subscription resource.
 fn p_consumer() -> QName {
@@ -36,7 +67,494 @@ fn p_paused() -> QName {
     QName::new(ns::WSNT, "Paused")
 }
 
-/// Build the Notification Broker service.
+/// Tunables of the broker fan-out path.
+#[derive(Clone)]
+pub struct BrokerConfig {
+    /// Match publishes against the sharded subscription index
+    /// (default). `false` keeps the legacy rescan path — `store.list`
+    /// + `store.load` + re-parse of every subscription per publish —
+    /// as the A/B arm of the E13 open-loop experiment.
+    pub sharded: bool,
+    /// Worker threads draining per-consumer delivery queues on
+    /// non-manual clocks (manual-clock delivery stays inline).
+    pub delivery_workers: usize,
+    /// Consecutive transport failures after which a subscription is
+    /// auto-paused (visible through its `Paused` resource property).
+    pub autopause_after: u32,
+    /// Maximum concrete topics retained by the `GetCurrentMessage`
+    /// cache.
+    pub current_cache_cap: usize,
+    /// Maximum distinct topic *roots* minting their own
+    /// `broker.topic.<root>.*` counter pair; the rest share
+    /// `broker.topic.other.*`.
+    pub topic_root_cap: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            sharded: true,
+            delivery_workers: 4,
+            autopause_after: 3,
+            current_cache_cap: 512,
+            topic_root_cap: 64,
+        }
+    }
+}
+
+impl BrokerConfig {
+    /// The legacy store-rescan fan-out (benchmark comparison arm).
+    pub fn rescan() -> Self {
+        BrokerConfig {
+            sharded: false,
+            ..BrokerConfig::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded subscription index
+// ---------------------------------------------------------------------
+
+const INDEX_SHARDS: usize = 16;
+
+fn shard_of(root: &str) -> usize {
+    let mut h = DefaultHasher::new();
+    root.hash(&mut h);
+    (h.finish() as usize) % INDEX_SHARDS
+}
+
+/// One subscription, compiled once at write time instead of re-parsed
+/// on every publish.
+struct CompiledSub {
+    key: String,
+    expr: TopicExpression,
+    consumer: EndpointReference,
+    paused: AtomicBool,
+    /// Set when the entry leaves the index (destroy, lease expiry,
+    /// recompile); an in-flight fan-out that already snapshotted this
+    /// entry re-checks the flag at send time so a destroyed
+    /// subscription cannot deliver after `Destroy` acknowledged.
+    dead: AtomicBool,
+    consecutive_failures: AtomicU32,
+}
+
+impl CompiledSub {
+    fn compile(key: &str, doc: &PropertyDoc) -> Option<CompiledSub> {
+        let expr_el = doc.get(&p_expression()).first()?;
+        let dialect = expr_el.attr_value("Dialect").and_then(Dialect::from_uri)?;
+        let expr = TopicExpression::parse(dialect, &expr_el.text_content());
+        let consumer = EndpointReference::from_element(doc.get(&p_consumer()).first()?).ok()?;
+        Some(CompiledSub {
+            key: key.to_string(),
+            expr,
+            consumer,
+            paused: AtomicBool::new(doc.text(&p_paused()).as_deref() == Some("true")),
+            dead: AtomicBool::new(false),
+            consecutive_failures: AtomicU32::new(0),
+        })
+    }
+
+    fn live(&self) -> bool {
+        !self.dead.load(Ordering::Acquire) && !self.paused.load(Ordering::Acquire)
+    }
+}
+
+/// Write-through cache of compiled subscriptions, bucketed by the
+/// expression's concrete root prefix. `notify_op` touches exactly one
+/// shard bucket (plus the wildcard bucket) per message instead of the
+/// whole resource table.
+struct SubscriptionIndex {
+    /// root → entries, spread over hash shards for lock granularity.
+    shards: Vec<RwLock<HashMap<String, Vec<Arc<CompiledSub>>>>>,
+    /// Expressions with no concrete first segment (`//exit`, `*/x`)
+    /// can match any root; scanned on every publish.
+    wildcard: RwLock<Vec<Arc<CompiledSub>>>,
+    /// Control-plane lookup for invalidation; never touched by
+    /// `notify_op`.
+    by_key: RwLock<HashMap<String, Arc<CompiledSub>>>,
+    size: Gauge,
+}
+
+impl SubscriptionIndex {
+    fn new(size: Gauge) -> SubscriptionIndex {
+        SubscriptionIndex {
+            shards: (0..INDEX_SHARDS).map(|_| RwLock::default()).collect(),
+            wildcard: RwLock::default(),
+            by_key: RwLock::default(),
+            size,
+        }
+    }
+
+    /// Reflect a created or saved subscription document. Pause/resume
+    /// saves update the compiled entry in place; a changed expression
+    /// or consumer recompiles and re-buckets it.
+    fn upsert(&self, key: &str, doc: &PropertyDoc) {
+        let Some(fresh) = CompiledSub::compile(key, doc) else {
+            // The doc no longer parses as a subscription; drop any
+            // stale entry rather than match on garbage.
+            self.remove(key);
+            return;
+        };
+        let mut by_key = self.by_key.write();
+        match by_key.get(key) {
+            Some(existing)
+                if existing.expr == fresh.expr
+                    && existing.consumer.address == fresh.consumer.address =>
+            {
+                let paused = fresh.paused.load(Ordering::Relaxed);
+                existing.paused.store(paused, Ordering::Release);
+                if !paused {
+                    // A resume forgives the failure streak.
+                    existing.consecutive_failures.store(0, Ordering::Relaxed);
+                }
+                return;
+            }
+            Some(_) => {
+                let old = by_key.remove(key).unwrap();
+                old.dead.store(true, Ordering::Release);
+                self.evict_from_bucket(&old);
+            }
+            None => {}
+        }
+        let sub = Arc::new(fresh);
+        match sub.expr.concrete_root() {
+            Some(root) => self.shards[shard_of(root)]
+                .write()
+                .entry(root.to_string())
+                .or_default()
+                .push(sub.clone()),
+            None => self.wildcard.write().push(sub.clone()),
+        }
+        by_key.insert(key.to_string(), sub);
+        self.size.set(by_key.len() as i64);
+    }
+
+    /// Reflect a destroyed subscription (WSRL `Destroy`, lease expiry).
+    fn remove(&self, key: &str) {
+        let mut by_key = self.by_key.write();
+        if let Some(old) = by_key.remove(key) {
+            old.dead.store(true, Ordering::Release);
+            self.evict_from_bucket(&old);
+            self.size.set(by_key.len() as i64);
+        }
+    }
+
+    fn evict_from_bucket(&self, sub: &Arc<CompiledSub>) {
+        match sub.expr.concrete_root() {
+            Some(root) => {
+                let mut shard = self.shards[shard_of(root)].write();
+                if let Some(bucket) = shard.get_mut(root) {
+                    bucket.retain(|s| !Arc::ptr_eq(s, sub));
+                    if bucket.is_empty() {
+                        shard.remove(root);
+                    }
+                }
+            }
+            None => self.wildcard.write().retain(|s| !Arc::ptr_eq(s, sub)),
+        }
+    }
+
+    /// Live, unpaused entries whose expression matches `topic`: the
+    /// topic root's bucket plus the wildcard bucket — never the full
+    /// table.
+    fn matching(&self, topic: &TopicPath) -> Vec<Arc<CompiledSub>> {
+        let mut out = Vec::new();
+        let root = topic.root();
+        {
+            let shard = self.shards[shard_of(root)].read();
+            if let Some(bucket) = shard.get(root) {
+                out.extend(
+                    bucket
+                        .iter()
+                        .filter(|s| s.live() && s.expr.matches(topic))
+                        .cloned(),
+                );
+            }
+        }
+        out.extend(
+            self.wildcard
+                .read()
+                .iter()
+                .filter(|s| s.live() && s.expr.matches(topic))
+                .cloned(),
+        );
+        out
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.by_key.read().len()
+    }
+}
+
+/// [`ResourceStore`] decorator owning index invalidation. Wrapping the
+/// store (rather than hooking individual operations) catches *every*
+/// mutation path: the Subscribe handler, the standard WSRL lifetime
+/// ops, lease-expiry timers firing `store.destroy` directly from the
+/// clock, and WSRP `SetResourceProperties` edits.
+struct IndexingStore {
+    inner: Arc<dyn ResourceStore>,
+    /// The broker's service/table name; other tables on a shared store
+    /// pass through untouched.
+    service: String,
+    index: Arc<SubscriptionIndex>,
+}
+
+impl ResourceStore for IndexingStore {
+    fn create(&self, service: &str, key: &str, doc: &PropertyDoc) -> Result<(), StoreError> {
+        self.inner.create(service, key, doc)?;
+        if service == self.service {
+            self.index.upsert(key, doc);
+        }
+        Ok(())
+    }
+
+    fn load(&self, service: &str, key: &str) -> Result<PropertyDoc, StoreError> {
+        self.inner.load(service, key)
+    }
+
+    fn save(&self, service: &str, key: &str, doc: &PropertyDoc) -> Result<(), StoreError> {
+        self.inner.save(service, key, doc)?;
+        if service == self.service {
+            self.index.upsert(key, doc);
+        }
+        Ok(())
+    }
+
+    fn destroy(&self, service: &str, key: &str) -> Result<(), StoreError> {
+        let result = self.inner.destroy(service, key);
+        if service == self.service
+            && (result.is_ok() || matches!(result, Err(StoreError::NotFound(_))))
+        {
+            self.index.remove(key);
+        }
+        result
+    }
+
+    fn exists(&self, service: &str, key: &str) -> bool {
+        self.inner.exists(service, key)
+    }
+
+    fn list(&self, service: &str) -> Vec<String> {
+        self.inner.list(service)
+    }
+
+    fn query(&self, service: &str, path: &Path) -> Vec<String> {
+        self.inner.query(service, path)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded GetCurrentMessage cache
+// ---------------------------------------------------------------------
+
+/// Two-generation (segmented-LRU) cache of the last message per
+/// concrete topic. Inserts land in `hot`; when `hot` fills half the
+/// cap, it becomes `cold` and a fresh generation starts, so topics not
+/// re-published (or re-read) within a generation age out. Total size
+/// is bounded by `cap` with O(1) operations — no per-publish eviction
+/// scan.
+struct CurrentCache {
+    cap: usize,
+    hot: HashMap<String, NotificationMessage>,
+    cold: HashMap<String, NotificationMessage>,
+}
+
+impl CurrentCache {
+    fn new(cap: usize) -> CurrentCache {
+        CurrentCache {
+            cap: cap.max(2),
+            hot: HashMap::new(),
+            cold: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, topic: String, msg: NotificationMessage) {
+        self.cold.remove(&topic);
+        self.hot.insert(topic, msg);
+        if self.hot.len() >= (self.cap / 2).max(1) {
+            self.cold = std::mem::take(&mut self.hot);
+        }
+    }
+
+    fn get(&mut self, topic: &str) -> Option<&NotificationMessage> {
+        if !self.hot.contains_key(topic) {
+            if let Some(m) = self.cold.remove(topic) {
+                self.hot.insert(topic.to_string(), m);
+            }
+        }
+        self.hot.get(topic)
+    }
+
+    fn len(&self) -> usize {
+        self.hot.len() + self.cold.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Delivery fabric
+// ---------------------------------------------------------------------
+
+/// How many queued deliveries a worker takes per queue visit.
+const DRAIN_BATCH: usize = 64;
+
+struct Delivery {
+    sub: Arc<CompiledSub>,
+    msg: Arc<NotificationMessage>,
+    trace: Option<TraceContext>,
+}
+
+struct ConsumerQueue {
+    q: VecDeque<Delivery>,
+    /// True while a pool worker owns this queue; guarantees per-consumer
+    /// FIFO with at most one drainer.
+    draining: bool,
+}
+
+enum SendOutcome {
+    Delivered,
+    Failed,
+    Skipped,
+}
+
+/// Owns the actual sends: failure accounting, auto-pause, and (on
+/// non-manual clocks) the per-consumer batched queues drained by a
+/// small worker pool.
+struct DeliveryFabric {
+    net: Arc<InProcNetwork>,
+    /// The broker's (indexing) store — auto-pause writes through it so
+    /// the `Paused` RP and the compiled entry stay in sync.
+    store: Arc<dyn ResourceStore>,
+    service: String,
+    autopause_after: u32,
+    failures: Counter,
+    autopaused: Counter,
+    workers: usize,
+    pool: OnceLock<ThreadPool>,
+    queues: Mutex<HashMap<String, Arc<Mutex<ConsumerQueue>>>>,
+}
+
+impl DeliveryFabric {
+    fn send_now(
+        &self,
+        sub: &CompiledSub,
+        msg: &NotificationMessage,
+        trace: Option<TraceContext>,
+    ) -> SendOutcome {
+        if !sub.live() {
+            return SendOutcome::Skipped;
+        }
+        // Forward preserving the original producer reference.
+        let mut env = msg.to_envelope(&sub.consumer);
+        if let Some(tc) = &trace {
+            tc.stamp(&mut env);
+        }
+        match self.net.send_oneway(&sub.consumer.address, env) {
+            Ok(()) => {
+                sub.consecutive_failures.store(0, Ordering::Relaxed);
+                SendOutcome::Delivered
+            }
+            Err(_) => {
+                self.failures.inc();
+                let streak = sub.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+                if streak >= self.autopause_after {
+                    self.autopause(sub);
+                }
+                SendOutcome::Failed
+            }
+        }
+    }
+
+    /// Pause a subscription whose consumer keeps failing. Written
+    /// through the store so the `Paused` resource property reflects it
+    /// (and, via the indexing decorator, the compiled entry too).
+    fn autopause(&self, sub: &CompiledSub) {
+        if sub.paused.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.autopaused.inc();
+        if let Ok(mut doc) = self.store.load(&self.service, &sub.key) {
+            doc.set_text(p_paused(), "true");
+            let _ = self.store.save(&self.service, &sub.key, &doc);
+        }
+    }
+
+    fn pool(&self) -> &ThreadPool {
+        let workers = self.workers;
+        self.pool
+            .get_or_init(|| ThreadPool::new(workers, "broker-delivery"))
+    }
+
+    fn enqueue(self: &Arc<Self>, delivery: Delivery) {
+        let addr = delivery.sub.consumer.address.clone();
+        let queue = self
+            .queues
+            .lock()
+            .entry(addr)
+            .or_insert_with(|| {
+                Arc::new(Mutex::new(ConsumerQueue {
+                    q: VecDeque::new(),
+                    draining: false,
+                }))
+            })
+            .clone();
+        let start_drain = {
+            let mut q = queue.lock();
+            q.q.push_back(delivery);
+            if q.draining {
+                false
+            } else {
+                q.draining = true;
+                true
+            }
+        };
+        if start_drain {
+            let fabric = self.clone();
+            self.pool().execute(move || fabric.drain(&queue));
+        }
+    }
+
+    /// Drain one consumer's queue in batches. A slow consumer pins one
+    /// worker; every other consumer keeps flowing on the rest of the
+    /// pool.
+    fn drain(&self, queue: &Arc<Mutex<ConsumerQueue>>) {
+        loop {
+            let batch: Vec<Delivery> = {
+                let mut q = queue.lock();
+                if q.q.is_empty() {
+                    q.draining = false;
+                    return;
+                }
+                let n = q.q.len().min(DRAIN_BATCH);
+                q.q.drain(..n).collect()
+            };
+            for d in batch {
+                let _ = self.send_now(&d.sub, &d.msg, d.trace);
+            }
+        }
+    }
+}
+
+/// Everything the broker's operation closures share.
+struct BrokerState {
+    /// `Some` on the sharded path, `None` on the legacy rescan arm.
+    index: Option<Arc<SubscriptionIndex>>,
+    fabric: Arc<DeliveryFabric>,
+    current: Mutex<CurrentCache>,
+    cache_size: Gauge,
+    publishes: Counter,
+    deliveries: Counter,
+    coalesced: Counter,
+    topic_publishes: CounterFamily,
+    topic_deliveries: CounterFamily,
+}
+
+/// Build the Notification Broker service with default tunables.
 ///
 /// * `Subscribe` (WSNT action) — create a subscription resource.
 /// * `Notify` (WSNT action, one-way) — fan a notification out to every
@@ -50,17 +568,78 @@ pub fn notification_broker(
     clock: Clock,
     net: Arc<InProcNetwork>,
 ) -> Arc<Service> {
-    // WS-BaseNotification GetCurrentMessage: the last message seen on
-    // each concrete topic, so late subscribers can catch up.
-    let current: Arc<parking_lot::Mutex<std::collections::HashMap<String, NotificationMessage>>> =
-        Arc::new(parking_lot::Mutex::new(std::collections::HashMap::new()));
-    let current_notify = current.clone();
-    let current_get = current.clone();
-    ServiceBuilder::new(name, address, store)
+    notification_broker_with(name, address, store, clock, net, BrokerConfig::default())
+}
+
+/// [`notification_broker`] with explicit [`BrokerConfig`] tunables.
+pub fn notification_broker_with(
+    name: &str,
+    address: &str,
+    store: Arc<dyn ResourceStore>,
+    clock: Clock,
+    net: Arc<InProcNetwork>,
+    config: BrokerConfig,
+) -> Arc<Service> {
+    let registry = net.metrics_registry().clone();
+    let index = config.sharded.then(|| {
+        Arc::new(SubscriptionIndex::new(
+            registry.gauge("broker.index.subscriptions"),
+        ))
+    });
+    let effective_store: Arc<dyn ResourceStore> = match &index {
+        Some(ix) => Arc::new(IndexingStore {
+            inner: store,
+            service: name.to_string(),
+            index: ix.clone(),
+        }),
+        None => store,
+    };
+    // A durable store may already hold subscriptions from a previous
+    // incarnation; seed the index so they match immediately.
+    if let Some(ix) = &index {
+        for key in effective_store.list(name) {
+            if let Ok(doc) = effective_store.load(name, &key) {
+                ix.upsert(&key, &doc);
+            }
+        }
+    }
+    let fabric = Arc::new(DeliveryFabric {
+        net: net.clone(),
+        store: effective_store.clone(),
+        service: name.to_string(),
+        autopause_after: config.autopause_after.max(1),
+        failures: registry.counter("broker.delivery_failures"),
+        autopaused: registry.counter("broker.autopaused"),
+        workers: config.delivery_workers.max(1),
+        pool: OnceLock::new(),
+        queues: Mutex::new(HashMap::new()),
+    });
+    let state = Arc::new(BrokerState {
+        index,
+        fabric,
+        current: Mutex::new(CurrentCache::new(config.current_cache_cap)),
+        cache_size: registry.gauge("broker.current_cache.size"),
+        publishes: registry.counter("broker.publishes"),
+        deliveries: registry.counter("broker.deliveries"),
+        coalesced: registry.counter("broker.coalesced"),
+        topic_publishes: registry.counter_family(
+            "broker.topic",
+            "publishes",
+            config.topic_root_cap,
+        ),
+        topic_deliveries: registry.counter_family(
+            "broker.topic",
+            "deliveries",
+            config.topic_root_cap,
+        ),
+    });
+    let s_notify = state.clone();
+    let s_get = state;
+    ServiceBuilder::new(name, address, effective_store)
         .key_property(format!("{{{}}}SubscriptionKey", ns::WSNT))
         .raw_operation(subscribe_action(), OpKind::Static, subscribe_op)
         .raw_operation(notify_action(), OpKind::Static, move |ctx| {
-            notify_op(ctx, &current_notify)
+            notify_op(ctx, &s_notify)
         })
         .raw_operation(
             format!("{}/GetCurrentMessage", ns::WSNT),
@@ -72,7 +651,7 @@ pub fn notification_broker(
                     .map(|t| t.text_content())
                     .filter(|t| !t.is_empty())
                     .ok_or_else(|| faults::bad_request("GetCurrentMessage requires Topic"))?;
-                match current_get.lock().get(&topic) {
+                match s_get.current.lock().get(&topic) {
                     Some(msg) => {
                         Ok(Element::new(ns::WSNT, "GetCurrentMessageResponse")
                             .child(msg.to_element()))
@@ -133,7 +712,10 @@ fn subscribe_op(ctx: &mut Ctx<'_>) -> Result<Element, BaseFault> {
     doc.set_text(p_paused(), "false");
     let sub_epr = ctx.core.create_resource(doc)?;
 
-    // Optional lease.
+    // Optional lease. `InitialTerminationTime` is a *duration in
+    // seconds from now* (WS-BaseNotification's relative form): a
+    // subscription created at t=100 with a 30-second lease dies at
+    // t=130, not instantly at the long-gone absolute t=30.
     if let Some(itt) = ctx.body.find(ns::WSNT, "InitialTerminationTime") {
         let text = itt.text_content();
         if !text.trim().is_empty() {
@@ -141,9 +723,17 @@ fn subscribe_op(ctx: &mut Ctx<'_>) -> Result<Element, BaseFault> {
                 .trim()
                 .parse()
                 .map_err(|_| faults::bad_request("InitialTerminationTime must be seconds"))?;
-            let key = sub_epr.resource_key().unwrap().to_string();
-            ctx.core
-                .set_termination_time(&key, Some(SimTime::from_secs_f64(secs)));
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(faults::bad_request(
+                    "InitialTerminationTime must be a non-negative number of seconds",
+                ));
+            }
+            let key = sub_epr
+                .resource_key()
+                .ok_or_else(|| faults::bad_request("subscription EPR carries no resource key"))?
+                .to_string();
+            let at = SimTime::from_secs_f64(ctx.core.clock.now().as_secs_f64() + secs);
+            ctx.core.set_termination_time(&key, Some(at));
         }
     }
 
@@ -162,89 +752,130 @@ fn set_paused_op(ctx: &mut Ctx<'_>, paused: bool) -> Result<Element, BaseFault> 
     Ok(Element::new(ns::WSNT, local))
 }
 
-fn notify_op(
-    ctx: &mut Ctx<'_>,
-    current: &parking_lot::Mutex<std::collections::HashMap<String, NotificationMessage>>,
-) -> Result<Element, BaseFault> {
+fn notify_op(ctx: &mut Ctx<'_>, state: &Arc<BrokerState>) -> Result<Element, BaseFault> {
     // Decode the incoming notification(s).
-    let messages: Vec<NotificationMessage> = ctx
+    let messages: Vec<Arc<NotificationMessage>> = ctx
         .body
         .find_all(ns::WSNT, "NotificationMessage")
         .filter_map(NotificationMessage::from_element)
+        .map(Arc::new)
         .collect();
     if messages.is_empty() {
         return Err(faults::bad_request("Notify carried no NotificationMessage"));
     }
     {
-        let mut cur = current.lock();
+        let mut cur = state.current.lock();
         for m in &messages {
-            cur.insert(m.topic.to_string(), m.clone());
+            cur.insert(m.topic.to_string(), (**m).clone());
         }
+        state.cache_size.set(cur.len() as i64);
     }
 
     // Fan out to matching subscriptions, propagating the publisher's
     // trace context so deliveries stay in the submission's span tree.
     let trace = ctx.trace;
     let core = ctx.core.clone();
-    let registry = &core.metrics;
-    let fanout_span = registry.timer("broker.fanout").start(&core.clock);
-    registry
-        .counter("broker.publishes")
-        .add(messages.len() as u64);
-    if registry.is_enabled() {
-        for m in &messages {
-            registry
-                .counter(&format!("broker.topic.{}.publishes", m.topic))
-                .inc();
-        }
+    let fanout_span = core.metrics.timer("broker.fanout").start(&core.clock);
+    state.publishes.add(messages.len() as u64);
+    for m in &messages {
+        state.topic_publishes.counter(m.topic.root()).inc();
     }
+
     let mut delivered = 0usize;
-    // Deliver in subscription order (keys are "<svc>-<n>"): consumers
-    // that subscribed earlier hear about an event before consumers
-    // whose handling might publish *further* events, which keeps
-    // client-visible causality intact on the inline test network.
-    let mut keys = core.store.list(&core.name);
-    keys.sort_by_key(|k| (k.len(), k.clone()));
-    for key in keys {
-        let Ok(doc) = core.store.load(&core.name, &key) else {
-            continue;
-        };
-        if doc.text(&p_paused()).as_deref() == Some("true") {
-            continue;
-        }
-        let Some(expr_el) = doc.get(&p_expression()).first() else {
-            continue;
-        };
-        let Some(dialect) = expr_el.attr_value("Dialect").and_then(Dialect::from_uri) else {
-            continue;
-        };
-        let expr = TopicExpression::parse(dialect, &expr_el.text_content());
-        let Some(consumer_el) = doc.get(&p_consumer()).first() else {
-            continue;
-        };
-        let Ok(consumer) = EndpointReference::from_element(consumer_el) else {
-            continue;
-        };
-        for m in &messages {
-            if expr.matches(&m.topic) {
-                // Forward preserving the original producer reference.
-                let mut env = m.to_envelope(&consumer);
-                if let Some(tc) = &trace {
-                    tc.stamp(&mut env);
+    let mut failed = 0usize;
+    let mut coalesced = 0usize;
+    // Per-message set of consumer addresses already served: a consumer
+    // holding several overlapping subscriptions hears each message
+    // once (its earliest subscription wins).
+    let mut seen: Vec<HashSet<String>> = vec![HashSet::new(); messages.len()];
+
+    match &state.index {
+        Some(index) => {
+            // Union of matching entries across the batch, in
+            // subscription order (keys are "<svc>-<n>"): consumers that
+            // subscribed earlier hear about an event before consumers
+            // whose handling might publish *further* events, which
+            // keeps client-visible causality intact on the inline test
+            // network.
+            let mut matched: Vec<Arc<CompiledSub>> = Vec::new();
+            for m in &messages {
+                matched.extend(index.matching(&m.topic));
+            }
+            matched.sort_by(|a, b| (a.key.len(), &a.key).cmp(&(b.key.len(), &b.key)));
+            matched.dedup_by(|a, b| a.key == b.key);
+            // Manual clocks deliver inline and synchronously — the
+            // deterministic test network depends on it. Scaled and
+            // realtime clocks hand deliveries to per-consumer queues
+            // drained by the worker pool.
+            let inline = core.clock.is_manual();
+            for sub in &matched {
+                for (i, m) in messages.iter().enumerate() {
+                    if !sub.expr.matches(&m.topic) || !sub.live() {
+                        continue;
+                    }
+                    if !seen[i].insert(sub.consumer.address.clone()) {
+                        coalesced += 1;
+                        continue;
+                    }
+                    state.topic_deliveries.counter(m.topic.root()).inc();
+                    if inline {
+                        match state.fabric.send_now(sub, m, trace) {
+                            SendOutcome::Delivered => delivered += 1,
+                            SendOutcome::Failed => failed += 1,
+                            SendOutcome::Skipped => {}
+                        }
+                    } else {
+                        state.fabric.enqueue(Delivery {
+                            sub: sub.clone(),
+                            msg: m.clone(),
+                            trace,
+                        });
+                        delivered += 1;
+                    }
                 }
-                let _ = core.net.send_oneway(&consumer.address, env);
-                delivered += 1;
-                if registry.is_enabled() {
-                    registry
-                        .counter(&format!("broker.topic.{}.deliveries", m.topic))
-                        .inc();
+            }
+        }
+        None => {
+            // Legacy rescan arm: re-derive the subscriber set from the
+            // store on every publish (kept as the E13 baseline).
+            let mut keys = core.store.list(&core.name);
+            keys.sort_by_key(|k| (k.len(), k.clone()));
+            for key in keys {
+                let Ok(doc) = core.store.load(&core.name, &key) else {
+                    continue;
+                };
+                let Some(sub) = CompiledSub::compile(&key, &doc) else {
+                    continue;
+                };
+                if !sub.live() {
+                    continue;
+                }
+                for m in &messages {
+                    if sub.expr.matches(&m.topic) {
+                        state.topic_deliveries.counter(m.topic.root()).inc();
+                        let mut env = m.to_envelope(&sub.consumer);
+                        if let Some(tc) = &trace {
+                            tc.stamp(&mut env);
+                        }
+                        match core.net.send_oneway(&sub.consumer.address, env) {
+                            Ok(()) => delivered += 1,
+                            Err(_) => {
+                                failed += 1;
+                                state.fabric.failures.inc();
+                            }
+                        }
+                    }
                 }
             }
         }
     }
-    registry.counter("broker.deliveries").add(delivered as u64);
+    state.deliveries.add(delivered as u64);
+    state.coalesced.add(coalesced as u64);
     fanout_span.finish();
-    Ok(Element::new(ns::WSNT, "NotifyResponse").attr("delivered", delivered.to_string()))
+    Ok(Element::new(ns::WSNT, "NotifyResponse")
+        .attr("delivered", delivered.to_string())
+        .attr("failed", failed.to_string())
+        .attr("coalesced", coalesced.to_string()))
 }
 
 // ---------------------------------------------------------------------
@@ -252,7 +883,9 @@ fn notify_op(
 // ---------------------------------------------------------------------
 
 /// Subscribe `consumer` to `expression` at the broker; returns the
-/// subscription's EPR.
+/// subscription's EPR. `initial_termination` is a lease duration in
+/// seconds *from now* (see [`subscribe_op`]'s relative
+/// `InitialTerminationTime` semantics).
 pub fn subscribe(
     net: &InProcNetwork,
     broker: &EndpointReference,
@@ -292,6 +925,20 @@ pub fn publish(
     msg: &NotificationMessage,
 ) -> Result<(), TransportError> {
     net.send_oneway(&broker.address, msg.to_envelope(broker))
+}
+
+/// Publish via request/response, returning the broker's
+/// `NotifyResponse` (with its `delivered`/`failed`/`coalesced`
+/// attributes) instead of fire-and-forget.
+pub fn publish_counted(
+    net: &InProcNetwork,
+    broker: &EndpointReference,
+    msg: &NotificationMessage,
+) -> Result<Envelope, SoapFault> {
+    let mut env = msg.to_envelope(broker);
+    MessageInfo::request(broker.clone(), notify_action()).apply(&mut env);
+    net.call(&broker.address, env)
+        .map_err(|e| SoapFault::server(e.to_string()))
 }
 
 /// Pause or resume a subscription by its EPR.
@@ -363,14 +1010,19 @@ mod tests {
     }
 
     fn fixture() -> Fixture {
+        fixture_with(BrokerConfig::default())
+    }
+
+    fn fixture_with(config: BrokerConfig) -> Fixture {
         let clock = Clock::manual();
         let net = InProcNetwork::new(clock.clone());
-        let broker = notification_broker(
+        let broker = notification_broker_with(
             "Broker",
             "inproc://hub/Broker",
             Arc::new(MemoryStore::new()),
             clock.clone(),
             net.clone(),
+            config,
         );
         broker.register(&net);
         let broker_epr = broker.core().service_epr();
@@ -427,6 +1079,32 @@ mod tests {
             sched.received()[0].producer.as_ref().unwrap().address,
             "inproc://m1/Exec"
         );
+    }
+
+    #[test]
+    fn rescan_arm_multicasts_identically() {
+        let f = fixture_with(BrokerConfig::rescan());
+        let a = NotificationListener::register(&f.net, "inproc://a/l");
+        let b = NotificationListener::register(&f.net, "inproc://b/l");
+        subscribe(
+            &f.net,
+            &f.broker_epr,
+            &a.epr(),
+            &TopicExpression::full("js-1//"),
+            None,
+        )
+        .unwrap();
+        subscribe(
+            &f.net,
+            &f.broker_epr,
+            &b.epr(),
+            &TopicExpression::full("js-2//"),
+            None,
+        )
+        .unwrap();
+        publish(&f.net, &f.broker_epr, &msg("js-1/job/exit")).unwrap();
+        assert_eq!(a.count(), 1);
+        assert_eq!(b.count(), 0);
     }
 
     #[test]
@@ -497,6 +1175,32 @@ mod tests {
     }
 
     #[test]
+    fn initial_termination_time_is_relative_to_now() {
+        let f = fixture();
+        // Let virtual time run well past the lease duration first: a
+        // 30-second lease taken at t=100 must expire at t=130, not be
+        // treated as the long-past absolute time t=30.
+        f.clock.advance(std::time::Duration::from_secs(100));
+        let l = NotificationListener::register(&f.net, "inproc://c/l");
+        subscribe(
+            &f.net,
+            &f.broker_epr,
+            &l.epr(),
+            &TopicExpression::simple("t"),
+            Some(30.0),
+        )
+        .unwrap();
+        publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        assert_eq!(l.count(), 1, "lease still live right after subscribing");
+        f.clock.advance(std::time::Duration::from_secs(29));
+        publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        assert_eq!(l.count(), 2, "lease still live at t+29s");
+        f.clock.advance(std::time::Duration::from_secs(2));
+        publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        assert_eq!(l.count(), 2, "lease expired at t+31s");
+    }
+
+    #[test]
     fn destroy_subscription_stops_delivery() {
         let f = fixture();
         let l = NotificationListener::register(&f.net, "inproc://c/l");
@@ -514,6 +1218,114 @@ mod tests {
         assert!(!resp.is_fault());
         publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
         assert_eq!(l.count(), 0);
+        // The broker reports zero matches too: index and store agree.
+        let resp = publish_counted(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        assert_eq!(resp.body.attr_value("delivered"), Some("0"));
+    }
+
+    #[test]
+    fn overlapping_subscriptions_coalesce_to_one_delivery() {
+        let f = fixture();
+        let l = NotificationListener::register(&f.net, "inproc://c/l");
+        subscribe(
+            &f.net,
+            &f.broker_epr,
+            &l.epr(),
+            &TopicExpression::full("a//"),
+            None,
+        )
+        .unwrap();
+        subscribe(
+            &f.net,
+            &f.broker_epr,
+            &l.epr(),
+            &TopicExpression::full("a/b//"),
+            None,
+        )
+        .unwrap();
+        let resp = publish_counted(&f.net, &f.broker_epr, &msg("a/b/c")).unwrap();
+        assert_eq!(l.count(), 1, "one consumer, one copy");
+        assert_eq!(resp.body.attr_value("delivered"), Some("1"));
+        assert_eq!(resp.body.attr_value("coalesced"), Some("1"));
+        // A topic matching only one of the expressions is unaffected.
+        publish(&f.net, &f.broker_epr, &msg("a/x")).unwrap();
+        assert_eq!(l.count(), 2);
+    }
+
+    #[test]
+    fn failed_deliveries_are_counted_and_autopause_the_subscription() {
+        let f = fixture_with(BrokerConfig {
+            autopause_after: 3,
+            ..BrokerConfig::default()
+        });
+        let l = NotificationListener::register(&f.net, "inproc://c/l");
+        let sub = subscribe(
+            &f.net,
+            &f.broker_epr,
+            &l.epr(),
+            &TopicExpression::simple("t"),
+            None,
+        )
+        .unwrap();
+        // The consumer vanishes from the network.
+        f.net.unregister("inproc://c/l");
+        for _ in 0..2 {
+            let resp = publish_counted(&f.net, &f.broker_epr, &msg("t")).unwrap();
+            assert_eq!(resp.body.attr_value("delivered"), Some("0"));
+            assert_eq!(resp.body.attr_value("failed"), Some("1"));
+        }
+        // Third consecutive failure trips the auto-pause.
+        let resp = publish_counted(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        assert_eq!(resp.body.attr_value("failed"), Some("1"));
+        let mut env = Envelope::new(Element::new(ns::WSRP, "GetResourceProperty").text("Paused"));
+        MessageInfo::request(
+            sub.clone(),
+            wsrf_core::porttypes::wsrp_action("GetResourceProperty"),
+        )
+        .apply(&mut env);
+        let resp = f.net.call("inproc://hub/Broker", env).unwrap();
+        assert_eq!(resp.body.text_content(), "true", "auto-paused RP visible");
+        // Re-registering alone does not resume the paused subscription…
+        let l2 = NotificationListener::register(&f.net, "inproc://c/l");
+        let resp = publish_counted(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        assert_eq!(resp.body.attr_value("delivered"), Some("0"));
+        assert_eq!(l2.count(), 0);
+        // …an explicit Resume does.
+        set_subscription_paused(&f.net, &sub, false).unwrap();
+        publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        assert_eq!(l2.count(), 1);
+    }
+
+    #[test]
+    fn a_successful_delivery_resets_the_failure_streak() {
+        let f = fixture_with(BrokerConfig {
+            autopause_after: 2,
+            ..BrokerConfig::default()
+        });
+        let l = NotificationListener::register(&f.net, "inproc://c/l");
+        let sub = subscribe(
+            &f.net,
+            &f.broker_epr,
+            &l.epr(),
+            &TopicExpression::simple("t"),
+            None,
+        )
+        .unwrap();
+        // fail, succeed, fail, succeed… never two in a row.
+        for _ in 0..3 {
+            f.net.unregister("inproc://c/l");
+            publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
+            NotificationListener::register(&f.net, "inproc://c/l");
+            publish(&f.net, &f.broker_epr, &msg("t")).unwrap();
+        }
+        let mut env = Envelope::new(Element::new(ns::WSRP, "GetResourceProperty").text("Paused"));
+        MessageInfo::request(
+            sub,
+            wsrf_core::porttypes::wsrp_action("GetResourceProperty"),
+        )
+        .apply(&mut env);
+        let resp = f.net.call("inproc://hub/Broker", env).unwrap();
+        assert_eq!(resp.body.text_content(), "false", "streak never reached 2");
     }
 
     #[test]
@@ -538,6 +1350,88 @@ mod tests {
     }
 
     #[test]
+    fn current_message_cache_is_bounded() {
+        let f = fixture_with(BrokerConfig {
+            current_cache_cap: 8,
+            ..BrokerConfig::default()
+        });
+        for i in 0..40 {
+            publish(&f.net, &f.broker_epr, &msg(&format!("t{i}"))).unwrap();
+        }
+        // The earliest topics aged out of the bounded cache…
+        assert_eq!(
+            get_current_message(&f.net, &f.broker_epr, "t0").unwrap(),
+            None
+        );
+        // …the most recent survive.
+        assert!(get_current_message(&f.net, &f.broker_epr, "t39")
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn current_cache_two_generation_bound_holds() {
+        let mut c = CurrentCache::new(8);
+        for i in 0..1000 {
+            c.insert(format!("t{i}"), msg("x"));
+            assert!(
+                c.len() <= 8,
+                "cache exceeded cap at insert {i}: {}",
+                c.len()
+            );
+        }
+        assert!(c.get("t999").is_some());
+        assert!(c.get("t0").is_none());
+    }
+
+    #[test]
+    fn index_tracks_subscribe_pause_destroy_and_expiry() {
+        let clock = Clock::manual();
+        let net = InProcNetwork::new(clock.clone());
+        let registry = wsrf_obs::MetricsRegistry::disabled();
+        let index = Arc::new(SubscriptionIndex::new(registry.gauge("x")));
+        let store: Arc<dyn ResourceStore> = Arc::new(IndexingStore {
+            inner: Arc::new(MemoryStore::new()),
+            service: "Broker".into(),
+            index: index.clone(),
+        });
+        let broker = {
+            // Build on the *pre-wrapped* store so this test can watch
+            // the index directly.
+            let b = notification_broker_with(
+                "Broker",
+                "inproc://hub/Broker",
+                store.clone(),
+                clock.clone(),
+                net.clone(),
+                BrokerConfig::default(),
+            );
+            b.register(&net);
+            b
+        };
+        let bepr = broker.core().service_epr();
+        let l = NotificationListener::register(&net, "inproc://c/l");
+        let sub = subscribe(&net, &bepr, &l.epr(), &TopicExpression::simple("t"), None).unwrap();
+        assert_eq!(index.len(), 1, "subscribe populated the outer index");
+        let mut env = Envelope::new(Element::new(ns::WSRL, "Destroy"));
+        MessageInfo::request(sub, wsrf_core::porttypes::wsrl_action("Destroy")).apply(&mut env);
+        net.call("inproc://hub/Broker", env).unwrap();
+        assert_eq!(index.len(), 0, "destroy evicted the outer index");
+        // Lease expiry evicts too.
+        subscribe(
+            &net,
+            &bepr,
+            &l.epr(),
+            &TopicExpression::simple("t"),
+            Some(5.0),
+        )
+        .unwrap();
+        assert_eq!(index.len(), 1);
+        clock.advance(std::time::Duration::from_secs(6));
+        assert_eq!(index.len(), 0, "lease expiry evicted the outer index");
+    }
+
+    #[test]
     fn get_current_message_requires_topic() {
         let f = fixture();
         let mut env = Envelope::new(Element::new(ns::WSNT, "GetCurrentMessage"));
@@ -557,6 +1451,21 @@ mod tests {
         MessageInfo::request(f.broker_epr.clone(), subscribe_action()).apply(&mut env);
         let resp = f.net.call("inproc://hub/Broker", env).unwrap();
         assert_eq!(resp.fault().unwrap().error_code(), Some("wsrf:BadRequest"));
+    }
+
+    #[test]
+    fn negative_initial_termination_time_faults() {
+        let f = fixture();
+        let l = NotificationListener::register(&f.net, "inproc://c/l");
+        let err = subscribe(
+            &f.net,
+            &f.broker_epr,
+            &l.epr(),
+            &TopicExpression::simple("t"),
+            Some(-5.0),
+        )
+        .unwrap_err();
+        assert_eq!(err.error_code(), Some("wsrf:BadRequest"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! receiver: it registers on the network, accepts one-way `Notify`
 //! messages, records them, and invokes per-topic callbacks.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -22,6 +23,14 @@ struct Inner {
     cv: Condvar,
     handlers: Mutex<Vec<(TopicExpression, Callback)>>,
     address: String,
+    /// When false the message log is skipped: only `total` and the
+    /// callbacks run. Open-loop load tests register hundreds of
+    /// thousands of listeners; recording every delivery would be an
+    /// unbounded memory sink.
+    record: bool,
+    /// Lifetime delivery count (unlike `count()`, never reset by
+    /// `drain()`).
+    total: AtomicUsize,
 }
 
 /// A registered notification listener. Cheap to clone.
@@ -33,12 +42,26 @@ pub struct NotificationListener {
 impl NotificationListener {
     /// Create and register a listener at `address` on the network.
     pub fn register(net: &InProcNetwork, address: &str) -> NotificationListener {
+        Self::register_inner(net, address, true)
+    }
+
+    /// A counting-only listener: deliveries bump [`Self::total`] and run
+    /// callbacks but are not recorded, so memory stays O(1) no matter
+    /// how many notifications arrive. `count()`/`received()`/`drain()`
+    /// see nothing; use `total()`.
+    pub fn register_counting(net: &InProcNetwork, address: &str) -> NotificationListener {
+        Self::register_inner(net, address, false)
+    }
+
+    fn register_inner(net: &InProcNetwork, address: &str, record: bool) -> NotificationListener {
         let listener = NotificationListener {
             inner: Arc::new(Inner {
                 received: Mutex::new(Vec::new()),
                 cv: Condvar::new(),
                 handlers: Mutex::new(Vec::new()),
                 address: address.to_string(),
+                record,
+                total: AtomicUsize::new(0),
             }),
         };
         net.register(address, Arc::new(listener.clone()) as Arc<dyn Endpoint>);
@@ -74,6 +97,12 @@ impl NotificationListener {
     /// Number of messages recorded so far.
     pub fn count(&self) -> usize {
         self.inner.received.lock().len()
+    }
+
+    /// Lifetime number of messages delivered (counted even in
+    /// counting-only mode, and unaffected by `drain()`).
+    pub fn total(&self) -> usize {
+        self.inner.total.load(Ordering::Relaxed)
     }
 
     /// Block until at least `n` messages have arrived (real-time
@@ -131,9 +160,10 @@ impl Endpoint for NotificationListener {
         if msgs.is_empty() {
             return None;
         }
+        self.inner.total.fetch_add(msgs.len(), Ordering::Relaxed);
         // Record before invoking callbacks so a callback that
         // inspects history (or waits for counts) sees this message.
-        {
+        if self.inner.record {
             let mut received = self.inner.received.lock();
             received.extend(msgs.iter().cloned());
         }
@@ -199,6 +229,38 @@ mod tests {
         }
         assert_eq!(hits.load(Ordering::SeqCst), 2);
         assert_eq!(l.count(), 3, "all messages recorded regardless of handlers");
+    }
+
+    #[test]
+    fn counting_listener_counts_without_recording() {
+        let net = InProcNetwork::new(Clock::manual());
+        let l = NotificationListener::register_counting(&net, "inproc://c/l");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        l.on_topic(TopicExpression::full("t//"), move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        for _ in 0..3 {
+            let msg = NotificationMessage::new("t/x", Element::local("E"));
+            net.send_oneway("inproc://c/l", msg.to_envelope(&l.epr()))
+                .unwrap();
+        }
+        assert_eq!(l.total(), 3);
+        assert_eq!(hits.load(Ordering::SeqCst), 3, "callbacks still fire");
+        assert_eq!(l.count(), 0, "nothing recorded");
+        assert!(l.received().is_empty());
+    }
+
+    #[test]
+    fn total_survives_drain() {
+        let net = InProcNetwork::new(Clock::manual());
+        let l = NotificationListener::register(&net, "inproc://c/l");
+        let msg = NotificationMessage::new("t", Element::local("E"));
+        net.send_oneway("inproc://c/l", msg.to_envelope(&l.epr()))
+            .unwrap();
+        assert_eq!(l.drain().len(), 1);
+        assert_eq!(l.count(), 0);
+        assert_eq!(l.total(), 1);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod message;
 pub mod producer;
 pub mod topics;
 
+pub use broker::BrokerConfig;
 pub use consumer::NotificationListener;
 pub use message::NotificationMessage;
 pub use producer::{NotificationProducer, SubscriptionManager};

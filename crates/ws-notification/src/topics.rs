@@ -195,6 +195,20 @@ impl TopicExpression {
         out
     }
 
+    /// The leading concrete segment of this expression, when it has
+    /// one: `Some("jobset-17")` for `jobset-17//exit` or `jobset-17`,
+    /// `None` when the expression starts with a wildcard (`//exit`,
+    /// `*/x`) and so can match topics under any root. The broker's
+    /// sharded subscription index buckets expressions by this prefix;
+    /// `None` expressions land in the catch-all bucket scanned on
+    /// every publish.
+    pub fn concrete_root(&self) -> Option<&str> {
+        match self.segs.first() {
+            Some(Seg::Name(n)) => Some(n),
+            _ => None,
+        }
+    }
+
     /// Does this expression match a concrete topic path?
     pub fn matches(&self, topic: &TopicPath) -> bool {
         match self.dialect {
@@ -307,6 +321,22 @@ mod tests {
         assert!(e.matches(&t("jobset-1")));
         assert!(e.matches(&t("jobset-1/job/exit")));
         assert!(!e.matches(&t("jobset-2/x")));
+    }
+
+    #[test]
+    fn concrete_root_extraction() {
+        assert_eq!(TopicExpression::simple("t").concrete_root(), Some("t"));
+        assert_eq!(
+            TopicExpression::concrete("a/b/c").concrete_root(),
+            Some("a")
+        );
+        assert_eq!(
+            TopicExpression::full("js-1//").concrete_root(),
+            Some("js-1")
+        );
+        assert_eq!(TopicExpression::full("a/*/c").concrete_root(), Some("a"));
+        assert_eq!(TopicExpression::full("//exit").concrete_root(), None);
+        assert_eq!(TopicExpression::full("*/x").concrete_root(), None);
     }
 
     #[test]

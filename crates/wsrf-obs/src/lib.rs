@@ -109,6 +109,54 @@ impl Counter {
     }
 }
 
+/// A bounded-cardinality family of counters `<prefix>.<label>.<suffix>`.
+///
+/// Labels come from open sets (topic roots, authorities, tenants): a
+/// million-label run must not mint a million counters. The first `cap`
+/// distinct labels each get their own counter; every label past the cap
+/// shares a single `<prefix>.other.<suffix>` overflow counter, so the
+/// registry stays bounded no matter what the traffic looks like.
+/// Handles are cached, so the hot path is one read-locked map probe —
+/// no per-increment name formatting.
+pub struct CounterFamily {
+    prefix: String,
+    suffix: String,
+    cap: usize,
+    slots: RwLock<BTreeMap<String, Counter>>,
+    overflow: Counter,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl CounterFamily {
+    /// The counter for `label`, creating it unless the family is at
+    /// capacity (then the shared overflow counter).
+    pub fn counter(&self, label: &str) -> Counter {
+        if !self.registry.is_enabled() {
+            return Counter::noop();
+        }
+        if let Some(c) = self.slots.read().get(label) {
+            return c.clone();
+        }
+        let mut slots = self.slots.write();
+        if let Some(c) = slots.get(label) {
+            return c.clone();
+        }
+        if slots.len() >= self.cap {
+            return self.overflow.clone();
+        }
+        let c = self
+            .registry
+            .counter(&format!("{}.{label}.{}", self.prefix, self.suffix));
+        slots.insert(label.to_string(), c.clone());
+        c
+    }
+
+    /// Number of distinct labels holding their own counter.
+    pub fn distinct(&self) -> usize {
+        self.slots.read().len()
+    }
+}
+
 /// Last-value gauge (signed, so it can count in-flight work down as
 /// well as up).
 #[derive(Clone, Default)]
@@ -447,6 +495,25 @@ impl MetricsRegistry {
         }
     }
 
+    /// A bounded family of counters named `<prefix>.<label>.<suffix>`;
+    /// at most `cap` distinct labels, the rest collapse into
+    /// `<prefix>.other.<suffix>`.
+    pub fn counter_family(
+        self: &Arc<Self>,
+        prefix: &str,
+        suffix: &str,
+        cap: usize,
+    ) -> CounterFamily {
+        CounterFamily {
+            prefix: prefix.to_string(),
+            suffix: suffix.to_string(),
+            cap,
+            slots: RwLock::new(BTreeMap::new()),
+            overflow: self.counter(&format!("{prefix}.other.{suffix}")),
+            registry: self.clone(),
+        }
+    }
+
     /// Gets or creates the named gauge.
     pub fn gauge(&self, name: &str) -> Gauge {
         if !self.enabled {
@@ -653,6 +720,32 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("a.count"), Some(5));
         assert_eq!(snap.gauge("a.gauge"), Some(5));
+    }
+
+    #[test]
+    fn counter_family_caps_cardinality() {
+        let reg = MetricsRegistry::enabled();
+        let fam = reg.counter_family("broker.topic", "publishes", 2);
+        fam.counter("a").inc();
+        fam.counter("b").add(2);
+        fam.counter("a").inc(); // cached handle, same counter
+        fam.counter("c").inc(); // over cap → overflow
+        fam.counter("d").inc(); // over cap → overflow
+        assert_eq!(fam.distinct(), 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("broker.topic.a.publishes"), Some(2));
+        assert_eq!(snap.counter("broker.topic.b.publishes"), Some(2));
+        assert_eq!(snap.counter("broker.topic.other.publishes"), Some(2));
+        assert_eq!(snap.counter("broker.topic.c.publishes"), None);
+    }
+
+    #[test]
+    fn counter_family_on_disabled_registry_is_noop() {
+        let reg = MetricsRegistry::disabled();
+        let fam = reg.counter_family("f", "s", 4);
+        fam.counter("a").inc();
+        assert_eq!(fam.distinct(), 0);
+        assert_eq!(reg.snapshot().counter("f.a.s"), None);
     }
 
     #[test]

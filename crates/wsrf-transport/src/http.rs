@@ -17,6 +17,30 @@ use crate::endpoint::Endpoint;
 use crate::error::TransportError;
 use crate::obs::LinkObs;
 
+/// Anti-slowloris limits applied to every accepted connection. A
+/// client that trickles headers forever, or sends an unbounded header
+/// block, used to pin its connection thread indefinitely; these bounds
+/// turn both into prompt SOAP faults (408 / 431).
+#[derive(Clone, Copy, Debug)]
+pub struct HttpLimits {
+    /// Socket read timeout; an idle read past this answers 408.
+    pub read_timeout: std::time::Duration,
+    /// Cap on the request line + header block, in bytes (431 beyond).
+    pub max_header_bytes: usize,
+    /// Cap on the number of header lines (431 beyond).
+    pub max_header_lines: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            read_timeout: std::time::Duration::from_secs(10),
+            max_header_bytes: 16 << 10,
+            max_header_lines: 100,
+        }
+    }
+}
+
 /// A listening HTTP SOAP endpoint.
 pub struct HttpSoapServer {
     addr: SocketAddr,
@@ -37,7 +61,16 @@ impl HttpSoapServer {
         endpoint: Arc<dyn Endpoint>,
         registry: &MetricsRegistry,
     ) -> std::io::Result<Self> {
-        Self::start_inner(endpoint, registry, None)
+        Self::start_inner(endpoint, registry, None, HttpLimits::default())
+    }
+
+    /// Like [`HttpSoapServer::start`], with explicit anti-slowloris
+    /// [`HttpLimits`].
+    pub fn start_with_limits(
+        endpoint: Arc<dyn Endpoint>,
+        limits: HttpLimits,
+    ) -> std::io::Result<Self> {
+        Self::start_inner(endpoint, &MetricsRegistry::disabled(), None, limits)
     }
 
     /// Like [`HttpSoapServer::start_with_metrics`], additionally opening
@@ -48,13 +81,14 @@ impl HttpSoapServer {
         registry: &MetricsRegistry,
         clock: Clock,
     ) -> std::io::Result<Self> {
-        Self::start_inner(endpoint, registry, Some(clock))
+        Self::start_inner(endpoint, registry, Some(clock), HttpLimits::default())
     }
 
     fn start_inner(
         endpoint: Arc<dyn Endpoint>,
         registry: &MetricsRegistry,
         clock: Option<Clock>,
+        limits: HttpLimits,
     ) -> std::io::Result<Self> {
         let obs = Arc::new(LinkObs::new(registry, "http"));
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
@@ -70,6 +104,9 @@ impl HttpSoapServer {
                     }
                     let Ok(stream) = conn else { continue };
                     stream.set_nodelay(true).ok();
+                    // An idle or trickling client hits this timeout
+                    // instead of pinning its thread forever.
+                    stream.set_read_timeout(Some(limits.read_timeout)).ok();
                     let ep = endpoint.clone();
                     let obs = obs.clone();
                     let clock = clock.clone();
@@ -78,7 +115,7 @@ impl HttpSoapServer {
                     let _ = std::thread::Builder::new()
                         .name("http-soap-conn".into())
                         .spawn(move || {
-                            let _ = serve_connection(stream, ep, &obs, clock.as_ref());
+                            let _ = serve_connection(stream, ep, &obs, clock.as_ref(), &limits);
                         });
                 }
             })?;
@@ -119,18 +156,42 @@ enum ContentLength {
     Invalid(String),
     /// A well-formed length.
     Len(usize),
+    /// The header block blew past [`HttpLimits`] (bytes or line count).
+    TooLarge(&'static str),
 }
 
 /// Consume header lines up to the blank separator, extracting the
 /// `Content-Length`. Server and client both parse through here, so the
 /// two sides can never again drift on how a missing or garbage length
 /// is treated (historically one side ignored it and the other silently
-/// read a zero-byte body).
-fn read_content_length(reader: &mut impl BufRead) -> std::io::Result<ContentLength> {
+/// read a zero-byte body). The header block is bounded by `limits`: a
+/// peer streaming endless (or endlessly long) header lines gets
+/// [`ContentLength::TooLarge`] instead of an unbounded read loop.
+fn read_content_length(
+    reader: &mut impl BufRead,
+    limits: &HttpLimits,
+) -> std::io::Result<ContentLength> {
+    let mut limited = reader.take(limits.max_header_bytes as u64);
     let mut found = ContentLength::Missing;
+    let mut lines = 0usize;
     loop {
         let mut h = String::new();
-        reader.read_line(&mut h)?;
+        let n = limited.read_line(&mut h)?;
+        if n == 0 {
+            if limited.limit() == 0 {
+                return Ok(ContentLength::TooLarge("header block exceeds byte cap"));
+            }
+            // Genuine EOF before the blank separator: treat as end of
+            // headers (legacy behaviour).
+            break;
+        }
+        if !h.ends_with('\n') && limited.limit() == 0 {
+            return Ok(ContentLength::TooLarge("header line exceeds byte cap"));
+        }
+        lines += 1;
+        if lines > limits.max_header_lines {
+            return Ok(ContentLength::TooLarge("too many header lines"));
+        }
         let h = h.trim_end();
         if h.is_empty() {
             break;
@@ -146,6 +207,14 @@ fn read_content_length(reader: &mut impl BufRead) -> std::io::Result<ContentLeng
         }
     }
     Ok(found)
+}
+
+/// True when an IO error is the socket read timeout firing.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 /// Render a SOAP client fault into `wire` and send it with the given
@@ -169,6 +238,7 @@ fn serve_connection(
     endpoint: Arc<dyn Endpoint>,
     obs: &LinkObs,
     clock: Option<&Clock>,
+    limits: &HttpLimits,
 ) -> std::io::Result<()> {
     let started = std::time::Instant::now();
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -177,9 +247,34 @@ fn serve_connection(
     // rendered exactly once, into this.
     let mut wire: Vec<u8> = Vec::with_capacity(512);
 
-    // Request line.
+    // Request line, bounded like the headers: a peer streaming one
+    // endless line is cut off at the byte cap.
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    {
+        let mut limited = (&mut reader).take(limits.max_header_bytes as u64);
+        match limited.read_line(&mut line) {
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                return write_fault_response(
+                    &mut writer,
+                    &mut wire,
+                    408,
+                    "Request Timeout",
+                    "timed out reading request line".into(),
+                );
+            }
+            Err(e) => return Err(e),
+        }
+        if !line.ends_with('\n') && limited.limit() == 0 {
+            return write_fault_response(
+                &mut writer,
+                &mut wire,
+                431,
+                "Request Header Fields Too Large",
+                "request line exceeds byte cap".into(),
+            );
+        }
+    }
     if !line.starts_with("POST ") {
         write_response(&mut writer, 405, "Method Not Allowed", b"")?;
         return Ok(());
@@ -187,8 +282,22 @@ fn serve_connection(
 
     // Headers. A request we cannot size is answered with a SOAP client
     // fault rather than a body-less status, so SOAP callers always get
-    // a parseable envelope.
-    let len = match read_content_length(&mut reader)? {
+    // a parseable envelope; a client trickling headers slower than the
+    // read timeout gets 408 instead of pinning this thread.
+    let scanned = match read_content_length(&mut reader, limits) {
+        Ok(s) => s,
+        Err(e) if is_timeout(&e) => {
+            return write_fault_response(
+                &mut writer,
+                &mut wire,
+                408,
+                "Request Timeout",
+                "timed out reading request headers".into(),
+            );
+        }
+        Err(e) => return Err(e),
+    };
+    let len = match scanned {
         ContentLength::Len(n) => n,
         ContentLength::Missing => {
             return write_fault_response(
@@ -208,13 +317,34 @@ fn serve_connection(
                 format!("unparseable Content-Length {v:?}"),
             );
         }
+        ContentLength::TooLarge(why) => {
+            return write_fault_response(
+                &mut writer,
+                &mut wire,
+                431,
+                "Request Header Fields Too Large",
+                why.into(),
+            );
+        }
     };
     if len > 64 << 20 {
         write_response(&mut writer, 413, "Payload Too Large", b"")?;
         return Ok(());
     }
     let mut body = vec![0u8; len];
-    reader.read_exact(&mut body)?;
+    match reader.read_exact(&mut body) {
+        Ok(()) => {}
+        Err(e) if is_timeout(&e) => {
+            return write_fault_response(
+                &mut writer,
+                &mut wire,
+                408,
+                "Request Timeout",
+                "timed out reading request body".into(),
+            );
+        }
+        Err(e) => return Err(e),
+    }
 
     let Ok(text) = std::str::from_utf8(&body) else {
         write_response(&mut writer, 400, "Bad Request", b"body is not utf-8")?;
@@ -301,7 +431,7 @@ pub fn http_post(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| TransportError::Protocol(format!("bad status line {status_line:?}")))?;
-    let content_length = read_content_length(&mut reader)?;
+    let content_length = read_content_length(&mut reader, &HttpLimits::default())?;
     if code == 202 {
         return Ok(None);
     }
@@ -317,6 +447,11 @@ pub fn http_post(
         ContentLength::Invalid(v) => {
             return Err(TransportError::Protocol(format!(
                 "unparseable response Content-Length {v:?}"
+            )));
+        }
+        ContentLength::TooLarge(why) => {
+            return Err(TransportError::Protocol(format!(
+                "response header block too large: {why}"
             )));
         }
     };
@@ -395,6 +530,100 @@ mod tests {
         };
         let err = http_call(&dead, "svc", &Envelope::new(Element::local("X"))).unwrap_err();
         assert!(matches!(err, TransportError::Io(_)));
+    }
+
+    /// Read one raw HTTP response (status code + body) off a stream.
+    fn raw_response(stream: TcpStream) -> (u16, String) {
+        let mut reader = BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let code: u16 = status.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let len = match read_content_length(&mut reader, &HttpLimits::default()).unwrap() {
+            ContentLength::Len(n) => n,
+            _ => 0,
+        };
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).unwrap();
+        (code, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn idle_slowloris_client_gets_408_soap_fault() {
+        let server = HttpSoapServer::start_with_limits(
+            Arc::new(FnEndpoint::new("echo", Some)),
+            HttpLimits {
+                read_timeout: std::time::Duration::from_millis(100),
+                ..HttpLimits::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Open the request but never finish the header block.
+        stream
+            .write_all(b"POST /svc HTTP/1.1\r\nHost: x\r\n")
+            .unwrap();
+        stream.flush().unwrap();
+        let (code, body) = raw_response(stream);
+        assert_eq!(code, 408);
+        let env = Envelope::parse(&body).unwrap();
+        assert!(env.is_fault(), "408 carries a SOAP fault body");
+        assert!(env.fault().unwrap().reason.contains("timed out"));
+    }
+
+    #[test]
+    fn header_flood_gets_431_soap_fault() {
+        let server = HttpSoapServer::start_with_limits(
+            Arc::new(FnEndpoint::new("echo", Some)),
+            HttpLimits {
+                max_header_lines: 8,
+                ..HttpLimits::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"POST /svc HTTP/1.1\r\n").unwrap();
+        for i in 0..50 {
+            stream
+                .write_all(format!("X-Flood-{i}: y\r\n").as_bytes())
+                .unwrap();
+        }
+        stream.write_all(b"\r\n").unwrap();
+        stream.flush().unwrap();
+        let (code, body) = raw_response(stream);
+        assert_eq!(code, 431);
+        assert!(Envelope::parse(&body).unwrap().is_fault());
+    }
+
+    #[test]
+    fn oversized_header_block_gets_431() {
+        let server = HttpSoapServer::start_with_limits(
+            Arc::new(FnEndpoint::new("echo", Some)),
+            HttpLimits {
+                max_header_bytes: 256,
+                ..HttpLimits::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"POST /svc HTTP/1.1\r\n").unwrap();
+        // One huge header line, no newline in sight.
+        stream.write_all(&vec![b'a'; 4096]).unwrap();
+        stream.flush().unwrap();
+        let (code, body) = raw_response(stream);
+        assert_eq!(code, 431);
+        assert!(Envelope::parse(&body).unwrap().is_fault());
+    }
+
+    #[test]
+    fn limits_leave_normal_calls_untouched() {
+        let server = HttpSoapServer::start_with_limits(
+            Arc::new(FnEndpoint::new("echo", Some)),
+            HttpLimits::default(),
+        )
+        .unwrap();
+        let req = Envelope::new(Element::local("Ping").text("p"));
+        let resp = http_call(&server.authority(), "svc", &req).unwrap();
+        assert_eq!(resp, req);
     }
 
     #[test]

@@ -38,6 +38,14 @@ echo "== cargo test -q --release --offline durability + failover_chaos"
 cargo test -q --release --offline --test durability
 cargo test -q --release --offline --test failover_chaos
 
+echo "== cargo test -q --release --offline broker_fanout + E13 smoke"
+# The broker suite races subscription lifecycle ops against concurrent
+# publishes (release mode for real interleavings); the E13 smoke row
+# drives both fan-out paths (sharded index and legacy rescan) open-loop
+# at 1k subscriptions.
+cargo test -q --release --offline --test broker_fanout
+cargo run -q --release --offline -p bench --bin harness -- --e13-smoke >/dev/null
+
 echo "== metrics + tracing regression gate"
 # The metrics-only harness run boots the dump grid with tracing enabled
 # (the tracing ablation configuration), so BENCH_metrics.json carries
