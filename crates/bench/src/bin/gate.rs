@@ -22,7 +22,13 @@
 //! ```text
 //! cargo run -p bench --bin gate                  # compare
 //! cargo run -p bench --bin gate -- --write-baseline   # refresh snapshot
+//! cargo run -p bench --bin gate -- --bless       # regenerate + refresh
 //! ```
+//!
+//! `--write-baseline` copies an *existing* fresh run into the
+//! baseline; `--bless` first re-runs `harness --metrics-only` (the
+//! sibling binary) so the baseline is regenerated in place from the
+//! current tree in one step.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -106,15 +112,50 @@ fn main() -> ExitCode {
     let mut fresh_path = "BENCH_metrics.json".to_string();
     let mut base_path = "scripts/bench_baseline.json".to_string();
     let mut write_baseline = false;
+    let mut bless = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fresh" => fresh_path = args.next().expect("--fresh needs a path"),
             "--baseline" => base_path = args.next().expect("--baseline needs a path"),
             "--write-baseline" => write_baseline = true,
+            "--bless" => bless = true,
             other => {
                 eprintln!("gate: unknown argument {other:?}");
-                eprintln!("usage: gate [--fresh PATH] [--baseline PATH] [--write-baseline]");
+                eprintln!(
+                    "usage: gate [--fresh PATH] [--baseline PATH] [--write-baseline] [--bless]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if bless {
+        // Regenerate the fresh snapshot with the sibling harness
+        // binary before adopting it as the baseline.
+        let harness = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join("harness")))
+            .filter(|p| p.exists());
+        let Some(harness) = harness else {
+            eprintln!(
+                "gate: --bless needs the harness binary built alongside gate \
+                 (cargo build -p bench --bins); or run `harness --metrics-only` \
+                 then `gate --write-baseline`"
+            );
+            return ExitCode::FAILURE;
+        };
+        match std::process::Command::new(&harness)
+            .arg("--metrics-only")
+            .status()
+        {
+            Ok(status) if status.success() => write_baseline = true,
+            Ok(status) => {
+                eprintln!("gate: harness --metrics-only failed with {status}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("gate: cannot run {}: {e}", harness.display());
                 return ExitCode::FAILURE;
             }
         }

@@ -1,4 +1,4 @@
-//! Regenerates every EXPERIMENTS.md table (E1–E11, E13).
+//! Regenerates every EXPERIMENTS.md table (E1–E11, E13, E14).
 //!
 //! ```text
 //! cargo run -p bench --bin harness --release
@@ -36,10 +36,11 @@ use ws_notification::topics::TopicExpression;
 use wsrf_core::porttypes::{wsrp_action, XPATH_DIALECT};
 use wsrf_core::store::{BlobStore, MemoryStore, ResourceStore, StructuredStore};
 use wsrf_core::DurableStore;
-use wsrf_obs::{MetricsRegistry, ObsConfig, TraceConfig};
+use wsrf_obs::{EventKind, MetricsRegistry, ObsConfig, Severity, TraceConfig};
 use wsrf_soap::ns::{UVACG, WSRP};
 use wsrf_soap::{EndpointReference, Envelope, MessageInfo, TraceContext};
-use wsrf_transport::{InProcNetwork, NetConfig};
+use wsrf_transport::http::{http_get, HttpLimits, HttpSoapServer};
+use wsrf_transport::{FnEndpoint, InProcNetwork, NetConfig};
 use wsrf_xml::Element;
 
 /// Median wall time of `f` over `n` runs.
@@ -1160,6 +1161,185 @@ fn e13_broker_openloop(smoke: bool) {
     );
 }
 
+/// E14 — the monitoring plane's own cost: the event-log ablation on
+/// the container dispatch path (acceptance: events + SLO windows on
+/// cost the events-off path < 5%), the per-op prices of the two new
+/// write paths (event emit, SLO record), and what a scrape costs —
+/// both the in-process render and the end-to-end HTTP GET against a
+/// live `start_monitored` server.
+fn e14_monitoring() {
+    let mut rows = Vec::new();
+
+    // Ablation: full monitoring (metrics + event log + SLO) vs the
+    // `ObsConfig::without_events` arm. Alternating best-of-N, like
+    // E1c, so ambient scheduler noise hits both configurations.
+    let ablate =
+        |label: &str,
+         rows: &mut Vec<Vec<String>>,
+         env_for: &dyn Fn(&Arc<wsrf_core::container::Service>) -> Envelope| {
+            let touch = |svc: &Arc<wsrf_core::container::Service>, env: &Envelope| {
+                time_per_iter(2_000, || {
+                    svc.dispatch(env.clone());
+                })
+            };
+            let (svc_off, _epr_off, _net_off) = bench_service_obs(
+                Arc::new(MemoryStore::new()),
+                MetricsRegistry::new(ObsConfig::enabled().without_events()),
+            );
+            let (svc_on, _epr_on, _net_on) = bench_service_obs(
+                Arc::new(MemoryStore::new()),
+                MetricsRegistry::new(ObsConfig::enabled()),
+            );
+            let (env_off, env_on) = (env_for(&svc_off), env_for(&svc_on));
+            touch(&svc_off, &env_off); // warm both paths
+            touch(&svc_on, &env_on);
+            let (mut t_off, mut t_on) = (Duration::MAX, Duration::MAX);
+            for _ in 0..50 {
+                t_off = t_off.min(touch(&svc_off, &env_off));
+                t_on = t_on.min(touch(&svc_on, &env_on));
+            }
+            rows.push(vec![
+                format!(
+                    "{label}, events+SLO on (events off {:+.1}%)",
+                    (t_on.as_secs_f64() / t_off.as_secs_f64() - 1.0) * 100.0
+                ),
+                fmt_us(t_on),
+            ]);
+        };
+    ablate("dispatch", &mut rows, &|svc| {
+        request(
+            &svc.core().epr_for("r1"),
+            "Bench",
+            "Touch",
+            Element::new(UVACG, "Touch"),
+        )
+    });
+    // The fault path is where the event log actually writes: every
+    // fault formats a detail string and lands in the warn ring.
+    ablate("faulting dispatch", &mut rows, &|svc| {
+        request(
+            &svc.core().epr_for("ghost"),
+            "Bench",
+            "Touch",
+            Element::new(UVACG, "Touch"),
+        )
+    });
+
+    // Per-op price of the two new write paths, in isolation.
+    {
+        let reg = MetricsRegistry::enabled();
+        let log = reg.events().clone();
+        let t = time_per_iter(100_000, || {
+            log.emit(Severity::Info, EventKind::WalSnapshot, "bench", 0, || {
+                "shard 00 compacted".to_string()
+            });
+        });
+        rows.push(vec!["event emit (format + ring insert)".into(), fmt_us(t)]);
+        let slo = reg.slo().service("bench");
+        let t = time_per_iter(100_000, || {
+            slo.record(true, 1_000, 0);
+        });
+        rows.push(vec!["SLO record (window bucket update)".into(), fmt_us(t)]);
+    }
+
+    // Scrape cost against a registry populated by a real run: render
+    // in-process (what the exposition sink pays) and end-to-end over
+    // HTTP (connect + render + transfer, a fresh connection per GET —
+    // how a Prometheus-style scraper actually arrives).
+    let (grid, client) = grid_with_client(2, 2.0);
+    let handle = client
+        .submit(&shaped_spec("diamond", 5), "griduser", "gridpass")
+        .unwrap();
+    drive(&grid, &handle, 2000);
+    let n_metrics = grid.metrics_snapshot().entries.len();
+    let mut buf: Vec<u8> = Vec::with_capacity(64 * 1024);
+    let t = time_per_iter(2_000, || {
+        buf.clear();
+        grid.metrics.write_prometheus_into(&mut buf);
+    });
+    rows.push(vec![
+        format!("/metrics render ({n_metrics} metrics)"),
+        fmt_us(t),
+    ]);
+    let t = time_per_iter(2_000, || {
+        buf.clear();
+        grid.metrics.write_json_into(&mut buf);
+    });
+    rows.push(vec![
+        format!("/metrics.json render ({n_metrics} metrics)"),
+        fmt_us(t),
+    ]);
+    let server = HttpSoapServer::start_monitored(
+        Arc::new(FnEndpoint::new("bench", Some)),
+        &grid.metrics,
+        grid.clock.clone(),
+        HttpLimits::default(),
+    )
+    .expect("bind exposition server");
+    let authority = server.authority();
+    for path in ["/metrics.json", "/healthz"] {
+        let t = time_median(50, || {
+            let (code, _) = http_get(&authority, path).unwrap();
+            assert!(code == 200 || code == 503);
+        });
+        rows.push(vec![format!("{path} scrape over HTTP"), fmt_us(t)]);
+    }
+    // Streaming side: one event emitted and pumped onto the
+    // monitor/events topic per iteration (no subscribers — the price
+    // of the publish path itself).
+    let t = time_per_iter(2_000, || {
+        grid.metrics
+            .events()
+            .emit(Severity::Info, EventKind::WalSnapshot, "bench", 0, || {
+                "tick".to_string()
+            });
+        grid.pump_events();
+    });
+    rows.push(vec![
+        "event emit + pump flush (1-event batch)".into(),
+        fmt_us(t),
+    ]);
+
+    print_table(
+        "E14 — monitoring plane: ablation and scrape cost",
+        &["path", "time/op"],
+        &rows,
+    );
+}
+
+/// `--monitor-smoke`: boot a monitored container, scrape `/metrics`
+/// and `/healthz` once each, and verify both answer. Tier-1 runs this
+/// to prove the exposition surface binds and serves outside the test
+/// harness.
+fn monitor_smoke() {
+    let (grid, client) = grid_with_client(2, 1.0);
+    let handle = client
+        .submit(&shaped_spec("chain", 2), "griduser", "gridpass")
+        .unwrap();
+    drive(&grid, &handle, 2000);
+    let server = HttpSoapServer::start_monitored(
+        Arc::new(FnEndpoint::new("smoke", Some)),
+        &grid.metrics,
+        grid.clock.clone(),
+        HttpLimits::default(),
+    )
+    .expect("bind exposition server");
+    let authority = server.authority();
+    let (code, prom) = http_get(&authority, "/metrics").expect("GET /metrics");
+    assert_eq!(code, 200, "/metrics status");
+    assert!(
+        prom.contains("scheduler_makespan_ns_count"),
+        "/metrics body missing scheduler series"
+    );
+    let (code, hz) = http_get(&authority, "/healthz").expect("GET /healthz");
+    assert_eq!(code, 200, "/healthz status: {hz}");
+    assert!(hz.contains("\"status\": \"ok\""), "/healthz body: {hz}");
+    println!(
+        "monitor smoke: OK — {authority} served /metrics ({} bytes) and /healthz",
+        prom.len()
+    );
+}
+
 fn metrics_dump() {
     // Full-pipeline observability: run one job set on a metrics-enabled
     // grid (GridConfig observes by default) and dump the whole registry
@@ -1238,6 +1418,17 @@ fn main() {
         e13_broker_openloop(false);
         return;
     }
+    // `--e14-only` regenerates the monitoring-plane table standalone.
+    if std::env::args().any(|a| a == "--e14-only") {
+        e14_monitoring();
+        return;
+    }
+    // `--monitor-smoke` boots a monitored container and scrapes it
+    // once; tier-1 uses it as the exposition-surface sanity check.
+    if std::env::args().any(|a| a == "--monitor-smoke") {
+        monitor_smoke();
+        return;
+    }
     println!("# UVaCG reproduction — experiment harness");
     println!("(scaled-down medians; `cargo bench` runs the full Criterion suite)");
     e1_dispatch();
@@ -1253,6 +1444,7 @@ fn main() {
     e10_contention();
     e11_wirepath();
     e13_broker_openloop(false);
+    e14_monitoring();
     metrics_dump();
     println!("\ndone.");
 }

@@ -15,6 +15,7 @@ use wsrf_transport::{InProcNetwork, NetConfig};
 use crate::client::Client;
 use crate::es::{execution_service, EsConfig};
 use crate::fss::file_system_service;
+use crate::monitor::{monitor_service, EventPump};
 use crate::nis::{self, node_info_service};
 use crate::policy::{FastestAvailable, SchedulingPolicy};
 use crate::scheduler::{scheduler_service, standby_scheduler, Scheduler, SchedulerConfig, Standby};
@@ -186,6 +187,16 @@ pub struct CampusGrid {
     pub metrics: Arc<MetricsRegistry>,
     /// Keeps every deployed service alive.
     services: Vec<Arc<Service>>,
+    /// The monitoring-plane WSRF service: `{UVACG}EventLog` and
+    /// `{UVACG}Health` computed RPs on the well-known `monitor`
+    /// resource (kept out of `services` so Figure 3 service counts
+    /// stay what the paper describes).
+    monitor: Arc<Service>,
+    /// Bridges the registry's event rings onto the `monitor/events`
+    /// notification topic. Not started automatically — flush with
+    /// [`CampusGrid::pump_events`] or schedule via [`EventPump::start`]
+    /// so message-count assertions elsewhere stay undisturbed.
+    event_pump: Arc<EventPump>,
     /// What [`CampusGrid::spawn_standby`] needs to mirror the primary.
     scheduler_store: Arc<dyn ResourceStore>,
     policy: Arc<dyn SchedulingPolicy>,
@@ -203,6 +214,8 @@ pub const SCHEDULER_ADDRESS: &str = "inproc://hub/Scheduler";
 pub const SCHEDULER_SUBJECT: &str = "scheduler";
 /// The primary scheduler's listener address.
 pub const SCHEDULER_LISTENER_ADDRESS: &str = "inproc://hub/SchedulerListener";
+/// Monitor service address (EventLog/Health RPs).
+pub const MONITOR_ADDRESS: &str = "inproc://hub/Monitor";
 /// The standby scheduler's listener address.
 pub const STANDBY_LISTENER_ADDRESS: &str = "inproc://hub/StandbyListener";
 
@@ -327,6 +340,18 @@ impl CampusGrid {
         );
         scheduler.register(&net);
 
+        // Monitoring plane: the EventLog/Health RP service and the
+        // pump that streams events onto the `monitor/events` topic.
+        let monitor = monitor_service(
+            MONITOR_ADDRESS,
+            &metrics,
+            Arc::new(MemoryStore::new()),
+            clock.clone(),
+            net.clone(),
+        );
+        monitor.register(&net);
+        let event_pump = EventPump::new(net.clone(), metrics.clone(), broker.clone(), "campus");
+
         CampusGrid {
             clock,
             net,
@@ -337,6 +362,8 @@ impl CampusGrid {
             security,
             metrics,
             services,
+            monitor,
+            event_pump,
             scheduler_store,
             policy: config.policy,
             job_timeout: config.job_timeout,
@@ -375,6 +402,24 @@ impl CampusGrid {
     /// A point-in-time snapshot of every metric in the deployment.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// EPR of the monitor resource carrying the `{UVACG}EventLog` and
+    /// `{UVACG}Health` computed properties.
+    pub fn monitor_epr(&self) -> EndpointReference {
+        self.monitor.core().epr_for(crate::monitor::MONITOR_KEY)
+    }
+
+    /// The pump bridging this grid's event log onto the
+    /// `monitor/events` topic (start it, or flush manually).
+    pub fn event_pump(&self) -> &Arc<EventPump> {
+        &self.event_pump
+    }
+
+    /// Flush pending structured events onto the `monitor/events`
+    /// topic; returns how many were published.
+    pub fn pump_events(&self) -> usize {
+        self.event_pump.flush()
     }
 
     /// A new client workstation attached to this grid.

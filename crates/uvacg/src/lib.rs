@@ -42,6 +42,7 @@ pub mod es;
 pub mod fss;
 pub mod grid;
 pub mod jobset;
+pub mod monitor;
 pub mod nis;
 pub mod policy;
 pub mod proxies;
@@ -51,6 +52,9 @@ pub mod security;
 pub use client::{Client, JobSetHandle, JobSetOutcome};
 pub use grid::{CampusGrid, GridConfig};
 pub use jobset::{FileRef, JobSetSpec, JobSpec};
+pub use monitor::{
+    AuthorityStatus, EventPump, GridCatalog, MetricsSource, MonitorService, RemoteEvent,
+};
 pub use policy::{
     FastestAvailable, LeastLoaded, MachineOutcome, MetricsFeedback, NodeSnapshot, OutcomeKind,
     PenaltyRow, Random, RoundRobin, SchedulingPolicy,

@@ -286,6 +286,7 @@ const LATENCY_FLOOR_NS: f64 = 100e6; // 100 virtual ms
 ///
 /// ```text
 /// penalty = 1 + w·excess(ewma) + w·excess(transfer_p50) + w_f·failures
+///             + w_b·max(0, burn − 1)
 /// excess(x) = max(0, x − fleet_median) / max(fleet_median, 100ms)
 /// ```
 ///
@@ -295,7 +296,12 @@ const LATENCY_FLOOR_NS: f64 = 100e6; // 100 virtual ms
 ///   machine's authority, read live from the deployment's
 ///   `transport.inproc.modeled.<authority>_ns` histogram;
 /// * `failures` counts [`OutcomeKind::Failure`]/[`OutcomeKind::Timeout`]
-///   reports and halves on each success.
+///   reports and halves on each success;
+/// * `burn` is the machine's SLO burn rate from the deployment's
+///   rolling [`wsrf_obs::SloTracker`] window (the same signal the
+///   `{UVACG}Health` monitoring property publishes) — a machine
+///   burning its error budget faster than allowed is penalized even
+///   while its EWMA still looks healthy.
 ///
 /// With no observations at all the penalty is `1.0` everywhere and the
 /// policy is exactly [`FastestAvailable`]. Medians are taken over the
@@ -308,6 +314,8 @@ pub struct MetricsFeedback {
     latency_weight: f64,
     /// Weight of the failure-count penalty term.
     failure_weight: f64,
+    /// Weight of the SLO burn-rate penalty term.
+    burn_weight: f64,
     fleet: Mutex<HashMap<String, MachineRecord>>,
     registry: Mutex<Option<Arc<MetricsRegistry>>>,
 }
@@ -318,6 +326,7 @@ impl Default for MetricsFeedback {
             alpha: 0.3,
             latency_weight: 4.0,
             failure_weight: 4.0,
+            burn_weight: 2.0,
             fleet: Mutex::new(HashMap::new()),
             registry: Mutex::new(None),
         }
@@ -346,6 +355,21 @@ impl MetricsFeedback {
     /// How far `x` sits above the fleet median, in medians.
     fn excess(x: f64, median: f64) -> f64 {
         (x - median).max(0.0) / median.max(LATENCY_FLOOR_NS)
+    }
+
+    /// Excess SLO burn for `machine` from the deployment's rolling
+    /// windows: 0 while the machine stays inside its error budget,
+    /// `burn − 1` (capped) once it burns faster than allowed. `now_ns`
+    /// anchors the window; callers pass the freshest NIS timestamp.
+    fn slo_burn(registry: Option<&Arc<MetricsRegistry>>, machine: &str, now_ns: u64) -> f64 {
+        const BURN_CAP: f64 = 10.0;
+        let Some(reg) = registry.filter(|r| r.is_enabled()) else {
+            return 0.0;
+        };
+        match reg.slo().health(machine, now_ns) {
+            Some(h) if h.burn_rate > 1.0 => h.burn_rate.min(BURN_CAP) - 1.0,
+            _ => 0.0,
+        }
     }
 
     fn penalty_terms(&self, ewma: f64, med_ewma: f64, transfer: f64, med_transfer: f64) -> f64 {
@@ -388,14 +412,23 @@ impl SchedulingPolicy for MetricsFeedback {
             .collect();
         let med_ewma = lower_median(&ewmas);
         let med_transfer = lower_median(&transfers);
+        // Anchor the SLO window at the freshest NIS report: candidate
+        // snapshots are the only virtual-time signal a policy sees.
+        let now_ns = nodes
+            .iter()
+            .map(|n| (n.updated_at.max(0.0) * 1e9) as u64)
+            .max()
+            .unwrap_or(0);
         let scores: Vec<f64> = nodes
             .iter()
             .enumerate()
             .map(|(i, n)| {
                 let failures = fleet.get(&n.machine).map_or(0.0, |r| r.failures);
+                let burn = Self::slo_burn(registry.as_ref(), &n.machine, now_ns);
                 let penalty = 1.0
                     + self.penalty_terms(ewmas[i], med_ewma, transfers[i], med_transfer)
-                    + self.failure_weight * failures;
+                    + self.failure_weight * failures
+                    + self.burn_weight * burn;
                 spare_speed(n) / penalty
             })
             .collect();

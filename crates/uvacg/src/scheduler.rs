@@ -315,6 +315,43 @@ fn report_outcome(
     machine: &str,
     kind: OutcomeKind,
 ) {
+    // Feed the monitoring plane: job terminations become structured
+    // events and per-machine SLO samples (service = machine name,
+    // latency = virtual makespan). Dispatch latencies are placement
+    // signal only, not completions, so they stay out of the SLO window.
+    let now_ns = core.clock.now().as_nanos();
+    match kind {
+        OutcomeKind::Makespan { virt_ns } => {
+            core.metrics
+                .slo()
+                .service(machine)
+                .record(true, virt_ns, now_ns);
+            core.metrics.events().emit(
+                wsrf_obs::Severity::Info,
+                wsrf_obs::EventKind::JobCompleted,
+                machine,
+                now_ns,
+                || format!("job completed in {virt_ns} virtual ns"),
+            );
+        }
+        OutcomeKind::Failure | OutcomeKind::Timeout => {
+            core.metrics.slo().service(machine).record(false, 0, now_ns);
+            core.metrics.events().emit(
+                wsrf_obs::Severity::Warn,
+                wsrf_obs::EventKind::JobFailed,
+                machine,
+                now_ns,
+                || {
+                    if matches!(kind, OutcomeKind::Timeout) {
+                        "job timed out on machine".to_string()
+                    } else {
+                        "job failed on machine".to_string()
+                    }
+                },
+            );
+        }
+        OutcomeKind::Dispatch { .. } => {}
+    }
     inner.policy.observe(&MachineOutcome {
         machine: machine.to_string(),
         kind,

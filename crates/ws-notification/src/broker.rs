@@ -46,7 +46,7 @@ use wsrf_core::container::{action_uri, Ctx, OpKind, Service, ServiceBuilder};
 use wsrf_core::faults;
 use wsrf_core::properties::PropertyDoc;
 use wsrf_core::store::{ResourceStore, StoreError};
-use wsrf_obs::{Counter, CounterFamily, Gauge};
+use wsrf_obs::{Counter, CounterFamily, EventKind, EventLog, Gauge, Severity};
 use wsrf_soap::{ns, BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault, TraceContext};
 use wsrf_transport::pool::ThreadPool;
 use wsrf_transport::{InProcNetwork, TransportError};
@@ -434,6 +434,10 @@ struct DeliveryFabric {
     autopause_after: u32,
     failures: Counter,
     autopaused: Counter,
+    /// Structured event log + clock for the auto-pause event's
+    /// virtual timestamp.
+    events: EventLog,
+    clock: Clock,
     workers: usize,
     pool: OnceLock<ThreadPool>,
     queues: Mutex<HashMap<String, Arc<Mutex<ConsumerQueue>>>>,
@@ -478,6 +482,19 @@ impl DeliveryFabric {
             return;
         }
         self.autopaused.inc();
+        let after = self.autopause_after;
+        self.events.emit(
+            Severity::Warn,
+            EventKind::DeliveryAutopause,
+            &self.service,
+            self.clock.now().as_nanos(),
+            || {
+                format!(
+                    "subscription {} auto-paused after {after} delivery failures",
+                    sub.key
+                )
+            },
+        );
         if let Ok(mut doc) = self.store.load(&self.service, &sub.key) {
             doc.set_text(p_paused(), "true");
             let _ = self.store.save(&self.service, &sub.key, &doc);
@@ -610,6 +627,8 @@ pub fn notification_broker_with(
         autopause_after: config.autopause_after.max(1),
         failures: registry.counter("broker.delivery_failures"),
         autopaused: registry.counter("broker.autopaused"),
+        events: registry.events().clone(),
+        clock: clock.clone(),
         workers: config.delivery_workers.max(1),
         pool: OnceLock::new(),
         queues: Mutex::new(HashMap::new()),
@@ -1382,6 +1401,57 @@ mod tests {
         }
         assert!(c.get("t999").is_some());
         assert!(c.get("t0").is_none());
+    }
+
+    #[test]
+    fn current_cache_gauge_stays_exact_across_generation_swaps() {
+        // The `broker.current_cache.size` gauge is set on every Notify;
+        // a shadow CurrentCache replays the same insert sequence so the
+        // gauge can be checked against the true hot+cold length even as
+        // eviction swaps generations.
+        let clock = Clock::manual();
+        let registry = wsrf_obs::MetricsRegistry::enabled();
+        let net = InProcNetwork::with_metrics(
+            clock.clone(),
+            wsrf_transport::NetConfig::default(),
+            &registry,
+        );
+        let broker = notification_broker_with(
+            "Broker",
+            "inproc://hub/Broker",
+            Arc::new(MemoryStore::new()),
+            clock,
+            net.clone(),
+            BrokerConfig {
+                current_cache_cap: 8,
+                ..BrokerConfig::default()
+            },
+        );
+        broker.register(&net);
+        let bepr = broker.core().service_epr();
+        let gauge = registry.gauge("broker.current_cache.size");
+
+        let mut shadow = CurrentCache::new(8);
+        for i in 0..40 {
+            // Cycle through 13 topics so inserts mix fresh topics (which
+            // evict) with re-publishes of resident ones (which must not
+            // grow the cache).
+            let topic = format!("t{}", i % 13);
+            publish(&net, &bepr, &msg(&topic)).unwrap();
+            shadow.insert(topic, msg("x"));
+            assert_eq!(
+                gauge.get(),
+                shadow.len() as i64,
+                "gauge diverged from cache length at insert {i}"
+            );
+            assert!(gauge.get() <= 8, "gauge exceeded cap at insert {i}");
+        }
+
+        // GetCurrentMessage promotes cold entries back to the hot
+        // generation but never changes the cache size.
+        let before = gauge.get();
+        assert!(get_current_message(&net, &bepr, "t0").unwrap().is_some());
+        assert_eq!(gauge.get(), before, "read path must not move the gauge");
     }
 
     #[test]

@@ -18,7 +18,10 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use simclock::{Clock, SimTime, TimerId};
-use wsrf_obs::{Counter, Histogram, MetricsRegistry, SpanContext, Timer, Tracer};
+use wsrf_obs::{
+    Counter, EventKind, EventLog, Histogram, MetricsRegistry, Severity, SloHandle, SpanContext,
+    Timer, Tracer,
+};
 use wsrf_soap::{ns, BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault, TraceContext};
 use wsrf_transport::{Endpoint, InProcNetwork};
 use wsrf_xml::{Element, QName};
@@ -203,10 +206,18 @@ impl ServiceCore {
         if let Some(at) = at {
             let core = Arc::clone(self);
             let key_owned = key.to_string();
-            let timer = self.clock.schedule_at(at, move |_| {
+            let timer = self.clock.schedule_at(at, move |now| {
                 // Best-effort: the resource may already be gone.
                 core.lifetime.lock().remove(&key_owned);
-                let _ = core.store.destroy(&core.name, &key_owned);
+                if core.store.destroy(&core.name, &key_owned).is_ok() {
+                    core.metrics.events().emit(
+                        Severity::Info,
+                        EventKind::LeaseExpiry,
+                        &core.name,
+                        now.as_nanos(),
+                        || format!("resource {key_owned} destroyed at lease expiry"),
+                    );
+                }
             });
             lt.insert(key.to_string(), timer);
         }
@@ -344,6 +355,10 @@ struct DispatchObs {
     lock_wait: Histogram,
     /// Per-operation invocation counts, keyed by action URI.
     per_op: HashMap<String, Counter>,
+    /// Structured event log for fault envelopes (noop when disabled).
+    events: EventLog,
+    /// Per-service SLO window fed by every dispatch outcome.
+    slo: SloHandle,
 }
 
 impl DispatchObs {
@@ -374,6 +389,8 @@ impl DispatchObs {
             writes: registry.counter(&format!("{prefix}.writes")),
             lock_wait: registry.histogram(&format!("{prefix}.lock_wait_ns")),
             per_op,
+            events: registry.events().clone(),
+            slo: registry.slo().service(service),
         }
     }
 
@@ -452,12 +469,34 @@ impl Service {
     /// can invoke without a network.
     pub fn dispatch(&self, env: Envelope) -> Envelope {
         self.obs.dispatches.inc();
+        let started = self.obs.enabled.then(std::time::Instant::now);
         match self.try_dispatch(&env) {
-            Ok(resp) => resp,
+            Ok(resp) => {
+                if let Some(t) = started {
+                    let latency = t.elapsed().as_nanos() as u64;
+                    self.obs
+                        .slo
+                        .record(true, latency, self.core.clock.now().as_nanos());
+                }
+                resp
+            }
             Err(fault) => {
                 self.obs.faults.inc();
+                let now = self.core.clock.now();
+                if let Some(t) = started {
+                    self.obs
+                        .slo
+                        .record(false, t.elapsed().as_nanos() as u64, now.as_nanos());
+                }
+                self.obs.events.emit(
+                    Severity::Warn,
+                    EventKind::DispatchFault,
+                    &self.label,
+                    now.as_nanos(),
+                    || format!("{}: {}", fault.error_code, fault.description),
+                );
                 let f = fault
-                    .at(self.core.clock.now().as_secs_f64())
+                    .at(now.as_secs_f64())
                     .from_originator(self.core.service_epr());
                 SoapFault::from_base(f).to_envelope()
             }

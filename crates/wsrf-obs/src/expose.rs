@@ -1,0 +1,330 @@
+//! Exposition: render a live [`MetricsRegistry`] as Prometheus-style
+//! text or flat JSON, straight into a caller-supplied sink.
+//!
+//! Mirrors the `XmlSink` pattern from `wsrf-xml`: one render routine is
+//! generic over the destination ([`MetricSink`]), so the HTTP scrape
+//! path renders into a reused per-connection `Vec<u8>` and a sizing
+//! pass can count bytes — in both cases without allocating a single
+//! per-metric `String`. Integers are formatted through a stack buffer
+//! ([`MetricSink::put_u64`]), metric names are sanitized for Prometheus
+//! by streaming the valid runs ([`put_sanitized`]), and the JSON shape
+//! is byte-compatible with [`crate::MetricsSnapshot::to_json`] so the
+//! bench gate parses scrapes and dumps identically.
+
+use crate::{percentile_from_buckets, Metric, MetricsRegistry};
+use std::sync::atomic::Ordering;
+
+/// Destination for rendered metrics. Implemented for `String`,
+/// `Vec<u8>` and [`LenSink`] (exact size of a render, no bytes kept).
+pub trait MetricSink {
+    fn put(&mut self, s: &str);
+
+    /// Append a `u64` without heap allocation (stack `itoa`).
+    fn put_u64(&mut self, mut v: u64) {
+        let mut buf = [0u8; 20];
+        let mut at = buf.len();
+        loop {
+            at -= 1;
+            buf[at] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        // The buffer holds only ASCII digits.
+        self.put(std::str::from_utf8(&buf[at..]).unwrap());
+    }
+
+    /// Append an `i64` without heap allocation.
+    fn put_i64(&mut self, v: i64) {
+        if v < 0 {
+            self.put("-");
+            self.put_u64(v.unsigned_abs());
+        } else {
+            self.put_u64(v as u64);
+        }
+    }
+
+    /// Append a non-negative float with one decimal digit (what the
+    /// JSON `mean` field uses), without heap allocation.
+    fn put_tenths(&mut self, v: f64) {
+        let tenths = (v.max(0.0) * 10.0).round() as u64;
+        self.put_u64(tenths / 10);
+        self.put(".");
+        self.put_u64(tenths % 10);
+    }
+}
+
+impl MetricSink for String {
+    fn put(&mut self, s: &str) {
+        self.push_str(s);
+    }
+}
+
+impl MetricSink for Vec<u8> {
+    fn put(&mut self, s: &str) {
+        self.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Counts bytes instead of keeping them: `render` into a `LenSink` is
+/// an exact sizing pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LenSink(pub usize);
+
+impl MetricSink for LenSink {
+    fn put(&mut self, s: &str) {
+        self.0 += s.len();
+    }
+}
+
+/// True for characters Prometheus accepts in metric names.
+fn prom_ok(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b':'
+}
+
+/// Stream `name` with every Prometheus-invalid character (dots, mostly)
+/// replaced by `_`, pushing the valid runs as borrowed slices.
+fn put_sanitized(sink: &mut impl MetricSink, name: &str) {
+    let bytes = name.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if !prom_ok(b) {
+            if start < i {
+                sink.put(&name[start..i]);
+            }
+            sink.put("_");
+            start = i + 1;
+        }
+    }
+    if start < bytes.len() {
+        sink.put(&name[start..]);
+    }
+}
+
+/// Stream `s` as the interior of a JSON string (quotes not included),
+/// escaping the JSON-special characters in place.
+pub(crate) fn put_json_escaped(sink: &mut impl MetricSink, s: &str) {
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        let esc: Option<&str> = match c {
+            '"' => Some("\\\""),
+            '\\' => Some("\\\\"),
+            '\n' => Some("\\n"),
+            '\r' => Some("\\r"),
+            '\t' => Some("\\t"),
+            c if (c as u32) < 0x20 => Some("\\u0000"), // rare; lossy but valid JSON
+            _ => None,
+        };
+        if let Some(e) = esc {
+            if start < i {
+                sink.put(&s[start..i]);
+            }
+            sink.put(e);
+            start = i + c.len_utf8();
+        }
+    }
+    if start < s.len() {
+        sink.put(&s[start..]);
+    }
+}
+
+impl MetricsRegistry {
+    /// Render every metric in Prometheus text-exposition format.
+    /// Counters and gauges render as themselves; histograms render as
+    /// summaries (`{quantile="..."}` series plus `_sum`/`_count`).
+    /// Zero heap allocation per metric: values stream through the
+    /// sink's stack formatter, names through [`put_sanitized`].
+    pub fn write_prometheus_into<S: MetricSink>(&self, sink: &mut S) {
+        let metrics = self.metrics.read();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    sink.put("# TYPE ");
+                    put_sanitized(sink, name);
+                    sink.put(" counter\n");
+                    put_sanitized(sink, name);
+                    sink.put(" ");
+                    sink.put_u64(c.get());
+                    sink.put("\n");
+                }
+                Metric::Gauge(g) => {
+                    sink.put("# TYPE ");
+                    put_sanitized(sink, name);
+                    sink.put(" gauge\n");
+                    put_sanitized(sink, name);
+                    sink.put(" ");
+                    sink.put_i64(g.get());
+                    sink.put("\n");
+                }
+                Metric::Histogram(h) => {
+                    let Some(core) = &h.inner else { continue };
+                    let mut buckets = [0u64; crate::BUCKETS];
+                    for (slot, b) in buckets.iter_mut().zip(core.buckets.iter()) {
+                        *slot = b.load(Ordering::Relaxed);
+                    }
+                    let count: u64 = buckets.iter().sum();
+                    let sum = core.sum.load(Ordering::Relaxed);
+                    sink.put("# TYPE ");
+                    put_sanitized(sink, name);
+                    sink.put(" summary\n");
+                    for (q, tag) in [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")] {
+                        put_sanitized(sink, name);
+                        sink.put("{quantile=\"");
+                        sink.put(tag);
+                        sink.put("\"} ");
+                        sink.put_u64(percentile_from_buckets(&buckets, count, q));
+                        sink.put("\n");
+                    }
+                    put_sanitized(sink, name);
+                    sink.put("_sum ");
+                    sink.put_u64(sum);
+                    sink.put("\n");
+                    put_sanitized(sink, name);
+                    sink.put("_count ");
+                    sink.put_u64(count);
+                    sink.put("\n");
+                }
+            }
+        }
+    }
+
+    /// Render every metric as the flat one-object-per-line JSON that
+    /// [`crate::MetricsSnapshot::to_json`] writes (and the bench gate
+    /// parses), without snapshotting: values are read live under the
+    /// registry's read lock, streamed allocation-free into `sink`.
+    pub fn write_json_into<S: MetricSink>(&self, sink: &mut S) {
+        let metrics = self.metrics.read();
+        sink.put("{\n");
+        let total = metrics.len();
+        for (i, (name, metric)) in metrics.iter().enumerate() {
+            sink.put("  \"");
+            put_json_escaped(sink, name);
+            sink.put("\": ");
+            match metric {
+                Metric::Counter(c) => {
+                    sink.put("{\"type\": \"counter\", \"value\": ");
+                    sink.put_u64(c.get());
+                    sink.put("}");
+                }
+                Metric::Gauge(g) => {
+                    sink.put("{\"type\": \"gauge\", \"value\": ");
+                    sink.put_i64(g.get());
+                    sink.put("}");
+                }
+                Metric::Histogram(h) => {
+                    let stats = h.stats();
+                    sink.put("{\"type\": \"histogram\", \"count\": ");
+                    sink.put_u64(stats.count);
+                    sink.put(", \"sum\": ");
+                    sink.put_u64(stats.sum);
+                    sink.put(", \"min\": ");
+                    sink.put_u64(stats.min);
+                    sink.put(", \"max\": ");
+                    sink.put_u64(stats.max);
+                    sink.put(", \"mean\": ");
+                    sink.put_tenths(stats.mean());
+                    sink.put(", \"p50\": ");
+                    sink.put_u64(stats.p50);
+                    sink.put(", \"p90\": ");
+                    sink.put_u64(stats.p90);
+                    sink.put(", \"p99\": ");
+                    sink.put_u64(stats.p99);
+                    sink.put("}");
+                }
+            }
+            if i + 1 != total {
+                sink.put(",");
+            }
+            sink.put("\n");
+        }
+        sink.put("}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_integer_formatting() {
+        let mut s = String::new();
+        s.put_u64(0);
+        s.put(" ");
+        s.put_u64(18_446_744_073_709_551_615);
+        s.put(" ");
+        s.put_i64(-42);
+        s.put(" ");
+        s.put_tenths(3.26);
+        assert_eq!(s, "0 18446744073709551615 -42 3.3");
+    }
+
+    #[test]
+    fn sanitized_names_stream_in_runs() {
+        let mut s = String::new();
+        put_sanitized(&mut s, "container.fss.dispatches");
+        assert_eq!(s, "container_fss_dispatches");
+        let mut s = String::new();
+        put_sanitized(&mut s, "a-b.c");
+        assert_eq!(s, "a_b_c");
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut s = String::new();
+        put_json_escaped(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn prometheus_covers_all_kinds() {
+        let reg = MetricsRegistry::enabled();
+        reg.counter("jobs.done").add(3);
+        reg.gauge("queue.depth").set(-1);
+        reg.histogram("lat.ns").record(500);
+        let mut out = String::new();
+        reg.write_prometheus_into(&mut out);
+        assert!(
+            out.contains("# TYPE jobs_done counter\njobs_done 3\n"),
+            "{out}"
+        );
+        assert!(out.contains("# TYPE queue_depth gauge\nqueue_depth -1\n"));
+        assert!(out.contains("# TYPE lat_ns summary\n"));
+        assert!(out.contains("lat_ns{quantile=\"0.99\"} 384\n"));
+        assert!(out.contains("lat_ns_sum 500\n"));
+        assert!(out.contains("lat_ns_count 1\n"));
+    }
+
+    #[test]
+    fn json_render_matches_snapshot_encoding() {
+        let reg = MetricsRegistry::enabled();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(5);
+        reg.histogram("h").record(1000);
+        let mut live = String::new();
+        reg.write_json_into(&mut live);
+        // Identical shape to the snapshot encoder: the gate and the
+        // monitor parser treat scrape output and dump files the same.
+        let snap = reg.snapshot().to_json();
+        assert_eq!(live, snap);
+    }
+
+    #[test]
+    fn len_sink_sizes_exactly() {
+        let reg = MetricsRegistry::enabled();
+        for i in 0..20 {
+            reg.counter(&format!("c{i}")).add(i);
+            reg.histogram(&format!("h{i}")).record(i * 100);
+        }
+        let mut text = Vec::new();
+        reg.write_prometheus_into(&mut text);
+        let mut len = LenSink::default();
+        reg.write_prometheus_into(&mut len);
+        assert_eq!(len.0, text.len());
+        let mut jtext = Vec::new();
+        reg.write_json_into(&mut jtext);
+        let mut jlen = LenSink::default();
+        reg.write_json_into(&mut jlen);
+        assert_eq!(jlen.0, jtext.len());
+    }
+}

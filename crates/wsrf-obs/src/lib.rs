@@ -35,8 +35,14 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 use simclock::{Clock, SimTime};
 
+pub mod events;
+pub mod expose;
+pub mod slo;
 pub mod tracing;
 
+pub use events::{Event, EventKind, EventLog, Severity};
+pub use expose::{LenSink, MetricSink};
+pub use slo::{SloConfig, SloHandle, SloHealth, SloTracker};
 pub use tracing::{ActiveSpan, FinishedSpan, SpanContext, TraceConfig, TraceSnapshot, Tracer};
 
 /// Number of log-scale buckets: one per bit of a `u64` nanosecond
@@ -47,25 +53,61 @@ pub const BUCKETS: usize = 64;
 // Config
 // ---------------------------------------------------------------------------
 
-/// Whether a [`MetricsRegistry`] records anything.
+/// Default per-severity retention of the structured event log.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// Whether a [`MetricsRegistry`] records anything, and how much the
+/// attached event log and SLO tracker retain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ObsConfig {
     enabled: bool,
+    event_capacity: usize,
+    slo: SloConfig,
 }
 
 impl ObsConfig {
     /// Recording on (the default).
     pub fn enabled() -> Self {
-        ObsConfig { enabled: true }
+        ObsConfig {
+            enabled: true,
+            event_capacity: DEFAULT_EVENT_CAPACITY,
+            slo: SloConfig::default(),
+        }
     }
 
     /// Recording off: every handle the registry hands out is a no-op.
     pub fn disabled() -> Self {
-        ObsConfig { enabled: false }
+        ObsConfig {
+            enabled: false,
+            event_capacity: 0,
+            slo: SloConfig::default(),
+        }
+    }
+
+    /// Retain up to `n` events per severity in the structured event
+    /// log (`0` disables the log while keeping metrics on).
+    pub fn with_event_capacity(mut self, n: usize) -> Self {
+        self.event_capacity = n;
+        self
+    }
+
+    /// Metrics on, event log off — the E14 ablation arm.
+    pub fn without_events(self) -> Self {
+        self.with_event_capacity(0)
+    }
+
+    /// Override the SLO window geometry/objective.
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = slo;
+        self
     }
 
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    pub fn event_capacity(&self) -> usize {
+        self.event_capacity
     }
 }
 
@@ -152,6 +194,52 @@ impl CounterFamily {
     }
 
     /// Number of distinct labels holding their own counter.
+    pub fn distinct(&self) -> usize {
+        self.slots.read().len()
+    }
+}
+
+/// A bounded-cardinality family of histograms `<prefix>.<label><suffix>`
+/// — [`CounterFamily`]'s rule applied to histograms. The suffix is
+/// appended verbatim (e.g. `_ns`), matching names like
+/// `transport.inproc.modeled.<authority>_ns`; past `cap` distinct
+/// labels every new label shares the `<prefix>.other<suffix>` overflow
+/// histogram. Handles are cached, so the hot path is one read-locked
+/// map probe — no per-record name formatting.
+pub struct HistogramFamily {
+    prefix: String,
+    suffix: String,
+    cap: usize,
+    slots: RwLock<BTreeMap<String, Histogram>>,
+    overflow: Histogram,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl HistogramFamily {
+    /// The histogram for `label`, creating it unless the family is at
+    /// capacity (then the shared overflow histogram).
+    pub fn histogram(&self, label: &str) -> Histogram {
+        if !self.registry.is_enabled() {
+            return Histogram::noop();
+        }
+        if let Some(h) = self.slots.read().get(label) {
+            return h.clone();
+        }
+        let mut slots = self.slots.write();
+        if let Some(h) = slots.get(label) {
+            return h.clone();
+        }
+        if slots.len() >= self.cap {
+            return self.overflow.clone();
+        }
+        let h = self
+            .registry
+            .histogram(&format!("{}.{label}{}", self.prefix, self.suffix));
+        slots.insert(label.to_string(), h.clone());
+        h
+    }
+
+    /// Number of distinct labels holding their own histogram.
     pub fn distinct(&self) -> usize {
         self.slots.read().len()
     }
@@ -436,6 +524,8 @@ pub struct MetricsRegistry {
     enabled: bool,
     metrics: RwLock<BTreeMap<String, Metric>>,
     tracer: Tracer,
+    events: EventLog,
+    slo: SloTracker,
 }
 
 impl MetricsRegistry {
@@ -445,14 +535,23 @@ impl MetricsRegistry {
 
     /// A registry that also hands out a [`Tracer`]. The tracer's
     /// `trace.*` counters live in this registry (and are no-ops when
-    /// `config` disables metrics — spans still record).
+    /// `config` disables metrics — spans still record). The structured
+    /// [`EventLog`] and [`SloTracker`] attach the same way: their
+    /// counters register here, and a disabled registry makes both
+    /// no-ops.
     pub fn with_tracing(config: ObsConfig, trace: TraceConfig) -> Arc<Self> {
         let mut reg = MetricsRegistry {
             enabled: config.is_enabled(),
             metrics: RwLock::new(BTreeMap::new()),
             tracer: Tracer::noop(),
+            events: EventLog::noop(),
+            slo: SloTracker::noop(),
         };
         reg.tracer = Tracer::new(trace, &reg);
+        if config.is_enabled() {
+            reg.events = EventLog::new(config.event_capacity, &reg);
+            reg.slo = SloTracker::new(config.slo, &reg);
+        }
         Arc::new(reg)
     }
 
@@ -474,6 +573,17 @@ impl MetricsRegistry {
     /// built with [`MetricsRegistry::with_tracing`]).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// This deployment's structured event log (a no-op on a disabled
+    /// registry, or when [`ObsConfig::with_event_capacity`] is 0).
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// This deployment's SLO tracker (a no-op on a disabled registry).
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
     }
 
     /// Gets or creates the named counter.
@@ -510,6 +620,25 @@ impl MetricsRegistry {
             cap,
             slots: RwLock::new(BTreeMap::new()),
             overflow: self.counter(&format!("{prefix}.other.{suffix}")),
+            registry: self.clone(),
+        }
+    }
+
+    /// A bounded family of histograms named `<prefix>.<label><suffix>`
+    /// (suffix verbatim, e.g. `_ns`); at most `cap` distinct labels,
+    /// the rest collapse into `<prefix>.other<suffix>`.
+    pub fn histogram_family(
+        self: &Arc<Self>,
+        prefix: &str,
+        suffix: &str,
+        cap: usize,
+    ) -> HistogramFamily {
+        HistogramFamily {
+            prefix: prefix.to_string(),
+            suffix: suffix.to_string(),
+            cap,
+            slots: RwLock::new(BTreeMap::new()),
+            overflow: self.histogram(&format!("{prefix}.other{suffix}")),
             registry: self.clone(),
         }
     }
@@ -737,6 +866,71 @@ mod tests {
         assert_eq!(snap.counter("broker.topic.b.publishes"), Some(2));
         assert_eq!(snap.counter("broker.topic.other.publishes"), Some(2));
         assert_eq!(snap.counter("broker.topic.c.publishes"), None);
+    }
+
+    #[test]
+    fn counter_family_overflow_bucket_semantics() {
+        // Past the cap, every new label shares ONE overflow counter:
+        // increments from different labels land in the same atomic,
+        // re-probing an in-cap label still returns its own counter, and
+        // `distinct` never moves past the cap.
+        let reg = MetricsRegistry::enabled();
+        let fam = reg.counter_family("fam", "hits", 2);
+        fam.counter("a").inc();
+        fam.counter("b").inc();
+        for label in ["c", "d", "e", "c", "c"] {
+            fam.counter(label).inc();
+        }
+        assert_eq!(fam.distinct(), 2, "cap holds under overflow traffic");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("fam.other.hits"),
+            Some(5),
+            "all past-cap labels share the overflow atomic"
+        );
+        assert_eq!(snap.counter("fam.a.hits"), Some(1));
+        // In-cap labels stay addressable after overflow began.
+        fam.counter("a").add(9);
+        assert_eq!(reg.snapshot().counter("fam.a.hits"), Some(10));
+        // No per-label metric was ever minted past the cap.
+        for ghost in ["fam.c.hits", "fam.d.hits", "fam.e.hits"] {
+            assert_eq!(reg.snapshot().counter(ghost), None, "{ghost}");
+        }
+    }
+
+    #[test]
+    fn histogram_family_caps_cardinality() {
+        let reg = MetricsRegistry::enabled();
+        let fam = reg.histogram_family("transport.inproc.modeled", "_ns", 2);
+        fam.histogram("machine01").record(100);
+        fam.histogram("machine02").record(200);
+        fam.histogram("machine01").record(100); // cached handle
+        fam.histogram("rogue1").record(999); // over cap → overflow
+        fam.histogram("rogue2").record(999);
+        assert_eq!(fam.distinct(), 2);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.histogram("transport.inproc.modeled.machine01_ns")
+                .unwrap()
+                .count,
+            2
+        );
+        assert_eq!(
+            snap.histogram("transport.inproc.modeled.other_ns")
+                .unwrap()
+                .count,
+            2,
+            "past-cap labels share the overflow histogram"
+        );
+        assert!(snap
+            .histogram("transport.inproc.modeled.rogue1_ns")
+            .is_none());
+        // Disabled registries hand out free noops.
+        let off = MetricsRegistry::disabled();
+        let fam = off.histogram_family("f", "_ns", 4);
+        fam.histogram("a").record(1);
+        assert_eq!(fam.distinct(), 0);
+        assert!(off.snapshot().is_empty());
     }
 
     #[test]

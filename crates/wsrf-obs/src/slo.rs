@@ -1,0 +1,419 @@
+//! SLO tracking: per-service rolling success-rate and p99-latency
+//! windows with burn-rate computation.
+//!
+//! A [`SloTracker`] hands out one [`SloHandle`] per service (bounded
+//! cardinality, like [`crate::CounterFamily`]: past the cap every new
+//! service shares the `other` window). Each handle keeps a circular
+//! window of time buckets rotated by the *virtual* clock, so on a
+//! manual clock the math is exactly reproducible: a bucket covers
+//! `bucket_ns` of virtual time, the window covers `buckets ×
+//! bucket_ns`, and stale buckets are lazily reset when their slot
+//! comes around again.
+//!
+//! **Burn rate** is the standard SRE quantity: observed error rate
+//! divided by the error budget (`1 - target`). Burn 1.0 means the
+//! service is consuming its budget exactly as fast as the SLO allows;
+//! above 1.0 the budget is burning down and the service is unhealthy
+//! over this window.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::{percentile_from_buckets, MetricsRegistry, BUCKETS};
+
+/// Window geometry + objective for every service in a tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloConfig {
+    /// Virtual width of one window bucket, nanoseconds.
+    pub bucket_ns: u64,
+    /// Number of buckets in the rolling window.
+    pub buckets: usize,
+    /// Success-rate objective in parts per million (999_000 = 99.9%).
+    pub target_ppm: u32,
+    /// Max distinct services before new ones share the `other` window.
+    pub cap: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            // 8 × 30 s = a 4-virtual-minute window: long enough to hold
+            // several Figure 3 makespans, short enough that recovery is
+            // visible within a run.
+            bucket_ns: 30_000_000_000,
+            buckets: 8,
+            target_ppm: 999_000,
+            cap: 64,
+        }
+    }
+}
+
+/// Point-in-time health of one service over its rolling window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloHealth {
+    pub service: Arc<str>,
+    /// Operations observed in the window.
+    pub total: u64,
+    pub ok: u64,
+    /// Success rate over the window; `1.0` when the window is empty.
+    pub success_rate: f64,
+    /// p99 latency over the window, at log-bucket resolution.
+    pub p99_ns: u64,
+    /// Error rate ÷ error budget; > 1.0 means the SLO is burning.
+    pub burn_rate: f64,
+    /// Virtual width of the window, nanoseconds.
+    pub window_ns: u64,
+}
+
+impl SloHealth {
+    /// Whether this window is inside its error budget.
+    pub fn is_healthy(&self) -> bool {
+        self.burn_rate <= 1.0
+    }
+}
+
+struct SloBucket {
+    /// `virt_ns / bucket_ns` of the interval this bucket currently
+    /// holds; a slot whose epoch is stale is reset before reuse.
+    epoch: u64,
+    ok: u64,
+    err: u64,
+    lat: [u64; BUCKETS],
+}
+
+impl SloBucket {
+    fn reset(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.ok = 0;
+        self.err = 0;
+        self.lat = [0; BUCKETS];
+    }
+}
+
+struct SloHandleInner {
+    name: Arc<str>,
+    config: SloConfig,
+    window: Mutex<Vec<SloBucket>>,
+}
+
+/// Recording handle for one service's window. Cloning shares the
+/// window; a disabled handle is `None` inside and free to call.
+#[derive(Clone, Default)]
+pub struct SloHandle {
+    inner: Option<Arc<SloHandleInner>>,
+}
+
+impl SloHandle {
+    pub fn noop() -> Self {
+        SloHandle { inner: None }
+    }
+
+    fn new(name: &str, config: SloConfig) -> Self {
+        SloHandle {
+            inner: Some(Arc::new(SloHandleInner {
+                name: Arc::from(name),
+                config,
+                window: Mutex::new(
+                    (0..config.buckets.max(1))
+                        .map(|_| SloBucket {
+                            epoch: u64::MAX,
+                            ok: 0,
+                            err: 0,
+                            lat: [0; BUCKETS],
+                        })
+                        .collect(),
+                ),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one operation outcome at virtual time `now_ns`.
+    /// `latency_ns` feeds the window's p99 (real or virtual — the
+    /// caller picks one base per service and sticks to it).
+    pub fn record(&self, ok: bool, latency_ns: u64, now_ns: u64) {
+        let Some(inner) = &self.inner else { return };
+        let epoch = now_ns / inner.config.bucket_ns.max(1);
+        let mut window = inner.window.lock();
+        let n = window.len();
+        let bucket = &mut window[(epoch as usize) % n];
+        if bucket.epoch != epoch {
+            bucket.reset(epoch);
+        }
+        if ok {
+            bucket.ok += 1;
+        } else {
+            bucket.err += 1;
+        }
+        bucket.lat[crate::bucket_index(latency_ns)] += 1;
+    }
+
+    /// Health over the window ending at virtual time `now_ns`.
+    pub fn health(&self, now_ns: u64) -> SloHealth {
+        let Some(inner) = &self.inner else {
+            return SloHealth {
+                service: Arc::from(""),
+                total: 0,
+                ok: 0,
+                success_rate: 1.0,
+                p99_ns: 0,
+                burn_rate: 0.0,
+                window_ns: 0,
+            };
+        };
+        let config = inner.config;
+        let epoch_now = now_ns / config.bucket_ns.max(1);
+        let oldest = epoch_now.saturating_sub(config.buckets.max(1) as u64 - 1);
+        let mut ok = 0u64;
+        let mut err = 0u64;
+        let mut lat = [0u64; BUCKETS];
+        for bucket in inner.window.lock().iter() {
+            // Only buckets inside [oldest, now]; slots carrying stale
+            // epochs (not yet lazily reset) are out of window.
+            if bucket.epoch >= oldest && bucket.epoch <= epoch_now {
+                ok += bucket.ok;
+                err += bucket.err;
+                for (acc, v) in lat.iter_mut().zip(bucket.lat.iter()) {
+                    *acc += v;
+                }
+            }
+        }
+        let total = ok + err;
+        let success_rate = if total == 0 {
+            1.0
+        } else {
+            ok as f64 / total as f64
+        };
+        let budget = 1.0 - config.target_ppm.min(1_000_000) as f64 / 1e6;
+        let error_rate = 1.0 - success_rate;
+        let burn_rate = if error_rate == 0.0 {
+            0.0
+        } else if budget <= 0.0 {
+            f64::INFINITY
+        } else {
+            error_rate / budget
+        };
+        SloHealth {
+            service: inner.name.clone(),
+            total,
+            ok,
+            success_rate,
+            p99_ns: percentile_from_buckets(&lat, total, 0.99),
+            burn_rate,
+            window_ns: config.bucket_ns.saturating_mul(config.buckets as u64),
+        }
+    }
+}
+
+struct SloTrackerInner {
+    config: SloConfig,
+    services: RwLock<BTreeMap<String, SloHandle>>,
+    overflow: SloHandle,
+}
+
+/// Per-deployment SLO tracker: bounded map of service name →
+/// [`SloHandle`]. Cloning shares the map.
+#[derive(Clone, Default)]
+pub struct SloTracker {
+    inner: Option<Arc<SloTrackerInner>>,
+}
+
+impl SloTracker {
+    pub fn noop() -> Self {
+        SloTracker { inner: None }
+    }
+
+    pub fn new(config: SloConfig, metrics: &MetricsRegistry) -> Self {
+        if !metrics.is_enabled() {
+            return SloTracker::noop();
+        }
+        SloTracker {
+            inner: Some(Arc::new(SloTrackerInner {
+                config,
+                services: RwLock::new(BTreeMap::new()),
+                overflow: SloHandle::new("other", config),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The handle for `service`, creating its window unless the tracker
+    /// is at capacity (then the shared `other` window). Handles are
+    /// cached: the hot path is one read-locked map probe.
+    pub fn service(&self, service: &str) -> SloHandle {
+        let Some(inner) = &self.inner else {
+            return SloHandle::noop();
+        };
+        if let Some(h) = inner.services.read().get(service) {
+            return h.clone();
+        }
+        let mut services = inner.services.write();
+        if let Some(h) = services.get(service) {
+            return h.clone();
+        }
+        if services.len() >= inner.config.cap {
+            return inner.overflow.clone();
+        }
+        let h = SloHandle::new(service, inner.config);
+        services.insert(service.to_string(), h.clone());
+        h
+    }
+
+    /// Number of distinct services holding their own window.
+    pub fn distinct(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|i| i.services.read().len())
+            .unwrap_or(0)
+    }
+
+    /// Health of every tracked service (overflow included when it has
+    /// data), sorted by name, at virtual time `now_ns`.
+    pub fn health_all(&self, now_ns: u64) -> Vec<SloHealth> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut out: Vec<SloHealth> = inner
+            .services
+            .read()
+            .values()
+            .map(|h| h.health(now_ns))
+            .collect();
+        let overflow = inner.overflow.health(now_ns);
+        if overflow.total > 0 {
+            out.push(overflow);
+        }
+        out.sort_by(|a, b| a.service.cmp(&b.service));
+        out
+    }
+
+    /// Health of one service, `None` if it was never recorded.
+    pub fn health(&self, service: &str, now_ns: u64) -> Option<SloHealth> {
+        let inner = self.inner.as_ref()?;
+        let handle = inner.services.read().get(service)?.clone();
+        Some(handle.health(now_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(config: SloConfig) -> SloTracker {
+        SloTracker::new(config, &MetricsRegistry::enabled())
+    }
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn burn_rate_math_is_exact() {
+        // 1s buckets, 4-bucket window, 99% target → 1% error budget.
+        let t = tracker(SloConfig {
+            bucket_ns: SEC,
+            buckets: 4,
+            target_ppm: 990_000,
+            cap: 8,
+        });
+        let h = t.service("es");
+        // 98 ok + 2 errors in one bucket: error rate 2%, budget 1% → burn 2.0.
+        for _ in 0..98 {
+            h.record(true, 1_000, 0);
+        }
+        h.record(false, 5_000, 0);
+        h.record(false, 5_000, 0);
+        let health = h.health(0);
+        assert_eq!(health.total, 100);
+        assert_eq!(health.ok, 98);
+        assert!((health.success_rate - 0.98).abs() < 1e-12);
+        assert!(
+            (health.burn_rate - 2.0).abs() < 1e-9,
+            "{}",
+            health.burn_rate
+        );
+        assert!(!health.is_healthy());
+        assert_eq!(health.window_ns, 4 * SEC);
+    }
+
+    #[test]
+    fn window_rotation_forgets_old_errors() {
+        let t = tracker(SloConfig {
+            bucket_ns: SEC,
+            buckets: 4,
+            target_ppm: 990_000,
+            cap: 8,
+        });
+        let h = t.service("es");
+        h.record(false, 1_000, 0); // epoch 0
+        assert!(h.health(0).burn_rate > 1.0);
+        // Still in window at t=3s (window covers epochs 0..=3)...
+        h.record(true, 1_000, 3 * SEC);
+        assert_eq!(h.health(3 * SEC).total, 2);
+        // ...gone at t=4s: epoch 0 fell out of the 4-bucket window.
+        let health = h.health(4 * SEC);
+        assert_eq!(health.total, 1);
+        assert_eq!(health.burn_rate, 0.0);
+        assert!(health.is_healthy());
+        // And the slot is reset when its turn comes around again.
+        h.record(true, 1_000, 4 * SEC); // epoch 4 reuses slot 0
+        assert_eq!(h.health(4 * SEC).total, 2);
+        assert_eq!(h.health(4 * SEC).ok, 2);
+    }
+
+    #[test]
+    fn p99_reads_from_window_latencies() {
+        let t = tracker(SloConfig::default());
+        let h = t.service("fss");
+        for _ in 0..98 {
+            h.record(true, 500, 0); // bucket 8 → midpoint 384
+        }
+        // rank(p99) of 100 samples is 99 — these two put it in the
+        // slow bucket.
+        h.record(true, 100_000, 0); // bucket 16 → midpoint 98304
+        h.record(true, 100_000, 0);
+        let health = h.health(0);
+        assert_eq!(health.p99_ns, 98304);
+        assert_eq!(health.success_rate, 1.0);
+    }
+
+    #[test]
+    fn tracker_caps_service_cardinality() {
+        let t = tracker(SloConfig {
+            cap: 2,
+            ..SloConfig::default()
+        });
+        t.service("a").record(true, 1, 0);
+        t.service("b").record(true, 1, 0);
+        t.service("c").record(false, 1, 0); // over cap → shared "other"
+        t.service("d").record(false, 1, 0);
+        assert_eq!(t.distinct(), 2);
+        let all = t.health_all(0);
+        let names: Vec<&str> = all.iter().map(|h| &*h.service).collect();
+        assert_eq!(names, ["a", "b", "other"]);
+        let other = all.iter().find(|h| &*h.service == "other").unwrap();
+        assert_eq!(other.total, 2, "past-cap services share one window");
+    }
+
+    #[test]
+    fn empty_window_is_healthy() {
+        let t = tracker(SloConfig::default());
+        let h = t.service("idle");
+        let health = h.health(0);
+        assert_eq!(health.total, 0);
+        assert_eq!(health.success_rate, 1.0);
+        assert_eq!(health.burn_rate, 0.0);
+        assert!(health.is_healthy());
+        // Disabled tracker hands out free noops.
+        let off = SloTracker::new(SloConfig::default(), &MetricsRegistry::disabled());
+        assert!(!off.is_enabled());
+        off.service("x").record(true, 1, 0);
+        assert!(off.health_all(0).is_empty());
+    }
+}

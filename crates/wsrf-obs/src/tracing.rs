@@ -535,6 +535,84 @@ impl TraceSnapshot {
         out.push(']');
         out
     }
+
+    /// Chrome trace-event format (loadable in `chrome://tracing` or
+    /// Perfetto): complete (`"ph": "X"`) events on the virtual
+    /// timeline, one `tid` lane per service, with span ids and
+    /// annotations under `args`. Timestamps are microseconds with
+    /// nanosecond fraction.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::new();
+        self.write_chrome_into(&mut out);
+        out
+    }
+
+    /// Sink-generic form of [`TraceSnapshot::to_chrome_json`] — the
+    /// exposition endpoint renders straight into its connection buffer.
+    pub fn write_chrome_into<S: crate::MetricSink>(&self, sink: &mut S) {
+        fn put_us<S: crate::MetricSink>(sink: &mut S, ns: u64) {
+            sink.put_u64(ns / 1000);
+            let frac = ns % 1000;
+            sink.put(".");
+            if frac < 100 {
+                sink.put("0");
+            }
+            if frac < 10 {
+                sink.put("0");
+            }
+            sink.put_u64(frac);
+        }
+        // One tid lane per service, in order of first appearance.
+        let mut lanes: Vec<&Arc<str>> = Vec::new();
+        for s in &self.spans {
+            if !lanes
+                .iter()
+                .any(|l| Arc::ptr_eq(l, &s.service) || ***l == *s.service)
+            {
+                lanes.push(&s.service);
+            }
+        }
+        sink.put("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+        for (tid, service) in lanes.iter().enumerate() {
+            sink.put("  {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": ");
+            sink.put_u64(tid as u64);
+            sink.put(", \"args\": {\"name\": \"");
+            crate::expose::put_json_escaped(sink, service);
+            sink.put("\"}},\n");
+        }
+        for (i, s) in self.spans.iter().enumerate() {
+            let tid = lanes.iter().position(|l| ***l == *s.service).unwrap_or(0);
+            sink.put("  {\"ph\": \"X\", \"name\": \"");
+            crate::expose::put_json_escaped(sink, &s.name);
+            sink.put("\", \"cat\": \"");
+            crate::expose::put_json_escaped(sink, &s.service);
+            sink.put("\", \"pid\": 1, \"tid\": ");
+            sink.put_u64(tid as u64);
+            sink.put(", \"ts\": ");
+            put_us(sink, s.virt_start_ns);
+            sink.put(", \"dur\": ");
+            put_us(sink, s.virt_end_ns.saturating_sub(s.virt_start_ns));
+            sink.put(", \"args\": {\"span_id\": ");
+            sink.put_u64(s.span_id);
+            sink.put(", \"parent_id\": ");
+            sink.put_u64(s.parent_id);
+            sink.put(", \"real_ns\": ");
+            sink.put_u64(s.real_ns);
+            for (k, v) in &s.annotations {
+                sink.put(", \"");
+                crate::expose::put_json_escaped(sink, k);
+                sink.put("\": \"");
+                crate::expose::put_json_escaped(sink, v);
+                sink.put("\"");
+            }
+            sink.put("}}");
+            if i + 1 != self.spans.len() {
+                sink.put(",");
+            }
+            sink.put("\n");
+        }
+        sink.put("]}");
+    }
 }
 
 #[cfg(test)]
@@ -667,5 +745,33 @@ mod tests {
         assert_eq!(step.annotations, vec![("job", "*".into())]);
         // Unsampled parents record nothing.
         assert_eq!(t.point(SpanContext::none(), "x", "s", 0, &[]), 0);
+    }
+
+    #[test]
+    fn chrome_export_shapes_and_lanes() {
+        let (t, _reg) = tracer(TraceConfig::enabled());
+        let clock = Clock::manual();
+        let mut root = t.start_root("submit", "Client", &clock);
+        root.annotate("jobset", "demo");
+        {
+            let child = t.start_child(root.context(), "dispatch", "Scheduler", &clock);
+            clock.advance(Duration::from_micros(1500));
+            drop(child);
+        }
+        root.finish();
+        let json = t.snapshot().to_chrome_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"traceEvents\""));
+        // Two services → two thread_name metadata records, two lanes.
+        assert!(json.contains("\"name\": \"Client\""));
+        assert!(json.contains("\"name\": \"Scheduler\""));
+        assert!(json.contains("\"ph\": \"X\", \"name\": \"dispatch\""));
+        // 1500 µs virtual duration renders as microseconds.
+        assert!(json.contains("\"dur\": 1500.000"), "{json}");
+        assert!(json.contains("\"jobset\": \"demo\""));
+        // Sink parity: LenSink sizes the render exactly.
+        let mut len = crate::LenSink::default();
+        t.snapshot().write_chrome_into(&mut len);
+        assert_eq!(len.0, json.len());
     }
 }

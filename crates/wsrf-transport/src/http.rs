@@ -41,6 +41,17 @@ impl Default for HttpLimits {
     }
 }
 
+/// Monitoring context for the exposition endpoints: the registry to
+/// scrape and the clock health views are evaluated against. A server
+/// constructed without one ([`HttpSoapServer::start`] et al.) keeps the
+/// historical POST-only behaviour — GETs answer 405 and the SOAP path
+/// pays nothing for the feature.
+struct Exposition {
+    registry: Arc<MetricsRegistry>,
+    clock: Clock,
+    scrapes: wsrf_obs::Counter,
+}
+
 /// A listening HTTP SOAP endpoint.
 pub struct HttpSoapServer {
     addr: SocketAddr,
@@ -61,7 +72,7 @@ impl HttpSoapServer {
         endpoint: Arc<dyn Endpoint>,
         registry: &MetricsRegistry,
     ) -> std::io::Result<Self> {
-        Self::start_inner(endpoint, registry, None, HttpLimits::default())
+        Self::start_inner(endpoint, registry, None, HttpLimits::default(), None)
     }
 
     /// Like [`HttpSoapServer::start`], with explicit anti-slowloris
@@ -70,7 +81,7 @@ impl HttpSoapServer {
         endpoint: Arc<dyn Endpoint>,
         limits: HttpLimits,
     ) -> std::io::Result<Self> {
-        Self::start_inner(endpoint, &MetricsRegistry::disabled(), None, limits)
+        Self::start_inner(endpoint, &MetricsRegistry::disabled(), None, limits, None)
     }
 
     /// Like [`HttpSoapServer::start_with_metrics`], additionally opening
@@ -81,7 +92,37 @@ impl HttpSoapServer {
         registry: &MetricsRegistry,
         clock: Clock,
     ) -> std::io::Result<Self> {
-        Self::start_inner(endpoint, registry, Some(clock), HttpLimits::default())
+        Self::start_inner(endpoint, registry, Some(clock), HttpLimits::default(), None)
+    }
+
+    /// Like [`HttpSoapServer::start_traced`], additionally serving the
+    /// monitoring-plane GET endpoints from `registry`:
+    ///
+    /// * `/metrics` — Prometheus text exposition,
+    /// * `/metrics.json` — the flat JSON the bench gate parses,
+    /// * `/healthz` — SLO health summary (503 when any burn rate > 1),
+    /// * `/traces/<hex-id>.json` — one trace in Chrome trace format.
+    ///
+    /// Scrapes render through the sink pattern into the connection's
+    /// reused wire buffer — no per-metric strings.
+    pub fn start_monitored(
+        endpoint: Arc<dyn Endpoint>,
+        registry: &Arc<MetricsRegistry>,
+        clock: Clock,
+        limits: HttpLimits,
+    ) -> std::io::Result<Self> {
+        let expose = Exposition {
+            registry: registry.clone(),
+            clock: clock.clone(),
+            scrapes: registry.counter("expose.scrapes"),
+        };
+        Self::start_inner(
+            endpoint,
+            registry,
+            Some(clock),
+            limits,
+            Some(Arc::new(expose)),
+        )
     }
 
     fn start_inner(
@@ -89,6 +130,7 @@ impl HttpSoapServer {
         registry: &MetricsRegistry,
         clock: Option<Clock>,
         limits: HttpLimits,
+        expose: Option<Arc<Exposition>>,
     ) -> std::io::Result<Self> {
         let obs = Arc::new(LinkObs::new(registry, "http"));
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
@@ -110,12 +152,20 @@ impl HttpSoapServer {
                     let ep = endpoint.clone();
                     let obs = obs.clone();
                     let clock = clock.clone();
+                    let expose = expose.clone();
                     // Thread per connection; connections are short-lived
                     // (Connection: close), matching 2004-era SOAP stacks.
                     let _ = std::thread::Builder::new()
                         .name("http-soap-conn".into())
                         .spawn(move || {
-                            let _ = serve_connection(stream, ep, &obs, clock.as_ref(), &limits);
+                            let _ = serve_connection(
+                                stream,
+                                ep,
+                                &obs,
+                                clock.as_ref(),
+                                &limits,
+                                expose.as_deref(),
+                            );
                         });
                 }
             })?;
@@ -239,6 +289,7 @@ fn serve_connection(
     obs: &LinkObs,
     clock: Option<&Clock>,
     limits: &HttpLimits,
+    expose: Option<&Exposition>,
 ) -> std::io::Result<()> {
     let started = std::time::Instant::now();
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -274,6 +325,25 @@ fn serve_connection(
                 "request line exceeds byte cap".into(),
             );
         }
+    }
+    if let (Some(exp), true) = (expose, line.starts_with("GET ")) {
+        // Exposition GET: drain the (bounded) header block — scrapers
+        // send no body — then route on the path.
+        match read_content_length(&mut reader, limits) {
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                return write_fault_response(
+                    &mut writer,
+                    &mut wire,
+                    408,
+                    "Request Timeout",
+                    "timed out reading request headers".into(),
+                );
+            }
+            Err(e) => return Err(e),
+        }
+        let path = line.split_whitespace().nth(1).unwrap_or("/");
+        return serve_exposition(&mut writer, &mut wire, exp, path);
     }
     if !line.starts_with("POST ") {
         write_response(&mut writer, 405, "Method Not Allowed", b"")?;
@@ -390,13 +460,111 @@ fn serve_connection(
 }
 
 fn write_response(w: &mut TcpStream, code: u16, reason: &str, body: &[u8]) -> std::io::Result<()> {
+    write_response_typed(w, code, reason, "text/xml; charset=utf-8", body)
+}
+
+fn write_response_typed(
+    w: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: text/xml; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     )?;
     w.write_all(body)?;
     w.flush()
+}
+
+const CT_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+const CT_JSON: &str = "application/json; charset=utf-8";
+
+/// Serve one monitoring-plane GET. Bodies render sink-style into the
+/// connection's reused `wire` buffer: the metric values stream through
+/// stack formatters, so a scrape allocates no per-metric strings.
+fn serve_exposition(
+    writer: &mut TcpStream,
+    wire: &mut Vec<u8>,
+    expose: &Exposition,
+    path: &str,
+) -> std::io::Result<()> {
+    expose.scrapes.inc();
+    wire.clear();
+    match path {
+        "/metrics" => {
+            expose.registry.write_prometheus_into(wire);
+            write_response_typed(writer, 200, "OK", CT_PROM, wire)
+        }
+        "/metrics.json" => {
+            expose.registry.write_json_into(wire);
+            write_response_typed(writer, 200, "OK", CT_JSON, wire)
+        }
+        "/healthz" => {
+            let now_ns = expose.clock.now().as_nanos();
+            let health = expose.registry.slo().health_all(now_ns);
+            let degraded = health.iter().any(|h| !h.is_healthy());
+            use wsrf_obs::MetricSink;
+            wire.put("{\"status\": \"");
+            wire.put(if degraded { "degraded" } else { "ok" });
+            wire.put("\", \"virt_ns\": ");
+            wire.put_u64(now_ns);
+            wire.put(", \"services\": [");
+            for (i, h) in health.iter().enumerate() {
+                if i > 0 {
+                    wire.put(", ");
+                }
+                // Rates are the one place floats are unavoidable; the
+                // health view is tiny and off the scrape hot path.
+                wire.put(&format!(
+                    "{{\"service\": \"{}\", \"total\": {}, \"success_rate\": {:.6}, \
+                     \"p99_ns\": {}, \"burn_rate\": {:.3}, \"healthy\": {}}}",
+                    h.service,
+                    h.total,
+                    h.success_rate,
+                    h.p99_ns,
+                    h.burn_rate,
+                    h.is_healthy()
+                ));
+            }
+            wire.put("]}");
+            let (code, reason) = if degraded {
+                (503, "Service Unavailable")
+            } else {
+                (200, "OK")
+            };
+            write_response_typed(writer, code, reason, CT_JSON, wire)
+        }
+        _ => {
+            if let Some(id) = path
+                .strip_prefix("/traces/")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|id| u64::from_str_radix(id, 16).ok())
+            {
+                let trace = expose.registry.tracer().trace(id);
+                if trace.is_empty() {
+                    return write_response_typed(
+                        writer,
+                        404,
+                        "Not Found",
+                        CT_JSON,
+                        b"{\"error\": \"no such trace\"}",
+                    );
+                }
+                trace.write_chrome_into(wire);
+                return write_response_typed(writer, 200, "OK", CT_JSON, wire);
+            }
+            write_response_typed(
+                writer,
+                404,
+                "Not Found",
+                CT_JSON,
+                b"{\"error\": \"unknown path\"}",
+            )
+        }
+    }
 }
 
 /// POST an envelope to `authority` (`host:port`) at `path`; returns the
@@ -471,6 +639,43 @@ pub fn http_post(
 pub fn http_call(authority: &str, path: &str, env: &Envelope) -> Result<Envelope, TransportError> {
     http_post(authority, path, env)?
         .ok_or_else(|| TransportError::NoResponse(format!("http://{authority}/{path}")))
+}
+
+/// Plain HTTP GET against `authority` (`host:port`): status code and
+/// body. What a scraper (or the grid monitor pulling `/metrics.json`)
+/// runs against [`HttpSoapServer::start_monitored`].
+pub fn http_get(authority: &str, path: &str) -> Result<(u16, String), TransportError> {
+    let stream = TcpStream::connect(authority)
+        .map_err(|e| TransportError::Io(format!("connect {authority}: {e}")))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    write!(
+        writer,
+        "GET /{} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n\r\n",
+        path.trim_start_matches('/')
+    )?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| TransportError::Protocol(format!("bad status line {status_line:?}")))?;
+    let len = match read_content_length(&mut reader, &HttpLimits::default())? {
+        ContentLength::Len(n) => n,
+        _ => {
+            return Err(TransportError::Protocol(
+                "GET response missing Content-Length".into(),
+            ));
+        }
+    };
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| TransportError::Protocol("GET response not utf-8".into()))?;
+    Ok((code, body))
 }
 
 #[cfg(test)]
@@ -624,6 +829,96 @@ mod tests {
         let req = Envelope::new(Element::local("Ping").text("p"));
         let resp = http_call(&server.authority(), "svc", &req).unwrap();
         assert_eq!(resp, req);
+    }
+
+    fn monitored_server() -> (HttpSoapServer, Arc<MetricsRegistry>, Clock) {
+        let reg = wsrf_obs::MetricsRegistry::with_tracing(
+            wsrf_obs::ObsConfig::enabled(),
+            wsrf_obs::TraceConfig::enabled(),
+        );
+        let clock = Clock::manual();
+        let server = HttpSoapServer::start_monitored(
+            Arc::new(FnEndpoint::new("echo", Some)),
+            &reg,
+            clock.clone(),
+            HttpLimits::default(),
+        )
+        .unwrap();
+        (server, reg, clock)
+    }
+
+    #[test]
+    fn exposition_endpoints_round_trip() {
+        let (server, reg, clock) = monitored_server();
+        reg.counter("jobs.completed").add(7);
+        reg.histogram("op.lat_ns").record(500);
+        reg.slo()
+            .service("es")
+            .record(true, 500, clock.now().as_nanos());
+
+        let (code, text) = http_get(&server.authority(), "/metrics").unwrap();
+        assert_eq!(code, 200);
+        assert!(text.contains("jobs_completed 7"), "{text}");
+        assert!(text.contains("op_lat_ns_count 1"));
+
+        let (code, json) = http_get(&server.authority(), "/metrics.json").unwrap();
+        assert_eq!(code, 200);
+        assert!(json.contains("\"jobs.completed\": {\"type\": \"counter\", \"value\": 7}"));
+
+        let (code, hz) = http_get(&server.authority(), "/healthz").unwrap();
+        assert_eq!(code, 200);
+        assert!(hz.contains("\"status\": \"ok\""), "{hz}");
+        assert!(hz.contains("\"service\": \"es\""));
+
+        let (code, _) = http_get(&server.authority(), "/nope").unwrap();
+        assert_eq!(code, 404);
+        // Scrapes were counted (4 GETs), and POST still works.
+        assert!(reg.snapshot().counter("expose.scrapes") >= Some(4));
+        let req = Envelope::new(Element::local("Ping").text("p"));
+        let resp = http_call(&server.authority(), "svc", &req).unwrap();
+        assert_eq!(resp.body.text_content(), "p");
+    }
+
+    #[test]
+    fn healthz_degrades_on_slo_burn() {
+        let (server, reg, clock) = monitored_server();
+        let now = clock.now().as_nanos();
+        let slo = reg.slo().service("es");
+        for _ in 0..10 {
+            slo.record(false, 1_000, now); // 100% errors → burn ≫ 1
+        }
+        let (code, hz) = http_get(&server.authority(), "/healthz").unwrap();
+        assert_eq!(code, 503);
+        assert!(hz.contains("\"status\": \"degraded\""), "{hz}");
+        assert!(hz.contains("\"healthy\": false"));
+    }
+
+    #[test]
+    fn trace_export_serves_chrome_format() {
+        let (server, reg, clock) = monitored_server();
+        let root = reg.tracer().start_root("submit", "Client", &clock);
+        let trace_id = root.context().trace_id;
+        drop(root);
+        let (code, json) =
+            http_get(&server.authority(), &format!("/traces/{trace_id:x}.json")).unwrap();
+        assert_eq!(code, 200);
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"name\": \"submit\""));
+        let (code, _) = http_get(&server.authority(), "/traces/deadbeef.json").unwrap();
+        assert_eq!(code, 404, "unknown trace id");
+    }
+
+    #[test]
+    fn unmonitored_server_still_rejects_gets() {
+        let server = HttpSoapServer::start(Arc::new(FnEndpoint::new("echo", Some))).unwrap();
+        let err = http_get(&server.authority(), "/metrics");
+        // 405 responses carry no Content-Length body contract for GET
+        // clients; reaching the endpoint at all is the regression.
+        match err {
+            Ok((code, _)) => assert_eq!(code, 405),
+            Err(TransportError::Protocol(_)) => {}
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
     }
 
     #[test]

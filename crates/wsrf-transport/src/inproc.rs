@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use parking_lot::RwLock;
 use simclock::Clock;
-use wsrf_obs::{Histogram, MetricsRegistry};
+use wsrf_obs::{Histogram, HistogramFamily, MetricsRegistry};
 use wsrf_soap::{Envelope, Uri};
 
 use crate::endpoint::Endpoint;
@@ -78,6 +78,11 @@ pub struct InProcNetwork {
     obs_registry: Arc<MetricsRegistry>,
     /// Modeled (virtual) transfer time per message, nanoseconds.
     obs_modeled: Histogram,
+    /// Per-authority breakdown of the same, bounded: authorities come
+    /// from an open set (every client id is one), so past the cap the
+    /// long tail shares `transport.inproc.modeled.other_ns` instead of
+    /// minting a histogram per name.
+    obs_modeled_by_auth: HistogramFamily,
     pool: ThreadPool,
 }
 
@@ -106,6 +111,11 @@ impl InProcNetwork {
             metrics: Arc::new(NetMetrics::default()),
             obs: LinkObs::new(registry, "inproc"),
             obs_modeled: registry.histogram("transport.inproc.modeled_ns"),
+            obs_modeled_by_auth: registry.histogram_family(
+                "transport.inproc.modeled",
+                "_ns",
+                MODELED_AUTHORITY_CAP,
+            ),
             obs_registry: registry.clone(),
             pool: ThreadPool::new(4, "inproc-oneway"),
         })
@@ -282,14 +292,22 @@ impl InProcNetwork {
 
     /// Record one modeled transfer: the aggregate histogram plus the
     /// per-authority breakdown ([`modeled_metric_name`]) that lets a
-    /// feedback policy see which machine's link is slow.
+    /// feedback policy see which machine's link is slow. The breakdown
+    /// rides a bounded [`HistogramFamily`]: the first
+    /// [`MODELED_AUTHORITY_CAP`] authorities get their own histogram
+    /// (cached handles — no per-transfer name formatting), the rest
+    /// share the `other` overflow.
     fn record_modeled(&self, to: &str, cost: Duration) {
         self.obs_modeled.record_duration(cost);
         if self.obs_registry.is_enabled() {
             if let Some(u) = Uri::parse(to) {
-                self.obs_registry
-                    .histogram(&modeled_metric_name(&u.authority))
-                    .record_duration(cost);
+                let h = if u.authority.bytes().any(|b| b.is_ascii_uppercase()) {
+                    self.obs_modeled_by_auth
+                        .histogram(&u.authority.to_ascii_lowercase())
+                } else {
+                    self.obs_modeled_by_auth.histogram(&u.authority)
+                };
+                h.record_duration(cost);
             }
         }
     }
@@ -312,9 +330,16 @@ fn is_normalized(address: &str) -> bool {
     !address.ends_with('/') && !address.bytes().any(|b| b.is_ascii_uppercase())
 }
 
+/// Max distinct authorities holding their own modeled-transfer
+/// histogram; the rest share `transport.inproc.modeled.other_ns`.
+pub const MODELED_AUTHORITY_CAP: usize = 64;
+
 /// Metric name of the per-authority modeled-transfer histogram, e.g.
 /// `transport.inproc.modeled.machine01_ns`. Feedback-aware schedulers
-/// read these to learn which links are slow.
+/// read these to learn which links are slow. Only the first
+/// [`MODELED_AUTHORITY_CAP`] authorities get their own series; past
+/// the cap the name resolves to an empty histogram and the samples
+/// live in the shared overflow.
 pub fn modeled_metric_name(authority: &str) -> String {
     format!(
         "transport.inproc.modeled.{}_ns",
@@ -345,6 +370,48 @@ mod tests {
         let (calls, oneways, bytes, _) = net.metrics.snapshot();
         assert_eq!((calls, oneways), (1, 0));
         assert!(bytes > 0);
+    }
+
+    #[test]
+    fn modeled_per_authority_histograms_are_bounded() {
+        let reg = MetricsRegistry::enabled();
+        let net = InProcNetwork::with_metrics(Clock::manual(), NetConfig::default(), &reg);
+        // Twice the cap of distinct authorities (every client id is
+        // one in real runs) must not mint twice the cap of metrics.
+        for i in 0..(MODELED_AUTHORITY_CAP * 2) {
+            let addr = format!("inproc://auth{i:03}/Echo");
+            net.register(&addr, echo());
+            net.call(&addr, ping()).unwrap();
+        }
+        let snap = reg.snapshot();
+        let per_auth = snap
+            .entries
+            .iter()
+            .filter(|(n, _)| n.starts_with("transport.inproc.modeled."))
+            .count();
+        // cap named series + the shared overflow.
+        assert_eq!(per_auth, MODELED_AUTHORITY_CAP + 1);
+        // In-cap authorities keep the modeled_metric_name contract the
+        // feedback policy reads through (2 samples: request + response).
+        assert_eq!(
+            snap.histogram(&modeled_metric_name("auth000"))
+                .unwrap()
+                .count,
+            2
+        );
+        // The long tail lands in the overflow, none of it lost.
+        assert_eq!(
+            snap.histogram("transport.inproc.modeled.other_ns")
+                .unwrap()
+                .count,
+            2 * MODELED_AUTHORITY_CAP as u64
+        );
+        assert!(snap
+            .histogram(&modeled_metric_name(&format!(
+                "auth{:03}",
+                MODELED_AUTHORITY_CAP + 1
+            )))
+            .is_none());
     }
 
     #[test]

@@ -46,6 +46,13 @@ echo "== cargo test -q --release --offline broker_fanout + E13 smoke"
 cargo test -q --release --offline --test broker_fanout
 cargo run -q --release --offline -p bench --bin harness -- --e13-smoke >/dev/null
 
+echo "== cargo test -q --release --offline monitoring_plane + monitor smoke"
+# The monitoring-plane suite round-trips the exposition endpoints over
+# real sockets and aggregates two authorities; the smoke run then boots
+# a monitored container standalone and scrapes /metrics and /healthz.
+cargo test -q --release --offline --test monitoring_plane
+cargo run -q --release --offline -p bench --bin harness -- --monitor-smoke >/dev/null
+
 echo "== metrics + tracing regression gate"
 # The metrics-only harness run boots the dump grid with tracing enabled
 # (the tracing ablation configuration), so BENCH_metrics.json carries

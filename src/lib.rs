@@ -60,9 +60,10 @@ pub mod prelude {
     pub use grid_node::{JobProgram, Machine, MachineSpec};
     pub use simclock::{Clock, SimTime};
     pub use uvacg::{
-        CampusGrid, Client, FastestAvailable, FileRef, GridConfig, JobSetHandle, JobSetOutcome,
-        JobSetSpec, JobSpec, LeastLoaded, MachineOutcome, MetricsFeedback, NodeSnapshot,
-        OutcomeKind, PenaltyRow, Random, RoundRobin, Scheduler, SchedulingPolicy, Standby,
+        AuthorityStatus, CampusGrid, Client, EventPump, FastestAvailable, FileRef, GridCatalog,
+        GridConfig, JobSetHandle, JobSetOutcome, JobSetSpec, JobSpec, LeastLoaded, MachineOutcome,
+        MetricsFeedback, MetricsSource, MonitorService, NodeSnapshot, OutcomeKind, PenaltyRow,
+        Random, RemoteEvent, RoundRobin, Scheduler, SchedulingPolicy, Standby,
     };
     pub use wsrf_core::DurableStore;
     pub use wsrf_obs::{

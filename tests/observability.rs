@@ -146,11 +146,13 @@ fn container_dispatch_counts_match_invocations() {
         // Stage timings are sampled (1 in 16, first always), and with
         // zero faults a sampled dispatch laps all four stages — the
         // counts agree with each other and bound the dispatch counter.
+        // A deployed-but-idle service (e.g. Monitor when nothing polls
+        // it) shows zero laps for zero dispatches.
         let resolve = snap
             .histogram(&format!("container.{svc}.stage.resolve.real_ns"))
             .unwrap();
         assert!(
-            resolve.count >= 1 && resolve.count <= dispatches,
+            resolve.count <= dispatches && (dispatches == 0 || resolve.count >= 1),
             "{svc}: {} resolve laps for {dispatches} dispatches",
             resolve.count
         );
