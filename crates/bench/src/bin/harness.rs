@@ -993,6 +993,176 @@ fn e11_wirepath() {
     );
 }
 
+/// Build the E11c fixture: a job-like service with one resource, the
+/// standard WS-RP read ops, and a custom `Poll` read op that answers
+/// from resource state without touching the request body.
+fn e11c_service() -> (Arc<wsrf_core::container::Service>, EndpointReference) {
+    use wsrf_core::container::ServiceBuilder;
+    let clock = Clock::manual();
+    let net = InProcNetwork::new(clock.clone());
+    let svc = ServiceBuilder::new(
+        "Job",
+        "inproc://machine01/Job",
+        Arc::new(MemoryStore::new()),
+    )
+    .read_operation("Poll", |ctx| {
+        let doc = ctx.resource_mut()?;
+        Ok(Element::new(UVACG, "PollResponse").text(doc.text(&q("Status")).unwrap_or_default()))
+    })
+    .build(clock, net);
+    let epr = svc
+        .core()
+        .create_resource_with_key("job-1", job_doc(0))
+        .unwrap();
+    (svc, epr)
+}
+
+/// The E11c inbound request pair: the canonical WS-RP single-property
+/// read, and the E11 representative scheduler-bound shape (12-property
+/// body + trace header) aimed at a read op that never opens the body.
+fn e11c_wires(epr: &EndpointReference) -> (String, String) {
+    use wsrf_core::container::action_uri;
+    let mut get_env =
+        Envelope::new(Element::new(WSRP, "GetResourceProperty").text(format!("{{{UVACG}}}Status")));
+    MessageInfo::request(epr.clone(), wsrp_action("GetResourceProperty")).apply(&mut get_env);
+
+    let mut body = Element::new(UVACG, "Poll");
+    for i in 0..12 {
+        body.push_child(Element::new(UVACG, format!("Prop{i}")).text(format!("value-{i}")));
+    }
+    let mut poll_env = Envelope::new(body);
+    MessageInfo::request(epr.clone(), action_uri("Job", "Poll")).apply(&mut poll_env);
+    TraceContext::new(0x7ace, 0x2, true).stamp(&mut poll_env);
+    (get_env.to_xml(), poll_env.to_xml())
+}
+
+fn e11c_inbound() {
+    use std::io::{Read as _, Write as _};
+    use wsrf_transport::tcpframe::FramedServer;
+
+    let (svc, epr) = e11c_service();
+    let (get_wire, poll_wire) = e11c_wires(&epr);
+
+    // Per-request dispatch micro-costs and the inbound budget counters.
+    // "DOM-first" is exactly the pre-change server path: parse the full
+    // envelope into a tree, then dispatch on it.
+    let mut rows = Vec::new();
+    for (label, wire) in [
+        ("WS-RP GetResourceProperty", &get_wire),
+        ("Job.Poll, 12-prop body", &poll_wire),
+    ] {
+        let warm = svc.dispatch_wire(wire);
+        assert!(!warm.is_fault(), "{:?}", warm.fault());
+        let d0 = wsrf_xml::dom_build_count();
+        let e0 = wsrf_xml::parse_event_count();
+        svc.dispatch_wire(wire);
+        let doms = wsrf_xml::dom_build_count() - d0;
+        let events = wsrf_xml::parse_event_count() - e0;
+        let t_old = time_per_iter(20_000, || {
+            let env = Envelope::parse(wire).unwrap();
+            std::hint::black_box(svc.dispatch(env));
+        });
+        let t_new = time_per_iter(20_000, || {
+            std::hint::black_box(svc.dispatch_wire(wire));
+        });
+        rows.push(vec![
+            label.into(),
+            fmt_us(t_old),
+            fmt_us(t_new),
+            format!("{:.2}x", t_old.as_secs_f64() / t_new.as_secs_f64()),
+            format!("{doms}"),
+            format!("{events}"),
+        ]);
+    }
+    print_table(
+        &format!(
+            "E11c — inbound routing, DOM-first vs lazy dispatch ({}- and {}-byte requests)",
+            get_wire.len(),
+            poll_wire.len()
+        ),
+        &[
+            "request",
+            "DOM-first",
+            "lazy",
+            "speedup",
+            "DOMs/req (lazy)",
+            "events/req (lazy)",
+        ],
+        &rows,
+    );
+
+    // Real-transport inbound throughput: flood a FramedServer with a
+    // pre-rendered one-way frame (the client is pure traffic generator
+    // — one buffer write per message) and use a trailing CALL frame as
+    // the barrier: frames on one connection are served in order, so its
+    // response proves the flood drained. The DOM-first server is the
+    // pre-change endpoint contract (parse, then handle); the lazy
+    // server is the container routing off the borrowed receive buffer.
+    const MAGIC: &[u8; 4] = b"WSE1";
+    fn frame(flags: u8, payload: &[u8]) -> Vec<u8> {
+        let mut f = Vec::with_capacity(payload.len() + 9);
+        f.extend_from_slice(MAGIC);
+        f.push(flags);
+        f.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        f.extend_from_slice(payload);
+        f
+    }
+    fn read_response(stream: &mut std::net::TcpStream) {
+        let mut head = [0u8; 9];
+        stream.read_exact(&mut head).unwrap();
+        let len = u32::from_be_bytes(head[5..9].try_into().unwrap()) as usize;
+        let mut payload = vec![0u8; len];
+        stream.read_exact(&mut payload).unwrap();
+    }
+    fn flood(authority: &str, oneway: &[u8], barrier: &[u8], n: usize) -> Duration {
+        let mut stream = std::net::TcpStream::connect(authority).unwrap();
+        stream.set_nodelay(true).ok();
+        stream.write_all(barrier).unwrap(); // warm the connection thread
+        read_response(&mut stream);
+        let t0 = Instant::now();
+        for _ in 0..n {
+            stream.write_all(oneway).unwrap();
+        }
+        stream.write_all(barrier).unwrap();
+        read_response(&mut stream);
+        t0.elapsed()
+    }
+
+    let dom_first = {
+        let svc = svc.clone();
+        Arc::new(FnEndpoint::new("dom-first", move |env| {
+            Some(svc.dispatch(env))
+        }))
+    };
+    let server_old = FramedServer::start(dom_first).unwrap();
+    let server_new = FramedServer::start(svc.clone()).unwrap();
+    let oneway = frame(1, poll_wire.as_bytes());
+    let barrier = frame(0, poll_wire.as_bytes());
+    let n = 10_000;
+    let t_old = flood(&server_old.authority(), &oneway, &barrier, n);
+    let t_new = flood(&server_new.authority(), &oneway, &barrier, n);
+    let rate = |t: Duration| n as f64 / t.as_secs_f64();
+    print_table(
+        &format!(
+            "E11c — soap.tcp inbound throughput, {n} one-way polls ({}-byte frames)",
+            oneway.len()
+        ),
+        &["server", "msgs/s", "speedup"],
+        &[
+            vec![
+                "DOM-first (parse, then handle)".into(),
+                format!("{:.0}", rate(t_old)),
+                "1.00x".into(),
+            ],
+            vec![
+                "lazy (route off receive buffer)".into(),
+                format!("{:.0}", rate(t_new)),
+                format!("{:.2}x", t_old.as_secs_f64() / t_new.as_secs_f64()),
+            ],
+        ],
+    );
+}
+
 /// Splitmix-style PRNG for the Poisson arrival schedule — deterministic
 /// and dependency-free.
 struct SplitMix(u64);
@@ -1386,6 +1556,35 @@ fn metrics_dump() {
     recovered.snapshot_all().unwrap();
     drop(recovered);
     let _ = std::fs::remove_dir_all(&wal_dir);
+    // Inbound-parse budget: the grid above is pure inproc (envelopes
+    // move by reference, so the wire parser never runs). Exercise the
+    // lazy dispatch path with the fixed E11c request pair and mirror
+    // the pull-parser counter deltas into the registry, so the gate
+    // pins parse-event and DOM-materialization budgets per exchange.
+    {
+        let (svc, epr) = e11c_service();
+        let (get_wire, poll_wire) = e11c_wires(&epr);
+        let d0 = wsrf_xml::dom_build_count();
+        let e0 = wsrf_xml::parse_event_count();
+        assert!(!svc.dispatch_wire(&get_wire).is_fault());
+        assert!(!svc.dispatch_wire(&poll_wire).is_fault());
+        let lazy_doms = wsrf_xml::dom_build_count() - d0;
+        let lazy_events = wsrf_xml::parse_event_count() - e0;
+        let d1 = wsrf_xml::dom_build_count();
+        let e1 = wsrf_xml::parse_event_count();
+        svc.dispatch(Envelope::parse(&get_wire).unwrap());
+        svc.dispatch(Envelope::parse(&poll_wire).unwrap());
+        let dom_doms = wsrf_xml::dom_build_count() - d1;
+        let dom_events = wsrf_xml::parse_event_count() - e1;
+        grid.metrics.counter("parse.lazy.dom_builds").add(lazy_doms);
+        grid.metrics.counter("parse.lazy.events").add(lazy_events);
+        grid.metrics
+            .counter("parse.domfirst.dom_builds")
+            .add(dom_doms);
+        grid.metrics
+            .counter("parse.domfirst.events")
+            .add(dom_events);
+    }
     let snap = grid.metrics_snapshot();
     println!(
         "\n### Metrics — diamond × 7 job set, 4 machines ({makespan:.1} s virtual makespan)\n"
@@ -1443,6 +1642,7 @@ fn main() {
     e9_security();
     e10_contention();
     e11_wirepath();
+    e11c_inbound();
     e13_broker_openloop(false);
     e14_monitoring();
     metrics_dump();

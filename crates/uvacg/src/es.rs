@@ -300,7 +300,7 @@ fn run_op(
             .attr("job", &job_name)],
     );
     let job_epr = ctx.core.create_resource(doc)?;
-    let job_key = job_epr.resource_key().unwrap().to_string();
+    let job_key = faults::require_key(&job_epr, "job")?;
 
     rt.pending.lock().insert(
         job_key.clone(),
@@ -1110,5 +1110,18 @@ mod tests {
         assert_eq!(job_status(&f.net, &r1.job).unwrap(), status::EXITED);
         assert_eq!(job_status(&f.net, &r2.job).unwrap(), status::EXITED);
         assert_eq!(f.machine.utilization(), 0.0);
+    }
+
+    #[test]
+    fn keyless_job_epr_faults_instead_of_panicking() {
+        // Run() extracts the fresh job resource's key via
+        // faults::require_key; a keyless (service-style) EPR must come
+        // back as a BadRequest fault, never a panic.
+        let keyless = EndpointReference::service("inproc://m1/ES");
+        let fault = faults::require_key(&keyless, "job").unwrap_err();
+        assert_eq!(fault.error_code, "wsrf:BadRequest");
+        assert!(fault
+            .description
+            .contains("job EPR carries no resource key"));
     }
 }

@@ -74,7 +74,7 @@ pub fn file_system_service(
                 .child(Element::new(UVACG, "Path").text(path)))
         })
         .read_operation("Read", move |ctx| {
-            let filename = required_filename(ctx.body)?;
+            let filename = required_filename(ctx.body.dom())?;
             let dir = dir_path(ctx.resource_mut()?)?;
             let content = fs_read
                 .read(&join(&dir, &filename))
@@ -82,8 +82,8 @@ pub fn file_system_service(
             Ok(read_response(&content))
         })
         .operation("Write", move |ctx| {
-            let filename = required_filename(ctx.body)?;
-            let content = decode_content(ctx.body)?;
+            let filename = required_filename(ctx.body.dom())?;
+            let content = decode_content(ctx.body.dom())?;
             let dir = dir_path(ctx.resource_mut()?)?;
             fs_write
                 .write(&join(&dir, &filename), content)

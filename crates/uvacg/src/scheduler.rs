@@ -429,7 +429,7 @@ fn submit_op(
     doc.set_text(q("Name"), &spec.name);
     doc.set_text(q("Status"), set_status::RUNNING);
     let set_epr = ctx.core.create_resource(doc)?;
-    let key = set_epr.resource_key().unwrap().to_string();
+    let key = faults::require_key(&set_epr, "job-set")?;
     let topic = format!("jobset-{key}");
     {
         let core = ctx.core.clone();
@@ -1803,4 +1803,21 @@ pub fn submit(
         .map(|t| t.text_content())
         .unwrap_or_default();
     Ok(SubmitReply { jobset, topic })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyless_jobset_epr_faults_instead_of_panicking() {
+        // Submit() extracts the fresh job-set resource's key via
+        // faults::require_key; a keyless EPR faults rather than panics.
+        let keyless = EndpointReference::service("inproc://m1/Scheduler");
+        let fault = faults::require_key(&keyless, "job-set").unwrap_err();
+        assert_eq!(fault.error_code, "wsrf:BadRequest");
+        assert!(fault
+            .description
+            .contains("job-set EPR carries no resource key"));
+    }
 }

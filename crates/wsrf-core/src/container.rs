@@ -10,6 +10,7 @@
 //! the analogue of the `[Resource]` / `[ResourceProperty]` /
 //! `[WSRFPortType]` attribute programming model of Figure 2.
 
+use std::cell::OnceCell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -22,7 +23,9 @@ use wsrf_obs::{
     Counter, EventKind, EventLog, Histogram, MetricsRegistry, Severity, SloHandle, SpanContext,
     Timer, Tracer,
 };
-use wsrf_soap::{ns, BaseFault, EndpointReference, Envelope, MessageInfo, SoapFault, TraceContext};
+use wsrf_soap::{
+    ns, BaseFault, EndpointReference, Envelope, LazyEnvelope, MessageInfo, SoapFault, TraceContext,
+};
 use wsrf_transport::{Endpoint, InProcNetwork};
 use wsrf_xml::{Element, QName};
 
@@ -274,6 +277,91 @@ impl ServiceCore {
     }
 }
 
+/// The request body as seen by a handler: a DOM reference on the
+/// classic path, a deferred wire span on the lazy path.
+///
+/// `BodyRef` derefs to [`Element`], so `ctx.body.find(..)` and friends
+/// keep working unchanged — but on the lazy path the *first* deref is
+/// what materializes the DOM (counted by [`wsrf_xml::dom_build_count`]).
+/// Handlers that need at most the operation element's name or text
+/// should use [`name`](Self::name) / [`text`](Self::text), which never
+/// materialize; that is how the WS-RP read operations answer with zero
+/// DOM builds. [`dom`](Self::dom) returns the element at the full
+/// dispatch lifetime for handlers that must hold it across a
+/// `resource_mut()` borrow.
+#[derive(Clone, Copy)]
+pub struct BodyRef<'a> {
+    view: BodyView<'a>,
+    cell: &'a OnceCell<Element>,
+}
+
+#[derive(Clone, Copy)]
+enum BodyView<'a> {
+    Dom(&'a Element),
+    Lazy(&'a LazyEnvelope<'a>),
+}
+
+impl<'a> BodyRef<'a> {
+    /// A body already materialized as a tree (the DOM dispatch path).
+    /// The cell is untouched; callers pass a fresh one per dispatch.
+    pub fn dom_backed(body: &'a Element, cell: &'a OnceCell<Element>) -> Self {
+        BodyRef {
+            view: BodyView::Dom(body),
+            cell,
+        }
+    }
+
+    /// A body deferred as a raw wire span (the lazy dispatch path).
+    pub fn lazy_backed(env: &'a LazyEnvelope<'a>, cell: &'a OnceCell<Element>) -> Self {
+        BodyRef {
+            view: BodyView::Lazy(env),
+            cell,
+        }
+    }
+
+    /// The operation element's qualified name. Never materializes.
+    pub fn name(&self) -> &'a QName {
+        match self.view {
+            BodyView::Dom(e) => &e.name,
+            BodyView::Lazy(le) => le.body_name(),
+        }
+    }
+
+    /// The operation element's text content (like
+    /// [`Element::text_content`]). Never materializes on the lazy
+    /// path — text is collected straight from the event stream.
+    pub fn text(&self) -> String {
+        match self.view {
+            BodyView::Dom(e) => e.text_content(),
+            BodyView::Lazy(le) => le.body_text(),
+        }
+    }
+
+    /// The full body element, materialized on first use on the lazy
+    /// path. Unlike deref, the returned reference lives for the whole
+    /// dispatch, so it can be held across `ctx.resource_mut()`.
+    pub fn dom(&self) -> &'a Element {
+        match self.view {
+            BodyView::Dom(e) => e,
+            BodyView::Lazy(le) => self.cell.get_or_init(|| {
+                // The span tokenized cleanly during the routing scan,
+                // so re-building it cannot fail; degrade to an empty
+                // element of the right name rather than panicking.
+                le.materialize_body()
+                    .unwrap_or_else(|_| Element::with_name(le.body_name().clone()))
+            }),
+        }
+    }
+}
+
+impl std::ops::Deref for BodyRef<'_> {
+    type Target = Element;
+
+    fn deref(&self) -> &Element {
+        self.dom()
+    }
+}
+
 /// The invocation context passed to every handler.
 pub struct Ctx<'a> {
     /// Shared service machinery.
@@ -285,10 +373,12 @@ pub struct Ctx<'a> {
     /// The resource's state, loaded for [`OpKind::Resource`] ops;
     /// mutations are saved back after the handler returns Ok.
     pub resource: Option<&'a mut PropertyDoc>,
-    /// All raw header blocks (for security processing).
+    /// All raw header blocks (for security processing). On the lazy
+    /// path only tree-shaped headers (`<ReplyTo>`, WS-Security) are
+    /// present; text headers live in `info`.
     pub headers: &'a [Element],
-    /// The request body element.
-    pub body: &'a Element,
+    /// The request body (deref to use it as an [`Element`]).
+    pub body: BodyRef<'a>,
     /// The trace context of this dispatch — the container's own span
     /// when it is recording, otherwise the context carried in the
     /// request headers. Handlers stamp this onto every outgoing
@@ -470,7 +560,46 @@ impl Service {
     pub fn dispatch(&self, env: Envelope) -> Envelope {
         self.obs.dispatches.inc();
         let started = self.obs.enabled.then(std::time::Instant::now);
-        match self.try_dispatch(&env) {
+        let result = self.try_dispatch(&env);
+        self.complete(started, result)
+    }
+
+    /// Dispatch straight from the wire form: route on a forward-only
+    /// header scan ([`LazyEnvelope`]) and materialize the body DOM
+    /// only if the invoked handler actually dereferences it. This is
+    /// the inbound half of the zero-copy wire path; the socket
+    /// transports call it through [`Endpoint::handle_wire`] with a
+    /// borrowed slice of their per-connection receive buffer.
+    pub fn dispatch_wire(&self, wire: &str) -> Envelope {
+        match LazyEnvelope::scan(wire) {
+            Ok(lazy) => {
+                self.obs.dispatches.inc();
+                let started = self.obs.enabled.then(std::time::Instant::now);
+                let result = self.try_dispatch_lazy(&lazy);
+                self.complete(started, result)
+            }
+            // Addressing-shaped problems fault exactly like the DOM
+            // pipeline's MessageInfo::extract stage...
+            Err(e) if e.message == "message has no wsa:Action header" => {
+                self.obs.dispatches.inc();
+                let started = self.obs.enabled.then(std::time::Instant::now);
+                let fault = faults::bad_request(&format!("bad addressing headers: {e}"));
+                self.complete(started, Err(fault))
+            }
+            // ...while unparseable wires mirror the fault the DOM-path
+            // transports produced themselves before dispatch.
+            Err(e) => SoapFault::client(format!("unparseable envelope: {e}")).to_envelope(),
+        }
+    }
+
+    /// Shared tail of both dispatch entry points: SLO accounting and
+    /// fault-envelope rendering.
+    fn complete(
+        &self,
+        started: Option<std::time::Instant>,
+        result: Result<Envelope, BaseFault>,
+    ) -> Envelope {
+        match result {
             Ok(resp) => {
                 if let Some(t) = started {
                     let latency = t.elapsed().as_nanos() as u64;
@@ -504,6 +633,39 @@ impl Service {
     }
 
     fn try_dispatch(&self, env: &Envelope) -> Result<Envelope, BaseFault> {
+        // (1) Read the addressing headers / EPR.
+        let info = MessageInfo::extract(env)
+            .map_err(|e| faults::bad_request(&format!("bad addressing headers: {e}")))?;
+        let cell = OnceCell::new();
+        self.run_pipeline(
+            &info,
+            TraceContext::from_envelope(env),
+            &env.headers,
+            BodyRef::dom_backed(&env.body, &cell),
+        )
+    }
+
+    fn try_dispatch_lazy(&self, lazy: &LazyEnvelope<'_>) -> Result<Envelope, BaseFault> {
+        // Stage (1) already happened inside the scan: the addressing
+        // view was reconstructed from the event stream.
+        let cell = OnceCell::new();
+        self.run_pipeline(
+            &lazy.info,
+            lazy.trace,
+            &lazy.headers,
+            BodyRef::lazy_backed(lazy, &cell),
+        )
+    }
+
+    /// Stages (1b)–(5) of the Figure 1 pipeline, shared by the DOM and
+    /// lazy entry points.
+    fn run_pipeline(
+        &self,
+        info: &MessageInfo,
+        incoming: Option<TraceContext>,
+        headers: &[Element],
+        body: BodyRef<'_>,
+    ) -> Result<Envelope, BaseFault> {
         // Stage timings are sampled (see STAGE_SAMPLE_EVERY); a
         // dispatch that faults mid-pipeline records only the stages it
         // completed. Counters below are exact for every dispatch.
@@ -512,9 +674,6 @@ impl Service {
             .sample_stages()
             .then(|| StageLap::begin(&self.core.clock));
 
-        // (1) Read the addressing headers / EPR.
-        let info = MessageInfo::extract(env)
-            .map_err(|e| faults::bad_request(&format!("bad addressing headers: {e}")))?;
         let op = self
             .ops
             .get(&info.action)
@@ -531,7 +690,6 @@ impl Service {
         // untraced background chatter can never evict job-set trees
         // from the bounded span ring. The guard finishes (after the
         // save stage) on every exit path.
-        let incoming = TraceContext::from_envelope(env);
         let mut span = match incoming {
             Some(tc) if self.tracer.is_enabled() => Some(self.tracer.start_child(
                 SpanContext {
@@ -618,11 +776,11 @@ impl Service {
         }
         let mut ctx = Ctx {
             core: &self.core,
-            info: &info,
+            info,
             key: key.clone(),
             resource: loaded.as_mut(),
-            headers: &env.headers,
-            body: &env.body,
+            headers,
+            body,
             trace,
         };
         let result = (op.handler)(&mut ctx)?;
@@ -658,7 +816,7 @@ impl Service {
 
         // (5) Serialize the response.
         let mut resp = Envelope::new(result);
-        MessageInfo::response_to(&info, "Response").apply(&mut resp);
+        MessageInfo::response_to(info, "Response").apply(&mut resp);
         Ok(resp)
     }
 }
@@ -666,6 +824,12 @@ impl Service {
 impl Endpoint for Service {
     fn handle(&self, env: Envelope) -> Option<Envelope> {
         Some(self.dispatch(env))
+    }
+
+    /// Route from the raw wire text without pre-parsing a DOM — the
+    /// inbound zero-copy path used by the socket transports.
+    fn handle_wire(&self, wire: &str) -> Option<Envelope> {
+        Some(self.dispatch_wire(wire))
     }
 
     fn name(&self) -> &str {

@@ -1,6 +1,6 @@
 //! Canonical WS-BaseFaults used across the framework and the testbed.
 
-use wsrf_soap::BaseFault;
+use wsrf_soap::{BaseFault, EndpointReference};
 
 /// The EPR named no resource, or the resource has been destroyed.
 pub fn no_such_resource(key: &str) -> BaseFault {
@@ -44,6 +44,15 @@ pub fn bad_request(detail: &str) -> BaseFault {
     BaseFault::new("wsrf:BadRequest", detail.to_string())
 }
 
+/// Extract the resource key from an EPR, faulting — instead of
+/// panicking — when the EPR carries no reference properties (a plain
+/// service EPR). `what` names the EPR in the fault detail.
+pub fn require_key(epr: &EndpointReference, what: &str) -> Result<String, BaseFault> {
+    epr.resource_key()
+        .map(str::to_string)
+        .ok_or_else(|| bad_request(&format!("{what} EPR carries no resource key")))
+}
+
 /// A storage backend rejected an operation.
 pub fn storage(detail: &str) -> BaseFault {
     BaseFault::new("wsrf:StorageFault", detail.to_string())
@@ -72,6 +81,16 @@ mod tests {
             from_store(StoreError::Schema("bad".into())).error_code,
             "wsrf:StorageFault"
         );
+    }
+
+    #[test]
+    fn require_key_faults_on_keyless_epr() {
+        let keyless = EndpointReference::service("http://h/Svc");
+        let fault = require_key(&keyless, "entry").unwrap_err();
+        assert_eq!(fault.error_code, "wsrf:BadRequest");
+        assert!(fault.description.contains("carries no resource key"));
+        let keyed = EndpointReference::resource("http://h/Svc", "{u}Key", "k-1");
+        assert_eq!(require_key(&keyed, "entry").unwrap(), "k-1");
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub(crate) fn install_resource_properties(ops: &mut Ops) {
         OpKind::Resource,
         OpAccess::Read,
         Box::new(|ctx| {
-            let name = parse_property_name(&ctx.body.text_content());
+            // `BodyRef::text` reads the body text straight off the wire
+            // scan on the lazy path — the hottest WS-RP read answers
+            // without ever materializing a body DOM.
+            let name = parse_property_name(&ctx.body.text());
             let vals = get_one(ctx, &name)?;
             Ok(Element::new(ns::WSRP, "GetResourcePropertyResponse").children(vals))
         }),

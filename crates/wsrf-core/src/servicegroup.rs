@@ -132,7 +132,7 @@ pub fn service_group_builder(
                 doc.insert(prop.name.clone(), prop.clone());
             }
             let entry_epr = ctx.core.create_resource(doc)?;
-            let entry_key = entry_epr.resource_key().unwrap().to_string();
+            let entry_key = faults::require_key(&entry_epr, "entry")?;
 
             // Append to the group's entry list.
             let mut group = ctx
@@ -182,7 +182,8 @@ pub fn service_group_builder(
             Ok(Element::new(ns::WSSG, "EntriesResponse").children(entries))
         })
         .static_operation("FindByContent", |ctx| {
-            let expr = ctx.body.text_content();
+            // Body text only — stays DOM-free under lazy dispatch.
+            let expr = ctx.body.text();
             let path = wsrf_xml::xpath::Path::parse(&expr)
                 .map_err(|e| faults::invalid_query(&e.to_string()))?;
             let mut resp = Element::new(ns::WSSG, "FindByContentResponse");
@@ -354,5 +355,17 @@ mod tests {
             Element::new(ns::WSSG, "FindByContent").text("//Utilization"),
         );
         assert_eq!(resp.body.element_count(), 0, "expired member is invisible");
+    }
+
+    #[test]
+    fn keyless_entry_epr_faults_instead_of_panicking() {
+        // Add() extracts the entry resource's key via
+        // faults::require_key; keyless EPRs fault rather than panic.
+        let keyless = EndpointReference::service("inproc://m1/Registry");
+        let fault = faults::require_key(&keyless, "entry").unwrap_err();
+        assert_eq!(fault.error_code, "wsrf:BadRequest");
+        assert!(fault
+            .description
+            .contains("entry EPR carries no resource key"));
     }
 }

@@ -33,12 +33,14 @@
 pub mod addressing;
 pub mod envelope;
 pub mod fault;
+pub mod lazy;
 pub mod ns;
 pub mod uri;
 
 pub use addressing::{EndpointReference, MessageInfo, TraceContext};
 pub use envelope::{render_count, Envelope};
 pub use fault::{BaseFault, SoapFault};
+pub use lazy::LazyEnvelope;
 pub use uri::Uri;
 
 /// Result alias for message-layer operations.

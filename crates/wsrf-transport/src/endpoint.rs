@@ -1,6 +1,6 @@
 //! The [`Endpoint`] trait: anything that can receive SOAP messages.
 
-use wsrf_soap::Envelope;
+use wsrf_soap::{Envelope, SoapFault};
 
 /// A message sink. Service containers, notification listeners and the
 /// client's local file server all implement this.
@@ -14,6 +14,20 @@ pub trait Endpoint: Send + Sync {
     ///   endpoints that only ever receive one-way traffic may return
     ///   `None`.
     fn handle(&self, env: Envelope) -> Option<Envelope>;
+
+    /// Handle one message directly from its wire text. The socket
+    /// transports call this with a borrowed slice of their receive
+    /// buffer, so endpoints that can route without a DOM (the service
+    /// container's lazy dispatch) override it. The default parses a
+    /// full envelope and delegates to [`handle`](Self::handle),
+    /// answering unparseable wires with a client fault envelope — the
+    /// same fault the transports historically produced themselves.
+    fn handle_wire(&self, wire: &str) -> Option<Envelope> {
+        match Envelope::parse(wire) {
+            Ok(env) => self.handle(env),
+            Err(e) => Some(SoapFault::client(format!("unparseable envelope: {e}")).to_envelope()),
+        }
+    }
 
     /// Human-readable name for diagnostics.
     fn name(&self) -> &str {

@@ -294,9 +294,12 @@ fn serve_connection(
     let started = std::time::Instant::now();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    // Per-connection wire buffer: every response body (fault or not) is
-    // rendered exactly once, into this.
+    // Per-connection buffers: every response body (fault or not) is
+    // rendered exactly once into `wire`, and the request body lands in
+    // `body` — the endpoint only ever sees a borrowed slice of it
+    // (via [`Endpoint::handle_wire`]), never an owned copy.
     let mut wire: Vec<u8> = Vec::with_capacity(512);
+    let mut body: Vec<u8> = Vec::new();
 
     // Request line, bounded like the headers: a peer streaming one
     // endless line is cut off at the byte cap.
@@ -401,7 +404,7 @@ fn serve_connection(
         write_response(&mut writer, 413, "Payload Too Large", b"")?;
         return Ok(());
     }
-    let mut body = vec![0u8; len];
+    body.resize(len, 0);
     match reader.read_exact(&mut body) {
         Ok(()) => {}
         Err(e) if is_timeout(&e) => {
@@ -420,40 +423,50 @@ fn serve_connection(
         write_response(&mut writer, 400, "Bad Request", b"body is not utf-8")?;
         return Ok(());
     };
-    match Envelope::parse(text) {
-        Err(e) => {
-            write_fault_response(
-                &mut writer,
-                &mut wire,
-                500,
-                "Internal Server Error",
-                format!("unparseable envelope: {e}"),
-            )?;
-        }
-        Ok(mut env) => {
-            // Hop span under the request's trace header, if any; the
-            // guard covers the dispatch and the response write.
-            let _hop = clock.and_then(|c| obs.hop_span(&mut env, "transport.serve", c));
-            match endpoint.handle(env) {
-                Some(resp) => {
-                    let t0 = std::time::Instant::now();
-                    wire.clear();
-                    resp.write_into(&mut wire);
-                    obs.record_serialize(wire.len() as u64, t0);
-                    obs.record_call(len as u64, wire.len() as u64, started);
-                    // SOAP 1.1 over HTTP: faults ride status 500.
-                    let (code, reason) = if resp.is_fault() {
-                        (500, "Internal Server Error")
-                    } else {
-                        (200, "OK")
-                    };
-                    write_response(&mut writer, code, reason, &wire)?;
-                }
-                None => {
-                    obs.record_oneway(len as u64, started);
-                    write_response(&mut writer, 202, "Accepted", b"")?;
-                }
+    // Tracing needs to re-stamp the trace header before dispatch, which
+    // forces an eager parse; everyone else hands the endpoint the
+    // borrowed wire text, so a lazily-routing container reads headers
+    // straight out of the receive buffer and may never build a body DOM.
+    // Hop span under the request's trace header, if any; the guard
+    // covers the dispatch and the response write.
+    let mut _hop = None;
+    let resp = if clock.is_some() && obs.tracer.is_enabled() {
+        match Envelope::parse(text) {
+            Err(e) => {
+                return write_fault_response(
+                    &mut writer,
+                    &mut wire,
+                    500,
+                    "Internal Server Error",
+                    format!("unparseable envelope: {e}"),
+                );
             }
+            Ok(mut env) => {
+                _hop = clock.and_then(|c| obs.hop_span(&mut env, "transport.serve", c));
+                endpoint.handle(env)
+            }
+        }
+    } else {
+        endpoint.handle_wire(text)
+    };
+    match resp {
+        Some(resp) => {
+            let t0 = std::time::Instant::now();
+            wire.clear();
+            resp.write_into(&mut wire);
+            obs.record_serialize(wire.len() as u64, t0);
+            obs.record_call(len as u64, wire.len() as u64, started);
+            // SOAP 1.1 over HTTP: faults ride status 500.
+            let (code, reason) = if resp.is_fault() {
+                (500, "Internal Server Error")
+            } else {
+                (200, "OK")
+            };
+            write_response(&mut writer, code, reason, &wire)?;
+        }
+        None => {
+            obs.record_oneway(len as u64, started);
+            write_response(&mut writer, 202, "Accepted", b"")?;
         }
     }
     Ok(())

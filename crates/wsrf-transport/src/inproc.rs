@@ -6,6 +6,12 @@
 //! virtual clock; message *delivery* is an in-process method call, so a
 //! whole campus grid runs in one address space at memory speed while
 //! still exhibiting realistic timing and traffic metrics.
+//!
+//! Because delivery passes the [`Envelope`] by value — no wire text is
+//! ever produced — this transport's receive path is already "zero
+//! parse": the inbound-lazy machinery ([`Endpoint::handle_wire`], the
+//! container's pull-scan routing) only comes into play on the socket
+//! transports, which own real receive buffers.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

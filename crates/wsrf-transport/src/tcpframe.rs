@@ -17,7 +17,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 use wsrf_obs::MetricsRegistry;
-use wsrf_soap::Envelope;
+use wsrf_soap::{Envelope, SoapFault};
 
 use crate::endpoint::Endpoint;
 use crate::error::TransportError;
@@ -85,6 +85,15 @@ fn decode_envelope(payload: &[u8]) -> Result<Envelope, TransportError> {
     let text = std::str::from_utf8(payload)
         .map_err(|_| TransportError::Protocol("frame payload not utf-8".into()))?;
     Envelope::parse(text).map_err(|e| TransportError::Protocol(format!("bad envelope: {e}")))
+}
+
+/// Render a client fault as a response frame into `outbuf`.
+fn fault_frame(outbuf: &mut Vec<u8>, detail: String) -> usize {
+    frame_into(
+        outbuf,
+        FLAG_RESPONSE,
+        &SoapFault::client(detail).to_envelope(),
+    )
 }
 
 /// A listening `soap.tcp` endpoint.
@@ -167,6 +176,9 @@ fn serve_connection(
     let mut writer = stream;
     // Per-connection buffers, reused across the frame loop: one for
     // inbound payloads, one the response renders into (exactly once).
+    // The endpoint sees a *borrowed* slice of `inbuf` through
+    // [`Endpoint::handle_wire`], so a lazily-routing container never
+    // pays for an owned copy or an eager DOM.
     let mut inbuf: Vec<u8> = Vec::new();
     let mut outbuf: Vec<u8> = Vec::new();
     loop {
@@ -176,26 +188,44 @@ fn serve_connection(
             Err(e) => return Err(e),
         };
         let started = std::time::Instant::now();
-        let env = decode_envelope(&inbuf)?;
         match flags {
             FLAG_ONEWAY => {
-                endpoint.handle(env);
+                // Undecodable one-ways are dropped — there is nobody to
+                // answer — but the connection survives for later frames.
+                if let Ok(text) = std::str::from_utf8(&inbuf) {
+                    endpoint.handle_wire(text);
+                }
                 obs.record_oneway(inbuf.len() as u64, started);
             }
-            FLAG_CALL => match endpoint.handle(env) {
-                Some(resp) => {
-                    let t0 = std::time::Instant::now();
-                    let resp_len = frame_into(&mut outbuf, FLAG_RESPONSE, &resp);
-                    obs.record_serialize(resp_len as u64, t0);
-                    obs.record_call(inbuf.len() as u64, resp_len as u64, started);
-                    writer.write_all(&outbuf)?;
-                    writer.flush()?;
+            FLAG_CALL => {
+                let resp = match std::str::from_utf8(&inbuf) {
+                    Ok(text) => endpoint.handle_wire(text),
+                    // A garbage payload answers with a fault frame (the
+                    // connection stays usable) instead of tearing the
+                    // whole persistent session down.
+                    Err(_) => {
+                        let resp_len = fault_frame(&mut outbuf, "frame payload not utf-8".into());
+                        obs.record_call(inbuf.len() as u64, resp_len as u64, started);
+                        writer.write_all(&outbuf)?;
+                        writer.flush()?;
+                        continue;
+                    }
+                };
+                match resp {
+                    Some(resp) => {
+                        let t0 = std::time::Instant::now();
+                        let resp_len = frame_into(&mut outbuf, FLAG_RESPONSE, &resp);
+                        obs.record_serialize(resp_len as u64, t0);
+                        obs.record_call(inbuf.len() as u64, resp_len as u64, started);
+                        writer.write_all(&outbuf)?;
+                        writer.flush()?;
+                    }
+                    None => {
+                        obs.record_call(inbuf.len() as u64, 0, started);
+                        write_frame(&mut writer, FLAG_EMPTY, b"")?
+                    }
                 }
-                None => {
-                    obs.record_call(inbuf.len() as u64, 0, started);
-                    write_frame(&mut writer, FLAG_EMPTY, b"")?
-                }
-            },
+            }
             other => {
                 return Err(TransportError::Protocol(format!(
                     "unexpected client frame flags {other}"
@@ -329,6 +359,53 @@ mod tests {
         let blob = wsrf_xml::base64::encode(&vec![0xA5u8; 100_000]);
         let req = Envelope::new(Element::local("Write").text(blob));
         assert_eq!(client.call(&req).unwrap(), req);
+    }
+
+    #[test]
+    fn bad_call_payload_answers_fault_and_keeps_connection() {
+        let server = FramedServer::start(Arc::new(FnEndpoint::new("echo", Some))).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut buf = Vec::new();
+
+        // Garbage XML on a CALL frame: a fault frame comes back and the
+        // persistent connection survives.
+        write_frame(&mut stream, FLAG_CALL, b"<not-xml").unwrap();
+        assert_eq!(
+            read_frame_into(&mut stream, &mut buf).unwrap(),
+            FLAG_RESPONSE
+        );
+        let fault = Envelope::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert!(fault.is_fault());
+        assert!(fault
+            .fault()
+            .unwrap()
+            .reason
+            .contains("unparseable envelope"));
+
+        // Non-utf-8 payload likewise faults without killing the session.
+        write_frame(&mut stream, FLAG_CALL, &[0xFF, 0xFE, 0x00]).unwrap();
+        assert_eq!(
+            read_frame_into(&mut stream, &mut buf).unwrap(),
+            FLAG_RESPONSE
+        );
+        assert!(Envelope::parse(std::str::from_utf8(&buf).unwrap())
+            .unwrap()
+            .is_fault());
+
+        // The same connection still carries a good call.
+        let req = Envelope::new(Element::local("Ping"));
+        let mut out = Vec::new();
+        frame_into(&mut out, FLAG_CALL, &req);
+        stream.write_all(&out).unwrap();
+        stream.flush().unwrap();
+        assert_eq!(
+            read_frame_into(&mut stream, &mut buf).unwrap(),
+            FLAG_RESPONSE
+        );
+        assert_eq!(
+            Envelope::parse(std::str::from_utf8(&buf).unwrap()).unwrap(),
+            req
+        );
     }
 
     #[test]

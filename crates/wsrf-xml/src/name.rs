@@ -1,7 +1,44 @@
-//! Namespace-qualified XML names.
+//! Namespace-qualified XML names and the namespace-URI intern table.
 
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Upper bound on distinct interned namespace URIs. A SOAP deployment
+/// sees a dozen or two specification namespaces; the cap only exists
+/// so hostile or generated input (fuzzers, per-tenant topic URIs)
+/// cannot grow the table without bound. Overflow falls back to a
+/// plain allocation.
+const INTERN_CAP: usize = 256;
+
+fn intern_table() -> &'static RwLock<HashMap<String, Arc<str>>> {
+    static TABLE: OnceLock<RwLock<HashMap<String, Arc<str>>>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Intern a namespace URI, returning a shared `Arc<str>`.
+///
+/// The same few specification namespaces (WS-Addressing,
+/// WS-ResourceProperties, ...) repeat thousands of times across a
+/// message exchange; interning makes every [`QName`] holding one a
+/// pointer-sized clone instead of a fresh allocation — the same trick
+/// the dispatch layer uses for its interned span names. The table is
+/// process-global, seeded on first use, and capped at a fixed size
+/// (overflow simply allocates).
+pub fn intern_ns(uri: &str) -> Arc<str> {
+    if let Some(a) = intern_table().read().unwrap().get(uri) {
+        return a.clone();
+    }
+    let mut table = intern_table().write().unwrap();
+    if let Some(a) = table.get(uri) {
+        return a.clone();
+    }
+    let a: Arc<str> = Arc::from(uri);
+    if table.len() < INTERN_CAP {
+        table.insert(uri.to_string(), a.clone());
+    }
+    a
+}
 
 /// A namespace-qualified XML name: `{namespace-uri}local-part`.
 ///
@@ -17,10 +54,11 @@ pub struct QName {
 }
 
 impl QName {
-    /// A name in the given namespace.
+    /// A name in the given namespace. The namespace URI is interned
+    /// (see [`intern_ns`]).
     pub fn new(ns: impl AsRef<str>, local: impl Into<String>) -> Self {
         QName {
-            ns: Some(Arc::from(ns.as_ref())),
+            ns: Some(intern_ns(ns.as_ref())),
             local: local.into(),
         }
     }
@@ -104,5 +142,14 @@ mod tests {
     fn from_str_conversion() {
         let q: QName = "{urn:a}x".into();
         assert!(q.is("urn:a", "x"));
+    }
+
+    #[test]
+    fn interned_uris_share_storage() {
+        let a = intern_ns("urn:share-me");
+        let b = intern_ns("urn:share-me");
+        assert!(Arc::ptr_eq(&a, &b));
+        let qa = QName::new("urn:share-me", "x");
+        assert!(Arc::ptr_eq(qa.ns.as_ref().unwrap(), &a));
     }
 }

@@ -3,7 +3,7 @@
 //! well-formed XML.
 
 use proptest::prelude::*;
-use wsrf_xml::{parse, Element, Node, QName};
+use wsrf_xml::{parse, Element, Event, Node, PullParser, QName};
 
 /// Strategy for XML name-legal identifiers.
 fn ident() -> impl Strategy<Value = String> {
@@ -120,6 +120,128 @@ proptest! {
         let n = e.descendants().count();
         let back = parse(&e.to_xml()).unwrap();
         prop_assert_eq!(back.descendants().count(), n);
+    }
+}
+
+// ---- pull-vs-DOM equivalence -------------------------------------
+//
+// The DOM entry point is a thin wrapper over the pull parser, but the
+// wrapper could still diverge (attribute handling, text merging, error
+// propagation). These properties pin the two surfaces together: any
+// document re-materialized from the raw event stream must equal the
+// tree `parse` builds, and malformed inputs must fail identically.
+
+/// Re-materialize a whole document by hand from the event stream —
+/// deliberately NOT via `build_element`, so this exercises the public
+/// event surface (`next_event` + `attrs`) end to end.
+fn materialize_from_events(input: &str) -> Result<Element, String> {
+    let mut p = PullParser::new(input);
+    let mut stack: Vec<Element> = Vec::new();
+    loop {
+        match p.next_event().map_err(|e| e.to_string())? {
+            Some(Event::Start { ns, local }) => {
+                let name = match ns {
+                    Some(uri) => QName {
+                        ns: Some(uri),
+                        local: local.to_string(),
+                    },
+                    None => QName::local(local),
+                };
+                let mut e = Element::with_name(name);
+                for a in p.attrs() {
+                    let qn = match &a.ns {
+                        Some(uri) => QName {
+                            ns: Some(uri.clone()),
+                            local: a.local.to_string(),
+                        },
+                        None => QName::local(a.local),
+                    };
+                    e.attrs.push((qn, a.value.to_string()));
+                }
+                stack.push(e);
+            }
+            Some(Event::Text(t)) => {
+                let top = stack.last_mut().ok_or("text outside root")?;
+                // Adjacent text events (e.g. CDATA next to character
+                // data) merge exactly as DOM materialization does.
+                if t.is_empty() {
+                    continue;
+                }
+                if let Some(Node::Text(prev)) = top.children.last_mut() {
+                    prev.push_str(&t);
+                } else {
+                    top.children.push(Node::Text(t.into_owned()));
+                }
+            }
+            Some(Event::End) => {
+                let done = stack.pop().ok_or("unbalanced end event")?;
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(Node::Element(done)),
+                    None => return Ok(done),
+                }
+            }
+            None => return Err("document has no root element".into()),
+        }
+    }
+}
+
+/// Drive the pull parser to completion, reporting the first error the
+/// same way `parse` would (the tree is discarded).
+fn drain_events(input: &str) -> Result<(), String> {
+    let mut p = PullParser::new(input);
+    loop {
+        match p.next_event() {
+            Ok(Some(_)) => {}
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn event_stream_rematerializes_to_the_dom_tree(e in tree()) {
+        let xml = e.to_xml();
+        let dom = parse(&xml).unwrap();
+        let from_events = materialize_from_events(&xml).unwrap();
+        prop_assert_eq!(&from_events, &dom);
+        prop_assert_eq!(from_events, e);
+    }
+
+    #[test]
+    fn build_element_escape_hatch_matches_parse(e in tree()) {
+        let xml = e.to_document();
+        let mut p = PullParser::new(&xml);
+        p.next_event().unwrap().unwrap();
+        let built = p.build_element().unwrap();
+        prop_assert!(p.next_event().unwrap().is_none());
+        prop_assert_eq!(built, parse(&xml).unwrap());
+    }
+
+    #[test]
+    fn pull_and_dom_fail_on_the_same_malformed_inputs(s in "[ -~<>&\"'/=]{0,64}") {
+        // Neither surface may panic, and they must agree on Ok vs Err
+        // including the error message and offset.
+        let dom = parse(&s).map(|_| ()).map_err(|e| e.to_string());
+        let pull = drain_events(&s);
+        prop_assert_eq!(dom, pull);
+    }
+
+    #[test]
+    fn truncated_documents_fail_identically(e in tree(), cut in 0usize..=100) {
+        let xml = e.to_xml();
+        // Truncate at an arbitrary char boundary; both surfaces must
+        // agree on whether the prefix still parses and on the error.
+        let mut at = xml.len() * cut / 100;
+        while !xml.is_char_boundary(at) {
+            at -= 1;
+        }
+        let prefix = &xml[..at];
+        let dom = parse(prefix).map(|_| ()).map_err(|e| e.to_string());
+        let pull = drain_events(prefix);
+        prop_assert_eq!(dom, pull);
     }
 }
 

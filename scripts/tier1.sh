@@ -24,11 +24,14 @@ cargo test -q --release --offline --test scale_stress
 cargo test -q --release --offline --test concurrency
 
 echo "== cargo test -q --release --offline wirepath"
-# The wire-path suites pin byte-for-byte serializer equivalence and the
-# per-transport render budgets; release mode keeps the proptest cases
-# and the real-socket exchanges fast.
+# The wire-path suites pin byte-for-byte serializer equivalence, the
+# per-transport render budgets, and the inbound parse/DOM budgets
+# (zero body DOMs per WS-RP read); release mode keeps the proptest
+# cases and the real-socket exchanges fast.
 cargo test -q --release --offline --test wirepath
 cargo test -q --release --offline --test wirepath_renders
+cargo test -q --release --offline --test wirepath_inbound
+cargo test -q --release --offline -p wsrf-xml --test proptest_roundtrip
 
 echo "== cargo test -q --release --offline durability + failover_chaos"
 # The durability suite replays proptest-corrupted WALs and the chaos
